@@ -1,0 +1,1 @@
+bench/qgen_db.ml: Array Atom Cq Fo Int List Paradb_query Paradb_relational Paradb_wsat Printf Random Term

@@ -1,0 +1,103 @@
+(* Small random-instance generators for the benchmark harness. *)
+
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Circuit = Paradb_wsat.Circuit
+open Paradb_query
+
+let tree_db rng =
+  let relation (name, arity) =
+    let rows =
+      List.init 12 (fun _ ->
+          Array.init arity (fun _ -> Value.Int (Random.State.int rng 4)))
+    in
+    Relation.create ~name ~schema:(List.init arity (Printf.sprintf "a%d")) rows
+  in
+  Database.of_relations (List.map relation [ ("r1", 1); ("r2", 2); ("r3", 3) ])
+
+(* Acyclic by construction: each atom shares one variable with an earlier
+   one. *)
+let tree_query rng =
+  let n_atoms = 3 + Random.State.int rng 3 in
+  let fresh = ref 0 in
+  let new_var () =
+    incr fresh;
+    Printf.sprintf "v%d" (!fresh - 1)
+  in
+  let all_vars = ref [] in
+  let atoms = ref [] in
+  for i = 0 to n_atoms - 1 do
+    let arity = 1 + Random.State.int rng 3 in
+    let shared =
+      if i = 0 then new_var ()
+      else List.nth !all_vars (Random.State.int rng (List.length !all_vars))
+    in
+    let args =
+      Term.var shared :: List.init (arity - 1) (fun _ -> Term.var (new_var ()))
+    in
+    atoms := Atom.make (Printf.sprintf "r%d" arity) args :: !atoms;
+    List.iter
+      (fun v -> if not (List.mem v !all_vars) then all_vars := v :: !all_vars)
+      (Term.vars args)
+  done;
+  Cq.make ~head:[] !atoms
+
+let positive_sentence rng ~depth =
+  let rels = [| ("r1", 1); ("r2", 2) |] in
+  let bound = ref [] in
+  let fresh = ref 0 in
+  let rec go depth =
+    if depth = 0 || (Random.State.int rng 3 = 0 && !bound <> []) then begin
+      let name, arity = rels.(Random.State.int rng (Array.length rels)) in
+      let args =
+        List.init arity (fun _ ->
+            if !bound <> [] && Random.State.bool rng then
+              Term.var
+                (List.nth !bound (Random.State.int rng (List.length !bound)))
+            else Term.int (Random.State.int rng 4))
+      in
+      Fo.atom name args
+    end
+    else
+      match Random.State.int rng 3 with
+      | 0 -> Fo.conj (List.init 2 (fun _ -> go (depth - 1)))
+      | 1 -> Fo.disj (List.init 2 (fun _ -> go (depth - 1)))
+      | _ ->
+          let x =
+            incr fresh;
+            Printf.sprintf "q%d" !fresh
+          in
+          bound := x :: !bound;
+          let body = go (depth - 1) in
+          bound := List.tl !bound;
+          Fo.exists [ x ] body
+  in
+  go depth
+
+let monotone_circuit rng ~n_inputs ~n_gates =
+  let gates = ref [] in
+  let count = ref 0 in
+  let emit g =
+    gates := g :: !gates;
+    incr count;
+    !count - 1
+  in
+  let inputs = List.init n_inputs (fun i -> emit (Circuit.G_input i)) in
+  let pool = ref inputs in
+  for _ = 1 to n_gates do
+    let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+    let children =
+      List.sort_uniq Int.compare
+        (List.init (1 + Random.State.int rng 3) (fun _ -> pick ()))
+    in
+    let id =
+      emit
+        (if Random.State.bool rng then Circuit.G_and children
+         else Circuit.G_or children)
+    in
+    pool := id :: !pool
+  done;
+  Circuit.make ~n_inputs
+    (Array.of_list (List.rev !gates))
+    ~output:(List.hd !pool)

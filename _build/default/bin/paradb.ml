@@ -1,0 +1,297 @@
+(* paradb — command-line front end.
+
+   Subcommands:
+     eval      parse a fact file and a query, evaluate with a chosen engine
+     check     static analysis of a query: acyclicity, I1/I2 partition,
+               comparison consistency, join tree
+     datalog   bottom-up evaluation of a Datalog program
+     generate  emit a sample workload as a fact file *)
+
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Value = Paradb_relational.Value
+module Hypergraph = Paradb_hypergraph.Hypergraph
+module Join_tree = Paradb_hypergraph.Join_tree
+module Engine = Paradb_core.Engine
+module Hashing = Paradb_core.Hashing
+open Paradb_query
+open Cmdliner
+
+let read_file path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let load_database path =
+  try Ok (Parser.parse_facts (read_file path)) with
+  | Parser.Parse_error msg -> Error ("database: " ^ msg)
+  | Sys_error msg -> Error msg
+
+let parse_query text =
+  try Ok (Parser.parse_cq text) with
+  | Parser.Parse_error msg -> Error ("query: " ^ msg)
+  | Invalid_argument msg -> Error ("query: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Arguments *)
+
+let db_arg =
+  let doc = "Fact file ('-' for stdin): lines like 'edge(1, 2).'" in
+  Arg.(required & opt (some string) None & info [ "d"; "db" ] ~docv:"FILE" ~doc)
+
+let query_arg =
+  let doc = "The query, e.g. 'ans(X) :- e(X, Y), X != Y.'" in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+type engine_kind =
+  | E_auto
+  | E_naive
+  | E_yannakakis
+  | E_fpt
+
+let engine_arg =
+  let kinds =
+    [ ("auto", E_auto); ("naive", E_naive); ("yannakakis", E_yannakakis);
+      ("fpt", E_fpt) ]
+  in
+  let doc =
+    "Evaluation engine: auto (dispatch on the query class), naive \
+     (backtracking), yannakakis (acyclic, no constraints), fpt (the \
+     Theorem-2 engine for acyclic queries with !=)."
+  in
+  Arg.(value & opt (enum kinds) E_auto & info [ "e"; "engine" ] ~doc)
+
+let family_arg =
+  let doc =
+    "Hash family for the fpt engine: 'sweep' (deterministic, exact) or \
+     'random' (Monte-Carlo, c*e^k trials)."
+  in
+  Arg.(value & opt (enum [ ("sweep", `Sweep); ("random", `Random) ]) `Sweep
+       & info [ "family" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.")
+
+(* ------------------------------------------------------------------ *)
+(* eval *)
+
+let family_of kind ~k ~seed =
+  match kind with
+  | `Sweep -> Hashing.Multiplicative_sweep
+  | `Random ->
+      Hashing.Random_trials
+        { trials = Hashing.default_trials ~c:3.0 ~k; seed }
+
+let choose_engine kind q =
+  let acyclic = Hypergraph.is_acyclic (Hypergraph.of_cq q) in
+  match kind with
+  | E_naive -> `Naive
+  | E_yannakakis -> `Yannakakis
+  | E_fpt -> `Fpt
+  | E_auto ->
+      if not acyclic then `Naive
+      else if Cq.has_constraints q then
+        if Cq.neq_only q then `Fpt else `Comparisons
+      else `Yannakakis
+
+let run_eval db_path query_text engine family seed stats =
+  match load_database db_path, parse_query query_text with
+  | Error e, _ | _, Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok db, Ok q -> (
+      try
+        let result, engine_name =
+          match choose_engine engine q with
+          | `Naive ->
+              let s = Paradb_eval.Cq_naive.new_stats () in
+              let r = Paradb_eval.Cq_naive.evaluate ~stats:s db q in
+              if stats then
+                Printf.printf "%% naive probes: %d\n" s.Paradb_eval.Cq_naive.probes;
+              (r, "naive")
+          | `Yannakakis -> (Paradb_yannakakis.Yannakakis.evaluate db q, "yannakakis")
+          | `Comparisons -> (Paradb_core.Comparisons.evaluate db q, "comparisons")
+          | `Fpt ->
+              let part = Paradb_core.Ineq.partition q in
+              let family = family_of family ~k:part.Paradb_core.Ineq.k ~seed in
+              let s = Engine.new_stats () in
+              let r = Engine.evaluate ~family ~stats:s db q in
+              if stats then
+                Printf.printf "%% fpt colorings: %d tried, %d nonempty\n"
+                  s.Engine.trials s.Engine.successes;
+              (r, "fpt")
+        in
+        Printf.printf "%% engine: %s\n" engine_name;
+        Format.printf "%a@." Relation.pp result;
+        0
+      with
+      | Paradb_yannakakis.Yannakakis.Cyclic_query | Engine.Cyclic_query ->
+          Printf.eprintf
+            "error: the query hypergraph is cyclic; use --engine naive\n";
+          1
+      | Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1)
+
+let eval_cmd =
+  let doc = "Evaluate a query over a fact file." in
+  Cmd.v
+    (Cmd.info "eval" ~doc)
+    Term.(
+      const run_eval $ db_arg $ query_arg $ engine_arg $ family_arg $ seed_arg
+      $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let dot_arg =
+  Arg.(value & flag
+       & info [ "dot" ] ~doc:"Also print the join tree in GraphViz format.")
+
+let run_check query_text dot =
+  match parse_query query_text with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok q ->
+      Format.printf "query: %a@." Cq.pp q;
+      Format.printf "size q = %d, variables v = %d@." (Cq.size q) (Cq.num_vars q);
+      let h = Hypergraph.of_cq q in
+      let acyclic = Hypergraph.is_acyclic h in
+      Format.printf "hypergraph: %a@.acyclic: %b@." Hypergraph.pp h acyclic;
+      (if Cq.neq_only q then begin
+         let part = Paradb_core.Ineq.partition q in
+         Format.printf "inequalities: %a@." Paradb_core.Ineq.pp part
+       end
+       else
+         match Paradb_core.Comparisons.preprocess q with
+         | Paradb_core.Comparisons.Inconsistent ->
+             Format.printf
+               "comparisons: inconsistent (query is empty on every database)@."
+         | Paradb_core.Comparisons.Collapsed q' ->
+             Format.printf "comparisons: consistent; collapsed: %a@." Cq.pp q');
+      (match Join_tree.of_cq q with
+      | Some tree ->
+          Format.printf "%a@." Join_tree.pp tree;
+          if dot then print_string (Join_tree.to_dot tree)
+      | None -> Format.printf "no join tree (cyclic or empty body)@.");
+      (match choose_engine E_auto q with
+      | `Naive -> Format.printf "recommended engine: naive@."
+      | `Yannakakis -> Format.printf "recommended engine: yannakakis@."
+      | `Fpt -> Format.printf "recommended engine: fpt (Theorem 2)@."
+      | `Comparisons ->
+          Format.printf
+            "recommended engine: comparisons preprocessing + naive (Theorem 3 \
+             says no FPT engine exists unless FPT = W[1])@.");
+      0
+
+let check_cmd =
+  let doc = "Analyze a query: acyclicity, partition, join tree." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ query_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* datalog *)
+
+let program_arg =
+  let doc = "Datalog program file ('-' for stdin)." in
+  Arg.(required & opt (some string) None & info [ "p"; "program" ] ~docv:"FILE" ~doc)
+
+let goal_arg =
+  let doc = "Goal (output) predicate." in
+  Arg.(required & opt (some string) None & info [ "g"; "goal" ] ~docv:"NAME" ~doc)
+
+let strategy_arg =
+  let doc = "Fixpoint strategy." in
+  Arg.(value
+       & opt (enum [ ("naive", Paradb_datalog.Engine.Naive);
+                     ("seminaive", Paradb_datalog.Engine.Seminaive) ])
+           Paradb_datalog.Engine.Seminaive
+       & info [ "strategy" ] ~doc)
+
+let run_datalog db_path program_path goal strategy stats =
+  match load_database db_path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok db -> (
+      try
+        let program = Parser.parse_program (read_file program_path) ~goal in
+        let s = Paradb_datalog.Engine.new_stats () in
+        let r = Paradb_datalog.Engine.evaluate ~strategy ~stats:s db program in
+        if stats then
+          Printf.printf "%% rounds: %d, derivations: %d\n"
+            s.Paradb_datalog.Engine.rounds s.Paradb_datalog.Engine.derived;
+        Format.printf "%a@." Relation.pp r;
+        0
+      with
+      | Parser.Parse_error msg | Invalid_argument msg | Sys_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1)
+
+let datalog_cmd =
+  let doc = "Run a Datalog program bottom-up." in
+  Cmd.v
+    (Cmd.info "datalog" ~doc)
+    Term.(
+      const run_datalog $ db_arg $ program_arg $ goal_arg $ strategy_arg
+      $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate *)
+
+let scenario_arg =
+  let doc = "Scenario: employees | students | salaries | edges." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let size_arg =
+  Arg.(value & opt int 20 & info [ "n"; "size" ] ~doc:"Workload size knob.")
+
+let print_facts db = Fact_format.print stdout db
+
+let run_generate scenario size seed =
+  let rng = Random.State.make [| seed |] in
+  let module G = Paradb_workload.Generators in
+  match scenario with
+  | "employees" ->
+      let db, q = G.employees_multi_project rng ~employees:size ~projects:(max 2 (size / 3)) ~assignments:(2 * size) in
+      Printf.printf "%% query: %s\n" (Cq.to_string q);
+      print_facts db;
+      0
+  | "students" ->
+      let db, q =
+        G.students_outside_department rng ~students:size ~courses:size
+          ~departments:(max 2 (size / 5)) ~enrollments:(2 * size)
+      in
+      Printf.printf "%% query: %s\n" (Cq.to_string q);
+      print_facts db;
+      0
+  | "salaries" ->
+      let db, q = G.employees_higher_salary rng ~employees:size ~max_salary:100 in
+      Printf.printf "%% query: %s\n" (Cq.to_string q);
+      print_facts db;
+      0
+  | "edges" ->
+      print_facts (G.edge_database rng ~nodes:size ~edges:(4 * size));
+      0
+  | other ->
+      Printf.eprintf "error: unknown scenario %s\n" other;
+      1
+
+let generate_cmd =
+  let doc = "Emit a sample workload as a fact file." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run_generate $ scenario_arg $ size_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
+  in
+  Cmd.group (Cmd.info "paradb" ~version:"1.0.0" ~doc)
+    [ eval_cmd; check_cmd; datalog_cmd; generate_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

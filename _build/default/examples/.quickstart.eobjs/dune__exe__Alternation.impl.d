@@ -1,0 +1,1 @@
+examples/alternation.ml: Alternating Circuit Cq Cq_naive Database Fo Fo_naive Format List Paradb Parser Reductions Relation String

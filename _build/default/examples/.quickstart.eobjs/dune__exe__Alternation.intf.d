@@ -1,0 +1,1 @@
+examples/alternation.mli:

@@ -1,0 +1,1 @@
+examples/containment.ml: Array Atom Binding Containment Cq Database Format Graph List Paradb Parser Random Reductions Relation Term Value

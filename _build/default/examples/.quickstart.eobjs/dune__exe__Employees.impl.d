@@ -1,0 +1,1 @@
+examples/employees.ml: Cq Format List Paradb_core Paradb_eval Paradb_query Paradb_relational Paradb_workload Parser Random

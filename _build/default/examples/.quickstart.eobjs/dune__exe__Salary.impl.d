@@ -1,0 +1,1 @@
+examples/salary.ml: Cq Format List Paradb_core Paradb_eval Paradb_graph Paradb_query Paradb_reductions Paradb_relational Parser Random

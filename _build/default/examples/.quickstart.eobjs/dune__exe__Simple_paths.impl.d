@@ -1,0 +1,1 @@
+examples/simple_paths.ml: Cq Format List Paradb_core Paradb_graph Paradb_query Random String

@@ -1,0 +1,1 @@
+examples/simple_paths.mli:

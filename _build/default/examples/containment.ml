@@ -1,0 +1,67 @@
+(* Chandra–Merlin containment and minimization — the 1977 starting point
+   the paper's introduction names ("ever since the paper by Chandra and
+   Merlin"), and the reason conjunctive-query *static analysis* has the
+   same parametric flavor as evaluation: deciding Q1 ⊆ Q2 is clique-hard
+   in |Q2| exactly like Theorem 1's evaluation problem.
+
+   Run with: dune exec examples/containment.exe *)
+
+open Paradb
+
+let cq = Parser.parse_cq
+
+let show_containment q1 q2 =
+  Format.printf "  %-38s ⊆ %-28s : %b@." (Cq.to_string q1) (Cq.to_string q2)
+    (Containment.contained q1 q2)
+
+let () =
+  Format.printf "=== Containment (homomorphisms into the frozen query) ===@.";
+  let path2 = cq "ans(X) :- e(X, Y), e(Y, Z)." in
+  let edge = cq "ans(X) :- e(X, Y)." in
+  let tri = cq "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." in
+  show_containment path2 edge;
+  show_containment edge path2;
+  show_containment tri path2;
+  show_containment path2 tri;
+
+  Format.printf "@.=== The witnessing homomorphism ===@.";
+  (match Containment.homomorphism path2 edge with
+  | Some hom -> Format.printf "  edge -> frozen(path2): %a@." Binding.pp hom
+  | None -> Format.printf "  none@.");
+
+  Format.printf "@.=== Minimization (cores) ===@.";
+  List.iter
+    (fun text ->
+      let q = cq text in
+      let m = Containment.minimize q in
+      Format.printf "  %-48s ->  %s@." (Cq.to_string q) (Cq.to_string m))
+    [
+      "ans(X) :- e(X, Y), e(X, Z).";
+      "ans(X) :- e(X, Y), e(Y, Z), e(X, U), e(U, V).";
+      "g() :- e(X, X), e(Y, Z), e(Z, Y).";
+      "ans(Y, Z) :- e(X, Y), e(X, Z).";
+    ];
+
+  Format.printf
+    "@.=== Why this is the same hardness story as Theorem 1 ===@.";
+  (* Q1 ⊆ Q2 where Q2 is the k-clique query asks exactly whether Q1's
+     canonical database contains a k-clique. *)
+  let rng = Random.State.make [| 3 |] in
+  let g, _ = Graph.planted_clique rng 8 0.3 4 in
+  let clique_q, db = Reductions.Clique_to_cq.reduce g ~k:4 in
+  (* a Boolean query whose canonical database is exactly g *)
+  let graph_q =
+    Cq.make ~name:"p" ~head:[]
+      (List.map
+         (fun row ->
+           Atom.make "g"
+             [ Term.var ("v" ^ Value.to_string row.(0));
+               Term.var ("v" ^ Value.to_string row.(1)) ])
+         (Relation.tuples (Database.find db "g")))
+  in
+  Format.printf "  graph-as-query has %d atoms; clique query has %d@."
+    (List.length graph_q.Cq.body)
+    (List.length clique_q.Cq.body);
+  Format.printf "  graph-query ⊆ clique-query : %b (graph has a 4-clique: %b)@."
+    (Containment.contained graph_q clique_q)
+    (Graph.has_clique g 4)

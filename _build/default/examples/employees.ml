@@ -1,0 +1,65 @@
+(* The paper's own motivating examples (Section 5):
+
+     "Find the employees that work on more than one project:
+        G(e) :- EP(e,p), EP(e,p'), p != p'"
+     "Find the students that take courses outside their department:
+        G(s) :- SD(s,d), SC(s,c), CD(c,d'), d != d'"
+
+   Both queries are acyclic once the inequality edges are left out of the
+   hypergraph, so the Theorem-2 engine evaluates them in f.p. polynomial
+   time; this example also shows the naive evaluator agreeing, and the
+   I1/I2 partition each query induces.
+
+   Run with: dune exec examples/employees.exe *)
+
+module Relation = Paradb_relational.Relation
+module Engine = Paradb_core.Engine
+module Ineq = Paradb_core.Ineq
+open Paradb_query
+
+let show_inequality_partition q =
+  let part = Ineq.partition q in
+  Format.printf "  partition: %a@." Ineq.pp part
+
+let () =
+  let rng = Random.State.make [| 2026 |] in
+
+  Format.printf "=== Employees on more than one project ===@.";
+  let db, q =
+    Paradb_workload.Generators.employees_multi_project rng ~employees:12
+      ~projects:4 ~assignments:20
+  in
+  Format.printf "  query: %a@." Cq.pp q;
+  show_inequality_partition q;
+  let result = Engine.evaluate db q in
+  Format.printf "  multi-project employees: %d of 12@." (Relation.cardinality result);
+  Relation.iter (fun row -> Format.printf "    %a@." Paradb_relational.Tuple.pp row) result;
+  let naive = Paradb_eval.Cq_naive.evaluate db q in
+  Format.printf "  agrees with naive evaluation: %b@.@."
+    (Relation.set_equal result naive);
+
+  Format.printf "=== Students taking courses outside their department ===@.";
+  let db2, q2 =
+    Paradb_workload.Generators.students_outside_department rng ~students:10
+      ~courses:8 ~departments:3 ~enrollments:18
+  in
+  Format.printf "  query: %a@." Cq.pp q2;
+  show_inequality_partition q2;
+  let result2 = Engine.evaluate db2 q2 in
+  Format.printf "  students found: %d of 10@." (Relation.cardinality result2);
+  Format.printf "  agrees with naive evaluation: %b@.@."
+    (Relation.set_equal result2 (Paradb_eval.Cq_naive.evaluate db2 q2));
+
+  (* The same query written in the concrete syntax, on a hand-made
+     database, with the decision problem. *)
+  Format.printf "=== Hand-written instance, decision problem ===@.";
+  let db3 =
+    Parser.parse_facts
+      "ep(ada, compilers). ep(ada, planners). ep(bob, compilers). ep(cem, planners)."
+  in
+  let q3 = Parser.parse_cq "g(E) :- ep(E, P), ep(E, P2), P != P2." in
+  List.iter
+    (fun name ->
+      Format.printf "  is %s on more than one project? %b@." name
+        (Engine.decide db3 q3 [| Paradb_relational.Value.Str name |]))
+    [ "ada"; "bob"; "cem" ]

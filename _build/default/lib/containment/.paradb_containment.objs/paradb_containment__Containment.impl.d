@@ -1,0 +1,1 @@
+lib/containment/containment.ml: Array Atom Cq Hashtbl List Paradb_eval Paradb_query Paradb_relational Printf Term

@@ -1,0 +1,1 @@
+lib/containment/containment.mli: Paradb_query Paradb_relational

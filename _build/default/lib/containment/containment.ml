@@ -1,0 +1,96 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+module Value = Paradb_relational.Value
+open Paradb_query
+
+let reject_constraints q =
+  if Cq.has_constraints q then
+    invalid_arg "Containment: constraint atoms are not supported"
+
+(* Freeze a variable to a distinguished constant.  '$' cannot start a
+   parsed identifier, so frozen constants cannot collide with the
+   constants of reasonable queries. *)
+let freeze_term = function
+  | Term.Var x -> Value.Str ("$" ^ x)
+  | Term.Const v -> v
+
+let canonical_database q =
+  reject_constraints q;
+  let table : (string, Tuple.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let row = Array.of_list (List.map freeze_term a.Atom.args) in
+      match Hashtbl.find_opt table a.Atom.rel with
+      | Some rows -> rows := row :: !rows
+      | None -> Hashtbl.add table a.Atom.rel (ref [ row ]))
+    q.Cq.body;
+  let db =
+    Hashtbl.fold
+      (fun name rows db ->
+        let arity =
+          match !rows with
+          | row :: _ -> Array.length row
+          | [] -> 0
+        in
+        Database.add
+          (Relation.create ~name
+             ~schema:(List.init arity (Printf.sprintf "a%d"))
+             !rows)
+          db)
+      table Database.empty
+  in
+  (db, Array.of_list (List.map freeze_term q.Cq.head))
+
+(* Make sure every relation the probing query mentions exists (possibly
+   empty) in the target database. *)
+let pad_relations db q =
+  List.fold_left
+    (fun db a ->
+      if Database.mem db a.Atom.rel then db
+      else
+        Database.add
+          (Relation.create ~name:a.Atom.rel
+             ~schema:(List.init (Atom.arity a) (Printf.sprintf "a%d"))
+             [])
+          db)
+    db q.Cq.body
+
+let homomorphism q1 q2 =
+  reject_constraints q1;
+  reject_constraints q2;
+  if List.length q1.Cq.head <> List.length q2.Cq.head then None
+  else begin
+    let db, frozen_head = canonical_database q1 in
+    let db = pad_relations db q2 in
+    match Cq.close_with_tuple q2 frozen_head with
+    | None -> None
+    | Some closed -> (
+        match Paradb_eval.Cq_naive.all_bindings db closed with
+        | binding :: _ -> Some binding
+        | [] -> None)
+  end
+
+let contained q1 q2 = homomorphism q1 q2 <> None
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let minimize q =
+  reject_constraints q;
+  let removable body atom =
+    let rest = List.filter (fun a -> a != atom) body in
+    let head_vars = Term.vars q.Cq.head in
+    let rest_vars = List.concat_map Atom.vars rest in
+    rest <> []
+    && List.for_all (fun x -> List.mem x rest_vars) head_vars
+    &&
+    (* dropping an atom only weakens the query, so equivalence holds iff
+       the smaller query is still contained in the original *)
+    let candidate = Cq.make ~name:q.Cq.name ~head:q.Cq.head rest in
+    contained candidate (Cq.make ~name:q.Cq.name ~head:q.Cq.head body)
+  in
+  let rec shrink body =
+    match List.find_opt (removable body) body with
+    | Some atom -> shrink (List.filter (fun a -> a != atom) body)
+    | None -> body
+  in
+  Cq.make ~name:q.Cq.name ~head:q.Cq.head (shrink q.Cq.body)

@@ -1,0 +1,38 @@
+(** Conjunctive-query containment, equivalence and minimization — the
+    Chandra–Merlin theory (STOC 1977) the paper's introduction builds on
+    ("the complexity of query languages has been — next to
+    expressibility — one of the main preoccupations of database theory
+    ever since the paper by Chandra and Merlin").
+
+    [Q1 ⊆ Q2] iff there is a homomorphism from [Q2] to [Q1]'s canonical
+    (frozen) database mapping head to head.  Deciding it is
+    NP-complete in the query sizes — and, being clique-hard in the same
+    way as Theorem 1's evaluation problem, W[1]-hard in the size of
+    [Q2]; everything here is exact and intended for query-sized
+    inputs.
+
+    Only constraint-free conjunctive queries are supported (constraint
+    atoms change the containment theory; [Invalid_argument] is raised). *)
+
+(** The canonical database of a query: each variable frozen to a
+    distinguished constant.  Returns the database and the frozen head
+    tuple. *)
+val canonical_database :
+  Paradb_query.Cq.t ->
+  Paradb_relational.Database.t * Paradb_relational.Tuple.t
+
+(** [homomorphism q1 q2] — a homomorphism from [q2] into [q1]'s frozen
+    body mapping [q2]'s head to [q1]'s frozen head, if any. *)
+val homomorphism :
+  Paradb_query.Cq.t -> Paradb_query.Cq.t ->
+  Paradb_query.Binding.t option
+
+(** [contained q1 q2] — does [Q1 ⊆ Q2] hold on every database? *)
+val contained : Paradb_query.Cq.t -> Paradb_query.Cq.t -> bool
+
+val equivalent : Paradb_query.Cq.t -> Paradb_query.Cq.t -> bool
+
+(** The core of [q]: an equivalent subquery with a minimal number of
+    atoms (unique up to renaming).  Computed by greedily dropping atoms
+    while an endomorphism onto the rest exists. *)
+val minimize : Paradb_query.Cq.t -> Paradb_query.Cq.t

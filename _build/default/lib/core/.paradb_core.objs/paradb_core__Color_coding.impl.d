@@ -1,0 +1,1 @@
+lib/core/color_coding.ml: Array Atom Constr Cq Engine Fun Hashing Hashtbl List Paradb_graph Paradb_query Paradb_relational Printf Random Term

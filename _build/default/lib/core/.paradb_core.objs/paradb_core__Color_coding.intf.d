@@ -1,0 +1,1 @@
+lib/core/color_coding.mli: Hashing Paradb_graph Paradb_query Paradb_relational

@@ -1,0 +1,1 @@
+lib/core/comparisons.ml: Array Atom Constr Cq Engine List Paradb_eval Paradb_graph Paradb_hypergraph Paradb_query Paradb_relational Printf Term

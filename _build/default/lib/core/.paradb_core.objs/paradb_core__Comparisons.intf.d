@@ -1,0 +1,1 @@
+lib/core/comparisons.mli: Paradb_query Paradb_relational

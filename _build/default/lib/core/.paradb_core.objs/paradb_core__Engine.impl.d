@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Binding Constr Cq Hashing Ineq Ineq_formula List Logs Paradb_hypergraph Paradb_query Paradb_relational Paradb_yannakakis Printf Seq Term

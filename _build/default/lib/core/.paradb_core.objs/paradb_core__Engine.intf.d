@@ -1,0 +1,1 @@
+lib/core/engine.mli: Hashing Paradb_query Paradb_relational

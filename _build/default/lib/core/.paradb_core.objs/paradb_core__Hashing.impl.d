@@ -1,0 +1,1 @@
+lib/core/hashing.ml: Array Fun Int List Paradb_relational Random Seq Set

@@ -1,0 +1,1 @@
+lib/core/hashing.mli: Paradb_relational Seq

@@ -1,0 +1,1 @@
+lib/core/ineq.ml: Atom Constr Cq Format List Paradb_query Paradb_relational String Term

@@ -1,0 +1,1 @@
+lib/core/ineq.mli: Format Paradb_query

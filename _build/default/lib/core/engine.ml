@@ -1,0 +1,485 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+module Value = Paradb_relational.Value
+module Join_tree = Paradb_hypergraph.Join_tree
+module SS = Paradb_hypergraph.Hypergraph.String_set
+module Yannakakis = Paradb_yannakakis.Yannakakis
+open Paradb_query
+
+let log_src = Logs.Src.create "paradb.engine" ~doc:"Theorem-2 engine"
+
+module Log = (val Logs.src_log log_src)
+
+exception Cyclic_query
+
+type stats = {
+  mutable trials : int;
+  mutable successes : int;
+  mutable peak_rows : int;
+}
+
+let new_stats () = { trials = 0; successes = 0; peak_rows = 0 }
+
+let observe stats rel =
+  let n = Relation.cardinality rel in
+  if n > stats.peak_rows then stats.peak_rows <- n
+
+(* Shadow ("primed") attribute for a variable.  '$' cannot appear in
+   parsed variable names, so no collision with real attributes. *)
+let primed x = "$" ^ x
+
+(* Everything about a query that does not depend on the coloring. *)
+type task = {
+  tree : Join_tree.t;
+  base_rels : Relation.t array;   (* S_j with I2 selections applied *)
+  prime_vars : SS.t;              (* variables with shadow attributes *)
+  y_sets : SS.t array;            (* Y_j, over attribute names *)
+  u_sets : SS.t array;            (* U_j, variable names *)
+  pairs : (string * string) list; (* I1 pairs *)
+  formula : Ineq_formula.t option;
+  formula_consts : Value.t list;
+  head : Term.t list;
+  head_vars : string list;
+  name : string;
+  separation : int;               (* hash range parameter k *)
+}
+
+let dedup = Paradb_relational.Listx.dedup
+
+(* W_j of Lemma 1, extended for the formula variables (which must survive
+   to the root).  For x in V1 \ U_j occurring in T[j], x belongs to W_j
+   iff some inequality partner of x does not occur in the child subtree
+   through which x reaches j. *)
+let w_set tree ~prime_vars ~formula_vars ~pairs j u_j =
+  SS.filter
+    (fun x ->
+      (not (SS.mem x u_j))
+      && SS.mem x tree.Join_tree.subtree_vars.(j)
+      &&
+      if List.mem x formula_vars then true
+      else
+        let child_with_x =
+          List.find_opt
+            (fun c -> SS.mem x tree.Join_tree.subtree_vars.(c))
+            tree.Join_tree.children.(j)
+        in
+        match child_with_x with
+        | None -> false (* unreachable: x not in U_j but in subtree *)
+        | Some c ->
+            List.exists
+              (fun (a, b) ->
+                (a = x && not (SS.mem b tree.Join_tree.subtree_vars.(c)))
+                || (b = x && not (SS.mem a tree.Join_tree.subtree_vars.(c))))
+              pairs)
+    prime_vars
+
+(* An h-independent semijoin pass over the base relations: dangling
+   tuples can never contribute to any Q_h, so removing them up front
+   shrinks every subsequent coloring's work. *)
+let prereduce_base tree base_rels =
+  if Array.exists Relation.is_empty base_rels then base_rels
+  else Yannakakis.full_reducer tree base_rels
+
+let build_task ?(prereduce = true) db q formula =
+  (match formula with
+  | Some f when not (Ineq_formula.neq_only f) ->
+      invalid_arg "Engine: formula must use only != atoms"
+  | _ -> ());
+  let part = Ineq.partition q in
+  match Join_tree.of_cq q with
+  | None -> raise Cyclic_query
+  | Some tree ->
+      let pairs = Ineq.i1_pairs part in
+      let formula_vars =
+        match formula with Some f -> Ineq_formula.vars f | None -> []
+      in
+      let formula_consts =
+        match formula with Some f -> Ineq_formula.constants f | None -> []
+      in
+      let prime_vars = SS.of_list (part.Ineq.v1 @ formula_vars) in
+      let n = Join_tree.n_nodes tree in
+      let u_sets = tree.Join_tree.node_vars in
+      let y_sets =
+        Array.init n (fun j ->
+            let w = w_set tree ~prime_vars ~formula_vars ~pairs j u_sets.(j) in
+            let prime_of s =
+              SS.fold
+                (fun x acc ->
+                  if SS.mem x prime_vars then SS.add (primed x) acc else acc)
+                s SS.empty
+            in
+            SS.union u_sets.(j)
+              (SS.union (prime_of u_sets.(j))
+                 (SS.fold (fun x acc -> SS.add (primed x) acc) w SS.empty)))
+      in
+      let base_rels =
+        Yannakakis.atom_relations
+          ~filter:(fun binding ->
+            Ineq.i2_filter part
+              (List.map fst (Binding.bindings binding))
+              binding)
+          db q
+      in
+      let base_rels =
+        if prereduce then prereduce_base tree base_rels else base_rels
+      in
+      {
+        tree;
+        base_rels;
+        prime_vars;
+        y_sets;
+        u_sets;
+        pairs;
+        formula;
+        formula_consts;
+        head = q.Cq.head;
+        head_vars = Cq.head_vars q;
+        name = q.Cq.name;
+        separation =
+          SS.cardinal prime_vars + List.length formula_consts;
+      }
+
+(* Extend S_j with the shadow attributes x' = h(x). *)
+let prime_relation task h j =
+  let rel = task.base_rels.(j) in
+  let vars =
+    List.filter (fun x -> SS.mem x task.prime_vars) (Relation.schema_list rel)
+  in
+  match vars with
+  | [] -> rel
+  | _ ->
+      let positions = Relation.positions rel vars in
+      let schema = Relation.schema_list rel @ List.map primed vars in
+      let rows =
+        Relation.fold
+          (fun row acc ->
+            let shadow =
+              Array.map (fun i -> Value.Int (h.Hashing.apply row.(i))) positions
+            in
+            Tuple.Set.add (Tuple.append row shadow) acc)
+          rel Tuple.Set.empty
+      in
+      Relation.of_set ~name:(Relation.name rel) ~schema rows
+
+(* The selection F of Algorithm 1 at the moment child j is merged into
+   parent u: for every I1 pair {x, y} with x' in Y_j \ U'_u and y' among
+   the parent's current attributes but outside Y_j, require x' <> y'. *)
+let f_checks task ~proj_attrs ~parent_attrs j u =
+  let parent_has a = List.mem a parent_attrs in
+  let proj_has a = List.mem a proj_attrs in
+  let oriented (x, y) =
+    let px = primed x and py = primed y in
+    if
+      proj_has px
+      && (not (SS.mem x task.u_sets.(u)))
+      && parent_has py
+      && not (SS.mem py task.y_sets.(j))
+    then Some (px, py)
+    else None
+  in
+  dedup
+    (List.filter_map
+       (fun (x, y) ->
+         match oriented (x, y) with
+         | Some c -> Some c
+         | None -> oriented (y, x))
+       task.pairs)
+
+(* Evaluate the root formula on a row of colors.  Variables read their
+   shadow attribute; constants are hashed with the same h. *)
+let root_filter task h rel =
+  match task.formula with
+  | None -> rel
+  | Some f ->
+      let pos = Relation.position rel in
+      let var_pos =
+        List.map (fun x -> (x, pos (primed x))) (Ineq_formula.vars f)
+      in
+      let resolve row = function
+        | Term.Var x -> Value.to_int row.(List.assoc x var_pos)
+        | Term.Const c -> h.Hashing.apply c
+      in
+      let rec holds row = function
+        | Ineq_formula.True -> true
+        | Ineq_formula.False -> false
+        | Ineq_formula.Atom c ->
+            let l = resolve row c.Constr.lhs and r = resolve row c.Constr.rhs in
+            (match c.Constr.op with
+            | Constr.Neq -> l <> r
+            | Constr.Lt | Constr.Le -> assert false)
+        | Ineq_formula.And fs -> List.for_all (holds row) fs
+        | Ineq_formula.Or fs -> List.exists (holds row) fs
+      in
+      Relation.select (fun row -> holds row f) rel
+
+(* Algorithm 1: bottom-up pass.  Returns the final P array if Q_h(d) is
+   nonempty, None otherwise. *)
+let algorithm1 ?stats task h =
+  let observe rel =
+    match stats with Some s -> observe s rel | None -> ()
+  in
+  let tree = task.tree in
+  let n = Join_tree.n_nodes tree in
+  let p = Array.init n (prime_relation task h) in
+  Array.iter observe p;
+  let failed = ref false in
+  Array.iter
+    (fun j ->
+      let u = tree.Join_tree.parent.(j) in
+      if (not !failed) && u >= 0 then begin
+        let proj_attrs =
+          List.filter
+            (fun a -> SS.mem a task.y_sets.(u))
+            (Relation.schema_list p.(j))
+        in
+        let parent_attrs = Relation.schema_list p.(u) in
+        let proj = Relation.project proj_attrs p.(j) in
+        let joined = Relation.natural_join p.(u) proj in
+        let checks = f_checks task ~proj_attrs ~parent_attrs j u in
+        let filtered =
+          match checks with
+          | [] -> joined
+          | _ ->
+              let positions =
+                List.map
+                  (fun (a, b) ->
+                    (Relation.position joined a, Relation.position joined b))
+                  checks
+              in
+              Relation.select
+                (fun row ->
+                  List.for_all
+                    (fun (i, l) -> not (Value.equal row.(i) row.(l)))
+                    positions)
+                joined
+        in
+        observe filtered;
+        p.(u) <- filtered;
+        if Relation.is_empty filtered then failed := true
+      end)
+    tree.Join_tree.bottom_up;
+  if !failed then None
+  else begin
+    let root = tree.Join_tree.root in
+    p.(root) <- root_filter task h p.(root);
+    if Relation.is_empty p.(root) then None else Some p
+  end
+
+(* Algorithm 2: top-down semijoin pass, then bottom-up join-and-project;
+   returns Q_h(d)'s projection onto the head variables. *)
+let algorithm2 task p =
+  let tree = task.tree in
+  Array.iter
+    (fun j ->
+      let u = tree.Join_tree.parent.(j) in
+      if u >= 0 then p.(j) <- Relation.semijoin p.(j) p.(u))
+    tree.Join_tree.top_down;
+  let head_set = SS.of_list task.head_vars in
+  Array.iter
+    (fun j ->
+      let u = tree.Join_tree.parent.(j) in
+      if u >= 0 then begin
+        let keep =
+          List.filter
+            (fun a -> SS.mem a task.y_sets.(u) || SS.mem a head_set)
+            (Relation.schema_list p.(j))
+        in
+        p.(u) <- Relation.natural_join p.(u) (Relation.project keep p.(j))
+      end)
+    tree.Join_tree.bottom_up;
+  Relation.project task.head_vars p.(tree.Join_tree.root)
+
+let head_schema task = List.mapi (fun i _ -> Printf.sprintf "a%d" i) task.head
+
+let head_rows task proj =
+  let positions =
+    List.map
+      (function
+        | Term.Var x -> `Var (Relation.position proj x)
+        | Term.Const v -> `Const v)
+      task.head
+  in
+  Relation.fold
+    (fun row acc ->
+      let out =
+        Array.of_list
+          (List.map (function `Var i -> row.(i) | `Const v -> v) positions)
+      in
+      Tuple.Set.add out acc)
+    proj Tuple.Set.empty
+
+let hash_domain db task =
+  Value.Set.elements
+    (Value.Set.union (Database.domain db)
+       (Value.Set.of_list task.formula_consts))
+
+let default_family = Hashing.Multiplicative_sweep
+
+let run_satisfiable ?prereduce ~family ~stats db q formula =
+  if q.Cq.body = [] then
+    (* No atoms, hence no variables (Cq.make safety): the formula, if any,
+       is ground and can be evaluated directly. *)
+    (match formula with
+    | None -> true
+    | Some f -> Ineq_formula.holds Binding.empty f)
+  else begin
+    let task = build_task ?prereduce db q formula in
+    if Array.exists Relation.is_empty task.base_rels then false
+    else begin
+      let domain = hash_domain db task in
+      let found = ref false in
+      let functions =
+        Hashing.functions family ~domain ~k:task.separation
+      in
+      (try
+         Seq.iter
+           (fun h ->
+             stats.trials <- stats.trials + 1;
+             match algorithm1 ~stats task h with
+             | Some _ ->
+                 stats.successes <- stats.successes + 1;
+                 Log.debug (fun m ->
+                     m "satisfiable after %d coloring(s) (k = %d)" stats.trials
+                       task.separation);
+                 found := true;
+                 raise Exit
+             | None -> ())
+           functions
+       with Exit -> ());
+      if not !found then
+        Log.debug (fun m ->
+            m "no coloring succeeded after %d trial(s) (k = %d)" stats.trials
+              task.separation);
+      !found
+    end
+  end
+
+let run_evaluate ?prereduce ~family ~stats db q formula =
+  let task =
+    if q.Cq.body = [] then None else Some (build_task ?prereduce db q formula)
+  in
+  match task with
+  | None ->
+      let head =
+        List.map
+          (function Term.Const v -> v | Term.Var _ -> assert false)
+          q.Cq.head
+      in
+      let schema = List.mapi (fun i _ -> Printf.sprintf "a%d" i) head in
+      let holds =
+        match formula with
+        | None -> true
+        | Some f -> Ineq_formula.holds Binding.empty f
+      in
+      if holds then
+        Relation.create ~name:q.Cq.name ~schema [ Array.of_list head ]
+      else Relation.create ~name:q.Cq.name ~schema []
+  | Some task ->
+      let schema = head_schema task in
+      if Array.exists Relation.is_empty task.base_rels then
+        Relation.create ~name:task.name ~schema []
+      else begin
+        let domain = hash_domain db task in
+        let functions =
+          Hashing.functions family ~domain ~k:task.separation
+        in
+        let rows =
+          Seq.fold_left
+            (fun acc h ->
+              stats.trials <- stats.trials + 1;
+              match algorithm1 ~stats task h with
+              | None -> acc
+              | Some p ->
+                  stats.successes <- stats.successes + 1;
+                  Tuple.Set.union acc (head_rows task (algorithm2 task p)))
+            Tuple.Set.empty functions
+        in
+        Relation.of_set ~name:task.name ~schema rows
+      end
+
+let is_satisfiable ?prereduce ?(family = default_family) ?stats db q =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  run_satisfiable ?prereduce ~family ~stats db q None
+
+let evaluate ?prereduce ?(family = default_family) ?stats db q =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  run_evaluate ?prereduce ~family ~stats db q None
+
+let decide ?family ?stats db q tuple =
+  match Cq.close_with_tuple q tuple with
+  | None -> false
+  | Some closed -> is_satisfiable ?family ?stats db closed
+
+let is_satisfiable_formula ?(family = default_family) ?stats db q f =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  run_satisfiable ~family ~stats db q (Some f)
+
+let evaluate_formula ?(family = default_family) ?stats db q f =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  run_evaluate ~family ~stats db q (Some f)
+
+let split_constant_conjuncts f =
+  let is_var_const c =
+    match c.Constr.lhs, c.Constr.rhs with
+    | Term.Var _, Term.Const _ | Term.Const _, Term.Var _ -> true
+    | _ -> false
+  in
+  match f with
+  | Ineq_formula.Atom c when is_var_const c -> ([ c ], Ineq_formula.True)
+  | Ineq_formula.And fs ->
+      let consts, rest =
+        List.partition
+          (function
+            | Ineq_formula.Atom c -> is_var_const c
+            | _ -> false)
+          fs
+      in
+      ( List.map
+          (function Ineq_formula.Atom c -> c | _ -> assert false)
+          consts,
+        Ineq_formula.conj rest )
+  | _ -> ([], f)
+
+let push_constant_conjuncts q f =
+  let consts, rest = split_constant_conjuncts f in
+  let q' =
+    Cq.make ~name:q.Cq.name
+      ~constraints:(q.Cq.constraints @ consts)
+      ~head:q.Cq.head q.Cq.body
+  in
+  (q', if rest = Ineq_formula.True then None else Some rest)
+
+let evaluate_formula_v ?(family = default_family) ?stats db q f =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let q', rest = push_constant_conjuncts q f in
+  run_evaluate ~family ~stats db q' rest
+
+let is_satisfiable_formula_v ?(family = default_family) ?stats db q f =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let q', rest = push_constant_conjuncts q f in
+  run_satisfiable ~family ~stats db q' rest
+
+let satisfiable_with db q h =
+  if q.Cq.body = [] then true
+  else
+    let task = build_task db q None in
+    (not (Array.exists Relation.is_empty task.base_rels))
+    && algorithm1 task h <> None
+
+let evaluate_with db q h =
+  if q.Cq.body = [] then
+    let stats = new_stats () in
+    run_evaluate ~family:default_family ~stats db q None
+  else begin
+    let task = build_task db q None in
+    let schema = head_schema task in
+    if Array.exists Relation.is_empty task.base_rels then
+      Relation.create ~name:task.name ~schema []
+    else
+      match algorithm1 task h with
+      | None -> Relation.create ~name:task.name ~schema []
+      | Some p ->
+          Relation.of_set ~name:task.name ~schema
+            (head_rows task (algorithm2 task p))
+  end

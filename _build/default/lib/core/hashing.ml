@@ -1,0 +1,112 @@
+module Value = Paradb_relational.Value
+
+type fn = {
+  range : int;
+  apply : Value.t -> int;
+}
+
+type family =
+  | Random_trials of { trials : int; seed : int }
+  | Multiplicative_sweep
+  | Exhaustive
+
+let default_trials ~c ~k =
+  max 1 (int_of_float (ceil (c *. exp (float_of_int k))))
+
+let next_prime n =
+  let is_prime m =
+    if m < 2 then false
+    else
+      let rec go d = d * d > m || (m mod d <> 0 && go (d + 1)) in
+      go 2
+  in
+  let rec go m = if is_prime m then m else go (m + 1) in
+  go (max 2 (n + 1))
+
+(* Dictionary-encode the domain so every value has a distinct code in
+   [0 .. |D|-1]. *)
+let encode domain =
+  let table = Value.Table.create (List.length domain) in
+  List.iteri
+    (fun i v -> if not (Value.Table.mem table v) then Value.Table.add table v i)
+    domain;
+  fun v ->
+    match Value.Table.find_opt table v with
+    | Some c -> c
+    | None -> invalid_arg ("Hashing: value outside domain: " ^ Value.to_string v)
+
+let constant_fn = { range = 1; apply = (fun _ -> 0) }
+
+let random_functions ~trials ~seed ~domain ~k =
+  (* One sub-seed per trial makes the sequence replayable: re-traversing
+     yields the same functions. *)
+  let one trial =
+    let rng = Random.State.make [| seed; k; trial |] in
+    let table = Value.Table.create (List.length domain) in
+    List.iter
+      (fun v ->
+        if not (Value.Table.mem table v) then
+          Value.Table.add table v (Random.State.int rng k))
+      domain;
+    {
+      range = k;
+      apply =
+        (fun v ->
+          match Value.Table.find_opt table v with
+          | Some c -> c
+          | None ->
+              invalid_arg
+                ("Hashing: value outside domain: " ^ Value.to_string v));
+    }
+  in
+  Seq.map one (Seq.init trials Fun.id)
+
+let sweep_functions ~domain ~k =
+  let code = encode domain in
+  let p = next_prime (List.length domain) in
+  let m = k * k in
+  Seq.map
+    (fun a ->
+      { range = m; apply = (fun v -> a * code v mod p mod m) })
+    (Seq.init (p - 1) (fun i -> i + 1))
+
+let exhaustive_functions ~domain ~k =
+  let values = Array.of_list domain in
+  let d = Array.length values in
+  (* Guard against astronomically many functions. *)
+  let count =
+    let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
+    if d > 20 then max_int else pow 1 d
+  in
+  if count > 10_000_000 then
+    invalid_arg "Hashing: exhaustive family too large; use another strategy";
+  let code = encode domain in
+  Seq.map
+    (fun idx ->
+      (* The idx-th function assigns value j the (idx / k^j mod k)-th
+         color. *)
+      let colors =
+        Array.init d (fun j ->
+            let rec digit idx j = if j = 0 then idx mod k else digit (idx / k) (j - 1) in
+            digit idx j)
+      in
+      { range = k; apply = (fun v -> colors.(code v)) })
+    (Seq.init count Fun.id)
+
+let functions family ~domain ~k =
+  if k <= 1 then Seq.return constant_fn
+  else
+    match family with
+    | Random_trials { trials; seed } -> random_functions ~trials ~seed ~domain ~k
+    | Multiplicative_sweep -> sweep_functions ~domain ~k
+    | Exhaustive -> exhaustive_functions ~domain ~k
+
+let is_injective_on f values =
+  let module IS = Set.Make (Int) in
+  let rec go seen = function
+    | [] -> true
+    | v :: rest ->
+        let c = f.apply v in
+        if IS.mem c seen then false else go (IS.add c seen) rest
+  in
+  go IS.empty values

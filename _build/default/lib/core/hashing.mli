@@ -1,0 +1,47 @@
+(** Hash families for the color-coding step of Theorem 2.
+
+    The engine needs functions [h : D → [0..range-1]] such that, whenever
+    a satisfying instantiation exists, some [h] in the family is injective
+    on the (at most [k]) values that instantiation assigns to the
+    variables of [I1].  Three strategies:
+
+    - {b Random_trials} — the paper's randomized driver: [c·e^k]
+      independent uniform colorings give failure probability at most
+      [e^-c] (each trial succeeds with probability [ℓ!/ℓ^k ≥ e^-k]).
+    - {b Multiplicative_sweep} — deterministic and provably k-perfect:
+      [h_a(x) = ((a·code x) mod p) mod k²] for every multiplier
+      [a ∈ [1, p-1]], [p] prime > |D|.  For any k-set, at least half the
+      multipliers are injective (FKS-style pairwise-collision counting),
+      so the sweep is complete.  Size O(|D|) instead of the
+      Alon–Yuster–Zwick [2^O(k) log |D|] — the substitution documented in
+      DESIGN.md.
+    - {b Exhaustive} — all [k^|D|] functions; only for tiny test domains.
+*)
+
+type fn = {
+  range : int;
+  apply : Paradb_relational.Value.t -> int;
+}
+
+type family =
+  | Random_trials of { trials : int; seed : int }
+  | Multiplicative_sweep
+  | Exhaustive
+
+(** [c·e^k] rounded up — the paper's trial count for failure probability
+    [e^-c]. *)
+val default_trials : c:float -> k:int -> int
+
+(** [functions family ~domain ~k] — the (lazy) sequence of hash functions
+    to try.  [domain] is the active domain; [k] the number of values that
+    must be separated.  For [k <= 1] a single constant function is
+    returned regardless of the family. *)
+val functions :
+  family -> domain:Paradb_relational.Value.t list -> k:int -> fn Seq.t
+
+(** [is_injective_on f values] — does [f] separate the given values? *)
+val is_injective_on : fn -> Paradb_relational.Value.t list -> bool
+
+(** Smallest prime strictly greater than [n] (trial division; domains are
+    database-sized). *)
+val next_prime : int -> int

@@ -1,0 +1,51 @@
+open Paradb_query
+
+type t = {
+  i1 : Constr.t list;
+  i2 : Constr.t list;
+  v1 : string list;
+  k : int;
+}
+
+let dedup = Paradb_relational.Listx.dedup
+
+let partition q =
+  if not (Cq.neq_only q) then
+    invalid_arg "Ineq.partition: query has comparison constraints";
+  let atom_var_sets = List.map Atom.vars (Cq.relational_atoms q) in
+  let cooccur x y =
+    List.exists (fun vs -> List.mem x vs && List.mem y vs) atom_var_sets
+  in
+  let i1, i2 =
+    List.partition
+      (fun c ->
+        match c.Constr.lhs, c.Constr.rhs with
+        | Term.Var x, Term.Var y -> not (cooccur x y)
+        | _ -> false)
+      (Cq.neq_constraints q)
+  in
+  let v1 = dedup (List.concat_map Constr.vars i1) in
+  { i1; i2; v1; k = List.length v1 }
+
+let i1_pairs t =
+  List.map
+    (fun c ->
+      match c.Constr.lhs, c.Constr.rhs with
+      | Term.Var x, Term.Var y -> (x, y)
+      | _ -> assert false)
+    t.i1
+
+let i2_filter t atom_vars binding =
+  List.for_all
+    (fun c ->
+      if List.for_all (fun x -> List.mem x atom_vars) (Constr.vars c) then
+        Constr.holds binding c
+      else true)
+    t.i2
+
+let pp ppf t =
+  Format.fprintf ppf "I1 = {%s}; I2 = {%s}; V1 = {%s} (k = %d)"
+    (String.concat ", " (List.map Constr.to_string t.i1))
+    (String.concat ", " (List.map Constr.to_string t.i2))
+    (String.concat ", " t.v1)
+    t.k

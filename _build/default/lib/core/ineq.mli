@@ -1,0 +1,29 @@
+(** The partition of a query's [≠] atoms that drives Theorem 2.
+
+    [I1]: atoms [x ≠ y] whose two variables never occur together in a
+    relational atom — these are the "hyperedges" that would destroy
+    acyclicity and are instead handled by hashing.
+    [I2]: the rest — [x ≠ c] atoms and [x ≠ y] with both variables in a
+    common relational atom — these are pushed into the per-atom
+    selections. *)
+
+type t = {
+  i1 : Paradb_query.Constr.t list;
+  i2 : Paradb_query.Constr.t list;
+  v1 : string list;  (** variables occurring in [I1], the paper's [V1] *)
+  k : int;           (** [|V1|] — the hash range *)
+}
+
+(** Raises [Invalid_argument] if the query has non-[≠] constraints. *)
+val partition : Paradb_query.Cq.t -> t
+
+(** The [I1] pairs as variable pairs. *)
+val i1_pairs : t -> (string * string) list
+
+(** [i2_filter t atom_vars] — the predicate enforcing, on one atom's
+    instantiations, every [I2] constraint whose variables all occur in
+    that atom (steps (iii)/(iv) of the [S_j] construction). *)
+val i2_filter :
+  t -> string list -> Paradb_query.Binding.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Atom Cq List Paradb_eval Paradb_query Paradb_relational Printf Program Rule

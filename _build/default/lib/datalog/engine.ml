@@ -1,0 +1,190 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+open Paradb_query
+
+type strategy =
+  | Naive
+  | Seminaive
+
+type stats = {
+  mutable rounds : int;
+  mutable derived : int;
+}
+
+let new_stats () = { rounds = 0; derived = 0 }
+
+let positional_schema arity = List.init arity (Printf.sprintf "a%d")
+
+let empty_idb_relations db p =
+  List.map
+    (fun name ->
+      if Database.mem db name then
+        invalid_arg
+          ("Datalog: IDB predicate " ^ name ^ " collides with an EDB relation");
+      Relation.create ~name ~schema:(positional_schema (Program.arity p name)) [])
+    (Program.idb_predicates p)
+
+(* Evaluate one rule body against [db] and return the derived head tuples. *)
+let derive_rule stats db rule =
+  let cq = Rule.to_cq rule in
+  let bindings = Paradb_eval.Cq_naive.all_bindings db cq in
+  List.fold_left
+    (fun acc b ->
+      stats.derived <- stats.derived + 1;
+      Tuple.Set.add (Cq.head_tuple b cq) acc)
+    Tuple.Set.empty bindings
+
+let add_tuples db name rows =
+  let rel = Database.find db name in
+  let merged =
+    Relation.of_set ~name ~schema:(Relation.schema_list rel)
+      (Tuple.Set.union (Relation.tuple_set rel) rows)
+  in
+  Database.add merged db
+
+let fixpoint_naive stats db0 p =
+  let rec loop db =
+    stats.rounds <- stats.rounds + 1;
+    let db', changed =
+      List.fold_left
+        (fun (db', changed) rule ->
+          let name = rule.Rule.head.Atom.rel in
+          let fresh = derive_rule stats db rule in
+          let before = Relation.cardinality (Database.find db' name) in
+          let db' = add_tuples db' name fresh in
+          let after = Relation.cardinality (Database.find db' name) in
+          (db', changed || after > before))
+        (db, false) p.Program.rules
+    in
+    if changed then loop db' else db'
+  in
+  loop (List.fold_left (fun db r -> Database.add r db) db0 (empty_idb_relations db0 p))
+
+(* Semi-naive evaluation, the textbook discipline: for each rule and each
+   IDB atom occurrence i, a variant is evaluated in which occurrence i
+   reads the last round's delta, IDB occurrences before i read the
+   relation as it was *before* that delta ("old"), and occurrences after
+   i read the full current relation.  Every derivation therefore uses the
+   new tuples at least once and is produced by exactly one variant. *)
+let fixpoint_seminaive stats db0 p =
+  let idb = Program.idb_predicates p in
+  let delta_name name = "$delta_" ^ name in
+  let old_name name = "$old_" ^ name in
+  let rename_variant rule i =
+    let body =
+      List.mapi
+        (fun j a ->
+          if not (List.mem a.Atom.rel idb) then a
+          else if j = i then { a with Atom.rel = delta_name a.Atom.rel }
+          else if j < i then { a with Atom.rel = old_name a.Atom.rel }
+          else a)
+        rule.Rule.body
+    in
+    { rule with Rule.body = body }
+  in
+  let variants rule =
+    let with_idb =
+      List.filteri (fun _ i -> i >= 0)
+        (List.mapi
+           (fun i a -> if List.mem a.Atom.rel idb then i else -1)
+           rule.Rule.body)
+      |> List.filter (fun i -> i >= 0)
+    in
+    if with_idb = [] then [ (rule, false) ]
+      (* EDB-only body: fires in round one only. *)
+    else List.map (fun i -> (rename_variant rule i, true)) with_idb
+  in
+  let initial_db =
+    List.fold_left (fun db r -> Database.add r db) db0 (empty_idb_relations db0 p)
+  in
+  (* Round 0: fire all rules once on the (empty-IDB) database. *)
+  stats.rounds <- stats.rounds + 1;
+  let first_deltas =
+    List.fold_left
+      (fun acc rule ->
+        let name = rule.Rule.head.Atom.rel in
+        let fresh = derive_rule stats initial_db rule in
+        let prev =
+          match List.assoc_opt name acc with
+          | Some s -> s
+          | None -> Tuple.Set.empty
+        in
+        (name, Tuple.Set.union prev fresh) :: List.remove_assoc name acc)
+      [] p.Program.rules
+  in
+  let apply_deltas db deltas =
+    List.fold_left (fun db (name, rows) -> add_tuples db name rows) db deltas
+  in
+  let delta_relations ~old_db db deltas =
+    (* Register $delta_R (this round's new tuples) and $old_R (the
+       relation before this round) for every IDB predicate. *)
+    List.fold_left
+      (fun db name ->
+        let rows =
+          match List.assoc_opt name deltas with
+          | Some s -> s
+          | None -> Tuple.Set.empty
+        in
+        let schema = positional_schema (Program.arity p name) in
+        let db =
+          Database.add
+            (Relation.of_set ~name:(delta_name name) ~schema rows)
+            db
+        in
+        Database.add
+          (Relation.with_name (old_name name) (Database.find old_db name))
+          db)
+      db idb
+  in
+  let rec loop db deltas =
+    let truly_new =
+      List.filter_map
+        (fun (name, rows) ->
+          let existing = Relation.tuple_set (Database.find db name) in
+          let fresh = Tuple.Set.diff rows existing in
+          if Tuple.Set.is_empty fresh then None else Some (name, fresh))
+        deltas
+    in
+    if truly_new = [] then db
+    else begin
+      stats.rounds <- stats.rounds + 1;
+      let old_db = db in
+      let db = apply_deltas db truly_new in
+      let db_with_deltas = delta_relations ~old_db db truly_new in
+      let next_deltas =
+        List.fold_left
+          (fun acc rule ->
+            List.fold_left
+              (fun acc (variant, uses_delta) ->
+                if not uses_delta then acc
+                else begin
+                  let name = variant.Rule.head.Atom.rel in
+                  let fresh = derive_rule stats db_with_deltas variant in
+                  let prev =
+                    match List.assoc_opt name acc with
+                    | Some s -> s
+                    | None -> Tuple.Set.empty
+                  in
+                  (name, Tuple.Set.union prev fresh)
+                  :: List.remove_assoc name acc
+                end)
+              acc (variants rule))
+          [] p.Program.rules
+      in
+      loop db next_deltas
+    end
+  in
+  loop initial_db first_deltas
+
+let fixpoint ?(strategy = Seminaive) ?stats db p =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  match strategy with
+  | Naive -> fixpoint_naive stats db p
+  | Seminaive -> fixpoint_seminaive stats db p
+
+let evaluate ?strategy ?stats db p =
+  Database.find (fixpoint ?strategy ?stats db p) p.Program.goal
+
+let goal_holds ?strategy ?stats db p =
+  not (Relation.is_empty (evaluate ?strategy ?stats db p))

@@ -1,0 +1,1 @@
+lib/eval/cq_naive.ml: Atom Binding Constr Cq List Paradb_query Paradb_relational Printf Term

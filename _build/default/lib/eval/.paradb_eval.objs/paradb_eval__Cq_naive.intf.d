@@ -1,0 +1,1 @@
+lib/eval/cq_naive.mli: Paradb_query Paradb_relational

@@ -1,0 +1,1 @@
+lib/eval/fo_naive.ml: Array Atom Binding Fo List Paradb_query Paradb_relational Printf Term

@@ -1,0 +1,1 @@
+lib/eval/fo_naive.mli: Paradb_query Paradb_relational

@@ -1,0 +1,1 @@
+lib/eval/join_eval.ml: Array Atom Binding Constr Cq Int List Paradb_query Paradb_relational Printf Term

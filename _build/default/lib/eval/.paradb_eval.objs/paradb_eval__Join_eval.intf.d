@@ -1,0 +1,1 @@
+lib/eval/join_eval.mli: Paradb_query Paradb_relational

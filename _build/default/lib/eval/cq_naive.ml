@@ -1,0 +1,95 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+open Paradb_query
+
+type stats = { mutable probes : int }
+
+let new_stats () = { probes = 0 }
+
+(* A constraint is checkable once both sides are bound; unready constraints
+   pass for now and are re-checked when complete. *)
+let constr_ready binding c =
+  let ready = function
+    | Term.Const _ -> true
+    | Term.Var x -> Binding.mem x binding
+  in
+  ready c.Constr.lhs && ready c.Constr.rhs
+
+let check_constraints binding cs =
+  List.for_all
+    (fun c -> (not (constr_ready binding c)) || Constr.holds binding c)
+    cs
+
+let bound_var_count binding atom =
+  List.length (List.filter (fun x -> Binding.mem x binding) (Atom.vars atom))
+
+(* Backtracking enumeration of satisfying instantiations; [on_solution] may
+   raise to abort the search. *)
+let iter_bindings ~stats ~order_atoms db q on_solution =
+  let constraints = q.Cq.constraints in
+  let pick binding remaining =
+    if order_atoms then begin
+      match
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b ->
+                if bound_var_count binding a > bound_var_count binding b then
+                  Some a
+                else best)
+          None remaining
+      with
+      | Some a -> (a, List.filter (fun b -> b != a) remaining)
+      | None -> assert false
+    end
+    else (List.hd remaining, List.tl remaining)
+  in
+  let rec search binding remaining =
+    match remaining with
+    | [] -> if check_constraints binding constraints then on_solution binding
+    | _ ->
+        let atom, rest = pick binding remaining in
+        let rel = Database.find db atom.Atom.rel in
+        let grounded = Atom.substitute binding atom in
+        Relation.iter
+          (fun tuple ->
+            stats.probes <- stats.probes + 1;
+            match Atom.matches grounded tuple with
+            | None -> ()
+            | Some extension -> (
+                match Binding.merge binding extension with
+                | None -> ()
+                | Some binding' ->
+                    (* Prune as soon as a completed constraint fails. *)
+                    if check_constraints binding' constraints then
+                      search binding' rest))
+          rel
+  in
+  search Binding.empty q.Cq.body
+
+let all_bindings ?stats ?(order_atoms = true) db q =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let results = ref [] in
+  iter_bindings ~stats ~order_atoms db q (fun b -> results := b :: !results);
+  !results
+
+let evaluate ?stats ?order_atoms db q =
+  let bindings = all_bindings ?stats ?order_atoms db q in
+  let schema = List.mapi (fun i _ -> Printf.sprintf "a%d" i) q.Cq.head in
+  let rows = List.map (fun b -> Cq.head_tuple b q) bindings in
+  Relation.create ~name:q.Cq.name ~schema rows
+
+exception Found
+
+let is_satisfiable ?stats ?(order_atoms = true) db q =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  try
+    iter_bindings ~stats ~order_atoms db q (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let decide ?stats ?order_atoms db q tuple =
+  match Cq.close_with_tuple q tuple with
+  | None -> false
+  | Some closed -> is_satisfiable ?stats ?order_atoms db closed

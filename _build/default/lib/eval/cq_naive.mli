@@ -1,0 +1,40 @@
+(** Naive conjunctive-query evaluation by backtracking over atoms — the
+    [n^{O(q)}] baseline whose exponent Theorem 1 says is inherent.
+
+    Constraint atoms ([≠], [<], [≤]) are checked as soon as both sides are
+    bound, so this evaluator also serves as the reference semantics for
+    the Theorem-2 and Theorem-3 query classes. *)
+
+(** Number of atom-tuple probes made since creation — the work measure
+    used by the scaling benchmarks. *)
+type stats = { mutable probes : int }
+
+val new_stats : unit -> stats
+
+(** All satisfying instantiations of the query's variables.
+    [order_atoms] (default [true]) greedily picks the next atom with the
+    most bound variables; set it to [false] for the strict left-to-right
+    baseline. *)
+val all_bindings :
+  ?stats:stats -> ?order_atoms:bool ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_query.Binding.t list
+
+(** The output relation [Q(d)], with positional attributes
+    ["a0", "a1", ...]. *)
+val evaluate :
+  ?stats:stats -> ?order_atoms:bool ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Relation.t
+
+(** Emptiness of the output (for Boolean queries: truth). *)
+val is_satisfiable :
+  ?stats:stats -> ?order_atoms:bool ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> bool
+
+(** The decision problem: [t ∈ Q(d)]?  Implemented as the paper
+    prescribes, by substituting [t]'s constants into the query. *)
+val decide :
+  ?stats:stats -> ?order_atoms:bool ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Tuple.t -> bool

@@ -1,0 +1,102 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+open Paradb_query
+
+type stats = { mutable extensions : int }
+
+let new_stats () = { extensions = 0 }
+
+let rec formula_constants = function
+  | Fo.True | Fo.False -> Value.Set.empty
+  | Fo.Rel a -> Value.Set.of_list (Atom.constants a)
+  | Fo.Eq (l, r) ->
+      Value.Set.of_list
+        (List.filter_map
+           (function Term.Const v -> Some v | Term.Var _ -> None)
+           [ l; r ])
+  | Fo.Not f -> formula_constants f
+  | Fo.And fs | Fo.Or fs ->
+      List.fold_left
+        (fun acc f -> Value.Set.union acc (formula_constants f))
+        Value.Set.empty fs
+  | Fo.Exists (_, f) | Fo.Forall (_, f) -> formula_constants f
+
+let active_domain db f =
+  Value.Set.elements
+    (Value.Set.union (Database.domain db) (formula_constants f))
+
+let resolve binding t =
+  match Binding.apply_term binding t with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        ("Fo_naive: unbound free variable " ^ Term.to_string t)
+
+let holds ?stats ?domain db f binding =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let domain =
+    match domain with Some d -> d | None -> active_domain db f
+  in
+  let rec eval binding = function
+    | Fo.True -> true
+    | Fo.False -> false
+    | Fo.Rel a ->
+        let rel = Database.find db a.Atom.rel in
+        let row =
+          Array.of_list (List.map (resolve binding) a.Atom.args)
+        in
+        Relation.mem row rel
+    | Fo.Eq (l, r) -> Value.equal (resolve binding l) (resolve binding r)
+    | Fo.Not g -> not (eval binding g)
+    | Fo.And gs -> List.for_all (eval binding) gs
+    | Fo.Or gs -> List.exists (eval binding) gs
+    | Fo.Exists (xs, g) -> quantify true binding xs g
+    | Fo.Forall (xs, g) -> quantify false binding xs g
+  and quantify existential binding xs g =
+    match xs with
+    | [] -> eval binding g
+    | x :: rest ->
+        let try_value v =
+          stats.extensions <- stats.extensions + 1;
+          quantify existential (Binding.bind x v binding) rest g
+        in
+        if existential then List.exists try_value domain
+        else List.for_all try_value domain
+  in
+  eval binding f
+
+let sentence_holds ?stats ?domain db f =
+  if not (Fo.is_sentence f) then
+    invalid_arg "Fo_naive.sentence_holds: formula has free variables";
+  holds ?stats ?domain db f Binding.empty
+
+let evaluate ?stats ?domain db f ~head =
+  let free = Fo.free_vars f in
+  List.iter
+    (fun x ->
+      if not (List.mem x head) then
+        invalid_arg ("Fo_naive.evaluate: free variable " ^ x ^ " not in head"))
+    free;
+  let domain =
+    match domain with Some d -> d | None -> active_domain db f
+  in
+  let schema = List.mapi (fun i _ -> Printf.sprintf "a%d" i) head in
+  let rows = ref [] in
+  let rec assign binding = function
+    | [] ->
+        if holds ?stats ~domain db f binding then
+          rows :=
+            Array.of_list
+              (List.map
+                 (fun x ->
+                   match Binding.find x binding with
+                   | Some v -> v
+                   | None -> assert false)
+                 head)
+            :: !rows
+    | x :: rest ->
+        List.iter (fun v -> assign (Binding.bind x v binding) rest) domain
+  in
+  assign Binding.empty head;
+  Relation.create ~name:"ans" ~schema !rows

@@ -1,0 +1,35 @@
+(** First-order (relational calculus) evaluation over the active domain —
+    the [n^{O(v)}] baseline of Vardi's bounded-variable analysis and of
+    Theorem 1's first-order row.
+
+    Quantifiers range over the database's active domain plus the
+    constants of the formula (standard safe/active-domain semantics). *)
+
+type stats = { mutable extensions : int }
+
+val new_stats : unit -> stats
+
+(** The quantification domain used for [db] and formula [f]. *)
+val active_domain :
+  Paradb_relational.Database.t -> Paradb_query.Fo.t ->
+  Paradb_relational.Value.t list
+
+(** [holds db f binding] — truth of [f] under [binding], which must cover
+    the free variables.  [domain] overrides the quantification domain. *)
+val holds :
+  ?stats:stats -> ?domain:Paradb_relational.Value.t list ->
+  Paradb_relational.Database.t -> Paradb_query.Fo.t ->
+  Paradb_query.Binding.t -> bool
+
+(** Truth of a sentence. *)
+val sentence_holds :
+  ?stats:stats -> ?domain:Paradb_relational.Value.t list ->
+  Paradb_relational.Database.t -> Paradb_query.Fo.t -> bool
+
+(** [evaluate db f ~head] — the output relation {τ(head) | db ⊨ f[τ]},
+    τ ranging over assignments of the free variables of [f] (all free
+    variables must be listed in [head]). *)
+val evaluate :
+  ?stats:stats -> ?domain:Paradb_relational.Value.t list ->
+  Paradb_relational.Database.t -> Paradb_query.Fo.t ->
+  head:string list -> Paradb_relational.Relation.t

@@ -1,0 +1,152 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+module Value = Paradb_relational.Value
+open Paradb_query
+
+type join_algorithm =
+  | Hash_join
+  | Sort_merge
+
+(* One relation per atom, over the atom's variables (constants and
+   repeated variables resolved by selection). *)
+let atom_relation db atom =
+  let vars = Atom.vars atom in
+  let rel = Database.find db atom.Atom.rel in
+  let rows =
+    Relation.fold
+      (fun tuple acc ->
+        match Atom.matches atom tuple with
+        | None -> acc
+        | Some binding ->
+            let row =
+              Array.of_list
+                (List.map
+                   (fun x ->
+                     match Binding.find x binding with
+                     | Some v -> v
+                     | None -> assert false)
+                   vars)
+            in
+            Tuple.Set.add row acc)
+      rel Tuple.Set.empty
+  in
+  Relation.of_set ~schema:vars rows
+
+(* Apply every not-yet-applied constraint whose variables are all present
+   in the relation. *)
+let apply_constraints rel pending =
+  let present c =
+    List.for_all (Relation.has_attr rel) (Constr.vars c)
+  in
+  let ready, pending = List.partition present pending in
+  let rel =
+    List.fold_left
+      (fun rel c ->
+        let value row = function
+          | Term.Var x -> row.(Relation.position rel x)
+          | Term.Const v -> v
+        in
+        Relation.select
+          (fun row ->
+            Constr.eval_op c.Constr.op (value row c.Constr.lhs)
+              (value row c.Constr.rhs))
+          rel)
+      rel ready
+  in
+  (rel, pending)
+
+let shares_attrs r s = Relation.common_attrs r s <> []
+
+(* Greedy join order: start from the smallest relation; repeatedly join
+   the smallest relation sharing an attribute with the accumulated one
+   (falling back to a cross product only when forced). *)
+let evaluate ?(algorithm = Hash_join) db q =
+  let join a b =
+    match algorithm with
+    | Hash_join -> Relation.natural_join a b
+    | Sort_merge -> Relation.sort_merge_join a b
+  in
+  let head_schema = List.mapi (fun i _ -> Printf.sprintf "a%d" i) q.Cq.head in
+  match q.Cq.body with
+  | [] ->
+      let ok =
+        List.for_all (Constr.holds Binding.empty) q.Cq.constraints
+      in
+      let rows =
+        if ok then
+          [ Array.of_list
+              (List.map
+                 (function Term.Const v -> v | Term.Var _ -> assert false)
+                 q.Cq.head) ]
+        else []
+      in
+      Relation.create ~name:q.Cq.name ~schema:head_schema rows
+  | body ->
+      let rels = List.map (atom_relation db) body in
+      let smallest_first =
+        List.sort
+          (fun a b -> Int.compare (Relation.cardinality a) (Relation.cardinality b))
+          rels
+      in
+      let acc, rest =
+        match smallest_first with
+        | first :: rest -> (first, rest)
+        | [] -> assert false
+      in
+      let acc, pending = apply_constraints acc q.Cq.constraints in
+      let rec fold acc pending rest =
+        match rest with
+        | [] -> (acc, pending)
+        | _ ->
+            let connected, disconnected =
+              List.partition (shares_attrs acc) rest
+            in
+            let pick, others =
+              match
+                List.sort
+                  (fun a b ->
+                    Int.compare (Relation.cardinality a) (Relation.cardinality b))
+                  (if connected <> [] then connected else disconnected)
+              with
+              | pick :: others ->
+                  ( pick,
+                    others
+                    @ (if connected <> [] then disconnected else connected) )
+              | [] -> assert false
+            in
+            let acc = join acc pick in
+            let acc, pending = apply_constraints acc pending in
+            fold acc pending others
+      in
+      let joined, pending = fold acc pending rest in
+      assert (pending = []);
+      let head_vars = Cq.head_vars q in
+      let proj = Relation.project head_vars joined in
+      let positions =
+        List.map
+          (function
+            | Term.Var x -> `Var (Relation.position proj x)
+            | Term.Const v -> `Const v)
+          q.Cq.head
+      in
+      let rows =
+        Relation.fold
+          (fun row acc ->
+            Tuple.Set.add
+              (Array.of_list
+                 (List.map
+                    (function `Var i -> row.(i) | `Const v -> v)
+                    positions))
+              acc)
+          proj Tuple.Set.empty
+      in
+      Relation.of_set ~name:q.Cq.name ~schema:head_schema rows
+
+let is_satisfiable ?algorithm db q =
+  not (Relation.is_empty (evaluate ?algorithm db q))
+
+let decide ?algorithm db q tuple =
+  match Cq.close_with_tuple q tuple with
+  | None -> false
+  | Some closed -> is_satisfiable ?algorithm db closed

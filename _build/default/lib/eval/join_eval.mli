@@ -1,0 +1,29 @@
+(** Join-based conjunctive-query evaluation: materialize one relation per
+    atom, then join greedily (smallest first, preferring shared
+    attributes), applying constraint atoms as selections as soon as their
+    variables are present.
+
+    Worst-case intermediate results are still [n^{O(q)}] — this is a
+    realistic query-processor baseline, not an asymptotic improvement
+    (only Theorem 2's engine achieves that, and only for acyclic+[≠]) —
+    but it cross-checks the other evaluators and feeds the join-order
+    ablation. *)
+
+type join_algorithm =
+  | Hash_join
+  | Sort_merge
+
+(** [evaluate db q] — the output relation, as {!Cq_naive.evaluate}. *)
+val evaluate :
+  ?algorithm:join_algorithm ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Relation.t
+
+val is_satisfiable :
+  ?algorithm:join_algorithm ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> bool
+
+val decide :
+  ?algorithm:join_algorithm ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Tuple.t -> bool

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Format Fun Int List Printf Random Set String

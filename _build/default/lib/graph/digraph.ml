@@ -1,0 +1,98 @@
+module Int_set = Set.Make (Int)
+
+type t = { n : int; adj : Int_set.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; adj = Array.make n Int_set.empty }
+
+let n_vertices g = g.n
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  g.adj.(u) <- Int_set.add v g.adj.(u)
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  Int_set.mem v g.adj.(u)
+
+let successors g v =
+  check g v;
+  Int_set.elements g.adj.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Int_set.iter (fun v -> acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  !acc
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+(* Tarjan's algorithm.  Constraint graphs are query-sized, so the recursive
+   formulation is fine. *)
+let sccs g =
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let component = Array.make g.n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Int_set.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            component.(w) <- !next_comp;
+            if w <> v then pop ()
+      in
+      pop ();
+      incr next_comp
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (component, !next_comp)
+
+let reachable g u =
+  check g u;
+  let seen = Array.make g.n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Int_set.iter dfs g.adj.(v)
+    end
+  in
+  dfs u;
+  seen
+
+let pp ppf g =
+  Format.fprintf ppf "digraph(n=%d) {%s}" g.n
+    (String.concat "; "
+       (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) (edges g)))

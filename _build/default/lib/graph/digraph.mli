@@ -1,0 +1,28 @@
+(** Directed graphs on [0 .. n-1], with Tarjan's strongly-connected
+    components.
+
+    Used by the comparison-constraint preprocessing of Section 5: the
+    consistency of a system of [<] / [<=] constraints is decided on the
+    constraint digraph's strong components (Klug's method as cited by the
+    paper). *)
+
+type t
+
+val create : int -> t
+val n_vertices : t -> int
+val add_edge : t -> int -> int -> unit
+val has_edge : t -> int -> int -> bool
+val successors : t -> int -> int list
+val edges : t -> (int * int) list
+val of_edges : int -> (int * int) list -> t
+
+(** [sccs g] assigns each vertex a component id in [0 .. count-1]; ids are
+    in reverse topological order of the condensation (i.e., if there is an
+    edge from component [a] to component [b <> a] then [a > b]).  Returns
+    [(component, count)]. *)
+val sccs : t -> int array * int
+
+(** [reachable g u] — all vertices reachable from [u], including [u]. *)
+val reachable : t -> int -> bool array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,252 @@
+module Int_set = Set.Make (Int)
+
+type t = { n : int; mutable m : int; adj : Int_set.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; m = 0; adj = Array.make n Int_set.empty }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  Int_set.mem v g.adj.(u)
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (has_edge g u v) then begin
+    g.adj.(u) <- Int_set.add v g.adj.(u);
+    g.adj.(v) <- Int_set.add u g.adj.(v);
+    g.m <- g.m + 1
+  end
+
+let neighbors g v =
+  check g v;
+  Int_set.elements g.adj.(v)
+
+let degree g v =
+  check g v;
+  Int_set.cardinal g.adj.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Int_set.iter (fun v -> if u <= v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  !acc
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let vertices g = List.init g.n Fun.id
+
+let complement g =
+  let h = create g.n in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (has_edge g u v) then add_edge h u v
+    done
+  done;
+  h
+
+let disjoint_union g h =
+  let u = create (g.n + h.n) in
+  List.iter (fun (a, b) -> add_edge u a b) (edges g);
+  List.iter (fun (a, b) -> add_edge u (g.n + a) (g.n + b)) (edges h);
+  u
+
+let add_apex_clique g m =
+  let h = create (g.n + m) in
+  List.iter (fun (a, b) -> add_edge h a b) (edges g);
+  for i = g.n to g.n + m - 1 do
+    for j = 0 to i - 1 do
+      add_edge h i j
+    done
+  done;
+  h
+
+let is_clique g vs =
+  let rec distinct = function
+    | [] -> true
+    | v :: rest -> (not (List.mem v rest)) && distinct rest
+  in
+  distinct vs
+  && List.for_all
+       (fun u -> List.for_all (fun v -> u = v || has_edge g u v) vs)
+       vs
+
+(* Backtracking clique search: extend the current clique with vertices
+   larger than the last one that are adjacent to all chosen so far.  Worst
+   case O(n^k) — deliberately so; this is the paper's baseline. *)
+let find_clique g k =
+  if k = 0 then Some []
+  else
+    let rec extend chosen candidates need =
+      if need = 0 then Some (List.rev chosen)
+      else
+        let rec try_each = function
+          | [] -> None
+          | v :: rest -> (
+              let candidates' =
+                List.filter (fun w -> w > v && has_edge g v w) rest
+              in
+              match extend (v :: chosen) candidates' (need - 1) with
+              | Some _ as found -> found
+              | None -> try_each rest)
+        in
+        try_each candidates
+    in
+    extend [] (vertices g) k
+
+let has_clique g k = find_clique g k <> None
+
+let is_simple_path g vs =
+  let rec distinct = function
+    | [] -> true
+    | v :: rest -> (not (List.mem v rest)) && distinct rest
+  in
+  let rec chained = function
+    | [] | [ _ ] -> true
+    | u :: (v :: _ as rest) -> has_edge g u v && chained rest
+  in
+  distinct vs && chained vs
+
+let find_simple_path g k =
+  if k = 0 then Some []
+  else if k > g.n then None
+  else
+    let visited = Array.make g.n false in
+    let rec extend path v need =
+      if need = 0 then Some (List.rev path)
+      else
+        let rec try_each = function
+          | [] -> None
+          | w :: rest -> (
+              if visited.(w) then try_each rest
+              else begin
+                visited.(w) <- true;
+                match extend (w :: path) w (need - 1) with
+                | Some _ as found -> found
+                | None ->
+                    visited.(w) <- false;
+                    try_each rest
+              end)
+        in
+        try_each (neighbors g v)
+    in
+    let rec try_start v =
+      if v >= g.n then None
+      else begin
+        visited.(v) <- true;
+        match extend [ v ] v (k - 1) with
+        | Some _ as found -> found
+        | None ->
+            visited.(v) <- false;
+            try_start (v + 1)
+      end
+    in
+    try_start 0
+
+let has_simple_path g k = find_simple_path g k <> None
+
+let hamiltonian_path g = if g.n = 0 then Some [] else find_simple_path g g.n
+
+let is_dominating g vs =
+  List.for_all
+    (fun u -> List.mem u vs || List.exists (fun v -> has_edge g u v) vs)
+    (vertices g)
+
+let find_dominating_set g k =
+  if g.n = 0 then Some []
+  else begin
+    let rec choose start need acc =
+      if need = 0 then if is_dominating g acc then Some (List.rev acc) else None
+      else if start > g.n - need then None
+      else
+        match choose (start + 1) (need - 1) (start :: acc) with
+        | Some _ as found -> found
+        | None -> choose (start + 1) need acc
+    in
+    if k >= g.n then Some (vertices g) else choose 0 (min k g.n) []
+  end
+
+let has_dominating_set g k = find_dominating_set g k <> None
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d) {%s}" g.n g.m
+    (String.concat "; "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (edges g)))
+
+let gnp rng n p =
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then add_edge g u v
+    done
+  done;
+  g
+
+let multipartite_gnp rng n parts p =
+  if parts < 1 then invalid_arg "Graph.multipartite_gnp: need a part";
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if u mod parts <> v mod parts && Random.State.float rng 1.0 < p then
+        add_edge g u v
+    done
+  done;
+  g
+
+let sample_vertices rng n k =
+  if k > n then invalid_arg "Graph: sample larger than vertex set";
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  Array.to_list (Array.sub perm 0 k)
+
+let planted_clique rng n p k =
+  let g = gnp rng n p in
+  let chosen = sample_vertices rng n k in
+  List.iter
+    (fun u -> List.iter (fun v -> if u <> v then add_edge g u v) chosen)
+    chosen;
+  (g, chosen)
+
+let planted_path rng n p k =
+  let g = gnp rng n p in
+  let chosen = sample_vertices rng n k in
+  let rec link = function
+    | u :: (v :: _ as rest) ->
+        add_edge g u v;
+        link rest
+    | [] | [ _ ] -> ()
+  in
+  link chosen;
+  (g, chosen)
+
+let path_graph n = of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  if n < 3 then invalid_arg "Graph.cycle_graph: need at least 3 vertices";
+  of_edges n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete_graph n =
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_edge g u v
+    done
+  done;
+  g

@@ -1,0 +1,91 @@
+(** Undirected simple graphs on vertices [0 .. n-1].
+
+    This is the substrate for the paper's parametric problems: [clique] is
+    the canonical W[1]-complete problem (Theorem 1's lower bounds reduce
+    from it), [simple path of length k] is the motivating f.p.-tractable
+    problem solved by color coding, and [Hamiltonian path] drives the
+    NP-hardness of acyclic queries with inequalities (Section 5). *)
+
+type t
+
+val create : int -> t
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** [add_edge g u v] inserts the undirected edge [{u,v}].  Self-loops are
+    allowed (Theorem 3's reduction assumes them); parallel edges are
+    merged. *)
+val add_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+
+(** Edges with [u <= v], sorted. *)
+val edges : t -> (int * int) list
+
+val of_edges : int -> (int * int) list -> t
+val vertices : t -> int list
+val complement : t -> t
+
+(** [disjoint_union g h] relabels [h]'s vertices to [n_vertices g + i]. *)
+val disjoint_union : t -> t -> t
+
+(** [add_apex_clique g m] adds [m] fresh vertices adjacent to each other
+    and to every existing vertex (the padding used in the paper's footnote
+    2 to equalize clique parameters). *)
+val add_apex_clique : t -> int -> t
+
+(** [find_clique g k] finds [k] pairwise-adjacent distinct vertices by
+    backtracking — the naive [O(n^k)] baseline. *)
+val find_clique : t -> int -> int list option
+
+val has_clique : t -> int -> bool
+val is_clique : t -> int list -> bool
+
+(** [find_simple_path g k] finds a simple path on exactly [k] vertices
+    (k-1 edges) by backtracking. *)
+val find_simple_path : t -> int -> int list option
+
+val has_simple_path : t -> int -> bool
+val is_simple_path : t -> int list -> bool
+
+(** Naive Hamiltonian-path test (exponential; for small instances and for
+    validating the Section-5 reduction). *)
+val hamiltonian_path : t -> int list option
+
+(** [is_dominating g vs] — every vertex is in [vs] or adjacent to one. *)
+val is_dominating : t -> int list -> bool
+
+(** [find_dominating_set g k] — a dominating set of size (at most) [k],
+    by enumerating k-subsets: the [O(n^k)] baseline of the canonical
+    W[2]-complete problem the paper cites. *)
+val find_dominating_set : t -> int -> int list option
+
+val has_dominating_set : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Generators} *)
+
+(** Erdős–Rényi [G(n,p)]. *)
+val gnp : Random.State.t -> int -> float -> t
+
+(** [multipartite_gnp rng n parts p] — vertices split round-robin into
+    [parts] classes; edges only between distinct classes, each with
+    probability [p].  By construction the graph has no clique of size
+    [parts + 1] — the guaranteed-negative instances of the Theorem-1
+    scaling experiments. *)
+val multipartite_gnp : Random.State.t -> int -> int -> float -> t
+
+(** [planted_clique rng n p k] — G(n,p) plus a clique on [k] random
+    vertices; returns the graph and the planted vertices. *)
+val planted_clique : Random.State.t -> int -> float -> int -> t * int list
+
+(** [planted_path rng n p k] — G(n,p) plus a simple path on [k] random
+    vertices. *)
+val planted_path : Random.State.t -> int -> float -> int -> t * int list
+
+val path_graph : int -> t
+val cycle_graph : int -> t
+val complete_graph : int -> t

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Format List Paradb_query Set String

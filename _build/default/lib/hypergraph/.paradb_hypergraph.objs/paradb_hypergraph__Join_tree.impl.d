@@ -1,0 +1,1 @@
+lib/hypergraph/join_tree.ml: Array Buffer Format Fun Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/join_tree.mli: Format Hypergraph Paradb_query

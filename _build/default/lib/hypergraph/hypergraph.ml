@@ -1,0 +1,96 @@
+module String_set = Set.Make (String)
+
+type t = { edges : String_set.t array }
+
+let make edge_lists =
+  { edges = Array.of_list (List.map String_set.of_list edge_lists) }
+
+let of_cq q =
+  make (List.map Paradb_query.Atom.vars (Paradb_query.Cq.relational_atoms q))
+
+let n_edges h = Array.length h.edges
+
+let vertices h =
+  Array.fold_left String_set.union String_set.empty h.edges
+
+(* GYO ear removal.  Edge [i] is an ear if the set of its vertices that
+   also occur in some *other* alive edge is contained in a single alive
+   edge [j]; removing [i] records [parent.(i) = j].  One removal per scan
+   keeps the bookkeeping simple; queries are small. *)
+let gyo h =
+  let n = n_edges h in
+  let parent = Array.make n (-1) in
+  let alive = Array.make n true in
+  let occurs_elsewhere i v =
+    let found = ref false in
+    Array.iteri
+      (fun j e -> if j <> i && alive.(j) && String_set.mem v e then found := true)
+      h.edges;
+    !found
+  in
+  let try_remove_one () =
+    let removed = ref false in
+    let i = ref 0 in
+    while (not !removed) && !i < n do
+      if alive.(!i) then begin
+        let shared = String_set.filter (occurs_elsewhere !i) h.edges.(!i) in
+        (* Find a distinct alive edge containing all shared vertices. *)
+        let j = ref 0 in
+        while (not !removed) && !j < n do
+          if !j <> !i && alive.(!j) && String_set.subset shared h.edges.(!j)
+          then begin
+            parent.(!i) <- !j;
+            alive.(!i) <- false;
+            removed := true
+          end;
+          incr j
+        done
+      end;
+      incr i
+    done;
+    !removed
+  in
+  while try_remove_one () do
+    ()
+  done;
+  (parent, alive)
+
+let components h =
+  let n = n_edges h in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let intersects i j =
+    not (String_set.is_empty (String_set.inter h.edges.(i) h.edges.(j)))
+  in
+  let rec dfs i c =
+    if comp.(i) < 0 then begin
+      comp.(i) <- c;
+      for j = 0 to n - 1 do
+        if comp.(j) < 0 && intersects i j then dfs j c
+      done
+    end
+  in
+  for i = 0 to n - 1 do
+    if comp.(i) < 0 then begin
+      dfs i !count;
+      incr count
+    end
+  done;
+  (comp, !count)
+
+(* Acyclic iff GYO reduces to at most one alive edge.  This works across
+   connected components too: once a component is down to a single edge,
+   its remaining shared-vertex set is empty, so it is absorbed into any
+   other alive edge (a cross-component parent link is a valid join-tree
+   edge because the components share no variables). *)
+let is_acyclic h =
+  let _, alive = gyo h in
+  Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive <= 1
+
+let pp ppf h =
+  Format.fprintf ppf "{%s}"
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun e -> String.concat "," (String_set.elements e))
+             h.edges)))

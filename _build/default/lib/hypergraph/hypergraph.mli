@@ -1,0 +1,34 @@
+(** Query hypergraphs and the GYO acyclicity test.
+
+    For a conjunctive query, the hypergraph has the query's variables as
+    nodes and one hyperedge per relational atom, containing the variables
+    occurring in that atom (Section 5).  [Neq]/comparison atoms are *not*
+    included — that is the whole point of Theorem 2. *)
+
+module String_set : Set.S with type elt = string
+
+type t = { edges : String_set.t array }
+
+val make : string list list -> t
+
+(** One hyperedge per relational atom of the query body. *)
+val of_cq : Paradb_query.Cq.t -> t
+
+val n_edges : t -> int
+val vertices : t -> String_set.t
+
+(** GYO ear removal.  [gyo h] returns [(parent, alive)]: [parent.(i)] is
+    the edge that absorbed ear [i] ([-1] if never absorbed), [alive.(i)]
+    tells whether the edge survived the reduction.  The hypergraph is
+    acyclic iff at most one edge survives (single-edge components get
+    absorbed across components, which is a valid join-forest link). *)
+val gyo : t -> int array * bool array
+
+val is_acyclic : t -> bool
+
+(** Connected components by shared vertices: [component.(i)] for each
+    edge, plus the number of components.  Edges with no vertices are
+    singleton components. *)
+val components : t -> int array * int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+(** Umbrella module: one [open Paradb] (or dune library [paradb]) brings
+    the whole system into scope under stable names.
+
+    {2 Relational substrate}                                          *)
+
+module Value = Paradb_relational.Value
+module Tuple = Paradb_relational.Tuple
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+
+(** {2 Graphs} *)
+
+module Graph = Paradb_graph.Graph
+module Digraph = Paradb_graph.Digraph
+
+(** {2 Queries} *)
+
+module Term = Paradb_query.Term
+module Atom = Paradb_query.Atom
+module Binding = Paradb_query.Binding
+module Constr = Paradb_query.Constr
+module Cq = Paradb_query.Cq
+module Fo = Paradb_query.Fo
+module Ineq_formula = Paradb_query.Ineq_formula
+module Rule = Paradb_query.Rule
+module Program = Paradb_query.Program
+module Parser = Paradb_query.Parser
+module Fact_format = Paradb_query.Fact_format
+
+(** {2 Hypergraphs and join trees} *)
+
+module Hypergraph = Paradb_hypergraph.Hypergraph
+module Join_tree = Paradb_hypergraph.Join_tree
+
+(** {2 Evaluators} *)
+
+module Cq_naive = Paradb_eval.Cq_naive
+module Fo_naive = Paradb_eval.Fo_naive
+module Join_eval = Paradb_eval.Join_eval
+module Yannakakis = Paradb_yannakakis.Yannakakis
+module Datalog = Paradb_datalog.Engine
+
+(** {2 Weighted satisfiability (the W and AW hierarchies)} *)
+
+module Circuit = Paradb_wsat.Circuit
+module Formula = Paradb_wsat.Formula
+module Cnf = Paradb_wsat.Cnf
+module Alternating = Paradb_wsat.Alternating
+
+(** {2 The paper's contribution (Theorem 2)} *)
+
+module Hashing = Paradb_core.Hashing
+module Ineq = Paradb_core.Ineq
+module Engine = Paradb_core.Engine
+module Comparisons = Paradb_core.Comparisons
+module Color_coding = Paradb_core.Color_coding
+
+(** {2 Reductions (Theorems 1 and 3, Sections 4-5)} *)
+
+module Reductions = struct
+  module Clique_to_cq = Paradb_reductions.Clique_to_cq
+  module Cq_to_wsat = Paradb_reductions.Cq_to_wsat
+  module Bounded_vars = Paradb_reductions.Bounded_vars
+  module Cqs_to_clique = Paradb_reductions.Cqs_to_clique
+  module Wformula_to_positive = Paradb_reductions.Wformula_to_positive
+  module Positive_to_wformula = Paradb_reductions.Positive_to_wformula
+  module Circuit_to_fo = Paradb_reductions.Circuit_to_fo
+  module Alternating_to_fo = Paradb_reductions.Alternating_to_fo
+  module Fo_to_awsat = Paradb_reductions.Fo_to_awsat
+  module Clique_to_comparisons = Paradb_reductions.Clique_to_comparisons
+  module Hamiltonian_to_neq = Paradb_reductions.Hamiltonian_to_neq
+  module Dominating_to_fo = Paradb_reductions.Dominating_to_fo
+  module Fixed_schema = Paradb_reductions.Fixed_schema
+end
+
+(** {2 Chandra–Merlin containment} *)
+
+module Containment = Paradb_containment.Containment
+
+(** {2 Workloads} *)
+
+module Generators = Paradb_workload.Generators
+module Vardi = Paradb_workload.Vardi
+module Bench_util = Paradb_workload.Bench_util

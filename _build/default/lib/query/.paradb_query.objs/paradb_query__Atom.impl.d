@@ -1,0 +1,1 @@
+lib/query/atom.ml: Array Binding Format List Paradb_relational String Term

@@ -1,0 +1,1 @@
+lib/query/atom.mli: Binding Format Paradb_relational Term

@@ -1,0 +1,1 @@
+lib/query/binding.ml: Format List Map Paradb_relational String Term

@@ -1,0 +1,1 @@
+lib/query/binding.mli: Format Paradb_relational Term

@@ -1,0 +1,1 @@
+lib/query/constr.ml: Binding Format Int List Paradb_relational Term

@@ -1,0 +1,1 @@
+lib/query/constr.mli: Binding Format Paradb_relational Term

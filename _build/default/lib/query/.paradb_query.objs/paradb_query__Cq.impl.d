@@ -1,0 +1,1 @@
+lib/query/cq.ml: Array Atom Binding Constr Format List Paradb_relational Printf String Term

@@ -1,0 +1,1 @@
+lib/query/cq.mli: Atom Binding Constr Format Paradb_relational Term

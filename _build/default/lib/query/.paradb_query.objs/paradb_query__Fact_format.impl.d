@@ -1,0 +1,1 @@
+lib/query/fact_format.ml: Array Buffer List Paradb_relational Parser String

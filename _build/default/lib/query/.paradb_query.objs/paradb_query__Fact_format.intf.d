@@ -1,0 +1,1 @@
+lib/query/fact_format.mli: Paradb_relational

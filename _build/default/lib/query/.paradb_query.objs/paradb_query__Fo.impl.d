@@ -1,0 +1,1 @@
+lib/query/fo.ml: Atom Binding Constr Cq Format List Paradb_relational Printf String Term

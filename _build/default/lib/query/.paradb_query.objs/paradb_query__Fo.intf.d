@@ -1,0 +1,1 @@
+lib/query/fo.mli: Atom Binding Cq Format Term

@@ -1,0 +1,1 @@
+lib/query/ineq_formula.ml: Binding Constr Format List Paradb_relational

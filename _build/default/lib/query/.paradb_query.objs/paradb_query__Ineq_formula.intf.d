@@ -1,0 +1,1 @@
+lib/query/ineq_formula.mli: Binding Constr Format Paradb_relational

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Array Atom Constr Cq Fo Format Hashtbl List Paradb_relational Printf Program Rule String Term

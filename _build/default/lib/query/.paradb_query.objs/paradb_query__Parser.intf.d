@@ -1,0 +1,1 @@
+lib/query/parser.mli: Cq Fo Paradb_relational Program Rule

@@ -1,0 +1,1 @@
+lib/query/program.ml: Atom Format Hashtbl List Paradb_relational Printf Rule

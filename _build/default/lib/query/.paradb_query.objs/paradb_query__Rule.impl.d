@@ -1,0 +1,1 @@
+lib/query/rule.ml: Atom Cq Format List Paradb_relational String

@@ -1,0 +1,1 @@
+lib/query/rule.mli: Atom Cq Format

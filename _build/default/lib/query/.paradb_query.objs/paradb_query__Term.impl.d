@@ -1,0 +1,1 @@
+lib/query/term.ml: Format List Paradb_relational String

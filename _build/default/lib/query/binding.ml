@@ -1,0 +1,49 @@
+module Value = Paradb_relational.Value
+module String_map = Map.Make (String)
+
+type t = Value.t String_map.t
+
+let empty = String_map.empty
+let is_empty = String_map.is_empty
+let find x b = String_map.find_opt x b
+let bind x v b = String_map.add x v b
+let mem x b = String_map.mem x b
+let cardinal = String_map.cardinal
+let bindings b = String_map.bindings b
+
+let of_list l =
+  List.fold_left (fun acc (x, v) -> String_map.add x v acc) empty l
+
+let equal = String_map.equal Value.equal
+
+let extend x v b =
+  match String_map.find_opt x b with
+  | None -> Some (String_map.add x v b)
+  | Some w -> if Value.equal v w then Some b else None
+
+let merge a b =
+  String_map.fold
+    (fun x v acc ->
+      match acc with
+      | None -> None
+      | Some m -> extend x v m)
+    b (Some a)
+
+let apply_term b = function
+  | Term.Var x -> find x b
+  | Term.Const v -> Some v
+
+let image b vars =
+  List.fold_left
+    (fun acc x ->
+      match find x b with
+      | Some v -> Value.Set.add v acc
+      | None -> acc)
+    Value.Set.empty vars
+
+let pp ppf b =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (x, v) -> x ^ " := " ^ Value.to_string v)
+          (bindings b)))

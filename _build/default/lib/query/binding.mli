@@ -1,0 +1,31 @@
+(** Variable bindings: partial maps from variable names to domain values.
+    These are the "instantiations" τ of the paper. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val find : string -> t -> Paradb_relational.Value.t option
+val bind : string -> Paradb_relational.Value.t -> t -> t
+val mem : string -> t -> bool
+val cardinal : t -> int
+val bindings : t -> (string * Paradb_relational.Value.t) list
+val of_list : (string * Paradb_relational.Value.t) list -> t
+val equal : t -> t -> bool
+
+(** [extend x v b] is [Some (bind x v b)] if [x] is unbound or already
+    bound to [v]; [None] on a conflicting binding. *)
+val extend : string -> Paradb_relational.Value.t -> t -> t option
+
+(** [merge a b] unions two bindings, [None] on conflict. *)
+val merge : t -> t -> t option
+
+(** [apply_term b t] resolves a term to a value; [None] if an unbound
+    variable. *)
+val apply_term : t -> Term.t -> Paradb_relational.Value.t option
+
+(** [image b vars] — the distinct values assigned to [vars] (the paper's
+    [τ(V1)]). *)
+val image : t -> string list -> Paradb_relational.Value.Set.t
+
+val pp : Format.formatter -> t -> unit

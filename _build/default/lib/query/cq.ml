@@ -1,0 +1,115 @@
+module Value = Paradb_relational.Value
+module Tuple = Paradb_relational.Tuple
+
+type t = {
+  name : string;
+  head : Term.t list;
+  body : Atom.t list;
+  constraints : Constr.t list;
+}
+
+let dedup = Paradb_relational.Listx.dedup
+
+let body_vars body = dedup (List.concat_map Atom.vars body)
+
+let make ?(name = "ans") ?(constraints = []) ~head body =
+  let bvars = body_vars body in
+  let check_safe what x =
+    if not (List.mem x bvars) then
+      invalid_arg
+        (Printf.sprintf "Cq.make: %s variable %s not in any relational atom"
+           what x)
+  in
+  List.iter (check_safe "head") (Term.vars head);
+  List.iter
+    (fun c -> List.iter (check_safe "constraint") (Constr.vars c))
+    constraints;
+  { name; head; body; constraints }
+
+let vars q = dedup (body_vars q.body @ Term.vars q.head)
+let num_vars q = List.length (vars q)
+
+let size q =
+  let atom_size a = 1 + Atom.arity a in
+  1 + List.length q.head
+  + List.fold_left (fun acc a -> acc + atom_size a) 0 q.body
+  + (3 * List.length q.constraints)
+
+let head_vars q = Term.vars q.head
+let is_boolean q = q.head = []
+let has_constraints q = q.constraints <> []
+let neq_only q = List.for_all Constr.is_neq q.constraints
+let relational_atoms q = q.body
+let neq_constraints q = List.filter Constr.is_neq q.constraints
+let comparison_constraints q = List.filter Constr.is_comparison q.constraints
+
+let substitute binding q =
+  {
+    q with
+    head = List.map (Term.apply (fun x -> Binding.find x binding)) q.head;
+    body = List.map (Atom.substitute binding) q.body;
+    constraints = List.map (Constr.substitute binding) q.constraints;
+  }
+
+let close_with_tuple q tuple =
+  if Tuple.arity tuple <> List.length q.head then None
+  else
+    let rec bind i acc = function
+      | [] -> Some acc
+      | Term.Const c :: rest ->
+          if Value.equal c tuple.(i) then bind (i + 1) acc rest else None
+      | Term.Var x :: rest -> (
+          match Binding.extend x tuple.(i) acc with
+          | Some acc -> bind (i + 1) acc rest
+          | None -> None)
+    in
+    match bind 0 Binding.empty q.head with
+    | None -> None
+    | Some binding ->
+        let closed = substitute binding q in
+        Some { closed with head = [] }
+
+let rename f q =
+  let term = function
+    | Term.Var x -> Term.Var (f x)
+    | Term.Const _ as t -> t
+  in
+  {
+    q with
+    head = List.map term q.head;
+    body =
+      List.map (fun a -> { a with Atom.args = List.map term a.Atom.args }) q.body;
+    constraints =
+      List.map
+        (fun c -> { c with Constr.lhs = term c.Constr.lhs; rhs = term c.Constr.rhs })
+        q.constraints;
+  }
+
+let head_tuple binding q =
+  Array.of_list
+    (List.map
+       (fun t ->
+         match Binding.apply_term binding t with
+         | Some v -> v
+         | None -> invalid_arg "Cq.head_tuple: unbound head variable")
+       q.head)
+
+let equal a b =
+  a.name = b.name
+  && List.equal Term.equal a.head b.head
+  && List.equal Atom.equal a.body b.body
+  && List.equal Constr.equal a.constraints b.constraints
+
+let pp ppf q =
+  let pp_terms ppf ts =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Term.pp ppf ts
+  in
+  Format.fprintf ppf "%s(%a) :- " q.name pp_terms q.head;
+  let items =
+    List.map Atom.to_string q.body @ List.map Constr.to_string q.constraints
+  in
+  Format.pp_print_string ppf (String.concat ", " items)
+
+let to_string q = Format.asprintf "%a" pp q

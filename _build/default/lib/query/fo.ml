@@ -1,0 +1,297 @@
+module Value = Paradb_relational.Value
+
+type t =
+  | True
+  | False
+  | Rel of Atom.t
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of string list * t
+  | Forall of string list * t
+
+let rel a = Rel a
+let atom name args = Rel (Atom.make name args)
+let eq a b = Eq (a, b)
+let neg f = Not f
+
+let conj = function
+  | [] -> True
+  | [ f ] -> f
+  | fs -> And fs
+
+let disj = function
+  | [] -> False
+  | [ f ] -> f
+  | fs -> Or fs
+
+let exists xs f = if xs = [] then f else Exists (xs, f)
+let forall xs f = if xs = [] then f else Forall (xs, f)
+let implies a b = disj [ neg a; b ]
+
+let dedup = Paradb_relational.Listx.dedup
+
+let rec free_vars_in bound = function
+  | True | False -> []
+  | Rel a -> List.filter (fun x -> not (List.mem x bound)) (Atom.vars a)
+  | Eq (l, r) ->
+      List.filter (fun x -> not (List.mem x bound)) (Term.vars [ l; r ])
+  | Not f -> free_vars_in bound f
+  | And fs | Or fs -> List.concat_map (free_vars_in bound) fs
+  | Exists (xs, f) | Forall (xs, f) -> free_vars_in (xs @ bound) f
+
+let free_vars f = dedup (free_vars_in [] f)
+
+let rec all_vars_raw = function
+  | True | False -> []
+  | Rel a -> Atom.vars a
+  | Eq (l, r) -> Term.vars [ l; r ]
+  | Not f -> all_vars_raw f
+  | And fs | Or fs -> List.concat_map all_vars_raw fs
+  | Exists (xs, f) | Forall (xs, f) -> xs @ all_vars_raw f
+
+let all_vars f = dedup (all_vars_raw f)
+let num_vars f = List.length (all_vars f)
+
+let rec size = function
+  | True | False -> 1
+  | Rel a -> 1 + Atom.arity a
+  | Eq _ -> 3
+  | Not f -> 1 + size f
+  | And fs | Or fs -> 1 + List.fold_left (fun acc f -> acc + size f) 0 fs
+  | Exists (xs, f) | Forall (xs, f) -> List.length xs + size f
+
+let is_sentence f = free_vars f = []
+
+let rec is_positive = function
+  | True | False -> true
+  | Rel _ | Eq _ -> true
+  | Not _ | Forall _ -> false
+  | And fs | Or fs -> List.for_all is_positive fs
+  | Exists (_, f) -> is_positive f
+
+let rec is_conjunctive = function
+  | True -> true
+  | False -> false
+  | Rel _ | Eq _ -> true
+  | Not _ | Forall _ | Or _ -> false
+  | And fs -> List.for_all is_conjunctive fs
+  | Exists (_, f) -> is_conjunctive f
+
+let rec substitute binding f =
+  match f with
+  | True | False -> f
+  | Rel a -> Rel (Atom.substitute binding a)
+  | Eq (l, r) ->
+      let app = Term.apply (fun x -> Binding.find x binding) in
+      Eq (app l, app r)
+  | Not g -> Not (substitute binding g)
+  | And fs -> And (List.map (substitute binding) fs)
+  | Or fs -> Or (List.map (substitute binding) fs)
+  | Exists (xs, g) ->
+      Exists (xs, substitute (shadow xs binding) g)
+  | Forall (xs, g) ->
+      Forall (xs, substitute (shadow xs binding) g)
+
+and shadow xs binding =
+  (* Quantified variables hide outer bindings of the same name. *)
+  List.fold_left
+    (fun b x ->
+      match Binding.find x b with
+      | None -> b
+      | Some _ ->
+          Binding.of_list
+            (List.filter (fun (y, _) -> y <> x) (Binding.bindings b)))
+    binding xs
+
+let rename_apart f =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "#%d" !counter
+  in
+  let rec go env = function
+    | (True | False) as f -> f
+    | Rel a ->
+        let rn = function
+          | Term.Var x as t -> (
+              match List.assoc_opt x env with
+              | Some y -> Term.Var y
+              | None -> t)
+          | Term.Const _ as t -> t
+        in
+        Rel { a with Atom.args = List.map rn a.Atom.args }
+    | Eq (l, r) ->
+        let rn = function
+          | Term.Var x as t -> (
+              match List.assoc_opt x env with
+              | Some y -> Term.Var y
+              | None -> t)
+          | Term.Const _ as t -> t
+        in
+        Eq (rn l, rn r)
+    | Not g -> Not (go env g)
+    | And fs -> And (List.map (go env) fs)
+    | Or fs -> Or (List.map (go env) fs)
+    | Exists (xs, g) ->
+        let ys = List.map (fun _ -> fresh ()) xs in
+        Exists (ys, go (List.combine xs ys @ env) g)
+    | Forall (xs, g) ->
+        let ys = List.map (fun _ -> fresh ()) xs in
+        Forall (ys, go (List.combine xs ys @ env) g)
+  in
+  go [] f
+
+let rec nnf = function
+  | (True | False | Rel _ | Eq _) as f -> f
+  | And fs -> And (List.map nnf fs)
+  | Or fs -> Or (List.map nnf fs)
+  | Exists (xs, f) -> Exists (xs, nnf f)
+  | Forall (xs, f) -> Forall (xs, nnf f)
+  | Not f -> (
+      match f with
+      | True -> False
+      | False -> True
+      | Rel _ | Eq _ -> Not f
+      | Not g -> nnf g
+      | And fs -> Or (List.map (fun g -> nnf (Not g)) fs)
+      | Or fs -> And (List.map (fun g -> nnf (Not g)) fs)
+      | Exists (xs, g) -> Forall (xs, nnf (Not g))
+      | Forall (xs, g) -> Exists (xs, nnf (Not g)))
+
+type quantifier =
+  | Q_exists
+  | Q_forall
+
+let prenex f =
+  let rec pull = function
+    | (True | False | Rel _ | Eq _ | Not _) as f -> ([], f)
+    | And fs ->
+        let prefixes, matrices = List.split (List.map pull fs) in
+        (List.concat prefixes, conj matrices)
+    | Or fs ->
+        let prefixes, matrices = List.split (List.map pull fs) in
+        (List.concat prefixes, disj matrices)
+    | Exists (xs, g) ->
+        let prefix, matrix = pull g in
+        (List.map (fun x -> (Q_exists, x)) xs @ prefix, matrix)
+    | Forall (xs, g) ->
+        let prefix, matrix = pull g in
+        (List.map (fun x -> (Q_forall, x)) xs @ prefix, matrix)
+  in
+  pull (nnf (rename_apart f))
+
+type literal =
+  | L_rel of Atom.t
+  | L_eq of Term.t * Term.t
+
+(* DNF of a positive quantifier-free formula, as lists of literals. *)
+let rec dnf = function
+  | True -> [ [] ]
+  | False -> []
+  | Rel a -> [ [ L_rel a ] ]
+  | Eq (l, r) -> [ [ L_eq (l, r) ] ]
+  | And fs ->
+      List.fold_left
+        (fun acc f ->
+          let ds = dnf f in
+          List.concat_map (fun conjunct -> List.map (fun d -> conjunct @ d) ds) acc)
+        [ [] ] fs
+  | Or fs -> List.concat_map dnf fs
+  | Not _ | Exists _ | Forall _ ->
+      invalid_arg "Fo.dnf: not a positive quantifier-free formula"
+
+(* Eliminate equality literals from a conjunct by unification.  Returns the
+   relational atoms, or [None] if the conjunct is unsatisfiable. *)
+let solve_equalities literals =
+  let rec go atoms pending = function
+    | [] -> Some (List.rev atoms, pending)
+    | L_rel a :: rest -> go (a :: atoms) pending rest
+    | L_eq (l, r) :: rest -> go atoms ((l, r) :: pending) rest
+  in
+  match go [] [] literals with
+  | None -> None
+  | Some (atoms, eqs) ->
+      let substitute_var x t atoms eqs =
+        let sub = function
+          | Term.Var y when y = x -> t
+          | other -> other
+        in
+        ( List.map
+            (fun a -> { a with Atom.args = List.map sub a.Atom.args })
+            atoms,
+          List.map (fun (l, r) -> (sub l, sub r)) eqs )
+      in
+      let rec solve atoms = function
+        | [] -> Some atoms
+        | (l, r) :: rest -> (
+            match l, r with
+            | Term.Const a, Term.Const b ->
+                if Value.equal a b then solve atoms rest else None
+            | Term.Var x, t | t, Term.Var x ->
+                let atoms, rest = substitute_var x t atoms rest in
+                solve atoms rest)
+      in
+      solve atoms eqs
+
+let positive_to_cqs f =
+  if not (is_positive f) then
+    invalid_arg "Fo.positive_to_cqs: formula is not positive";
+  if not (is_sentence f) then
+    invalid_arg "Fo.positive_to_cqs: formula is not closed";
+  let prefix, matrix = prenex f in
+  assert (List.for_all (fun (q, _) -> q = Q_exists) prefix);
+  List.filter_map
+    (fun conjunct ->
+      match solve_equalities conjunct with
+      | None -> None
+      | Some atoms -> Some (Cq.make ~head:[] atoms))
+    (dnf matrix)
+
+let of_boolean_cq q =
+  let open Cq in
+  let atom_formulas = List.map rel q.body in
+  let constraint_formulas =
+    List.map
+      (fun c ->
+        match c.Constr.op with
+        | Constr.Neq -> Not (Eq (c.Constr.lhs, c.Constr.rhs))
+        | Constr.Lt | Constr.Le ->
+            invalid_arg "Fo.of_boolean_cq: comparisons are not first-order \
+                         over an uninterpreted domain")
+      q.constraints
+  in
+  exists (Cq.vars q) (conj (atom_formulas @ constraint_formulas))
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Rel a -> Atom.pp ppf a
+  | Eq (l, r) -> Format.fprintf ppf "%a = %a" Term.pp l Term.pp r
+  | Not f -> Format.fprintf ppf "!%a" pp_delimited f
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+           pp)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp)
+        fs
+  | Exists (xs, f) ->
+      Format.fprintf ppf "exists %s. %a" (String.concat " " xs) pp f
+  | Forall (xs, f) ->
+      Format.fprintf ppf "forall %s. %a" (String.concat " " xs) pp f
+
+and pp_delimited ppf f =
+  match f with
+  | True | False | Rel _ | Not _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

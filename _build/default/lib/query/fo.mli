@@ -1,0 +1,83 @@
+(** First-order queries (relational calculus): the most expressive language
+    in Theorem 1's classification.
+
+    Positive queries are the [Not]/[Forall]-free fragment; conjunctive
+    queries are additionally [Or]-free.  The parameter [v] counts distinct
+    variable *names* — reused quantified variables count once, which is
+    exactly why prenexing (which renames variables apart) does not preserve
+    [v] (Section 4's discussion). *)
+
+type t =
+  | True
+  | False
+  | Rel of Atom.t
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of string list * t
+  | Forall of string list * t
+
+val rel : Atom.t -> t
+val atom : string -> Term.t list -> t
+val eq : Term.t -> Term.t -> t
+val neg : t -> t
+val conj : t list -> t
+val disj : t list -> t
+val exists : string list -> t -> t
+val forall : string list -> t -> t
+val implies : t -> t -> t
+
+val free_vars : t -> string list
+
+(** All distinct variable names, free and bound: the parameter [v]. *)
+val all_vars : t -> string list
+
+val num_vars : t -> int
+
+(** Symbol-count size: the parameter [q]. *)
+val size : t -> int
+
+val is_sentence : t -> bool
+
+(** No [Not], no [Forall]: a positive query. *)
+val is_positive : t -> bool
+
+(** Additionally no [Or]: (the formula form of) a conjunctive query. *)
+val is_conjunctive : t -> bool
+
+(** Substitution of constants for *free* variables (capture-safe because
+    the substitutes are constants; shadowed occurrences are untouched). *)
+val substitute : Binding.t -> t -> t
+
+(** Rename all bound variables to globally fresh names ["#1", "#2", ...].
+    Free variables are untouched.  After this, no variable is quantified
+    twice and no bound variable shadows a free one. *)
+val rename_apart : t -> t
+
+type quantifier =
+  | Q_exists
+  | Q_forall
+
+(** [prenex f] = (prefix, matrix): classical prenex normal form after
+    [rename_apart]; the matrix is quantifier-free.  Negations are pushed
+    to atoms (NNF) first. *)
+val prenex : t -> (quantifier * string) list * t
+
+(** Negation normal form: negations pushed to atoms. *)
+val nnf : t -> t
+
+(** [positive_to_cqs f] — Theorem 1's positive-query upper bound: a closed
+    positive query is equivalent to a union of (exponentially many in [q])
+    Boolean conjunctive queries.  Equality atoms are eliminated by
+    unification; unsatisfiable disjuncts are dropped.  Raises
+    [Invalid_argument] if [f] is not a closed positive formula. *)
+val positive_to_cqs : t -> Cq.t list
+
+(** View a constraint-free CQ as a closed FO sentence (its head variables
+    existentially quantified) — used to cross-check evaluators. *)
+val of_boolean_cq : Cq.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

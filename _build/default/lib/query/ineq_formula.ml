@@ -1,0 +1,85 @@
+type t =
+  | True
+  | False
+  | Atom of Constr.t
+  | And of t list
+  | Or of t list
+
+let atom c = Atom c
+
+let conj = function
+  | [] -> True
+  | [ f ] -> f
+  | fs -> And fs
+
+let disj = function
+  | [] -> False
+  | [ f ] -> f
+  | fs -> Or fs
+
+let of_conjunction cs = conj (List.map atom cs)
+
+let rec atoms = function
+  | True | False -> []
+  | Atom c -> [ c ]
+  | And fs | Or fs -> List.concat_map atoms fs
+
+let dedup = Paradb_relational.Listx.dedup
+
+let vars f = dedup (List.concat_map Constr.vars (atoms f))
+
+let constants f =
+  let module VS = Paradb_relational.Value.Set in
+  VS.elements
+    (List.fold_left
+       (fun acc c ->
+         List.fold_left (fun acc v -> VS.add v acc) acc (Constr.constants c))
+       VS.empty (atoms f))
+
+let neq_only f = List.for_all Constr.is_neq (atoms f)
+
+let rec holds binding = function
+  | True -> true
+  | False -> false
+  | Atom c -> Constr.holds binding c
+  | And fs -> List.for_all (holds binding) fs
+  | Or fs -> List.exists (holds binding) fs
+
+let holds_hashed h binding f =
+  let resolve t =
+    match Binding.apply_term binding t with
+    | Some v -> h v
+    | None -> invalid_arg "Ineq_formula.holds_hashed: unbound variable"
+  in
+  let rec go = function
+    | True -> true
+    | False -> false
+    | Atom c -> Constr.eval_op c.Constr.op (resolve c.Constr.lhs) (resolve c.Constr.rhs)
+    | And fs -> List.for_all go fs
+    | Or fs -> List.exists go fs
+  in
+  go f
+
+let rec size = function
+  | True | False -> 1
+  | Atom _ -> 3
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom c -> Constr.pp ppf c
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+           pp)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp)
+        fs
+
+let to_string f = Format.asprintf "%a" pp f

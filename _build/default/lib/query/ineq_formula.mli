@@ -1,0 +1,39 @@
+(** Monotone Boolean combinations of inequality atoms, built with ∧ / ∨ —
+    the Section-5 extension of Theorem 2 ("instead of a conjunction of
+    inequalities in the body of the query, we have an arbitrary Boolean
+    formula φ built from inequality atoms using ∨ and ∧"). *)
+
+type t =
+  | True
+  | False
+  | Atom of Constr.t
+  | And of t list
+  | Or of t list
+
+val atom : Constr.t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+(** Conjunction of plain [≠] atoms. *)
+val of_conjunction : Constr.t list -> t
+
+val atoms : t -> Constr.t list
+val vars : t -> string list
+val constants : t -> Paradb_relational.Value.t list
+
+(** All atoms are [≠] atoms (required by the Theorem-2 extension). *)
+val neq_only : t -> bool
+
+val holds : Binding.t -> t -> bool
+
+(** [holds_hashed h binding f] evaluates the formula with every term first
+    mapped through [h] (the color-coding evaluation: since [h u ≠ h v]
+    implies [u ≠ v] and the formula is monotone, a hashed satisfaction
+    implies a genuine one). *)
+val holds_hashed :
+  (Paradb_relational.Value.t -> Paradb_relational.Value.t) ->
+  Binding.t -> t -> bool
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+type t = { rules : Rule.t list; goal : string }
+
+let dedup = Paradb_relational.Listx.dedup
+
+let all_atoms p =
+  List.concat_map (fun r -> r.Rule.head :: r.Rule.body) p.rules
+
+let make rules ~goal =
+  let p = { rules; goal } in
+  let arities = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let name = a.Atom.rel and ar = Atom.arity a in
+      match Hashtbl.find_opt arities name with
+      | None -> Hashtbl.add arities name ar
+      | Some prev ->
+          if prev <> ar then
+            invalid_arg
+              (Printf.sprintf
+                 "Program.make: predicate %s used with arities %d and %d" name
+                 prev ar))
+    (all_atoms p);
+  let idb = List.map (fun r -> r.Rule.head.Atom.rel) rules in
+  if not (List.mem goal idb) then
+    invalid_arg ("Program.make: goal " ^ goal ^ " is not an IDB predicate");
+  p
+
+let idb_predicates p = dedup (List.map (fun r -> r.Rule.head.Atom.rel) p.rules)
+
+let edb_predicates p =
+  let idb = idb_predicates p in
+  dedup
+    (List.filter_map
+       (fun a -> if List.mem a.Atom.rel idb then None else Some a.Atom.rel)
+       (List.concat_map (fun r -> r.Rule.body) p.rules))
+
+let arity p name =
+  let rec find = function
+    | [] -> invalid_arg ("Program.arity: unknown predicate " ^ name)
+    | a :: rest -> if a.Atom.rel = name then Atom.arity a else find rest
+  in
+  find (all_atoms p)
+
+let max_idb_arity p =
+  List.fold_left (fun acc name -> max acc (arity p name)) 0 (idb_predicates p)
+
+let size p = List.fold_left (fun acc r -> acc + Rule.size r) 0 p.rules
+
+let num_vars p =
+  List.length (dedup (List.concat_map Rule.vars p.rules))
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>%% goal: %s" p.goal;
+  List.iter (fun r -> Format.fprintf ppf "@,%a" Rule.pp r) p.rules;
+  Format.fprintf ppf "@]"
+
+let to_string p = Format.asprintf "%a" pp p

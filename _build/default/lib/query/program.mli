@@ -1,0 +1,22 @@
+(** Datalog programs: a set of rules plus a distinguished goal (output)
+    predicate.  Predicates appearing in rule heads are IDB; all others are
+    EDB (database) relations. *)
+
+type t = { rules : Rule.t list; goal : string }
+
+(** Checks that every predicate is used with a consistent arity and that
+    the goal is an IDB predicate (or raises [Invalid_argument]). *)
+val make : Rule.t list -> goal:string -> t
+
+val idb_predicates : t -> string list
+val edb_predicates : t -> string list
+val arity : t -> string -> int
+
+(** Max arity over all IDB predicates — the quantity that governs the
+    fixed-arity W[1] membership argument of Section 4. *)
+val max_idb_arity : t -> int
+
+val size : t -> int
+val num_vars : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,35 @@
+type t = { head : Atom.t; body : Atom.t list }
+
+let make head body =
+  let body_vars = List.concat_map Atom.vars body in
+  List.iter
+    (fun x ->
+      if not (List.mem x body_vars) then
+        invalid_arg
+          ("Rule.make: head variable " ^ x ^ " not range-restricted"))
+    (Atom.vars head);
+  { head; body }
+
+let dedup = Paradb_relational.Listx.dedup
+
+let vars r = dedup (List.concat_map Atom.vars (r.head :: r.body))
+let num_vars r = List.length (vars r)
+
+let size r =
+  List.fold_left (fun acc a -> acc + 1 + Atom.arity a) 0 (r.head :: r.body)
+
+let is_fact r = r.body = []
+
+let to_cq r =
+  Cq.make ~name:r.head.Atom.rel ~head:r.head.Atom.args r.body
+
+let equal a b =
+  Atom.equal a.head b.head && List.equal Atom.equal a.body b.body
+
+let pp ppf r =
+  if is_fact r then Format.fprintf ppf "%a." Atom.pp r.head
+  else
+    Format.fprintf ppf "%a :- %s." Atom.pp r.head
+      (String.concat ", " (List.map Atom.to_string r.body))
+
+let to_string r = Format.asprintf "%a" pp r

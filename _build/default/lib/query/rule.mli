@@ -1,0 +1,20 @@
+(** Datalog rules [H(t0) :- B1(t1), ..., Bs(ts)] (pure: no negation, no
+    constraints — the language of Section 4's recursion discussion). *)
+
+type t = { head : Atom.t; body : Atom.t list }
+
+(** Raises [Invalid_argument] if a head variable does not occur in the
+    body (range restriction). *)
+val make : Atom.t -> Atom.t list -> t
+
+val vars : t -> string list
+val num_vars : t -> int
+val size : t -> int
+val is_fact : t -> bool
+
+(** Nonrecursive view: a rule as a conjunctive query defining its head. *)
+val to_cq : t -> Cq.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

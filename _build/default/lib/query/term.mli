@@ -1,0 +1,20 @@
+(** Terms: variables or domain constants. *)
+
+type t =
+  | Var of string
+  | Const of Paradb_relational.Value.t
+
+val var : string -> t
+val const : Paradb_relational.Value.t -> t
+val int : int -> t
+val str : string -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_var : t -> bool
+val vars : t list -> string list
+
+(** [apply binding t] replaces a variable by its bound value, if any. *)
+val apply : (string -> Paradb_relational.Value.t option) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/reductions/alternating_to_fo.ml: Array Circuit_to_fo Fo List Paradb_query Paradb_relational Paradb_wsat Printf Term

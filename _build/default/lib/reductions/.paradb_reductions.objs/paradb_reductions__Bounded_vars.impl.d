@@ -1,0 +1,1 @@
+lib/reductions/bounded_vars.ml: Array Atom Binding Cq List Paradb_query Paradb_relational String Term

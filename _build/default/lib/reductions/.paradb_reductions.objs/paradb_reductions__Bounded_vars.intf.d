@@ -1,0 +1,1 @@
+lib/reductions/bounded_vars.mli: Paradb_query Paradb_relational

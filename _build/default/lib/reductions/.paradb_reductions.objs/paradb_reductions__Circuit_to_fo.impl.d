@@ -1,0 +1,1 @@
+lib/reductions/circuit_to_fo.ml: Array Fo Fun Hashtbl Int List Paradb_query Paradb_relational Paradb_wsat Printf Term

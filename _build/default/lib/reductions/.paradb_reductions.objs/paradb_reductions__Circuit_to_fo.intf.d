@@ -1,0 +1,1 @@
+lib/reductions/circuit_to_fo.mli: Paradb_query Paradb_relational Paradb_wsat

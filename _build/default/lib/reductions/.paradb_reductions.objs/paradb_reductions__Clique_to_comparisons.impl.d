@@ -1,0 +1,1 @@
+lib/reductions/clique_to_comparisons.ml: Atom Constr Cq Paradb_graph Paradb_query Paradb_relational Printf Term

@@ -1,0 +1,1 @@
+lib/reductions/clique_to_cq.ml: Atom Binding Cq List Paradb_graph Paradb_query Paradb_relational Printf Term

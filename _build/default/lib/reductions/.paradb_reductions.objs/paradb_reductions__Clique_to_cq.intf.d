@@ -1,0 +1,1 @@
+lib/reductions/clique_to_cq.mli: Paradb_graph Paradb_query Paradb_relational

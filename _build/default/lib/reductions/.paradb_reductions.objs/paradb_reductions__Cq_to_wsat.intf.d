@@ -1,0 +1,1 @@
+lib/reductions/cq_to_wsat.mli: Paradb_query Paradb_relational Paradb_wsat

@@ -1,0 +1,1 @@
+lib/reductions/cqs_to_clique.ml: Cq_to_wsat List Paradb_graph Paradb_wsat

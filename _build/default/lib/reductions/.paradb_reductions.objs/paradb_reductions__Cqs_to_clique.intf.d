@@ -1,0 +1,1 @@
+lib/reductions/cqs_to_clique.mli: Paradb_graph Paradb_query Paradb_relational

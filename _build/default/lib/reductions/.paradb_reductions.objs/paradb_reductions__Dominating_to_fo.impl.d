@@ -1,0 +1,1 @@
+lib/reductions/dominating_to_fo.ml: Fo List Paradb_graph Paradb_query Paradb_relational Printf Term

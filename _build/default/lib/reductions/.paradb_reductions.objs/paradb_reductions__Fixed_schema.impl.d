@@ -1,0 +1,1 @@
+lib/reductions/fixed_schema.ml: Array Atom Cq List Paradb_query Paradb_relational Printf Term

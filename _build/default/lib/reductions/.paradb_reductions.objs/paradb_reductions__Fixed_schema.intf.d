@@ -1,0 +1,1 @@
+lib/reductions/fixed_schema.mli: Paradb_query Paradb_relational

@@ -1,0 +1,1 @@
+lib/reductions/fo_to_awsat.ml: Array Atom Fo List Paradb_query Paradb_relational Paradb_wsat Term

@@ -1,0 +1,1 @@
+lib/reductions/fo_to_awsat.mli: Paradb_query Paradb_relational Paradb_wsat

@@ -1,0 +1,1 @@
+lib/reductions/hamiltonian_to_neq.ml: Atom Constr Cq List Paradb_core Paradb_graph Paradb_query Printf Term

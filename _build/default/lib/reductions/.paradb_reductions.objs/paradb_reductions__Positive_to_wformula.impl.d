@@ -1,0 +1,1 @@
+lib/reductions/positive_to_wformula.ml: Array Atom Fo Fun List Paradb_query Paradb_relational Paradb_wsat Term

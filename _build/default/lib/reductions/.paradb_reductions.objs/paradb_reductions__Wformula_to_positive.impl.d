@@ -1,0 +1,1 @@
+lib/reductions/wformula_to_positive.ml: Fo Fun List Option Paradb_query Paradb_relational Paradb_wsat Printf Term

@@ -1,0 +1,79 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Circuit = Paradb_wsat.Circuit
+module Alternating = Paradb_wsat.Alternating
+open Paradb_query
+
+let reduce circuit blocks =
+  Alternating.validate ~n_vars:circuit.Circuit.n_inputs blocks;
+  List.iter
+    (fun b ->
+      if b.Alternating.vars = [] then
+        invalid_arg "Alternating_to_fo: empty block has no representative")
+    blocks;
+  let nz = Circuit_to_fo.normalize circuit in
+  let gate_of_input v =
+    Value.Int nz.Circuit_to_fo.input_gates.(v)
+  in
+  (* p: input gate |-> its block's representative gate *)
+  let p_rows =
+    List.concat_map
+      (fun b ->
+        let rep = gate_of_input (List.hd b.Alternating.vars) in
+        List.map (fun v -> [| gate_of_input v; rep |]) b.Alternating.vars)
+      blocks
+  in
+  let db =
+    Database.add
+      (Relation.create ~name:"p" ~schema:[ "a"; "rep" ] p_rows)
+      (Circuit_to_fo.database nz)
+  in
+  let block_vars =
+    List.mapi
+      (fun i b ->
+        (b, List.init b.Alternating.weight
+              (fun j -> Printf.sprintf "x%d_%d" (i + 1) (j + 1))))
+      blocks
+  in
+  let xs = List.concat_map snd block_vars in
+  (* psi_i: the block's variables denote distinct input gates of V_i *)
+  let psi (b, vars) =
+    let rep = Term.const (gate_of_input (List.hd b.Alternating.vars)) in
+    Fo.conj
+      (List.concat_map
+         (fun xj ->
+           Fo.atom "p" [ Term.var xj; rep ]
+           :: List.filter_map
+                (fun xl ->
+                  if xl = xj then None
+                  else
+                    Some (Fo.neg (Fo.atom "c" [ Term.var xj; Term.var xl ])))
+                vars)
+         vars)
+  in
+  let exists_side =
+    List.filter (fun (b, _) -> b.Alternating.quantifier = Alternating.Q_exists)
+      block_vars
+  in
+  let forall_side =
+    List.filter (fun (b, _) -> b.Alternating.quantifier = Alternating.Q_forall)
+      block_vars
+  in
+  let body =
+    Fo.disj
+      [
+        Fo.conj
+          (Circuit_to_fo.output_theta nz ~xs :: List.map psi exists_side);
+        Fo.neg (Fo.conj (List.map psi forall_side));
+      ]
+  in
+  let query =
+    List.fold_right
+      (fun (b, vars) acc ->
+        match b.Alternating.quantifier with
+        | Alternating.Q_exists -> Fo.exists vars acc
+        | Alternating.Q_forall -> Fo.forall vars acc)
+      block_vars body
+  in
+  (query, db)

@@ -1,0 +1,23 @@
+(** Section 4's AW[P]-hardness: the Theorem-1 circuit reduction adapted
+    to alternating quantification.
+
+    For a monotone circuit whose inputs are partitioned into blocks
+    [V_1..V_r] with quantifiers [Q_i] and weights [k_i], the query gets
+    variables [x_{i,1} .. x_{i,k_i}] per block with the matching
+    quantifier prefix, the database gains a relation
+    [p = {(a, c*_i) : a ∈ V_i}] (with [c*_i] an arbitrary representative
+    input gate of block [i]), and the body is
+
+    {v [θ_{2t}(o) ∧ ⋀_{i : Q_i = ∃} ψ_i] ∨ ¬[⋀_{i : Q_i = ∀} ψ_i] v}
+
+    where [ψ_i] states that block [i]'s variables denote distinct input
+    gates of [V_i]:
+    [ψ_i = ⋀_j (p(x_{ij}, c*_i) ∧ ⋀_{l≠j} ¬c(x_{ij}, x_{il}))]
+    (distinctness via the wiring relation: among input gates, [c]
+    contains exactly the self-pairs). *)
+
+(** Raises [Invalid_argument] if the circuit is not monotone, a block is
+    empty (no representative), or the blocks are invalid. *)
+val reduce :
+  Paradb_wsat.Circuit.t -> Paradb_wsat.Alternating.block list ->
+  Paradb_query.Fo.t * Paradb_relational.Database.t

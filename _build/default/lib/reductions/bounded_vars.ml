@@ -1,0 +1,68 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+open Paradb_query
+
+(* P_a: the relation, over the atom's distinct variables in canonical
+   (sorted) order, of instantiations mapping the atom into its database
+   relation. *)
+let atom_instantiations db atom order =
+  let rel = Database.find db atom.Atom.rel in
+  let rows =
+    Relation.fold
+      (fun tuple acc ->
+        match Atom.matches atom tuple with
+        | None -> acc
+        | Some binding ->
+            let row =
+              Array.of_list
+                (List.map
+                   (fun x ->
+                     match Binding.find x binding with
+                     | Some v -> v
+                     | None -> assert false)
+                   order)
+            in
+            Tuple.Set.add row acc)
+      rel Tuple.Set.empty
+  in
+  Relation.of_set ~schema:order rows
+
+let reduce db q =
+  if Cq.has_constraints q then
+    invalid_arg "Bounded_vars.reduce: constraint atoms are not supported";
+  (* Group atoms by their exact variable set. *)
+  let groups : (string list * Atom.t list) list =
+    List.fold_left
+      (fun groups atom ->
+        let key = List.sort String.compare (Atom.vars atom) in
+        match List.assoc_opt key groups with
+        | Some members ->
+            (key, atom :: members) :: List.remove_assoc key groups
+        | None -> (key, [ atom ]) :: groups)
+      [] q.Cq.body
+  in
+  let rel_name key = "rs_" ^ String.concat "_" key in
+  let new_relations =
+    List.map
+      (fun (key, members) ->
+        let rels =
+          List.map (fun a -> atom_instantiations db a key) members
+        in
+        let intersection =
+          match rels with
+          | [] -> assert false
+          | first :: rest -> List.fold_left Relation.inter first rest
+        in
+        Relation.with_name (rel_name key) intersection)
+      groups
+  in
+  let new_atoms =
+    List.map
+      (fun (key, _) -> Atom.make (rel_name key) (List.map Term.var key))
+      groups
+  in
+  (* Atoms with no variables (all constants) have key []; R_[] is 0-ary:
+     nonempty iff every such atom maps to a tuple. *)
+  let q' = Cq.make ~name:q.Cq.name ~head:q.Cq.head new_atoms in
+  (q', Database.of_relations new_relations)

@@ -1,0 +1,17 @@
+(** Theorem 1, upper bound for conjunctive queries under the
+    variable-count parameter [v]: rewrite [(Q, d)] into [(Q', d')] where
+    [|Q'| ≤ 2^v], reducing the parameter-[v] problem to the
+    parameter-[q] problem.
+
+    For every set [S] of variables realized by at least one atom, the new
+    query has a single atom [R_S(x_{i1}, ..., x_{ir})] and the new
+    database defines [R_S] as the intersection, over the original atoms
+    [a] with variable set exactly [S], of the relations [P_a] of
+    instantiations satisfying [a]. *)
+
+(** The query must be constraint-free.  Works for queries with a head:
+    the head is carried over unchanged (its variables appear in the body,
+    hence in some [R_S]). *)
+val reduce :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_query.Cq.t * Paradb_relational.Database.t

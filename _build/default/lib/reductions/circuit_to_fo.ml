@@ -1,0 +1,200 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Circuit = Paradb_wsat.Circuit
+open Paradb_query
+
+type normalized = {
+  circuit : Circuit.t;
+  t : int;
+  input_gates : int array;
+}
+
+(* Nodes of the normalized circuit: an original gate at its assigned
+   level, or a lift of an original gate to a higher level (a single-input
+   identity gate of the parity-appropriate kind). *)
+type node = { orig : int; level : int }
+
+let normalize c =
+  if not (Circuit.is_monotone c) then
+    invalid_arg "Circuit_to_fo.normalize: circuit must be monotone";
+  let n = Array.length c.Circuit.gates in
+  (* Canonicalize duplicate input gates: in the paper's construction each
+     input variable *is* one level-0 gate, so all references to a variable
+     must target a single gate. *)
+  let canon = Array.init n Fun.id in
+  let first_gate_of_var = Hashtbl.create 16 in
+  Array.iteri
+    (fun id gate ->
+      match gate with
+      | Circuit.G_input v -> (
+          match Hashtbl.find_opt first_gate_of_var v with
+          | None -> Hashtbl.add first_gate_of_var v id
+          | Some first -> canon.(id) <- first)
+      | _ -> ())
+    c.Circuit.gates;
+  let gates =
+    Array.map
+      (function
+        | Circuit.G_and js -> Circuit.G_and (List.map (fun j -> canon.(j)) js)
+        | Circuit.G_or js -> Circuit.G_or (List.map (fun j -> canon.(j)) js)
+        | g -> g)
+      c.Circuit.gates
+  in
+  let is_duplicate_input id = canon.(id) <> id in
+  (* Assign levels: inputs at 0; OR gates at even, AND gates at odd
+     levels, strictly above their children. *)
+  let lvl = Array.make n 0 in
+  Array.iteri
+    (fun id gate ->
+      match gate with
+      | Circuit.G_input _ -> lvl.(id) <- 0
+      | Circuit.G_const _ ->
+          invalid_arg "Circuit_to_fo.normalize: constant gates unsupported"
+      | Circuit.G_not _ -> assert false (* monotone *)
+      | Circuit.G_and js | Circuit.G_or js ->
+          if js = [] then
+            invalid_arg "Circuit_to_fo.normalize: empty fan-in";
+          let base =
+            1 + List.fold_left (fun acc j -> max acc lvl.(j)) 0 js
+          in
+          let want_even =
+            match gate with Circuit.G_or _ -> true | _ -> false
+          in
+          let parity_ok = base mod 2 = if want_even then 0 else 1 in
+          lvl.(id) <- (if parity_ok then base else base + 1))
+    gates;
+  (* Top level: an OR at an even level.  If the output is an AND (odd
+     level) lift it once; if it is an input, t = 0 and nothing to do. *)
+  let out = canon.(c.Circuit.output) in
+  let out_level = if lvl.(out) mod 2 = 0 then lvl.(out) else lvl.(out) + 1 in
+  (* Collect all needed nodes: each original gate at its own level, plus
+     lifts required by wires spanning more than one level (and by the
+     output lift). *)
+  let module NT = Hashtbl in
+  let nodes : (node, unit) NT.t = NT.create 64 in
+  let need node = if not (NT.mem nodes node) then NT.add nodes node () in
+  Array.iteri
+    (fun id _ ->
+      if not (is_duplicate_input id) then
+        need { orig = id; level = lvl.(id) })
+    gates;
+  let demand_lift orig upto =
+    (* lift nodes (orig, l) for lvl(orig) < l <= upto *)
+    for l = lvl.(orig) + 1 to upto do
+      need { orig; level = l }
+    done
+  in
+  Array.iteri
+    (fun id gate ->
+      match gate with
+      | Circuit.G_and js | Circuit.G_or js ->
+          List.iter (fun j -> demand_lift j (lvl.(id) - 1)) js
+      | Circuit.G_input _ -> ()
+      | Circuit.G_const _ | Circuit.G_not _ -> assert false)
+    gates;
+  demand_lift out out_level;
+  (* Topological order: by level. *)
+  let node_list =
+    List.sort
+      (fun a b ->
+        if a.level <> b.level then Int.compare a.level b.level
+        else Int.compare a.orig b.orig)
+      (NT.fold (fun node () acc -> node :: acc) nodes [])
+  in
+  let ids : (node, int) NT.t = NT.create 64 in
+  List.iteri (fun i node -> NT.add ids node i) node_list;
+  let id_of node = NT.find ids node in
+  let new_gates =
+    Array.of_list
+      (List.map
+         (fun node ->
+           if node.level > lvl.(node.orig) then
+             (* Lift: identity gate; OR at even levels, AND at odd. *)
+             let child = id_of { node with level = node.level - 1 } in
+             if node.level mod 2 = 0 then Circuit.G_or [ child ]
+             else Circuit.G_and [ child ]
+           else
+             match gates.(node.orig) with
+             | Circuit.G_input i -> Circuit.G_input i
+             | Circuit.G_and js ->
+                 Circuit.G_and
+                   (List.map
+                      (fun j -> id_of { orig = j; level = node.level - 1 })
+                      js)
+             | Circuit.G_or js ->
+                 Circuit.G_or
+                   (List.map
+                      (fun j -> id_of { orig = j; level = node.level - 1 })
+                      js)
+             | Circuit.G_const _ | Circuit.G_not _ -> assert false)
+         node_list)
+  in
+  let output = id_of { orig = out; level = out_level } in
+  let circuit =
+    Circuit.make ~n_inputs:c.Circuit.n_inputs new_gates ~output
+  in
+  let input_gates = Array.make c.Circuit.n_inputs (-1) in
+  List.iteri
+    (fun i node ->
+      match new_gates.(i) with
+      | Circuit.G_input v when node.level = lvl.(node.orig) ->
+          input_gates.(v) <- i
+      | _ -> ())
+    node_list;
+  { circuit; t = out_level / 2; input_gates }
+
+let database nz =
+  let gates = nz.circuit.Circuit.gates in
+  let rows = ref [] in
+  Array.iteri
+    (fun id gate ->
+      match gate with
+      | Circuit.G_input _ ->
+          rows := [| Value.Int id; Value.Int id |] :: !rows
+      | Circuit.G_and js | Circuit.G_or js ->
+          List.iter
+            (fun j -> rows := [| Value.Int id; Value.Int j |] :: !rows)
+            js
+      | Circuit.G_const _ | Circuit.G_not _ -> assert false)
+    gates;
+  Database.of_relations
+    [ Relation.create ~name:"c" ~schema:[ "a"; "b" ] !rows ]
+
+(* theta_{level}(x): truth of the OR gate denoted by the term [x], with
+   the existentially chosen input gates named by [xs].  Only two helper
+   variable names are used, alternating per level — hence k + 2 variables
+   total. *)
+let theta ~xs level x =
+  let rec go level (x : Term.t) next_name =
+    if level = 0 then
+      Fo.disj (List.map (fun xi -> Fo.atom "c" [ x; Term.var xi ]) xs)
+    else begin
+      let y = next_name in
+      let z = if y = "u" then "w" else "u" in
+      Fo.exists [ y ]
+        (Fo.conj
+           [
+             Fo.atom "c" [ x; Term.var y ];
+             Fo.forall [ z ]
+               (Fo.disj
+                  [
+                    Fo.neg (Fo.atom "c" [ Term.var y; Term.var z ]);
+                    go (level - 2) (Term.var z) y;
+                  ]);
+           ])
+    end
+  in
+  go level x "u"
+
+let output_theta nz ~xs =
+  theta ~xs (2 * nz.t)
+    (Term.const (Value.Int nz.circuit.Circuit.output))
+
+let query nz ~k =
+  let xs = List.init k (fun i -> Printf.sprintf "x%d" (i + 1)) in
+  Fo.exists xs (output_theta nz ~xs)
+
+let reduce c ~k =
+  let nz = normalize c in
+  (query nz ~k, database nz)

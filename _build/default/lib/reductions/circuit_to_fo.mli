@@ -1,0 +1,40 @@
+(** Theorem 1, lower bounds for first-order queries: the reduction from
+    monotone weighted circuit satisfiability (W[P]-complete; restricted
+    to depth [t] it is W[t]-complete, giving the parameter-[q] row).
+
+    The circuit is first normalized to strictly alternating OR/AND
+    levels with the output an OR gate at an even level [2t] and every
+    wire spanning exactly one level.  The database is the wiring relation
+    [c(a, b)] ("gate [a] has input [b]") plus self-pairs [c(g, g)] for
+    the level-0 gates; the query is
+
+    {v Q = ∃x_1..x_k θ_{2t}(o) v}
+
+    with [θ_0(x) = ⋁_i c(x, x_i)] and
+    [θ_{2i}(x) = ∃y (c(x,y) ∧ ∀z (¬c(y,z) ∨ θ_{2i-2}(z)))], reusing two
+    variable names across levels — so the query has [k+2] variables and
+    size [O(t + k)], over a fixed schema. *)
+
+type normalized = {
+  circuit : Paradb_wsat.Circuit.t;  (** alternating, layered *)
+  t : int;                          (** output level is [2t] *)
+  input_gates : int array;          (** gate id of each input variable *)
+}
+
+(** Raises [Invalid_argument] on non-monotone circuits, constant gates or
+    empty fan-ins. *)
+val normalize : Paradb_wsat.Circuit.t -> normalized
+
+val database : normalized -> Paradb_relational.Database.t
+
+(** [output_theta nz ~xs] — the formula [θ_{2t}(o)] with the chosen
+    input gates named by the free variables [xs]; shared with the
+    alternating (AW[P]) reduction. *)
+val output_theta : normalized -> xs:string list -> Paradb_query.Fo.t
+
+(** The sentence [Q] for parameter [k]. *)
+val query : normalized -> k:int -> Paradb_query.Fo.t
+
+val reduce :
+  Paradb_wsat.Circuit.t -> k:int ->
+  Paradb_query.Fo.t * Paradb_relational.Database.t

@@ -1,0 +1,60 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Graph = Paradb_graph.Graph
+open Paradb_query
+
+let encode ~n ~i ~j ~b = ((i + j) * n * n * n) + (abs (i - j) * n * n) + (b * n) + i
+
+let database g =
+  let n = Graph.n_vertices g in
+  let enc i j b = Value.Int (encode ~n ~i ~j ~b) in
+  (* p: one tuple per (directed) edge, self-loops included. *)
+  let p_rows = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i = j || Graph.has_edge g i j then
+        p_rows := [| enc i j 0; enc i j 1 |] :: !p_rows
+    done
+  done;
+  let r_rows = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for j' = 0 to n - 1 do
+        r_rows := [| enc i j 1; enc i j' 0 |] :: !r_rows
+      done
+    done
+  done;
+  Database.of_relations
+    [
+      Relation.create ~name:"p" ~schema:[ "a"; "b" ] !p_rows;
+      Relation.create ~name:"r" ~schema:[ "a"; "b" ] !r_rows;
+    ]
+
+let x i j = Term.var (Printf.sprintf "x_%d_%d" i j)
+let x' i j = Term.var (Printf.sprintf "x'_%d_%d" i j)
+
+let query ~n ~k =
+  ignore n;
+  let atoms = ref [] in
+  for i = k downto 1 do
+    for j = k downto 1 do
+      atoms := Atom.make "p" [ x i j; x' i j ] :: !atoms
+    done
+  done;
+  for i = k downto 1 do
+    for j = k - 1 downto 1 do
+      atoms := Atom.make "r" [ x' i j; x i (j + 1) ] :: !atoms
+    done
+  done;
+  let constraints = ref [] in
+  for i = k downto 1 do
+    for j = k downto i + 1 do
+      (* x_ij < x_ji < x'_ij *)
+      constraints :=
+        Constr.lt (x i j) (x j i) :: Constr.lt (x j i) (x' i j) :: !constraints
+    done
+  done;
+  Cq.make ~name:"s" ~head:[] ~constraints:!constraints !atoms
+
+let reduce g ~k = (query ~n:(Graph.n_vertices g) ~k, database g)

@@ -1,0 +1,26 @@
+(** Theorem 3: acyclic conjunctive queries with [<] comparisons are
+    W[1]-hard — the number-encoded reduction from [clique].
+
+    For a graph on vertices [0..n-1] (self-loops added, as the theorem
+    assumes), let [⟨i,j,b⟩ = (i+j)·n³ + |i-j|·n² + b·n + i].  The database
+    has two binary relations:
+    - [p] = {(⟨i,j,0⟩, ⟨i,j,1⟩) : (i,j) an edge},
+    - [r] = {(⟨i,j,1⟩, ⟨i,j',0⟩) : all i, j, j'} (size n³),
+    and the Boolean query is
+
+    {v s :- ⋀_{i,j} p(x_ij, x'_ij), ⋀_{i, j<k} r(x'_ij, x_i(j+1)),
+        ⋀_{i<j} x_ij < x_ji,  x_ji < x'_ij v}
+
+    whose hypergraph is a union of paths (acyclic) and whose comparisons
+    are strict and acyclic.  [G] has a [k]-clique iff the query is
+    true. *)
+
+val encode : n:int -> i:int -> j:int -> b:int -> int
+
+val database : Paradb_graph.Graph.t -> Paradb_relational.Database.t
+
+val query : n:int -> k:int -> Paradb_query.Cq.t
+
+val reduce :
+  Paradb_graph.Graph.t -> k:int ->
+  Paradb_query.Cq.t * Paradb_relational.Database.t

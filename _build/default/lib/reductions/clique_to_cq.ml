@@ -1,0 +1,40 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Graph = Paradb_graph.Graph
+open Paradb_query
+
+let database g =
+  let rows =
+    List.concat_map
+      (fun (u, v) ->
+        let a = Value.Int u and b = Value.Int v in
+        if u = v then [ [| a; b |] ] else [ [| a; b |]; [| b; a |] ])
+      (Graph.edges g)
+  in
+  Database.of_relations [ Relation.create ~name:"g" ~schema:[ "u"; "w" ] rows ]
+
+let var i = Term.var (Printf.sprintf "x%d" i)
+
+let query ~k =
+  let atoms = ref [] in
+  for i = k downto 1 do
+    for j = k downto i + 1 do
+      atoms := Atom.make "g" [ var i; var j ] :: !atoms
+    done
+  done;
+  if !atoms = [] then
+    (* k <= 1: a 1-clique is any vertex; g(x1, x1) would demand a
+       self-loop, so use an existential edge endpoint instead.  For k = 0
+       the query is trivially true (empty body). *)
+    if k = 1 then Cq.make ~name:"p" ~head:[] [ Atom.make "g" [ var 1; Term.var "y" ] ]
+    else Cq.make ~name:"p" ~head:[] []
+  else Cq.make ~name:"p" ~head:[] !atoms
+
+let reduce g ~k = (query ~k, database g)
+
+let decode binding ~k =
+  List.init k (fun i ->
+      match Binding.find (Printf.sprintf "x%d" (i + 1)) binding with
+      | Some v -> Value.to_int v
+      | None -> invalid_arg "Clique_to_cq.decode: unbound variable")

@@ -1,0 +1,24 @@
+(** Theorem 1, lower bounds for conjunctive queries: the parametric
+    reduction from [clique] (W[1]-complete).
+
+    For an instance [(G, k)] the database holds one binary relation
+    [g] (the symmetric closure of the edge set) and the query is
+
+    {v P :- ⋀_{1 ≤ i < j ≤ k} g(x_i, x_j) v}
+
+    [G] has a [k]-clique iff the Boolean query is true.  Query size is
+    [O(k²)]; number of variables is [k] — so this single construction
+    establishes both parameter rows, for a fixed schema. *)
+
+val database : Paradb_graph.Graph.t -> Paradb_relational.Database.t
+
+(** The Boolean clique query for parameter [k]. *)
+val query : k:int -> Paradb_query.Cq.t
+
+(** One-call reduction. *)
+val reduce :
+  Paradb_graph.Graph.t -> k:int ->
+  Paradb_query.Cq.t * Paradb_relational.Database.t
+
+(** Decode a satisfying binding back into clique vertices. *)
+val decode : Paradb_query.Binding.t -> k:int -> int list

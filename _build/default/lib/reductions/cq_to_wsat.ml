@@ -1,0 +1,82 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+module Value = Paradb_relational.Value
+module Cnf = Paradb_wsat.Cnf
+open Paradb_query
+
+type labeling = {
+  cnf : Cnf.t;
+  k : int;
+  vars : (int * Tuple.t) array;
+}
+
+let reduce db q =
+  if q.Cq.head <> [] then
+    invalid_arg "Cq_to_wsat.reduce: query must be Boolean (closed)";
+  if Cq.has_constraints q then
+    invalid_arg "Cq_to_wsat.reduce: constraint atoms are not part of this \
+                 reduction";
+  let atoms = Array.of_list q.Cq.body in
+  let k = Array.length atoms in
+  (* Enumerate the consistent (atom, tuple) pairs; remember each pair's
+     induced partial instantiation. *)
+  let entries = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun ai atom ->
+      let rel = Database.find db atom.Atom.rel in
+      Relation.iter
+        (fun tuple ->
+          match Atom.matches atom tuple with
+          | None -> ()
+          | Some binding ->
+              entries := (!count, ai, tuple, binding) :: !entries;
+              incr count)
+        rel)
+    atoms;
+  let entries = Array.of_list (List.rev !entries) in
+  let n_vars = Array.length entries in
+  let clauses = ref [] in
+  Array.iter
+    (fun (v1, a1, _, b1) ->
+      Array.iter
+        (fun (v2, a2, _, b2) ->
+          if v1 < v2 then
+            let conflict =
+              if a1 = a2 then true
+                (* at most one tuple per atom *)
+              else
+                (* disagreement on a shared variable *)
+                List.exists
+                  (fun (x, value) ->
+                    match Binding.find x b2 with
+                    | Some value' -> not (Value.equal value value')
+                    | None -> false)
+                  (Binding.bindings b1)
+            in
+            if conflict then
+              clauses := [ Cnf.neg v1; Cnf.neg v2 ] :: !clauses)
+        entries)
+    entries;
+  {
+    cnf = Cnf.make ~n_vars !clauses;
+    k;
+    vars = Array.map (fun (_, ai, tuple, _) -> (ai, tuple)) entries;
+  }
+
+let decode labeling q assignment =
+  let atoms = Array.of_list q.Cq.body in
+  let binding = ref Binding.empty in
+  Array.iteri
+    (fun v (ai, tuple) ->
+      if assignment.(v) then
+        match Atom.matches atoms.(ai) tuple with
+        | Some b -> (
+            match Binding.merge !binding b with
+            | Some merged -> binding := merged
+            | None ->
+                invalid_arg "Cq_to_wsat.decode: inconsistent assignment")
+        | None -> assert false)
+    labeling.vars;
+  !binding

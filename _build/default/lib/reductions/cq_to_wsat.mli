@@ -1,0 +1,28 @@
+(** Theorem 1, upper bound for conjunctive queries (parameter [q]): the
+    transformation of the decision problem into weighted 2-CNF
+    satisfiability.
+
+    For each atom [a] of the (closed) query and each database tuple [s]
+    consistent with [a], a Boolean variable [z_{a,s}] ("[a] maps to [s]").
+    Clauses: [¬z_{a,s} ∨ ¬z_{a,s'}] for distinct tuples of one atom, and
+    [¬z_{a,s} ∨ ¬z_{a',s'}] whenever the two choices disagree on a shared
+    variable.  The query is satisfiable iff the CNF has a satisfying
+    assignment with exactly [k = #atoms] true variables.  All literals are
+    negative and all clauses binary — see {!Paradb_wsat.Cnf}. *)
+
+type labeling = {
+  cnf : Paradb_wsat.Cnf.t;
+  k : int;                (** the target weight: number of atoms *)
+  vars : (int * Paradb_relational.Tuple.t) array;
+      (** for each CNF variable, its (atom index, tuple) meaning *)
+}
+
+(** The query must be Boolean (no head) and constraint-free; raises
+    [Invalid_argument] otherwise. *)
+val reduce :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> labeling
+
+(** Decode a weight-[k] satisfying assignment into the variable
+    instantiation it encodes. *)
+val decode :
+  labeling -> Paradb_query.Cq.t -> bool array -> Paradb_query.Binding.t

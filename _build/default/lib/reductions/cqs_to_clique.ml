@@ -1,0 +1,28 @@
+module Graph = Paradb_graph.Graph
+
+let disjunct_graph db q =
+  let labeling = Cq_to_wsat.reduce db q in
+  let cnf = labeling.Cq_to_wsat.cnf in
+  let n = cnf.Paradb_wsat.Cnf.n_vars in
+  let conflicts = Paradb_wsat.Cnf.conflict_graph cnf in
+  (* Compatibility graph: join every pair not excluded by a clause. *)
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.has_edge conflicts u v) then Graph.add_edge g u v
+    done
+  done;
+  (g, labeling.Cq_to_wsat.k)
+
+let reduce db queries =
+  let parts = List.map (disjunct_graph db) queries in
+  let k = List.fold_left (fun acc (_, ki) -> max acc ki) 0 parts in
+  let padded =
+    List.map (fun (g, ki) -> Graph.add_apex_clique g (k - ki)) parts
+  in
+  let union =
+    match padded with
+    | [] -> Graph.create 0
+    | first :: rest -> List.fold_left Graph.disjoint_union first rest
+  in
+  (union, k)

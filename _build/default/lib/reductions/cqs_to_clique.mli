@@ -1,0 +1,20 @@
+(** Footnote 2 of Theorem 1: turning a union of Boolean conjunctive
+    queries (the DNF of a positive query) into a single [clique]
+    instance — establishing that positive queries parametrically
+    *transform* (not just reduce) to W[1].
+
+    Each disjunct [Q_i] becomes a graph [G_i]: vertices are the
+    consistent (atom, tuple) pairs of the 2-CNF construction; edges join
+    compatible pairs from different atoms.  [Q_i] is satisfiable iff
+    [G_i] has a clique of size [k_i = #atoms(Q_i)].  The parameters are
+    equalized to [k = max k_i] by adding [k - k_i] universal vertices to
+    each [G_i], and the final graph is the disjoint union. *)
+
+val reduce :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t list ->
+  Paradb_graph.Graph.t * int
+
+(** The graph for one disjunct (before padding), with its clique target. *)
+val disjunct_graph :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_graph.Graph.t * int

@@ -1,0 +1,44 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Graph = Paradb_graph.Graph
+open Paradb_query
+
+let reduce g ~k =
+  let vertex_rows =
+    List.map (fun v -> [| Value.Int v |]) (Graph.vertices g)
+  in
+  let edge_rows =
+    List.concat_map
+      (fun (u, v) ->
+        let a = Value.Int u and b = Value.Int v in
+        if u = v then [ [| a; b |] ] else [ [| a; b |]; [| b; a |] ])
+      (Graph.edges g)
+  in
+  let db =
+    Database.of_relations
+      [
+        Relation.create ~name:"v" ~schema:[ "x" ] vertex_rows;
+        Relation.create ~name:"e" ~schema:[ "a"; "b" ] edge_rows;
+      ]
+  in
+  let xs = List.init k (fun i -> Printf.sprintf "x%d" (i + 1)) in
+  let y = Term.var "y" in
+  let dominated =
+    Fo.disj
+      (List.concat_map
+         (fun x ->
+           [ Fo.eq y (Term.var x); Fo.atom "e" [ y; Term.var x ] ])
+         xs)
+  in
+  (* the chosen x_i must be vertices (not merely any domain element) *)
+  let chosen_are_vertices =
+    Fo.conj (List.map (fun x -> Fo.atom "v" [ Term.var x ]) xs)
+  in
+  let query =
+    Fo.exists xs
+      (Fo.conj
+         [ chosen_are_vertices;
+           Fo.forall [ "y" ] (Fo.implies (Fo.atom "v" [ y ]) dominated) ])
+  in
+  (query, db)

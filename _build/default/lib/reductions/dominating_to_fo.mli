@@ -1,0 +1,13 @@
+(** The W[2] face of Theorem 1's first-order row: dominating set — the
+    canonical W[2]-complete problem the paper names — expressed directly
+    as a first-order query with one quantifier alternation:
+
+    {v ∃x_1..x_k ∀y (y = x_1 ∨ ... ∨ y = x_k ∨ e(y,x_1) ∨ ... ∨ e(y,x_k)) v}
+
+    over the symmetric edge relation plus a unary vertex relation (so
+    isolated vertices are in the active domain).  The query has [k + 1]
+    variables and size [O(k)]. *)
+
+val reduce :
+  Paradb_graph.Graph.t -> k:int ->
+  Paradb_query.Fo.t * Paradb_relational.Database.t

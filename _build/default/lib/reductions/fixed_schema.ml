@@ -1,0 +1,50 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+open Paradb_query
+
+let reduce db q =
+  (* Encode the database: one surrogate id per tuple. *)
+  let tup_rows = ref [] in
+  let cell_rows = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun rel ->
+      let name = Value.Str (Relation.name rel) in
+      Relation.iter
+        (fun row ->
+          let id = Value.Int !next_id in
+          incr next_id;
+          tup_rows := [| id; name |] :: !tup_rows;
+          Array.iteri
+            (fun p v -> cell_rows := [| id; Value.Int (p + 1); v |] :: !cell_rows)
+            row)
+        rel)
+    (Database.relations db);
+  let db' =
+    Database.of_relations
+      [
+        Relation.create ~name:"tup" ~schema:[ "t"; "r" ] !tup_rows;
+        Relation.create ~name:"cell" ~schema:[ "t"; "p"; "v" ] !cell_rows;
+      ]
+  in
+  (* Rewrite the query: a fresh surrogate variable per atom.  The '$'
+     prefix cannot appear in parsed variable names, so no capture. *)
+  let counter = ref 0 in
+  let body =
+    List.concat_map
+      (fun a ->
+        let z =
+          incr counter;
+          Term.var (Printf.sprintf "$tup%d" !counter)
+        in
+        Atom.make "tup" [ z; Term.str a.Atom.rel ]
+        :: List.mapi
+             (fun p arg -> Atom.make "cell" [ z; Term.int (p + 1); arg ])
+             a.Atom.args)
+      q.Cq.body
+  in
+  let q' =
+    Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:q.Cq.head body
+  in
+  (q', db')

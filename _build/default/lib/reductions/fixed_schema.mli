@@ -1,0 +1,20 @@
+(** The schema axis of Figure 1: any (variable-schema) instance of
+    conjunctive-query evaluation transforms into one over a single fixed
+    schema, so "the assumption on the schema makes no difference".
+
+    Encoding: each database tuple gets a fresh surrogate id [t]; three
+    fixed relations describe everything:
+    - [tup(t, r)]   — tuple [t] belongs to relation named [r];
+    - [cell(t, p, v)] — position [p] of tuple [t] holds value [v].
+    An atom [R(τ_1, ..., τ_r)] becomes
+    [tup(z, "R"), cell(z, 1, τ_1), ..., cell(z, r, τ_r)] with a fresh
+    variable [z] per atom — the query stays conjunctive, grows only
+    linearly, and gains one variable per atom.  Constraint atoms carry
+    over unchanged. *)
+
+(** [reduce db q] — the rewritten query and fixed-schema database.
+    Relation names must not collide with the surrogate-id space (always
+    true: ids are fresh integers, names are strings). *)
+val reduce :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_query.Cq.t * Paradb_relational.Database.t

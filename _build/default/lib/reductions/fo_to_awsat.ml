@@ -1,0 +1,132 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Formula = Paradb_wsat.Formula
+module Alternating = Paradb_wsat.Alternating
+open Paradb_query
+
+type labeling = {
+  formula : Formula.t;
+  blocks : Alternating.block list;
+  n_vars : int;
+  z : (int * Value.t) array;
+}
+
+let reduce db sentence =
+  if not (Fo.is_sentence sentence) then
+    invalid_arg "Fo_to_awsat.reduce: formula has free variables";
+  let prefix, matrix = Fo.prenex sentence in
+  let ys = List.map snd prefix in
+  let k = List.length ys in
+  let index_of y =
+    let rec go i = function
+      | [] -> invalid_arg "Fo_to_awsat: unknown variable"
+      | x :: rest -> if x = y then i else go (i + 1) rest
+    in
+    go 0 ys
+  in
+  let domain =
+    Value.Set.elements
+      (Value.Set.union (Database.domain db)
+         (Value.Set.of_list
+            (List.filter_map
+               (function Term.Const v -> Some v | Term.Var _ -> None)
+               (let rec consts = function
+                  | Fo.True | Fo.False -> []
+                  | Fo.Rel a -> a.Atom.args
+                  | Fo.Eq (l, r) -> [ l; r ]
+                  | Fo.Not f -> consts f
+                  | Fo.And fs | Fo.Or fs -> List.concat_map consts fs
+                  | Fo.Exists (_, f) | Fo.Forall (_, f) -> consts f
+                in
+                consts sentence))))
+  in
+  let d = List.length domain in
+  if k > 0 && d = 0 then
+    invalid_arg "Fo_to_awsat.reduce: empty domain under quantifiers";
+  let domain_index =
+    let table = Value.Table.create (max 1 d) in
+    List.iteri (fun i v -> Value.Table.add table v i) domain;
+    fun v -> Value.Table.find_opt table v
+  in
+  let z_var i c =
+    match domain_index c with
+    | Some ci -> Some (Formula.var ((i * d) + ci))
+    | None -> None
+  in
+  let translate_atom a =
+    let rel = Database.find db a.Atom.rel in
+    let disjuncts =
+      Relation.fold
+        (fun s acc ->
+          let rec go j conjuncts seen = function
+            | [] -> Some (List.rev conjuncts)
+            | Term.Const c :: rest ->
+                if Value.equal c s.(j) then go (j + 1) conjuncts seen rest
+                else None
+            | Term.Var x :: rest -> (
+                match List.assoc_opt x seen with
+                | Some prev when not (Value.equal prev s.(j)) -> None
+                | _ -> (
+                    match z_var (index_of x) s.(j) with
+                    | Some zv ->
+                        go (j + 1) (zv :: conjuncts) ((x, s.(j)) :: seen) rest
+                    | None -> None))
+          in
+          match go 0 [] [] a.Atom.args with
+          | Some conjuncts -> Formula.conj conjuncts :: acc
+          | None -> acc)
+        rel []
+    in
+    Formula.disj disjuncts
+  in
+  let translate_eq l r =
+    match l, r with
+    | Term.Const a, Term.Const b -> Formula.F_const (Value.equal a b)
+    | Term.Var x, Term.Const c | Term.Const c, Term.Var x -> (
+        match z_var (index_of x) c with
+        | Some zv -> zv
+        | None -> Formula.F_const false)
+    | Term.Var x, Term.Var y ->
+        let i = index_of x and j = index_of y in
+        Formula.disj
+          (List.filter_map
+             (fun c ->
+               match z_var i c, z_var j c with
+               | Some a, Some b -> Some (Formula.conj [ a; b ])
+               | _ -> None)
+             domain)
+  in
+  let rec translate = function
+    | Fo.True -> Formula.F_const true
+    | Fo.False -> Formula.F_const false
+    | Fo.Rel a -> translate_atom a
+    | Fo.Eq (l, r) -> translate_eq l r
+    | Fo.Not f -> Formula.neg (translate f)
+    | Fo.And fs -> Formula.conj (List.map translate fs)
+    | Fo.Or fs -> Formula.disj (List.map translate fs)
+    | Fo.Exists _ | Fo.Forall _ ->
+        assert false (* the prenex matrix is quantifier-free *)
+  in
+  let blocks =
+    List.mapi
+      (fun i (q, _) ->
+        {
+          Alternating.quantifier =
+            (match q with
+            | Fo.Q_exists -> Alternating.Q_exists
+            | Fo.Q_forall -> Alternating.Q_forall);
+          vars = List.init d (fun ci -> (i * d) + ci);
+          weight = 1;
+        })
+      prefix
+  in
+  let z =
+    Array.init (k * d) (fun idx -> (idx / d, List.nth domain (idx mod d)))
+  in
+  { formula = translate matrix; blocks; n_vars = k * d; z }
+
+let holds lab =
+  Alternating.holds ~n_vars:(max 1 lab.n_vars)
+    ~eval:(fun a -> Formula.eval lab.formula a)
+    lab.blocks

@@ -1,0 +1,30 @@
+(** Section 4's alternating membership direction: a *prenex* first-order
+    sentence over a database reduces to alternating weighted formula
+    satisfiability (AW[SAT]) with one weight-1 block per quantifier.
+
+    Boolean variables [z_{i,c}] ("quantified variable [i] takes constant
+    [c]") are grouped into a block per quantifier position, carrying the
+    quantifier of that position and weight 1 — a weight-1 block picks
+    exactly one constant, so no mutual-exclusion clauses are needed.
+    Atoms of the (NNF) matrix translate as in the W[SAT] membership
+    construction; negations translate to formula negations.
+
+    (For *prenex positive* sentences every block is existential and this
+    specializes to the W[SAT] membership of Theorem 1 — the paper's
+    AW[SAT]-completeness claim for prenex queries under the parameter
+    [v].) *)
+
+type labeling = {
+  formula : Paradb_wsat.Formula.t;
+  blocks : Paradb_wsat.Alternating.block list;
+  n_vars : int;
+  z : (int * Paradb_relational.Value.t) array;
+      (** meaning of each Boolean variable: (quantifier index, constant) *)
+}
+
+(** Raises [Invalid_argument] on open sentences or an empty active
+    domain (with no constants, quantifiers have no range). *)
+val reduce : Paradb_relational.Database.t -> Paradb_query.Fo.t -> labeling
+
+(** Convenience: run the alternating game on the produced instance. *)
+val holds : labeling -> bool

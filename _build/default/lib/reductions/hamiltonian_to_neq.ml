@@ -1,0 +1,24 @@
+module Graph = Paradb_graph.Graph
+open Paradb_query
+
+let var i = Term.var (Printf.sprintf "x%d" i)
+
+let query ~n =
+  if n < 1 then invalid_arg "Hamiltonian_to_neq.query: empty graph";
+  if n = 1 then Cq.make ~name:"g" ~head:[] [ Atom.make "v" [ var 1 ] ]
+  else begin
+    let atoms =
+      List.init (n - 1) (fun i -> Atom.make "e" [ var (i + 1); var (i + 2) ])
+    in
+    let constraints = ref [] in
+    for i = n downto 1 do
+      for j = n downto i + 1 do
+        constraints := Constr.neq (var i) (var j) :: !constraints
+      done
+    done;
+    Cq.make ~name:"g" ~head:[] ~constraints:!constraints atoms
+  end
+
+let reduce g =
+  let n = Graph.n_vertices g in
+  (query ~n, Paradb_core.Color_coding.graph_database g)

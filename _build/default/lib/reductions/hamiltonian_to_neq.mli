@@ -1,0 +1,14 @@
+(** Section 5's NP-hardness of the *combined* complexity of acyclic
+    conjunctive queries with inequalities: the reduction from Hamiltonian
+    path.  The query is as big as the database — exactly the regime the
+    fixed-parameter analysis rules out.
+
+    {v g :- e(x_1,x_2), ..., e(x_{n-1},x_n), x_i ≠ x_j (all i < j) v} *)
+
+val reduce :
+  Paradb_graph.Graph.t ->
+  Paradb_query.Cq.t * Paradb_relational.Database.t
+
+(** Paper's literal form uses only consecutive-pair atoms; the
+    full set of inequalities makes the instantiation a permutation. *)
+val query : n:int -> Paradb_query.Cq.t

@@ -1,0 +1,122 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Formula = Paradb_wsat.Formula
+open Paradb_query
+
+type labeling = {
+  formula : Formula.t;
+  k : int;
+  z : (int * Value.t) array;
+}
+
+let reduce db sentence =
+  if not (Fo.is_positive sentence) then
+    invalid_arg "Positive_to_wformula.reduce: sentence is not positive";
+  if not (Fo.is_sentence sentence) then
+    invalid_arg "Positive_to_wformula.reduce: formula has free variables";
+  let prefix, matrix = Fo.prenex sentence in
+  let ys = List.map snd prefix in
+  let k = List.length ys in
+  let index_of y =
+    let rec go i = function
+      | [] -> invalid_arg "Positive_to_wformula: unknown variable"
+      | x :: rest -> if x = y then i else go (i + 1) rest
+    in
+    go 0 ys
+  in
+  let domain = Value.Set.elements (Database.domain db) in
+  let d = List.length domain in
+  let domain_index =
+    let table = Value.Table.create d in
+    List.iteri (fun i v -> Value.Table.add table v i) domain;
+    fun v -> Value.Table.find_opt table v
+  in
+  (* z_{i,c} at Boolean index i*d + index(c). *)
+  let z_var i c =
+    match domain_index c with
+    | Some ci -> Some (Formula.var ((i * d) + ci))
+    | None -> None (* constant not in the active domain *)
+  in
+  let translate_atom a =
+    let rel = Database.find db a.Atom.rel in
+    let disjuncts =
+      Relation.fold
+        (fun s acc ->
+          (* s must agree with the atom's constants; variable positions
+             contribute conjuncts z_{i, s[j]}.  A repeated variable must
+             see equal values. *)
+          let rec go j conjuncts seen = function
+            | [] -> Some (List.rev conjuncts)
+            | Term.Const c :: rest ->
+                if Value.equal c s.(j) then go (j + 1) conjuncts seen rest
+                else None
+            | Term.Var x :: rest -> (
+                let i = index_of x in
+                match List.assoc_opt x seen with
+                | Some prev when not (Value.equal prev s.(j)) -> None
+                | _ -> (
+                    match z_var i s.(j) with
+                    | Some zv ->
+                        go (j + 1) (zv :: conjuncts) ((x, s.(j)) :: seen) rest
+                    | None -> None))
+          in
+          match go 0 [] [] a.Atom.args with
+          | Some conjuncts -> Formula.conj conjuncts :: acc
+          | None -> acc)
+        rel []
+    in
+    Formula.disj disjuncts
+  in
+  let translate_eq l r =
+    match l, r with
+    | Term.Const a, Term.Const b -> Formula.F_const (Value.equal a b)
+    | Term.Var x, Term.Const c | Term.Const c, Term.Var x -> (
+        match z_var (index_of x) c with
+        | Some zv -> zv
+        | None -> Formula.F_const false)
+    | Term.Var x, Term.Var y ->
+        let i = index_of x and j = index_of y in
+        Formula.disj
+          (List.filter_map
+             (fun c ->
+               match z_var i c, z_var j c with
+               | Some a, Some b -> Some (Formula.conj [ a; b ])
+               | _ -> None)
+             domain)
+  in
+  let rec translate = function
+    | Fo.True -> Formula.F_const true
+    | Fo.False -> Formula.F_const false
+    | Fo.Rel a -> translate_atom a
+    | Fo.Eq (l, r) -> translate_eq l r
+    | Fo.And fs -> Formula.conj (List.map translate fs)
+    | Fo.Or fs -> Formula.disj (List.map translate fs)
+    | Fo.Not _ | Fo.Exists _ | Fo.Forall _ ->
+        assert false (* prenex positive matrix is quantifier- and not-free *)
+  in
+  let at_most_one =
+    List.concat
+      (List.init k (fun i ->
+           List.concat
+             (List.mapi
+                (fun ci _ ->
+                  List.filter_map
+                    (fun cj ->
+                      if cj > ci then
+                        Some
+                          (Formula.disj
+                             [
+                               Formula.neg (Formula.var ((i * d) + ci));
+                               Formula.neg (Formula.var ((i * d) + cj));
+                             ])
+                      else None)
+                    (List.init d Fun.id))
+                domain)))
+  in
+  let formula = Formula.conj (at_most_one @ [ translate matrix ]) in
+  let z =
+    Array.init (k * d) (fun idx ->
+        (idx / d, List.nth domain (idx mod d)))
+  in
+  { formula; k; z }

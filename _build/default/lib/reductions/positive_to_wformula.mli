@@ -1,0 +1,28 @@
+(** Theorem 1, the converse (membership) construction: prenex positive
+    queries under parameter [v] are *in* W[SAT].
+
+    For a closed prenex positive query [∃y_1..y_k ψ] over database [d]
+    with domain [D], Boolean variables [z_{i,c}] ([i ∈ 1..k], [c ∈ D])
+    mean "[y_i] is mapped to [c]".  The weighted-satisfiability target is
+    the conjunction of [¬z_{i,c} ∨ ¬z_{i,c'}] for [c ≠ c'] with [ψ] in
+    which each atom [R(τ)] is replaced by
+
+    {v ⋁_{s ∈ R consistent with τ's constants} ⋀_{j : τ[j] = y_i} z_{i, s[j]} v}
+
+    The query holds on [d] iff the formula has a weight-[k] satisfying
+    assignment. *)
+
+type labeling = {
+  formula : Paradb_wsat.Formula.t;
+  k : int;
+  z : (int * Paradb_relational.Value.t) array;
+      (** meaning of each Boolean variable: (quantifier index, constant) *)
+}
+
+(** Raises [Invalid_argument] if the sentence is not positive or not
+    closed.  The formula is built after prenexing (which is harmless
+    here: we only need *some* prenex form; the paper's point is that
+    prenexing does not preserve [v], which the caller can observe via
+    [Fo.num_vars]). *)
+val reduce :
+  Paradb_relational.Database.t -> Paradb_query.Fo.t -> labeling

@@ -1,0 +1,61 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Formula = Paradb_wsat.Formula
+open Paradb_query
+
+let database ~n =
+  let eq_rows = List.init n (fun i -> [| Value.Int (i + 1); Value.Int (i + 1) |]) in
+  let neq_rows =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if i <> j then Some [| Value.Int (i + 1); Value.Int (j + 1) |]
+               else None)
+             (List.init n Fun.id)))
+  in
+  Database.of_relations
+    [
+      Relation.create ~name:"eq" ~schema:[ "a"; "b" ] eq_rows;
+      Relation.create ~name:"neq" ~schema:[ "a"; "b" ] neq_rows;
+    ]
+
+let y j = Term.var (Printf.sprintf "y%d" j)
+
+let query phi ~k =
+  let ys = List.init k (fun j -> Printf.sprintf "y%d" (j + 1)) in
+  (* Positive occurrence of x_i: x_i is one of the chosen (true) indices. *)
+  let positive i =
+    Fo.disj
+      (List.init k (fun j -> Fo.atom "eq" [ Term.int (i + 1); y (j + 1) ]))
+  in
+  (* Negative occurrence: x_i is none of the chosen indices. *)
+  let negative i =
+    Fo.conj
+      (List.init k (fun j -> Fo.atom "neq" [ Term.int (i + 1); y (j + 1) ]))
+  in
+  let rec translate = function
+    | Formula.F_const true -> Fo.True
+    | Formula.F_const false -> Fo.False
+    | Formula.F_var i -> positive i
+    | Formula.F_not (Formula.F_var i) -> negative i
+    | Formula.F_not _ ->
+        assert false (* NNF below guarantees negations sit on variables *)
+    | Formula.F_and fs -> Fo.conj (List.map translate fs)
+    | Formula.F_or fs -> Fo.disj (List.map translate fs)
+  in
+  let distinct =
+    List.concat
+      (List.init k (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i then Some (Fo.atom "neq" [ y (i + 1); y (j + 1) ])
+               else None)
+             (List.init k Fun.id)))
+  in
+  Fo.exists ys (Fo.conj (distinct @ [ translate (Formula.nnf phi) ]))
+
+let reduce ?n_vars phi ~k =
+  let n = max (Formula.n_vars phi) (Option.value n_vars ~default:0) in
+  (query phi ~k, database ~n)

@@ -1,0 +1,25 @@
+(** Theorem 1, lower bound for positive queries under the variable
+    parameter: reduction from weighted formula satisfiability
+    (W[SAT]-complete).
+
+    For a Boolean formula [φ] on variables [x_1..x_n] and weight [k], the
+    database holds [EQ = {(i,i)}] and [NEQ = {(i,j) : i ≠ j}] over
+    [{1..n}], and the query is
+
+    {v ∃y_1..y_k  (⋀_{i<j} NEQ(y_i, y_j)) ∧ ψ v}
+
+    where [ψ] replaces each positive occurrence of [x_i] by
+    [⋁_j EQ(i, y_j)] and each negative occurrence by [⋀_j NEQ(i, y_j)].
+    The query has [k] variables and is positive (and prenex). *)
+
+val database : n:int -> Paradb_relational.Database.t
+
+val query : Paradb_wsat.Formula.t -> k:int -> Paradb_query.Fo.t
+
+(** [n_vars] fixes the variable universe [x_1..x_n] (the weight counts
+    true variables over the whole universe, including variables the
+    formula does not mention); defaults to the formula's own variable
+    count. *)
+val reduce :
+  ?n_vars:int -> Paradb_wsat.Formula.t -> k:int ->
+  Paradb_query.Fo.t * Paradb_relational.Database.t

@@ -1,0 +1,1 @@
+lib/relational/listx.mli:

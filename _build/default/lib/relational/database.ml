@@ -1,0 +1,41 @@
+module String_map = Map.Make (String)
+
+type t = Relation.t String_map.t
+
+let empty = String_map.empty
+
+let add r db =
+  let name = Relation.name r in
+  if name = "" then invalid_arg "Database.add: relation has no name";
+  String_map.add name r db
+
+let of_relations rs = List.fold_left (fun db r -> add r db) empty rs
+let find_opt db name = String_map.find_opt name db
+
+let find db name =
+  match find_opt db name with
+  | Some r -> r
+  | None -> invalid_arg ("Database.find: no relation " ^ name)
+
+let mem db name = String_map.mem name db
+let relations db = List.map snd (String_map.bindings db)
+let names db = List.map fst (String_map.bindings db)
+let arity_of db name = Relation.arity (find db name)
+
+let domain db =
+  String_map.fold
+    (fun _ r acc -> Value.Set.union acc (Relation.domain r))
+    db Value.Set.empty
+
+let size db =
+  String_map.fold (fun _ r acc -> acc + Relation.cardinality r) db 0
+
+let cells db =
+  String_map.fold
+    (fun _ r acc -> acc + (Relation.cardinality r * Relation.arity r))
+    db 0
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun r -> Format.fprintf ppf "%a@," Relation.pp r) (relations db);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** A database instance: a finite set of named relations over one domain. *)
+
+type t
+
+val empty : t
+
+(** [add r db] registers [r] under [Relation.name r] (which must be
+    non-empty), replacing any previous relation of that name. *)
+val add : Relation.t -> t -> t
+
+val of_relations : Relation.t list -> t
+val find : t -> string -> Relation.t
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+val relations : t -> Relation.t list
+val names : t -> string list
+val arity_of : t -> string -> int
+
+(** Active domain: every value appearing in some tuple. *)
+val domain : t -> Value.Set.t
+
+(** Total number of tuples across relations (the paper's [n], up to the
+    constant arity factor). *)
+val size : t -> int
+
+(** Total number of value cells across relations. *)
+val cells : t -> int
+
+val pp : Format.formatter -> t -> unit

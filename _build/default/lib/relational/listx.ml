@@ -1,0 +1,6 @@
+let dedup xs =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest -> if List.mem x seen then go seen rest else go (x :: seen) rest
+  in
+  go [] xs

@@ -1,0 +1,4 @@
+(** Small list utilities shared across the libraries. *)
+
+(** [dedup xs] — first occurrences, in order (structural equality). *)
+val dedup : 'a list -> 'a list

@@ -1,0 +1,251 @@
+type t = {
+  name : string;
+  schema : string array;
+  index : (string, int) Hashtbl.t;
+  rows : Tuple.Set.t;
+}
+
+let build_index schema =
+  let index = Hashtbl.create (Array.length schema) in
+  Array.iteri
+    (fun i attr ->
+      if Hashtbl.mem index attr then
+        invalid_arg ("Relation: duplicate attribute " ^ attr);
+      Hashtbl.add index attr i)
+    schema;
+  index
+
+let of_set ?(name = "") ~schema rows =
+  let schema = Array.of_list schema in
+  let index = build_index schema in
+  let arity = Array.length schema in
+  Tuple.Set.iter
+    (fun row ->
+      if Array.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Relation %s: row arity %d, schema arity %d" name
+             (Array.length row) arity))
+    rows;
+  { name; schema; index; rows }
+
+let create ?(name = "") ~schema rows =
+  of_set ~name ~schema (Tuple.Set.of_list rows)
+
+let name r = r.name
+let with_name name r = { r with name }
+let schema r = r.schema
+let schema_list r = Array.to_list r.schema
+let arity r = Array.length r.schema
+let cardinality r = Tuple.Set.cardinal r.rows
+let is_empty r = Tuple.Set.is_empty r.rows
+let mem row r = Tuple.Set.mem row r.rows
+let tuples r = Tuple.Set.elements r.rows
+let tuple_set r = r.rows
+let iter f r = Tuple.Set.iter f r.rows
+let fold f r init = Tuple.Set.fold f r.rows init
+
+let add row r =
+  if Array.length row <> arity r then invalid_arg "Relation.add: arity";
+  { r with rows = Tuple.Set.add row r.rows }
+
+let position r attr = Hashtbl.find r.index attr
+let positions r attrs = Array.of_list (List.map (position r) attrs)
+let has_attr r attr = Hashtbl.mem r.index attr
+
+let common_attrs r1 r2 =
+  List.filter (has_attr r2) (schema_list r1)
+
+let project attrs r =
+  let pos = positions r attrs in
+  let rows =
+    Tuple.Set.fold
+      (fun row acc -> Tuple.Set.add (Tuple.sub row pos) acc)
+      r.rows Tuple.Set.empty
+  in
+  of_set ~name:r.name ~schema:attrs rows
+
+let rename pairs r =
+  let fresh attr =
+    match List.assoc_opt attr pairs with Some nu -> nu | None -> attr
+  in
+  let schema = List.map fresh (schema_list r) in
+  of_set ~name:r.name ~schema r.rows
+
+let rename_positional new_schema r =
+  if List.length new_schema <> arity r then
+    invalid_arg "Relation.rename_positional: arity";
+  of_set ~name:r.name ~schema:new_schema r.rows
+
+let select pred r = { r with rows = Tuple.Set.filter pred r.rows }
+
+let restrict r attr pred =
+  let i = position r attr in
+  select (fun row -> pred row.(i)) r
+
+(* Hash join.  The probe side is [r1]; the build side [r2] is indexed on the
+   common attributes.  Result schema: r1's attributes followed by r2's
+   attributes that are not common. *)
+let natural_join r1 r2 =
+  let common = common_attrs r1 r2 in
+  let extra = List.filter (fun a -> not (has_attr r1 a)) (schema_list r2) in
+  let key1 = positions r1 common and key2 = positions r2 common in
+  let extra2 = positions r2 extra in
+  let table : Tuple.t list Tuple.Table.t =
+    Tuple.Table.create (max 16 (cardinality r2))
+  in
+  iter
+    (fun row ->
+      let key = Tuple.sub row key2 in
+      let rest = Tuple.sub row extra2 in
+      let bucket = try Tuple.Table.find table key with Not_found -> [] in
+      Tuple.Table.replace table key (rest :: bucket))
+    r2;
+  let rows =
+    fold
+      (fun row acc ->
+        let key = Tuple.sub row key1 in
+        match Tuple.Table.find_opt table key with
+        | None -> acc
+        | Some bucket ->
+            List.fold_left
+              (fun acc rest -> Tuple.Set.add (Tuple.append row rest) acc)
+              acc bucket)
+      r1 Tuple.Set.empty
+  in
+  of_set ~name:r1.name ~schema:(schema_list r1 @ extra) rows
+
+let sort_merge_join r1 r2 =
+  let common = common_attrs r1 r2 in
+  let key1 = positions r1 common and key2 = positions r2 common in
+  let extra = List.filter (fun a -> not (has_attr r1 a)) (schema_list r2) in
+  let extra2 = positions r2 extra in
+  let keyed rel keypos =
+    let rows =
+      List.map (fun row -> (Tuple.sub row keypos, row)) (tuples rel)
+    in
+    List.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2) rows
+  in
+  let left = keyed r1 key1 and right = keyed r2 key2 in
+  (* Advance both sorted lists; on equal keys, emit the group product. *)
+  let rec take_group key acc = function
+    | (k, row) :: rest when Tuple.equal k key -> take_group key (row :: acc) rest
+    | rest -> (acc, rest)
+  in
+  let rec merge acc left right =
+    match left, right with
+    | [], _ | _, [] -> acc
+    | (k1, _) :: _, (k2, _) :: _ ->
+        let c = Tuple.compare k1 k2 in
+        if c < 0 then merge acc (snd (take_group k1 [] left)) right
+        else if c > 0 then merge acc left (snd (take_group k2 [] right))
+        else begin
+          let group1, left' = take_group k1 [] left in
+          let group2, right' = take_group k1 [] right in
+          let acc =
+            List.fold_left
+              (fun acc row1 ->
+                List.fold_left
+                  (fun acc row2 ->
+                    Tuple.Set.add
+                      (Tuple.append row1 (Tuple.sub row2 extra2))
+                      acc)
+                  acc group2)
+              acc group1
+          in
+          merge acc left' right'
+        end
+  in
+  let rows = merge Tuple.Set.empty left right in
+  of_set ~name:r1.name ~schema:(schema_list r1 @ extra) rows
+
+let semijoin r1 r2 =
+  let common = common_attrs r1 r2 in
+  match common with
+  | [] -> if is_empty r2 then { r1 with rows = Tuple.Set.empty } else r1
+  | _ ->
+      let key1 = positions r1 common and key2 = positions r2 common in
+      let keys =
+        fold
+          (fun row acc -> Tuple.Set.add (Tuple.sub row key2) acc)
+          r2 Tuple.Set.empty
+      in
+      select (fun row -> Tuple.Set.mem (Tuple.sub row key1) keys) r1
+
+let align_schemas op_name r1 r2 =
+  (* Reorder r2's columns to match r1's schema; fail if attribute sets
+     differ. *)
+  if arity r1 <> arity r2 then invalid_arg (op_name ^ ": schemas differ");
+  let pos =
+    try positions r2 (schema_list r1)
+    with Not_found -> invalid_arg (op_name ^ ": schemas differ")
+  in
+  Tuple.Set.fold
+    (fun row acc -> Tuple.Set.add (Tuple.sub row pos) acc)
+    r2.rows Tuple.Set.empty
+
+let union r1 r2 =
+  let rows2 = align_schemas "Relation.union" r1 r2 in
+  { r1 with rows = Tuple.Set.union r1.rows rows2 }
+
+let diff r1 r2 =
+  let rows2 = align_schemas "Relation.diff" r1 r2 in
+  { r1 with rows = Tuple.Set.diff r1.rows rows2 }
+
+let inter r1 r2 =
+  let rows2 = align_schemas "Relation.inter" r1 r2 in
+  { r1 with rows = Tuple.Set.inter r1.rows rows2 }
+
+let product r1 r2 =
+  (match common_attrs r1 r2 with
+  | [] -> ()
+  | a :: _ -> invalid_arg ("Relation.product: shared attribute " ^ a));
+  let rows =
+    fold
+      (fun row1 acc ->
+        fold
+          (fun row2 acc -> Tuple.Set.add (Tuple.append row1 row2) acc)
+          r2 acc)
+      r1 Tuple.Set.empty
+  in
+  of_set ~name:r1.name ~schema:(schema_list r1 @ schema_list r2) rows
+
+let extend attr f r =
+  let rows =
+    Tuple.Set.fold
+      (fun row acc -> Tuple.Set.add (Tuple.append row [| f row |]) acc)
+      r.rows Tuple.Set.empty
+  in
+  of_set ~name:r.name ~schema:(schema_list r @ [ attr ]) rows
+
+let set_equal r1 r2 =
+  arity r1 = arity r2
+  && List.for_all (has_attr r2) (schema_list r1)
+  && Tuple.Set.equal r1.rows (align_schemas "Relation.set_equal" r1 r2)
+
+let domain r =
+  fold
+    (fun row acc -> Array.fold_left (fun acc v -> Value.Set.add v acc) acc row)
+    r Value.Set.empty
+
+(* Printing is capped so that accidentally formatting a large relation
+   stays readable; [set_equal] and friends are the programmatic API. *)
+let pp_row_cap = 50
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s(%s) [%d rows]"
+    (if r.name = "" then "_" else r.name)
+    (String.concat ", " (schema_list r))
+    (cardinality r);
+  let shown = ref 0 in
+  (try
+     iter
+       (fun row ->
+         if !shown >= pp_row_cap then raise Exit;
+         incr shown;
+         Format.fprintf ppf "@,  %a" Tuple.pp row)
+       r
+   with Exit ->
+     Format.fprintf ppf "@,  ... (%d more)" (cardinality r - pp_row_cap));
+  Format.fprintf ppf "@]"
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,89 @@
+(** Relations with named attributes and set semantics.
+
+    A relation is a set of tuples over a schema (an ordered list of distinct
+    attribute names).  All relational-algebra operators used in the paper
+    are provided: selection, projection, renaming, natural join, semijoin,
+    union, difference, intersection, product, and column extension (used by
+    the Theorem-2 engine to add hashed shadow attributes). *)
+
+type t
+
+(** [create ~name ~schema rows] builds a relation.  Raises
+    [Invalid_argument] if attribute names repeat or a row has the wrong
+    arity.  Duplicate rows are merged (set semantics). *)
+val create : ?name:string -> schema:string list -> Tuple.t list -> t
+
+val of_set : ?name:string -> schema:string list -> Tuple.Set.t -> t
+
+val name : t -> string
+val with_name : string -> t -> t
+val schema : t -> string array
+val schema_list : t -> string list
+val arity : t -> int
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : Tuple.t -> t -> bool
+val tuples : t -> Tuple.t list
+val tuple_set : t -> Tuple.Set.t
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val add : Tuple.t -> t -> t
+
+(** [position r attr] is the column index of [attr].  Raises [Not_found]
+    if absent. *)
+val position : t -> string -> int
+
+val positions : t -> string list -> int array
+val has_attr : t -> string -> bool
+
+(** [common_attrs r1 r2] lists attributes present in both, in [r1]'s
+    schema order. *)
+val common_attrs : t -> t -> string list
+
+(** [project attrs r] keeps exactly [attrs] (which may reorder columns);
+    duplicates rows are merged. *)
+val project : string list -> t -> t
+
+(** [rename pairs r] renames attributes according to the association list
+    [(old, new)].  Unmentioned attributes are kept. *)
+val rename : (string * string) list -> t -> t
+
+(** [rename_positional new_schema r] replaces the whole schema. *)
+val rename_positional : string list -> t -> t
+
+val select : (Tuple.t -> bool) -> t -> t
+
+(** [restrict r attr pred] selects rows whose [attr] value satisfies
+    [pred]. *)
+val restrict : t -> string -> (Value.t -> bool) -> t
+
+val natural_join : t -> t -> t
+
+(** [sort_merge_join r s] — same result as {!natural_join}, computed by
+    sorting both sides on the common attributes and merging (the
+    [|P| log |P|] implementation the paper's accounting assumes). *)
+val sort_merge_join : t -> t -> t
+
+(** [semijoin r s] is [r ⋉ s]: the rows of [r] that join with some row of
+    [s] on their common attributes. *)
+val semijoin : t -> t -> t
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+
+(** [product r s] requires disjoint schemas. *)
+val product : t -> t -> t
+
+(** [extend attr f r] appends a column [attr] computed from each row. *)
+val extend : string -> (Tuple.t -> Value.t) -> t -> t
+
+(** [set_equal r s] — same attribute set and same tuples (column order may
+    differ). *)
+val set_equal : t -> t -> bool
+
+(** Active domain of the relation. *)
+val domain : t -> Value.Set.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,52 @@
+type t = Value.t array
+
+let arity = Array.length
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let hash (a : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 a
+
+let of_ints xs = Array.of_list (List.map Value.int xs)
+let of_list = Array.of_list
+let to_list = Array.to_list
+let sub (t : t) (positions : int array) = Array.map (fun i -> t.(i)) positions
+let append = Array.append
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

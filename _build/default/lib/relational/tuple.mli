@@ -1,0 +1,28 @@
+(** Database tuples: fixed-arity arrays of values with value semantics. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [of_ints [1;2]] builds the tuple [(Int 1, Int 2)]. *)
+val of_ints : int list -> t
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+(** [sub t positions] extracts the subtuple at the given positions, in
+    order.  Positions may repeat. *)
+val sub : t -> int array -> t
+
+(** [append a b] concatenates two tuples. *)
+val append : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,51 @@
+type t =
+  | Int of int
+  | Str of string
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare (x : int) y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+let int i = Int i
+let str s = Str s
+
+let to_int = function
+  | Int i -> i
+  | Str s -> invalid_arg ("Value.to_int: not an integer: " ^ s)
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> Str s
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,32 @@
+(** Domain values.
+
+    The paper's databases are over an abstract domain [D]; we realize [D] as
+    the disjoint union of integers and strings, which covers every workload
+    in the paper (graph nodes, gate names, employees, salaries, ...).  The
+    order is total: all integers sort before all strings. *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val int : int -> t
+val str : string -> t
+
+(** [to_int v] is the payload of [Int], raising [Invalid_argument]
+    otherwise.  Used by workloads that know their domain is numeric. *)
+val to_int : t -> int
+
+val to_string : t -> string
+
+(** [of_string s] parses an integer if possible, else returns [Str s]. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

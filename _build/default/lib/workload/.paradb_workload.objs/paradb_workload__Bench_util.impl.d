@@ -1,0 +1,1 @@
+lib/workload/bench_util.ml: Float List Printf String Unix

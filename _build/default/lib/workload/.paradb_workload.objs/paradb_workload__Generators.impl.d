@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Array Atom Constr Cq List Paradb_query Paradb_relational Printf Random Term

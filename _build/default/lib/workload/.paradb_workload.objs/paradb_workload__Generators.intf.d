@@ -1,0 +1,1 @@
+lib/workload/generators.mli: Paradb_query Paradb_relational Random

@@ -1,0 +1,1 @@
+lib/workload/vardi.ml: Atom List Paradb_query Paradb_relational Printf Program Random Rule Term

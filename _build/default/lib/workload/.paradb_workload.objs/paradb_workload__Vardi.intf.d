@@ -1,0 +1,1 @@
+lib/workload/vardi.mli: Paradb_query Paradb_relational Random

@@ -1,0 +1,61 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ~runs f =
+  if runs < 1 then invalid_arg "Bench_util.time_median: runs must be positive";
+  let samples = ref [] in
+  let result = ref None in
+  for _ = 1 to runs do
+    let r, t = time f in
+    samples := t :: !samples;
+    result := Some r
+  done;
+  let sorted = List.sort Float.compare !samples in
+  let median = List.nth sorted (runs / 2) in
+  match !result with
+  | Some r -> (r, median)
+  | None -> assert false
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    "| "
+    ^ String.concat " | "
+        (List.mapi
+           (fun c cell ->
+             let w = List.nth widths c in
+             cell ^ String.make (w - String.length cell) ' ')
+           (List.mapi
+              (fun c _ ->
+                match List.nth_opt row c with Some s -> s | None -> "")
+              header))
+    ^ " |"
+  in
+  let separator =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n" (render_row header :: separator :: List.map render_row rows)
+
+let print_table ~header rows = print_endline (table ~header rows)
+
+let pretty_seconds s =
+  if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let ratio_string a b =
+  if a <= 0.0 then "-" else Printf.sprintf "x%.1f" (b /. a)

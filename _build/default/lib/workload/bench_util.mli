@@ -1,0 +1,19 @@
+(** Timing and table helpers shared by the experiment harness. *)
+
+(** Wall-clock time of a thunk, in seconds, together with its result. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** Median wall-clock time over [runs] executions (the result of the
+    last run is returned). *)
+val time_median : runs:int -> (unit -> 'a) -> 'a * float
+
+(** Render an aligned text table (also valid Markdown). *)
+val table : header:string list -> string list list -> string
+
+val print_table : header:string list -> string list list -> unit
+
+(** Format seconds adaptively (ns/µs/ms/s). *)
+val pretty_seconds : float -> string
+
+(** [ratio_string a b] — ["×%.1f"] of [b/a], or ["-"] when [a] is 0. *)
+val ratio_string : float -> float -> string

@@ -1,0 +1,140 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+open Paradb_query
+
+let random_database rng ~schema ~domain_size ~tuples =
+  let relation (name, arity) =
+    let rows =
+      List.init tuples (fun _ ->
+          Array.init arity (fun _ ->
+              Value.Int (Random.State.int rng domain_size)))
+    in
+    Relation.create ~name
+      ~schema:(List.init arity (Printf.sprintf "a%d"))
+      rows
+  in
+  Database.of_relations (List.map relation schema)
+
+let edge_database rng ~nodes ~edges =
+  let rows =
+    List.init edges (fun _ ->
+        [|
+          Value.Int (Random.State.int rng nodes);
+          Value.Int (Random.State.int rng nodes);
+        |])
+  in
+  Database.of_relations
+    [ Relation.create ~name:"e" ~schema:[ "a"; "b" ] rows ]
+
+let two_cycle_database ~pairs =
+  let rows =
+    List.concat
+      (List.init pairs (fun i ->
+           let a = Value.Int (2 * i) and b = Value.Int ((2 * i) + 1) in
+           [ [| a; b |]; [| b; a |] ]))
+  in
+  Database.of_relations
+    [ Relation.create ~name:"e" ~schema:[ "a"; "b" ] rows ]
+
+let chain_query ~length ~neq =
+  let var i = Term.var (Printf.sprintf "x%d" i) in
+  let body =
+    List.init length (fun i -> Atom.make "e" [ var i; var (i + 1) ])
+  in
+  let constraints = List.map (fun (i, j) -> Constr.neq (var i) (var j)) neq in
+  Cq.make ~constraints ~head:[ var 0; var length ] body
+
+let employees_multi_project rng ~employees ~projects ~assignments =
+  let rows =
+    List.init assignments (fun _ ->
+        [|
+          Value.Str (Printf.sprintf "emp%d" (Random.State.int rng employees));
+          Value.Str (Printf.sprintf "proj%d" (Random.State.int rng projects));
+        |])
+  in
+  let db =
+    Database.of_relations
+      [ Relation.create ~name:"ep" ~schema:[ "e"; "p" ] rows ]
+  in
+  let e = Term.var "e" and p = Term.var "p" and p' = Term.var "p2" in
+  let q =
+    Cq.make ~name:"g" ~head:[ e ]
+      ~constraints:[ Constr.neq p p' ]
+      [ Atom.make "ep" [ e; p ]; Atom.make "ep" [ e; p' ] ]
+  in
+  (db, q)
+
+let students_outside_department rng ~students ~courses ~departments
+    ~enrollments =
+  let student i = Value.Str (Printf.sprintf "s%d" i)
+  and course i = Value.Str (Printf.sprintf "c%d" i)
+  and dept i = Value.Str (Printf.sprintf "d%d" i) in
+  let sd_rows =
+    List.init students (fun s ->
+        [| student s; dept (Random.State.int rng departments) |])
+  in
+  let cd_rows =
+    List.init courses (fun c ->
+        [| course c; dept (Random.State.int rng departments) |])
+  in
+  let sc_rows =
+    List.init enrollments (fun _ ->
+        [|
+          student (Random.State.int rng students);
+          course (Random.State.int rng courses);
+        |])
+  in
+  let db =
+    Database.of_relations
+      [
+        Relation.create ~name:"sd" ~schema:[ "s"; "d" ] sd_rows;
+        Relation.create ~name:"cd" ~schema:[ "c"; "d" ] cd_rows;
+        Relation.create ~name:"sc" ~schema:[ "s"; "c" ] sc_rows;
+      ]
+  in
+  let s = Term.var "s" and d = Term.var "d" and c = Term.var "c" in
+  let d' = Term.var "d2" in
+  let q =
+    Cq.make ~name:"g" ~head:[ s ]
+      ~constraints:[ Constr.neq d d' ]
+      [
+        Atom.make "sd" [ s; d ];
+        Atom.make "sc" [ s; c ];
+        Atom.make "cd" [ c; d' ];
+      ]
+  in
+  (db, q)
+
+let employees_higher_salary rng ~employees ~max_salary =
+  let emp i = Value.Str (Printf.sprintf "emp%d" i) in
+  (* Everyone except employee 0 has a random manager with a smaller id
+     (an arbitrary hierarchy). *)
+  let em_rows =
+    List.init (employees - 1) (fun i ->
+        let e = i + 1 in
+        [| emp e; emp (Random.State.int rng e) |])
+  in
+  let es_rows =
+    List.init employees (fun e ->
+        [| emp e; Value.Int (1 + Random.State.int rng max_salary) |])
+  in
+  let db =
+    Database.of_relations
+      [
+        Relation.create ~name:"em" ~schema:[ "e"; "m" ] em_rows;
+        Relation.create ~name:"es" ~schema:[ "e"; "s" ] es_rows;
+      ]
+  in
+  let e = Term.var "e" and m = Term.var "m" in
+  let s = Term.var "s" and s' = Term.var "s2" in
+  let q =
+    Cq.make ~name:"g" ~head:[ e ]
+      ~constraints:[ Constr.lt s' s ]
+      [
+        Atom.make "em" [ e; m ];
+        Atom.make "es" [ e; s ];
+        Atom.make "es" [ m; s' ];
+      ]
+  in
+  (db, q)

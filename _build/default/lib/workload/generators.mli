@@ -1,0 +1,49 @@
+(** Workload generators for the experiments: random databases plus the
+    paper's three running example scenarios (Section 5). *)
+
+(** [random_database rng ~schema ~domain_size ~tuples] — for every
+    [(name, arity)] in [schema], a relation of [tuples] uniform random
+    tuples over an integer domain of the given size. *)
+val random_database :
+  Random.State.t -> schema:(string * int) list -> domain_size:int ->
+  tuples:int -> Paradb_relational.Database.t
+
+(** A random binary ["e"] relation (directed edges with replacement),
+    the substrate of the chain/path queries. *)
+val edge_database :
+  Random.State.t -> nodes:int -> edges:int -> Paradb_relational.Database.t
+
+(** The chain query [ans(x0,xl) :- e(x0,x1), ..., e(x_{l-1},x_l)] with
+    the given extra [≠] constraints between variable indices. *)
+val chain_query :
+  length:int -> neq:(int * int) list -> Paradb_query.Cq.t
+
+(** A graph of [pairs] disjoint 2-cycles ([2i ↔ 2i+1], both directions):
+    every walk alternates between two vertices, so a chain query with
+    all-pairs [≠] over 4+ variables is unsatisfiable — the
+    guaranteed-negative, full-search instances of the Theorem-2 scaling
+    experiment. *)
+val two_cycle_database : pairs:int -> Paradb_relational.Database.t
+
+(** {1 The paper's example scenarios} *)
+
+(** "Find the employees that work on more than one project":
+    [g(e) :- ep(e,p), ep(e,p'), p ≠ p'].  Returns the database (relation
+    [ep]) together with the query.  Acyclic with one [I1] inequality. *)
+val employees_multi_project :
+  Random.State.t -> employees:int -> projects:int -> assignments:int ->
+  Paradb_relational.Database.t * Paradb_query.Cq.t
+
+(** "Find the students that take courses outside their department":
+    [g(s) :- sd(s,d), sc(s,c), cd(c,d'), d ≠ d']. *)
+val students_outside_department :
+  Random.State.t -> students:int -> courses:int -> departments:int ->
+  enrollments:int ->
+  Paradb_relational.Database.t * Paradb_query.Cq.t
+
+(** "Find the employees that have higher salary than their manager":
+    [g(e) :- em(e,m), es(e,s), es(m,s'), s' < s] — the comparison query
+    of Section 5. *)
+val employees_higher_salary :
+  Random.State.t -> employees:int -> max_salary:int ->
+  Paradb_relational.Database.t * Paradb_query.Cq.t

@@ -1,0 +1,55 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+open Paradb_query
+
+let program ~k =
+  if k < 1 then invalid_arg "Vardi.program: k must be positive";
+  let x i = Term.var (Printf.sprintf "x%d" i)
+  and y i = Term.var (Printf.sprintf "y%d" i) in
+  let xs = List.init k x and ys = List.init k y in
+  let base =
+    Rule.make
+      (Atom.make "reach" xs)
+      (List.init k (fun i -> Atom.make "s" [ x i ]))
+  in
+  let step =
+    Rule.make
+      (Atom.make "reach" ys)
+      (Atom.make "reach" xs
+      :: List.init k (fun i -> Atom.make "e" [ x i; y i ]))
+  in
+  let goal =
+    Rule.make
+      (Atom.make "goal" [])
+      (Atom.make "reach" xs :: List.init k (fun i -> Atom.make "t" [ x i ]))
+  in
+  Program.make [ base; step; goal ] ~goal:"goal"
+
+let database ~edges ~sources ~targets =
+  let unary name xs =
+    Relation.create ~name ~schema:[ "x" ]
+      (List.map (fun v -> [| Value.Int v |]) xs)
+  in
+  Database.of_relations
+    [
+      Relation.create ~name:"e" ~schema:[ "a"; "b" ]
+        (List.map (fun (u, v) -> [| Value.Int u; Value.Int v |]) edges);
+      unary "s" sources;
+      unary "t" targets;
+    ]
+
+let layered_instance rng ~layers ~width ~edge_prob =
+  let node layer i = (layer * width) + i in
+  let edges = ref [] in
+  for layer = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      for j = 0 to width - 1 do
+        if Random.State.float rng 1.0 < edge_prob then
+          edges := (node layer i, node (layer + 1) j) :: !edges
+      done
+    done
+  done;
+  database ~edges:!edges
+    ~sources:(List.init width (node 0))
+    ~targets:(List.init width (node (layers - 1)))

@@ -1,0 +1,25 @@
+(** The recursive workload family mirroring Section 4's discussion of
+    fixpoint/Datalog: an IDB relation of arity [k] ("k-pebble
+    reachability" on the product graph) whose bottom-up evaluation
+    inherently visits up to [n^k] tuples — the query size is polynomial
+    in [k] but the exponent is [k], Vardi's provable lower-bound shape.
+
+    {v
+      reach(x1, ..., xk) :- s(x1), ..., s(xk).
+      reach(y1, ..., yk) :- reach(x1, ..., xk), e(x1,y1), ..., e(xk,yk).
+      goal :- reach(x1, ..., xk), t(x1), ..., t(xk).
+    v} *)
+
+val program : k:int -> Paradb_query.Program.t
+
+(** Database for a directed graph with source set [s] and target set
+    [t]. *)
+val database :
+  edges:(int * int) list -> sources:int list -> targets:int list ->
+  Paradb_relational.Database.t
+
+(** A layered random instance: [layers] layers of [width] nodes with
+    random forward edges; sources = layer 0, targets = last layer. *)
+val layered_instance :
+  Random.State.t -> layers:int -> width:int -> edge_prob:float ->
+  Paradb_relational.Database.t

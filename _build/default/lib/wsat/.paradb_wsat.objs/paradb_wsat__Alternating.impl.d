@@ -1,0 +1,1 @@
+lib/wsat/alternating.ml: Array Circuit Formula Hashtbl List Option Seq

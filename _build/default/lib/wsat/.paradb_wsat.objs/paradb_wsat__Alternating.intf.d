@@ -1,0 +1,1 @@
+lib/wsat/alternating.mli: Circuit Formula Seq

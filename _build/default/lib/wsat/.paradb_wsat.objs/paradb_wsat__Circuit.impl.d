@@ -1,0 +1,1 @@
+lib/wsat/circuit.ml: Array Format List Printf Seq String

@@ -1,0 +1,1 @@
+lib/wsat/circuit.mli: Format Seq

@@ -1,0 +1,1 @@
+lib/wsat/cnf.ml: Array Circuit Format Formula List Paradb_graph Seq

@@ -1,0 +1,1 @@
+lib/wsat/cnf.mli: Format Formula Paradb_graph

@@ -1,0 +1,1 @@
+lib/wsat/formula.ml: Array Circuit Format List Option Random Seq

@@ -1,0 +1,1 @@
+lib/wsat/formula.mli: Circuit Format Random

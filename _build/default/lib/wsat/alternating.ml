@@ -1,0 +1,68 @@
+type quantifier =
+  | Q_exists
+  | Q_forall
+
+type block = {
+  quantifier : quantifier;
+  vars : int list;
+  weight : int;
+}
+
+let validate ~n_vars blocks =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if b.weight < 0 || b.weight > List.length b.vars then
+        invalid_arg "Alternating: block weight out of range";
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n_vars then
+            invalid_arg "Alternating: variable out of range";
+          if Hashtbl.mem seen v then
+            invalid_arg "Alternating: blocks are not disjoint";
+          Hashtbl.add seen v ())
+        b.vars)
+    blocks
+
+let parameter blocks = List.fold_left (fun acc b -> acc + b.weight) 0 blocks
+
+let subsets vars k : int list Seq.t =
+  let arr = Array.of_list vars in
+  let n = Array.length arr in
+  let rec choose start need : int list Seq.t =
+   fun () ->
+    if need = 0 then Seq.Cons ([], Seq.empty)
+    else if start > n - need then Seq.Nil
+    else
+      Seq.append
+        (Seq.map (fun rest -> arr.(start) :: rest) (choose (start + 1) (need - 1)))
+        (choose (start + 1) need)
+        ()
+  in
+  choose 0 k
+
+let holds ~n_vars ~eval blocks =
+  validate ~n_vars blocks;
+  let assignment = Array.make n_vars false in
+  let rec game = function
+    | [] -> eval assignment
+    | b :: rest ->
+        let try_subset subset =
+          List.iter (fun v -> assignment.(v) <- true) subset;
+          let result = game rest in
+          List.iter (fun v -> assignment.(v) <- false) subset;
+          result
+        in
+        let choices = subsets b.vars b.weight in
+        (match b.quantifier with
+        | Q_exists -> Seq.exists try_subset choices
+        | Q_forall -> Seq.for_all try_subset choices)
+  in
+  game blocks
+
+let holds_circuit c blocks =
+  holds ~n_vars:c.Circuit.n_inputs ~eval:(Circuit.eval c) blocks
+
+let holds_formula ?n_vars f blocks =
+  let n = max (Formula.n_vars f) (Option.value n_vars ~default:0) in
+  holds ~n_vars:n ~eval:(Formula.eval f) blocks

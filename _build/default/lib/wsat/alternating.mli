@@ -1,0 +1,38 @@
+(** Alternating weighted satisfiability — the complete problems of the
+    AW classes (Abrahamson–Downey–Fellows) that Section 4 uses to
+    classify first-order queries under alternation.
+
+    The input variables are partitioned into blocks [V_1, ..., V_r];
+    block [i] carries a quantifier and a weight [k_i].  The question:
+
+    [Q_1 S_1 ⊆ V_1 (|S_1| = k_1). Q_2 S_2 ⊆ V_2 (|S_2| = k_2). ...]
+    such that the circuit/formula accepts the input that sets exactly
+    [∪ S_i] true (variables outside every block are false).
+
+    The parameter is [Σ k_i].  With unrestricted circuits this is
+    AW[P]; with formulas, AW[SAT]. *)
+
+type quantifier =
+  | Q_exists
+  | Q_forall
+
+type block = {
+  quantifier : quantifier;
+  vars : int list;
+  weight : int;
+}
+
+(** Disjointness, ranges and weights; raises [Invalid_argument]. *)
+val validate : n_vars:int -> block list -> unit
+
+val parameter : block list -> int
+
+(** Brute-force game evaluation (enumerates [C(|V_i|, k_i)] subsets per
+    level). *)
+val holds : n_vars:int -> eval:(bool array -> bool) -> block list -> bool
+
+val holds_circuit : Circuit.t -> block list -> bool
+val holds_formula : ?n_vars:int -> Formula.t -> block list -> bool
+
+(** All weight-[k] subsets of a list, as sorted index lists. *)
+val subsets : int list -> int -> int list Seq.t

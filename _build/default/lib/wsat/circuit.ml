@@ -1,0 +1,131 @@
+type gate =
+  | G_input of int
+  | G_const of bool
+  | G_and of int list
+  | G_or of int list
+  | G_not of int
+
+type t = { n_inputs : int; gates : gate array; output : int }
+
+let make ~n_inputs gates ~output =
+  let n = Array.length gates in
+  if output < 0 || output >= n then invalid_arg "Circuit.make: bad output id";
+  Array.iteri
+    (fun id gate ->
+      let check_ref j =
+        if j < 0 || j >= id then
+          invalid_arg
+            (Printf.sprintf
+               "Circuit.make: gate %d references %d (not topologically \
+                ordered)"
+               id j)
+      in
+      match gate with
+      | G_input i ->
+          if i < 0 || i >= n_inputs then
+            invalid_arg "Circuit.make: input index out of range"
+      | G_const _ -> ()
+      | G_and js | G_or js -> List.iter check_ref js
+      | G_not j -> check_ref j)
+    gates;
+  { n_inputs; gates; output }
+
+let n_gates t = Array.length t.gates
+
+let eval t input =
+  if Array.length input <> t.n_inputs then
+    invalid_arg "Circuit.eval: wrong input length";
+  let value = Array.make (n_gates t) false in
+  Array.iteri
+    (fun id gate ->
+      value.(id) <-
+        (match gate with
+        | G_input i -> input.(i)
+        | G_const b -> b
+        | G_and js -> List.for_all (fun j -> value.(j)) js
+        | G_or js -> List.exists (fun j -> value.(j)) js
+        | G_not j -> not value.(j)))
+    t.gates;
+  value.(t.output)
+
+let is_monotone t =
+  Array.for_all
+    (function G_not _ -> false | G_input _ | G_const _ | G_and _ | G_or _ -> true)
+    t.gates
+
+let levels t =
+  let level = Array.make (n_gates t) 0 in
+  Array.iteri
+    (fun id gate ->
+      level.(id) <-
+        (match gate with
+        | G_input _ | G_const _ -> 0
+        | G_and js | G_or js ->
+            1 + List.fold_left (fun acc j -> max acc level.(j)) 0 js
+        | G_not j -> 1 + level.(j)))
+    t.gates;
+  level
+
+let depth t =
+  (* Depth does not count NOT gates applied directly to inputs. *)
+  let d = Array.make (n_gates t) 0 in
+  Array.iteri
+    (fun id gate ->
+      d.(id) <-
+        (match gate with
+        | G_input _ | G_const _ -> 0
+        | G_and js | G_or js ->
+            1 + List.fold_left (fun acc j -> max acc d.(j)) 0 js
+        | G_not j -> (
+            match t.gates.(j) with
+            | G_input _ -> 0
+            | G_const _ | G_and _ | G_or _ | G_not _ -> 1 + d.(j))))
+    t.gates;
+  d.(t.output)
+
+(* Enumerate all weight-k 0/1 assignments of n variables, lazily, in
+   lexicographic order of the chosen index sets. *)
+let weight_k_assignments n k : bool array Seq.t =
+  if k < 0 || k > n then Seq.empty
+  else if k = 0 then Seq.return (Array.make n false)
+  else
+    let rec choose start need : int list Seq.t =
+     fun () ->
+      if need = 0 then Seq.Cons ([], Seq.empty)
+      else if start > n - need then Seq.Nil
+      else
+        Seq.append
+          (Seq.map (fun rest -> start :: rest) (choose (start + 1) (need - 1)))
+          (choose (start + 1) need)
+          ()
+    in
+    Seq.map
+      (fun idxs ->
+        let a = Array.make n false in
+        List.iter (fun i -> a.(i) <- true) idxs;
+        a)
+      (choose 0 k)
+
+let weighted_sat t k =
+  Seq.find (eval t) (weight_k_assignments t.n_inputs k)
+
+let weighted_sat_exists t k = weighted_sat t k <> None
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>circuit(%d inputs, %d gates, out %d)" t.n_inputs
+    (n_gates t) t.output;
+  Array.iteri
+    (fun id gate ->
+      let s =
+        match gate with
+        | G_input i -> Printf.sprintf "x%d" i
+        | G_const b -> string_of_bool b
+        | G_and js ->
+            "AND(" ^ String.concat "," (List.map string_of_int js) ^ ")"
+        | G_or js ->
+            "OR(" ^ String.concat "," (List.map string_of_int js) ^ ")"
+        | G_not j -> Printf.sprintf "NOT(%d)" j
+      in
+      Format.fprintf ppf "@,  g%d = %s" id s)
+    t.gates;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** Boolean circuits with unbounded fan-in/fan-out AND, OR and NOT gates —
+    the machine model underlying the W hierarchy (Section 2).
+
+    Gates are stored in topological order: a gate may only reference
+    strictly smaller gate ids.  Inputs are gates too ([G_input i] reads
+    input variable [i]). *)
+
+type gate =
+  | G_input of int
+  | G_const of bool
+  | G_and of int list
+  | G_or of int list
+  | G_not of int
+
+type t = private { n_inputs : int; gates : gate array; output : int }
+
+(** Validates gate references (topological order, ranges) or raises
+    [Invalid_argument]. *)
+val make : n_inputs:int -> gate array -> output:int -> t
+
+val n_gates : t -> int
+val eval : t -> bool array -> bool
+
+(** No NOT gates anywhere. *)
+val is_monotone : t -> bool
+
+(** Longest input→output path, counting AND/OR gates and internal NOT
+    gates but — per the paper's convention — not NOT gates applied
+    directly to inputs. *)
+val depth : t -> int
+
+(** [alternates t] — along every path, OR and AND gates strictly
+    alternate with an OR gate at the output, and all inputs feed (or are)
+    the bottom level; the form Theorem 1's first-order reduction assumes
+    (after normalization). *)
+val levels : t -> int array
+(** [levels t] assigns each gate its level: inputs at 0, any other gate at
+    1 + max over fan-in. *)
+
+(** [weighted_sat t k] — a satisfying input with exactly [k] ones, found
+    by enumerating all weight-[k] assignments (the [O(n^k)] brute force
+    that defines the difficulty of the problem).  Returns the assignment
+    or [None]. *)
+val weighted_sat : t -> int -> bool array option
+
+val weighted_sat_exists : t -> int -> bool
+
+(** All weight-[k] assignments, as a sequence (shared by the solvers and
+    the benchmarks). *)
+val weight_k_assignments : int -> int -> bool array Seq.t
+
+val pp : Format.formatter -> t -> unit

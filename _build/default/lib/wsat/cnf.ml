@@ -1,0 +1,117 @@
+type literal = { var : int; positive : bool }
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+let make ~n_vars clauses =
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          if lit.var < 0 || lit.var >= n_vars then
+            invalid_arg "Cnf.make: variable out of range")
+        clause)
+    clauses;
+  { n_vars; clauses }
+
+let pos var = { var; positive = true }
+let neg var = { var; positive = false }
+
+let eval_literal a lit = if lit.positive then a.(lit.var) else not a.(lit.var)
+
+let eval t a =
+  List.for_all (fun clause -> List.exists (eval_literal a) clause) t.clauses
+
+let is_2cnf t = List.for_all (fun c -> List.length c <= 2) t.clauses
+let is_3cnf t = List.for_all (fun c -> List.length c <= 3) t.clauses
+
+let all_negative t =
+  List.for_all (List.for_all (fun lit -> not lit.positive)) t.clauses
+
+let n_clauses t = List.length t.clauses
+
+let to_formula t =
+  Formula.conj
+    (List.map
+       (fun clause ->
+         Formula.disj
+           (List.map
+              (fun lit ->
+                let v = Formula.var lit.var in
+                if lit.positive then v else Formula.neg v)
+              clause))
+       t.clauses)
+
+let weighted_sat t k =
+  Seq.find (eval t) (Circuit.weight_k_assignments t.n_vars k)
+
+let weighted_sat_exists t k = weighted_sat t k <> None
+
+let conflict_graph t =
+  if not (all_negative t && is_2cnf t) then
+    invalid_arg "Cnf.conflict_graph: requires an all-negative 2-CNF";
+  let g = Paradb_graph.Graph.create t.n_vars in
+  List.iter
+    (fun clause ->
+      match clause with
+      | [ a; b ] -> Paradb_graph.Graph.add_edge g a.var b.var
+      | [ a ] ->
+          (* Unit negative clause: the variable can never be true; a
+             self-loop marks it as conflicting with itself. *)
+          Paradb_graph.Graph.add_edge g a.var a.var
+      | [] -> ()
+      | _ -> assert false)
+    t.clauses;
+  g
+
+let weighted_sat_neg2cnf t k =
+  let conflicts = conflict_graph t in
+  let self_ok v = not (Paradb_graph.Graph.has_edge conflicts v v) in
+  if k = 0 then
+    if eval t (Array.make t.n_vars false) then Some (Array.make t.n_vars false)
+    else None
+  else if k = 1 then begin
+    let rec try_var v =
+      if v >= t.n_vars then None
+      else if self_ok v then begin
+        let a = Array.make t.n_vars false in
+        a.(v) <- true;
+        Some a
+      end
+      else try_var (v + 1)
+    in
+    try_var 0
+  end
+  else begin
+    (* Complement of the conflict graph, restricted to variables that do
+       not conflict with themselves; a weight-k satisfying assignment is a
+       k-clique there. *)
+    let g = Paradb_graph.Graph.create t.n_vars in
+    for u = 0 to t.n_vars - 1 do
+      for v = u + 1 to t.n_vars - 1 do
+        if (not (Paradb_graph.Graph.has_edge conflicts u v)) && self_ok u
+           && self_ok v
+        then Paradb_graph.Graph.add_edge g u v
+      done
+    done;
+    match Paradb_graph.Graph.find_clique g k with
+    | None -> None
+    | Some vs ->
+        let a = Array.make t.n_vars false in
+        List.iter (fun v -> a.(v) <- true) vs;
+        Some a
+  end
+
+let pp_literal ppf lit =
+  Format.fprintf ppf "%sx%d" (if lit.positive then "" else "!") lit.var
+
+let pp ppf t =
+  Format.fprintf ppf "cnf(%d vars): " t.n_vars;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+    (fun ppf clause ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp_literal)
+        clause)
+    ppf t.clauses

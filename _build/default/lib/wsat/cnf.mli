@@ -1,0 +1,41 @@
+(** CNF formulas.  Depth-1 weighted satisfiability in the W hierarchy is
+    weighted 3-CNF satisfiability; Theorem 1's conjunctive-query upper
+    bound produces weighted *2-CNF with all-negative clauses* — captured
+    here together with its structural predicates. *)
+
+type literal = { var : int; positive : bool }
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+val make : n_vars:int -> clause list -> t
+val pos : int -> literal
+val neg : int -> literal
+val eval : t -> bool array -> bool
+val is_2cnf : t -> bool
+val is_3cnf : t -> bool
+
+(** Every literal negative — the shape produced by the CQ reduction. *)
+val all_negative : t -> bool
+
+val n_clauses : t -> int
+val to_formula : t -> Formula.t
+
+(** Brute-force weight-[k] satisfiability by enumerating weight-[k]
+    assignments. *)
+val weighted_sat : t -> int -> bool array option
+
+val weighted_sat_exists : t -> int -> bool
+
+(** For an all-negative CNF, a weight-[k] satisfying assignment is an
+    independent set of size [k] in the conflict graph (vertices =
+    variables, an edge for each 2-clause), i.e., a clique in its
+    complement — footnote 2's bridge from queries to [clique].  Raises
+    [Invalid_argument] unless [all_negative] and [is_2cnf] hold. *)
+val conflict_graph : t -> Paradb_graph.Graph.t
+
+(** Weight-[k] satisfiability of an all-negative 2-CNF via clique search
+    in the complement of the conflict graph (much faster than enumeration
+    when [k] is small). *)
+val weighted_sat_neg2cnf : t -> int -> bool array option
+
+val pp : Format.formatter -> t -> unit

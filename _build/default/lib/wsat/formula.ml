@@ -1,0 +1,129 @@
+type t =
+  | F_const of bool
+  | F_var of int
+  | F_not of t
+  | F_and of t list
+  | F_or of t list
+
+let var i = F_var i
+let neg f = F_not f
+
+let conj = function
+  | [] -> F_const true
+  | [ f ] -> f
+  | fs -> F_and fs
+
+let disj = function
+  | [] -> F_const false
+  | [ f ] -> f
+  | fs -> F_or fs
+
+let rec max_var = function
+  | F_const _ -> -1
+  | F_var i -> i
+  | F_not f -> max_var f
+  | F_and fs | F_or fs -> List.fold_left (fun acc f -> max acc (max_var f)) (-1) fs
+
+let n_vars f = 1 + max_var f
+
+let rec size = function
+  | F_const _ | F_var _ -> 1
+  | F_not f -> 1 + size f
+  | F_and fs | F_or fs -> 1 + List.fold_left (fun acc f -> acc + size f) 0 fs
+
+let rec eval f a =
+  match f with
+  | F_const b -> b
+  | F_var i -> a.(i)
+  | F_not g -> not (eval g a)
+  | F_and gs -> List.for_all (fun g -> eval g a) gs
+  | F_or gs -> List.exists (fun g -> eval g a) gs
+
+let rec is_monotone = function
+  | F_const _ | F_var _ -> true
+  | F_not _ -> false
+  | F_and fs | F_or fs -> List.for_all is_monotone fs
+
+let rec nnf = function
+  | (F_const _ | F_var _) as f -> f
+  | F_and fs -> F_and (List.map nnf fs)
+  | F_or fs -> F_or (List.map nnf fs)
+  | F_not f -> (
+      match f with
+      | F_const b -> F_const (not b)
+      | F_var _ -> F_not f
+      | F_not g -> nnf g
+      | F_and fs -> F_or (List.map (fun g -> nnf (F_not g)) fs)
+      | F_or fs -> F_and (List.map (fun g -> nnf (F_not g)) fs))
+
+let occurrences f =
+  let rec go acc = function
+    | F_const _ -> acc
+    | F_var i -> (i, true) :: acc
+    | F_not (F_var i) -> (i, false) :: acc
+    | F_not g -> go acc (nnf (F_not g))
+    | F_and fs | F_or fs -> List.fold_left go acc fs
+  in
+  List.rev (go [] (nnf f))
+
+let to_circuit ?n_vars:universe f =
+  let gates = ref [] in
+  let count = ref 0 in
+  let emit g =
+    gates := g :: !gates;
+    let id = !count in
+    incr count;
+    id
+  in
+  let n = max (n_vars f) (Option.value universe ~default:0) in
+  (* Emit one input gate per variable up front so sharing is possible. *)
+  let input_ids = Array.init n (fun i -> emit (Circuit.G_input i)) in
+  let rec go = function
+    | F_const b -> emit (Circuit.G_const b)
+    | F_var i -> input_ids.(i)
+    | F_not g -> emit (Circuit.G_not (go g))
+    | F_and gs -> emit (Circuit.G_and (List.map go gs))
+    | F_or gs -> emit (Circuit.G_or (List.map go gs))
+  in
+  let output = go f in
+  Circuit.make ~n_inputs:n (Array.of_list (List.rev !gates)) ~output
+
+let weighted_sat ?n_vars:universe f k =
+  let n = max (n_vars f) (Option.value universe ~default:0) in
+  Seq.find (fun a -> eval f a) (Circuit.weight_k_assignments n k)
+
+let weighted_sat_exists ?n_vars f k = weighted_sat ?n_vars f k <> None
+
+let random rng ~n_vars ~depth =
+  let rec go depth =
+    if depth <= 0 || Random.State.int rng 4 = 0 then
+      let v = F_var (Random.State.int rng n_vars) in
+      if Random.State.bool rng then v else F_not v
+    else
+      let width = 2 + Random.State.int rng 2 in
+      let subs = List.init width (fun _ -> go (depth - 1)) in
+      if Random.State.bool rng then F_and subs else F_or subs
+  in
+  go depth
+
+let rec pp ppf = function
+  | F_const b -> Format.pp_print_bool ppf b
+  | F_var i -> Format.fprintf ppf "x%d" i
+  | F_not f -> Format.fprintf ppf "!%a" pp_delim f
+  | F_and fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+           pp)
+        fs
+  | F_or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp)
+        fs
+
+and pp_delim ppf f =
+  match f with
+  | F_const _ | F_var _ | F_not _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f

@@ -1,0 +1,47 @@
+(** Boolean formulas (fan-out-1 circuits).  Weighted formula
+    satisfiability is the complete problem for W[SAT]; Theorem 1 reduces
+    it to positive-query evaluation under the variable parameter. *)
+
+type t =
+  | F_const of bool
+  | F_var of int
+  | F_not of t
+  | F_and of t list
+  | F_or of t list
+
+val var : int -> t
+val neg : t -> t
+val conj : t list -> t
+val disj : t list -> t
+val n_vars : t -> int
+
+(** Count of atomic occurrences plus connectives (a size measure). *)
+val size : t -> int
+
+val eval : t -> bool array -> bool
+val is_monotone : t -> bool
+
+(** Negation normal form: negations pushed onto variables. *)
+val nnf : t -> t
+
+(** Positive and negative variable occurrences (after NNF), as
+    [(var, positive)] pairs in formula order — the "occurrences" replaced
+    one by one in Theorem 1's W[SAT] reduction. *)
+val occurrences : t -> (int * bool) list
+
+(** [n_vars] widens the circuit's input universe beyond the formula's own
+    maximum variable index. *)
+val to_circuit : ?n_vars:int -> t -> Circuit.t
+
+(** Brute-force weight-[k] satisfiability.  [n_vars] widens the variable
+    universe beyond the formula's own maximum index (weight is counted
+    over the whole universe). *)
+val weighted_sat : ?n_vars:int -> t -> int -> bool array option
+
+val weighted_sat_exists : ?n_vars:int -> t -> int -> bool
+
+(** Random formula on [n_vars] variables with the given connective depth
+    (for property tests). *)
+val random : Random.State.t -> n_vars:int -> depth:int -> t
+
+val pp : Format.formatter -> t -> unit

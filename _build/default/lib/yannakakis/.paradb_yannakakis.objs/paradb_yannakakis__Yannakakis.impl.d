@@ -1,0 +1,1 @@
+lib/yannakakis/yannakakis.ml: Array Atom Binding Cq List Paradb_hypergraph Paradb_query Paradb_relational Printf Term

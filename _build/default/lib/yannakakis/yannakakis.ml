@@ -1,0 +1,164 @@
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+module Join_tree = Paradb_hypergraph.Join_tree
+open Paradb_query
+
+exception Cyclic_query
+
+let atom_relations ?(filter = fun _ -> true) db q =
+  let per_atom atom =
+    let vars = Atom.vars atom in
+    let rel = Database.find db atom.Atom.rel in
+    let rows =
+      Relation.fold
+        (fun tuple acc ->
+          match Atom.matches atom tuple with
+          | None -> acc
+          | Some binding ->
+              if filter binding then
+                let row =
+                  Array.of_list
+                    (List.map
+                       (fun x ->
+                         match Binding.find x binding with
+                         | Some v -> v
+                         | None -> assert false)
+                       vars)
+                in
+                Tuple.Set.add row acc
+              else acc)
+        rel Tuple.Set.empty
+    in
+    Relation.of_set ~name:atom.Atom.rel ~schema:vars rows
+  in
+  Array.of_list (List.map per_atom q.Cq.body)
+
+let semijoin_bottom_up tree rels =
+  let rels = Array.copy rels in
+  Array.iter
+    (fun j ->
+      let u = tree.Join_tree.parent.(j) in
+      if u >= 0 then rels.(u) <- Relation.semijoin rels.(u) rels.(j))
+    tree.Join_tree.bottom_up;
+  rels
+
+let semijoin_top_down tree rels =
+  let rels = Array.copy rels in
+  Array.iter
+    (fun j ->
+      let u = tree.Join_tree.parent.(j) in
+      if u >= 0 then rels.(j) <- Relation.semijoin rels.(j) rels.(u))
+    tree.Join_tree.top_down;
+  rels
+
+let full_reducer tree rels = semijoin_top_down tree (semijoin_bottom_up tree rels)
+
+let join_nonempty tree rels =
+  let reduced = semijoin_bottom_up tree rels in
+  not (Relation.is_empty reduced.(tree.Join_tree.root))
+
+let head_schema q = List.mapi (fun i _ -> Printf.sprintf "a%d" i) q.Cq.head
+
+(* Instantiate the head terms from a row of the projection onto the head
+   variables. *)
+let head_rows q proj =
+  let positions =
+    List.map
+      (function
+        | Term.Var x -> `Var (Relation.position proj x)
+        | Term.Const v -> `Const v)
+      q.Cq.head
+  in
+  Relation.fold
+    (fun row acc ->
+      let out =
+        Array.of_list
+          (List.map
+             (function `Var i -> row.(i) | `Const v -> v)
+             positions)
+      in
+      Tuple.Set.add out acc)
+    proj Tuple.Set.empty
+
+let evaluate db q =
+  if Cq.has_constraints q then
+    invalid_arg
+      "Yannakakis.evaluate: query has constraint atoms; use Paradb_core";
+  let empty_result () = Relation.create ~name:q.Cq.name ~schema:(head_schema q) [] in
+  match q.Cq.body with
+  | [] ->
+      (* No atoms: the head is all constants; the query holds trivially. *)
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | Term.Const v -> v
+               | Term.Var _ -> assert false (* unsafe, rejected by Cq.make *))
+             q.Cq.head)
+      in
+      Relation.create ~name:q.Cq.name ~schema:(head_schema q) [ row ]
+  | _ -> (
+      match Join_tree.of_cq q with
+      | None -> raise Cyclic_query
+      | Some tree ->
+          let rels = atom_relations db q in
+          if Array.exists Relation.is_empty rels then empty_result ()
+          else begin
+            let rels = full_reducer tree rels in
+            if Relation.is_empty rels.(tree.Join_tree.root) then empty_result ()
+            else begin
+              let head_vars = Cq.head_vars q in
+              let module SS = Paradb_hypergraph.Hypergraph.String_set in
+              let head_set = SS.of_list head_vars in
+              (* Bottom-up join-and-project: fold each child into its parent,
+                 keeping only join attributes and head attributes. *)
+              let acc = Array.copy rels in
+              Array.iter
+                (fun j ->
+                  let u = tree.Join_tree.parent.(j) in
+                  if u >= 0 then begin
+                    let connectors =
+                      SS.inter tree.Join_tree.node_vars.(j)
+                        tree.Join_tree.node_vars.(u)
+                    in
+                    let keep =
+                      SS.union connectors
+                        (SS.inter head_set tree.Join_tree.subtree_vars.(j))
+                    in
+                    let child =
+                      Relation.project
+                        (List.filter
+                           (fun a -> SS.mem a keep)
+                           (Relation.schema_list acc.(j)))
+                        acc.(j)
+                    in
+                    acc.(u) <- Relation.natural_join acc.(u) child
+                  end)
+                tree.Join_tree.bottom_up;
+              let proj =
+                Relation.project head_vars acc.(tree.Join_tree.root)
+              in
+              Relation.of_set ~name:q.Cq.name ~schema:(head_schema q)
+                (head_rows q proj)
+            end
+          end)
+
+let is_satisfiable db q =
+  if Cq.has_constraints q then
+    invalid_arg
+      "Yannakakis.is_satisfiable: query has constraint atoms; use Paradb_core";
+  match q.Cq.body with
+  | [] -> true
+  | _ -> (
+      match Join_tree.of_cq q with
+      | None -> raise Cyclic_query
+      | Some tree ->
+          let rels = atom_relations db q in
+          (not (Array.exists Relation.is_empty rels))
+          && join_nonempty tree rels)
+
+let decide db q tuple =
+  match Cq.close_with_tuple q tuple with
+  | None -> false
+  | Some closed -> is_satisfiable db closed

@@ -1,0 +1,48 @@
+(** Yannakakis' algorithm for acyclic conjunctive queries (VLDB 1981) —
+    the "major exception" of Section 5 that Theorem 2 extends: evaluation
+    in time polynomial in the database and the output.
+
+    The pipeline is the one described in the paper: per-atom relations
+    [S_j = π_{U_j} σ_{F_j} (R_{i_j})], a join tree from GYO, a semijoin
+    full reducer, then an output-sensitive bottom-up join-and-project
+    pass. *)
+
+exception Cyclic_query
+
+(** [atom_relations db q] computes [S_j] for every relational atom of the
+    body: schema = the atom's distinct variables; selections enforce the
+    atom's constants and repeated variables.  [filter] (used by the
+    Theorem-2 engine for intra-atom [≠] atoms) additionally restricts the
+    admitted variable instantiations. *)
+val atom_relations :
+  ?filter:(Paradb_query.Binding.t -> bool) ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Relation.t array
+
+(** Bottom-up then top-down semijoin passes over the join tree; the result
+    is globally consistent (every tuple participates in the full join).
+    Relations are indexed by tree node. *)
+val full_reducer :
+  Paradb_hypergraph.Join_tree.t ->
+  Paradb_relational.Relation.t array ->
+  Paradb_relational.Relation.t array
+
+(** Emptiness of the full join, via the bottom-up semijoin pass only. *)
+val join_nonempty :
+  Paradb_hypergraph.Join_tree.t ->
+  Paradb_relational.Relation.t array -> bool
+
+(** [evaluate db q] for an acyclic [q] without constraint atoms.
+    Raises [Cyclic_query] if the query hypergraph is cyclic, and
+    [Invalid_argument] if [q] has constraints (use the Theorem-2 engine
+    for those). *)
+val evaluate :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Relation.t
+
+val is_satisfiable :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> bool
+
+val decide :
+  Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  Paradb_relational.Tuple.t -> bool

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Array Cq List Paradb_containment Paradb_eval Paradb_query Paradb_relational Parser QCheck_alcotest Qgen

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array List Paradb_datalog Paradb_graph Paradb_query Paradb_relational Paradb_workload Parser Printf Program QCheck_alcotest Qgen Random String

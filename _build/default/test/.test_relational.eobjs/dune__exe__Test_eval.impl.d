@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Cq Fo List Paradb_eval Paradb_query Paradb_relational Parser QCheck_alcotest Qgen Term

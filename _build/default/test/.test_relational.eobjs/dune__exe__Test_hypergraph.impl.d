@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array List Paradb_hypergraph Paradb_query Parser Printf QCheck_alcotest Qgen Random String

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Atom Binding Constr Cq Fact_format Fo Gen Ineq_formula List Paradb_eval Paradb_query Paradb_relational Parser Printf Program QCheck QCheck_alcotest Qgen Rule String Term

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array List Paradb_relational QCheck_alcotest Qgen Random

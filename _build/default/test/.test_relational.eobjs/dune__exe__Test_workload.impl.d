@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cq Fun List Paradb_core Paradb_datalog Paradb_eval Paradb_query Paradb_relational Paradb_workload Program Random String Sys

@@ -1,0 +1,1 @@
+test/test_wsat.ml: Alcotest Array List Paradb_graph Paradb_wsat QCheck_alcotest Qgen Random Seq

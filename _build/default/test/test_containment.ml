@@ -1,0 +1,173 @@
+module Relation = Paradb_relational.Relation
+module Containment = Paradb_containment.Containment
+module Cq_naive = Paradb_eval.Cq_naive
+open Paradb_query
+
+let cq = Parser.parse_cq
+
+(* ------------------------------------------------------------------ *)
+(* Canonical databases *)
+
+let test_canonical_database () =
+  let q = cq "ans(X) :- e(X, Y), e(Y, 3)." in
+  let db, head = Containment.canonical_database q in
+  let module Database = Paradb_relational.Database in
+  Alcotest.(check int) "one relation" 1 (List.length (Database.names db));
+  Alcotest.(check int) "two frozen tuples" 2
+    (Relation.cardinality (Database.find db "e"));
+  Alcotest.(check int) "head arity" 1 (Array.length head);
+  (* the query is satisfied by its own canonical database *)
+  Alcotest.(check bool) "self-satisfying" true (Cq_naive.decide db q head)
+
+(* ------------------------------------------------------------------ *)
+(* Containment *)
+
+let test_containment_classics () =
+  let path2 = cq "ans(X) :- e(X, Y), e(Y, Z)." in
+  let edge = cq "ans(X) :- e(X, Y)." in
+  Alcotest.(check bool) "path2 in edge" true (Containment.contained path2 edge);
+  Alcotest.(check bool) "edge not in path2" false (Containment.contained edge path2);
+  (* boolean: triangle implies 2-path exists *)
+  let tri = cq "g() :- e(X, Y), e(Y, Z), e(Z, X)." in
+  let p2 = cq "g() :- e(X, Y), e(Y, Z)." in
+  Alcotest.(check bool) "triangle in p2" true (Containment.contained tri p2);
+  Alcotest.(check bool) "p2 not in triangle" false (Containment.contained p2 tri);
+  (* constants restrict *)
+  let specific = cq "ans(X) :- e(X, 3)." in
+  let general = cq "ans(X) :- e(X, Y)." in
+  Alcotest.(check bool) "specific in general" true
+    (Containment.contained specific general);
+  Alcotest.(check bool) "general not in specific" false
+    (Containment.contained general specific)
+
+let test_head_discipline () =
+  (* same body, different heads: ans(X) vs ans(Y) are incomparable on
+     asymmetric relations *)
+  let qx = cq "ans(X) :- e(X, Y)." in
+  let qy = cq "ans(Y) :- e(X, Y)." in
+  Alcotest.(check bool) "x not in y" false (Containment.contained qx qy);
+  Alcotest.(check bool) "y not in x" false (Containment.contained qy qx);
+  (* arity mismatch is never contained *)
+  let q2 = cq "ans(X, Y) :- e(X, Y)." in
+  Alcotest.(check bool) "arity mismatch" false (Containment.contained qx q2)
+
+let test_equivalence () =
+  (* same query up to variable renaming *)
+  let a = cq "ans(X) :- e(X, Y), e(Y, Z)." in
+  let b = cq "ans(A) :- e(A, B), e(B, C)." in
+  Alcotest.(check bool) "renamed equal" true (Containment.equivalent a b);
+  (* adding a redundant atom preserves equivalence *)
+  let c = cq "ans(X) :- e(X, Y), e(Y, Z), e(X, W)." in
+  Alcotest.(check bool) "redundancy" true (Containment.equivalent a c)
+
+let test_disjoint_relations () =
+  (* q2 mentions a relation absent from q1's body: containment must not
+     crash, and cannot hold unless vacuous *)
+  let q1 = cq "g() :- e(X, Y)." in
+  let q2 = cq "g() :- f(X)." in
+  Alcotest.(check bool) "no hom" false (Containment.contained q1 q2)
+
+let test_guards () =
+  let q = cq "g() :- e(X, Y), X != Y." in
+  Alcotest.(check bool) "constraints rejected" true
+    (try ignore (Containment.contained q q); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Minimization (cores) *)
+
+let test_minimize () =
+  let red = cq "ans(X) :- e(X, Y), e(X, Z)." in
+  let m = Containment.minimize red in
+  Alcotest.(check int) "one atom" 1 (List.length m.Cq.body);
+  Alcotest.(check bool) "equivalent" true (Containment.equivalent m red);
+  (* a 2-path with a redundant longer shadow *)
+  let shadowed = cq "ans(X) :- e(X, Y), e(Y, Z), e(X, U), e(U, V)." in
+  let m2 = Containment.minimize shadowed in
+  Alcotest.(check int) "two atoms" 2 (List.length m2.Cq.body);
+  (* already minimal queries are untouched *)
+  let tri = cq "g() :- e(X, Y), e(Y, Z), e(Z, X)." in
+  Alcotest.(check int) "triangle is a core" 3
+    (List.length (Containment.minimize tri).Cq.body);
+  (* head variables pin atoms that would otherwise fold *)
+  let pinned = cq "ans(Y, Z) :- e(X, Y), e(X, Z)." in
+  Alcotest.(check int) "pinned" 2 (List.length (Containment.minimize pinned).Cq.body)
+
+let test_minimize_to_self_loop () =
+  (* a cycle folds onto a self-loop atom if one is present *)
+  let q = cq "g() :- e(X, X), e(Y, Z), e(Z, Y)." in
+  let m = Containment.minimize q in
+  Alcotest.(check int) "folds onto the loop" 1 (List.length m.Cq.body)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"containment is sound on random dbs" ~count:80
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:2 ~domain_size:3 ~tuples:8 in
+        let mk () =
+          let q =
+            Qgen.random_tree_cq rng ~max_atoms:3 ~max_arity:2 ~neq_tries:0
+              ~domain_size:3
+          in
+          Cq.make ~name:"g" ~head:[] q.Cq.body
+        in
+        let q1 = mk () and q2 = mk () in
+        (not (Containment.contained q1 q2))
+        || (not (Cq_naive.is_satisfiable db q1))
+        || Cq_naive.is_satisfiable db q2);
+    Qgen.seeded_property ~name:"minimize preserves equivalence" ~count:60
+      (fun rng ->
+        let q0 =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:2 ~neq_tries:0
+            ~domain_size:3
+        in
+        let q = Cq.make ~name:"g" ~head:q0.Cq.head q0.Cq.body in
+        let m = Containment.minimize q in
+        List.length m.Cq.body <= List.length q.Cq.body
+        && Containment.equivalent m q);
+    Qgen.seeded_property ~name:"minimize is idempotent" ~count:40 (fun rng ->
+        let q0 =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:2 ~neq_tries:0
+            ~domain_size:3
+        in
+        let q = Cq.make ~name:"g" ~head:[] q0.Cq.body in
+        let m = Containment.minimize q in
+        List.length (Containment.minimize m).Cq.body = List.length m.Cq.body);
+    Qgen.seeded_property ~name:"containment is reflexive and transitive"
+      ~count:40 (fun rng ->
+        let mk () =
+          let q =
+            Qgen.random_tree_cq rng ~max_atoms:3 ~max_arity:2 ~neq_tries:0
+              ~domain_size:3
+          in
+          Cq.make ~name:"g" ~head:[] q.Cq.body
+        in
+        let a = mk () and b = mk () and c = mk () in
+        Containment.contained a a
+        && ((not (Containment.contained a b && Containment.contained b c))
+            || Containment.contained a c));
+  ]
+
+let () =
+  Alcotest.run "containment"
+    [
+      ( "canonical db",
+        [ Alcotest.test_case "freeze" `Quick test_canonical_database ] );
+      ( "containment",
+        [
+          Alcotest.test_case "classics" `Quick test_containment_classics;
+          Alcotest.test_case "heads" `Quick test_head_discipline;
+          Alcotest.test_case "equivalence" `Quick test_equivalence;
+          Alcotest.test_case "disjoint relations" `Quick test_disjoint_relations;
+          Alcotest.test_case "guards" `Quick test_guards;
+        ] );
+      ( "minimization",
+        [
+          Alcotest.test_case "cores" `Quick test_minimize;
+          Alcotest.test_case "fold to loop" `Quick test_minimize_to_self_loop;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

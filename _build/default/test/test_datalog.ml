@@ -1,0 +1,254 @@
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Tuple = Paradb_relational.Tuple
+module Engine = Paradb_datalog.Engine
+open Paradb_query
+
+let tc_program =
+  Parser.parse_program
+    "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z)." ~goal:"tc"
+
+let path_db = Parser.parse_facts "e(1, 2). e(2, 3). e(3, 4)."
+
+let test_transitive_closure () =
+  let r = Engine.evaluate path_db tc_program in
+  Alcotest.(check int) "pairs" 6 (Relation.cardinality r);
+  Alcotest.(check bool) "1-4" true (Relation.mem (Tuple.of_ints [ 1; 4 ]) r);
+  Alcotest.(check bool) "no 4-1" false (Relation.mem (Tuple.of_ints [ 4; 1 ]) r)
+
+let test_cycle () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3). e(3, 1)." in
+  let r = Engine.evaluate db tc_program in
+  Alcotest.(check int) "complete" 9 (Relation.cardinality r)
+
+let test_naive_equals_seminaive () =
+  let dbs =
+    [
+      path_db;
+      Parser.parse_facts "e(1, 1).";
+      Parser.parse_facts "e(1, 2). e(2, 1). e(2, 3). e(4, 5).";
+    ]
+  in
+  List.iter
+    (fun db ->
+      let a = Engine.evaluate ~strategy:Engine.Naive db tc_program in
+      let b = Engine.evaluate ~strategy:Engine.Seminaive db tc_program in
+      Alcotest.(check bool) "same fixpoint" true (Relation.set_equal a b))
+    dbs
+
+let test_seminaive_fewer_derivations () =
+  let rng = Random.State.make [| 5 |] in
+  let edges =
+    String.concat " "
+      (List.init 40 (fun _ ->
+           Printf.sprintf "e(%d, %d)." (Random.State.int rng 12)
+             (Random.State.int rng 12)))
+  in
+  let db = Parser.parse_facts edges in
+  let s1 = Engine.new_stats () and s2 = Engine.new_stats () in
+  ignore (Engine.evaluate ~strategy:Engine.Naive ~stats:s1 db tc_program);
+  ignore (Engine.evaluate ~strategy:Engine.Seminaive ~stats:s2 db tc_program);
+  Alcotest.(check bool) "seminaive derives no more" true
+    (s2.Engine.derived <= s1.Engine.derived)
+
+let test_two_idb_occurrences () =
+  (* squaring rule: two IDB atoms in one body exercises the old/delta/new
+     discipline of the semi-naive rewriting *)
+  let p =
+    Parser.parse_program
+      "p(X, Z) :- e(X, Z). p(X, Z) :- p(X, Y), p(Y, Z)." ~goal:"p"
+  in
+  let dbs =
+    [ path_db;
+      Parser.parse_facts "e(1, 2). e(2, 1).";
+      Parser.parse_facts "e(1, 2). e(2, 3). e(3, 4). e(4, 5). e(5, 6)." ]
+  in
+  List.iter
+    (fun db ->
+      let a = Engine.evaluate ~strategy:Engine.Naive db p in
+      let b = Engine.evaluate ~strategy:Engine.Seminaive db p in
+      Alcotest.(check bool) "same closure" true (Relation.set_equal a b))
+    dbs
+
+let test_mutual_recursion () =
+  (* even/odd distance from a source: two mutually recursive IDBs *)
+  let p =
+    Parser.parse_program
+      "even(X) :- s(X). odd(Y) :- even(X), e(X, Y). even(Y) :- odd(X), e(X, Y)."
+      ~goal:"even"
+  in
+  let db = Parser.parse_facts "s(0). e(0, 1). e(1, 2). e(2, 3). e(3, 0)." in
+  let naive = Engine.evaluate ~strategy:Engine.Naive db p in
+  let semi = Engine.evaluate ~strategy:Engine.Seminaive db p in
+  Alcotest.(check bool) "strategies agree" true (Relation.set_equal naive semi);
+  Alcotest.(check bool) "0 even" true (Relation.mem (Tuple.of_ints [ 0 ]) semi);
+  Alcotest.(check bool) "2 even" true (Relation.mem (Tuple.of_ints [ 2 ]) semi);
+  (* a cycle of even length preserves parity: even = {0, 2} exactly *)
+  Alcotest.(check int) "parity preserved" 2 (Relation.cardinality semi);
+  (* an odd cycle mixes parities: every vertex becomes both *)
+  let db_odd = Parser.parse_facts "s(0). e(0, 1). e(1, 2). e(2, 0)." in
+  Alcotest.(check int) "odd cycle mixes" 3
+    (Relation.cardinality (Engine.evaluate db_odd p))
+
+let test_goal_holds () =
+  let reach =
+    Parser.parse_program
+      "r(X) :- s(X). r(Y) :- r(X), e(X, Y). goal :- r(X), t(X)."
+      ~goal:"goal"
+  in
+  let db = Parser.parse_facts "e(1, 2). e(2, 3). s(1). t(3)." in
+  Alcotest.(check bool) "reachable" true (Engine.goal_holds db reach);
+  let db2 = Parser.parse_facts "e(1, 2). e(2, 3). s(3). t(1)." in
+  Alcotest.(check bool) "not reachable" false (Engine.goal_holds db2 reach)
+
+let test_facts_in_program () =
+  let p =
+    Parser.parse_program "base(1, 2). tc(X, Y) :- base(X, Y)." ~goal:"tc"
+  in
+  let r = Engine.evaluate Database.empty p in
+  Alcotest.(check int) "fact-driven" 1 (Relation.cardinality r)
+
+let test_name_collision () =
+  let p = Parser.parse_program "e(X, Y) :- e(X, Y)." ~goal:"e" in
+  Alcotest.(check bool) "collision rejected" true
+    (try ignore (Engine.evaluate path_db p); false
+     with Invalid_argument _ -> true)
+
+let test_empty_edb () =
+  let db = Parser.parse_facts "e(1, 1)." in
+  (* program over a relation that exists but with a source relation missing
+     is an error; give the full EDB instead *)
+  let p =
+    Parser.parse_program "r(X) :- s(X). r(Y) :- r(X), e(X, Y)." ~goal:"r"
+  in
+  let db = Database.add (Relation.create ~name:"s" ~schema:[ "x" ] []) db in
+  let r = Engine.evaluate db p in
+  Alcotest.(check bool) "empty fixpoint" true (Relation.is_empty r)
+
+let test_vardi_family () =
+  let rng = Random.State.make [| 9 |] in
+  let db = Paradb_workload.Vardi.layered_instance rng ~layers:4 ~width:3 ~edge_prob:0.7 in
+  List.iter
+    (fun k ->
+      let p = Paradb_workload.Vardi.program ~k in
+      Alcotest.(check int) "idb arity" k (Program.arity p "reach");
+      let naive = Engine.goal_holds ~strategy:Engine.Naive db p in
+      let semi = Engine.goal_holds ~strategy:Engine.Seminaive db p in
+      Alcotest.(check bool) "strategies agree" true (naive = semi))
+    [ 1; 2 ]
+
+let test_vardi_matches_reachability () =
+  (* for k = 1 the family is plain source-target reachability *)
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 20 do
+    let n = 4 + Random.State.int rng 4 in
+    let edges = ref [] in
+    for _ = 1 to 8 do
+      edges := (Random.State.int rng n, Random.State.int rng n) :: !edges
+    done;
+    let src = Random.State.int rng n and tgt = Random.State.int rng n in
+    let db =
+      Paradb_workload.Vardi.database ~edges:!edges ~sources:[ src ]
+        ~targets:[ tgt ]
+    in
+    let expected =
+      let g = Paradb_graph.Digraph.of_edges n !edges in
+      (Paradb_graph.Digraph.reachable g src).(tgt)
+    in
+    Alcotest.(check bool) "k=1 is reachability" expected
+      (Engine.goal_holds db (Paradb_workload.Vardi.program ~k:1))
+  done
+
+let test_rounds_bounded () =
+  let stats = Engine.new_stats () in
+  ignore (Engine.evaluate ~stats path_db tc_program);
+  (* fixpoint over 4 nodes: at most n^r + 1 = 17 rounds, really ~4 *)
+  Alcotest.(check bool) "rounds sane" true (stats.Engine.rounds <= 6)
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"naive = seminaive on random graphs" ~count:60
+      (fun rng ->
+        let n = 3 + Random.State.int rng 6 in
+        let facts =
+          String.concat " "
+            (List.init
+               (2 + Random.State.int rng 15)
+               (fun _ ->
+                 Printf.sprintf "e(%d, %d)." (Random.State.int rng n)
+                   (Random.State.int rng n)))
+        in
+        let db = Parser.parse_facts facts in
+        Relation.set_equal
+          (Engine.evaluate ~strategy:Engine.Naive db tc_program)
+          (Engine.evaluate ~strategy:Engine.Seminaive db tc_program));
+    Qgen.seeded_property ~name:"naive = seminaive with two IDB atoms" ~count:40
+      (fun rng ->
+        let p =
+          Parser.parse_program
+            "p(X, Z) :- e(X, Z). p(X, Z) :- p(X, Y), p(Y, Z)." ~goal:"p"
+        in
+        let n = 3 + Random.State.int rng 5 in
+        let facts =
+          String.concat " "
+            (List.init
+               (2 + Random.State.int rng 10)
+               (fun _ ->
+                 Printf.sprintf "e(%d, %d)." (Random.State.int rng n)
+                   (Random.State.int rng n)))
+        in
+        let db = Parser.parse_facts facts in
+        Relation.set_equal
+          (Engine.evaluate ~strategy:Engine.Naive db p)
+          (Engine.evaluate ~strategy:Engine.Seminaive db p));
+    Qgen.seeded_property ~name:"tc is transitively closed" ~count:60
+      (fun rng ->
+        let n = 3 + Random.State.int rng 5 in
+        let facts =
+          String.concat " "
+            (List.init
+               (2 + Random.State.int rng 10)
+               (fun _ ->
+                 Printf.sprintf "e(%d, %d)." (Random.State.int rng n)
+                   (Random.State.int rng n)))
+        in
+        let db = Parser.parse_facts facts in
+        let tc = Engine.evaluate db tc_program in
+        (* closed under composition *)
+        let ok = ref true in
+        Relation.iter
+          (fun row1 ->
+            Relation.iter
+              (fun row2 ->
+                if Paradb_relational.Value.equal row1.(1) row2.(0) then
+                  if not (Relation.mem [| row1.(0); row2.(1) |] tc) then
+                    ok := false)
+              tc)
+          tc;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "strategies agree" `Quick test_naive_equals_seminaive;
+          Alcotest.test_case "seminaive work" `Quick test_seminaive_fewer_derivations;
+          Alcotest.test_case "two idb occurrences" `Quick test_two_idb_occurrences;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "goal holds" `Quick test_goal_holds;
+          Alcotest.test_case "program facts" `Quick test_facts_in_program;
+          Alcotest.test_case "name collision" `Quick test_name_collision;
+          Alcotest.test_case "empty edb" `Quick test_empty_edb;
+          Alcotest.test_case "rounds bounded" `Quick test_rounds_bounded;
+        ] );
+      ( "vardi family",
+        [
+          Alcotest.test_case "strategies agree" `Quick test_vardi_family;
+          Alcotest.test_case "k=1 reachability" `Quick test_vardi_matches_reachability;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,281 @@
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Tuple = Paradb_relational.Tuple
+module Value = Paradb_relational.Value
+module Cq_naive = Paradb_eval.Cq_naive
+module Fo_naive = Paradb_eval.Fo_naive
+open Paradb_query
+
+let db =
+  Parser.parse_facts
+    "e(1, 2). e(2, 3). e(3, 4). e(1, 3). e(4, 4). color(1, red). color(2, blue)."
+
+(* ------------------------------------------------------------------ *)
+(* Naive CQ evaluation *)
+
+let test_chain () =
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y)." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check int) "paths of length 2" 5 (Relation.cardinality r);
+  Alcotest.(check bool) "1-3" true (Relation.mem (Tuple.of_ints [ 1; 3 ]) r);
+  Alcotest.(check bool) "4-4 via self loop" true
+    (Relation.mem (Tuple.of_ints [ 4; 4 ]) r)
+
+let test_constants_in_atoms () =
+  let q = Parser.parse_cq "ans(X) :- e(1, X)." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check int) "successors of 1" 2 (Relation.cardinality r)
+
+let test_repeated_vars () =
+  let q = Parser.parse_cq "ans(X) :- e(X, X)." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check int) "self loops" 1 (Relation.cardinality r);
+  Alcotest.(check bool) "4" true (Relation.mem (Tuple.of_ints [ 4 ]) r)
+
+let test_neq () =
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y), X != Y." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check bool) "no 4-4" false (Relation.mem (Tuple.of_ints [ 4; 4 ]) r);
+  Alcotest.(check int) "rest" 4 (Relation.cardinality r)
+
+let test_comparison () =
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, Y), X < Y." in
+  Alcotest.(check int) "forward edges" 4
+    (Relation.cardinality (Cq_naive.evaluate db q));
+  let q2 = Parser.parse_cq "ans(X, Y) :- e(X, Y), Y <= X." in
+  Alcotest.(check int) "non-forward" 1
+    (Relation.cardinality (Cq_naive.evaluate db q2))
+
+let test_neq_constant () =
+  let q = Parser.parse_cq "ans(X) :- e(X, Y), X != 1." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check bool) "no 1" false (Relation.mem (Tuple.of_ints [ 1 ]) r);
+  Alcotest.(check int) "others" 3 (Relation.cardinality r)
+
+let test_boolean_queries () =
+  Alcotest.(check bool) "sat" true
+    (Cq_naive.is_satisfiable db (Parser.parse_cq "goal :- e(X, Y), e(Y, X)."));
+  Alcotest.(check bool) "unsat" false
+    (Cq_naive.is_satisfiable db (Parser.parse_cq "goal :- e(X, 9)."));
+  (* head constants *)
+  let q = Parser.parse_cq "ans(1, X) :- e(1, X)." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check bool) "constant head" true
+    (Relation.mem (Tuple.of_ints [ 1; 2 ]) r)
+
+let test_decide () =
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y)." in
+  Alcotest.(check bool) "in" true (Cq_naive.decide db q (Tuple.of_ints [ 1; 3 ]));
+  Alcotest.(check bool) "out" false (Cq_naive.decide db q (Tuple.of_ints [ 3; 1 ]));
+  Alcotest.(check bool) "wrong arity" false (Cq_naive.decide db q (Tuple.of_ints [ 1 ]))
+
+let test_empty_body () =
+  let q = Cq.make ~head:[ Term.int 5 ] [] in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check bool) "trivial" true (Relation.mem (Tuple.of_ints [ 5 ]) r)
+
+let test_cross_product_query () =
+  (* atoms sharing no variables *)
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, 2), e(3, Y)." in
+  let r = Cq_naive.evaluate db q in
+  Alcotest.(check int) "product" 1 (Relation.cardinality r);
+  Alcotest.(check bool) "1-4" true (Relation.mem (Tuple.of_ints [ 1; 4 ]) r)
+
+let test_stats_count_probes () =
+  let stats = Cq_naive.new_stats () in
+  let q = Parser.parse_cq "goal :- e(X, Y)." in
+  ignore (Cq_naive.evaluate ~stats db q);
+  Alcotest.(check int) "probes = |e|" 5 stats.Cq_naive.probes
+
+let test_atom_ordering_equivalent () =
+  let q = Parser.parse_cq "ans(X) :- e(X, Y), e(Y, Z), e(Z, 4)." in
+  let a = Cq_naive.evaluate ~order_atoms:true db q in
+  let b = Cq_naive.evaluate ~order_atoms:false db q in
+  Alcotest.(check bool) "same result" true (Relation.set_equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* FO evaluation *)
+
+let test_fo_atoms () =
+  Alcotest.(check bool) "holds" true
+    (Fo_naive.sentence_holds db (Parser.parse_fo "exists X. e(X, 2)"));
+  Alcotest.(check bool) "fails" false
+    (Fo_naive.sentence_holds db (Parser.parse_fo "exists X. e(X, 9)"))
+
+let test_fo_negation () =
+  (* some node has no outgoing edge to 4 *)
+  Alcotest.(check bool) "negation" true
+    (Fo_naive.sentence_holds db (Parser.parse_fo "exists X. !e(X, 4)"));
+  (* every node with an outgoing edge... *)
+  Alcotest.(check bool) "forall" true
+    (Fo_naive.sentence_holds db
+       (Parser.parse_fo "forall X Y. (e(X, Y) -> exists Z. e(X, Z))"))
+
+let test_fo_forall_vacuous () =
+  Alcotest.(check bool) "vacuous forall" true
+    (Fo_naive.sentence_holds db (Parser.parse_fo "forall X. (e(9, X) -> false)"))
+
+let test_fo_equality () =
+  Alcotest.(check bool) "eq" true
+    (Fo_naive.sentence_holds db (Parser.parse_fo "exists X. (e(X, X) & X = 4)"));
+  Alcotest.(check bool) "neq" false
+    (Fo_naive.sentence_holds db (Parser.parse_fo "exists X. (e(X, X) & X != 4)"))
+
+let test_fo_difference_from_positive () =
+  (* nodes with an incoming but no outgoing edge: only 4 has self loop...
+     actually 4 has outgoing (4,4); try target-only detection on 'color' *)
+  Alcotest.(check bool) "difference" true
+    (Fo_naive.sentence_holds db
+       (Parser.parse_fo "exists X. (color(X, red) & !color(X, blue))"))
+
+let test_fo_free_vars () =
+  let f = Parser.parse_fo "e(X, Y) & !(X = Y)" in
+  let r = Fo_naive.evaluate db f ~head:[ "X"; "Y" ] in
+  Alcotest.(check int) "pairs" 4 (Relation.cardinality r);
+  Alcotest.(check bool) "head must cover" true
+    (try ignore (Fo_naive.evaluate db f ~head:[ "X" ]); false
+     with Invalid_argument _ -> true)
+
+let test_fo_custom_domain () =
+  let f = Parser.parse_fo "forall X. e(X, X)" in
+  Alcotest.(check bool) "restricted domain" true
+    (Fo_naive.sentence_holds ~domain:[ Value.Int 4 ] db f);
+  Alcotest.(check bool) "full domain" false (Fo_naive.sentence_holds db f)
+
+let test_fo_constants_in_domain () =
+  (* the constant 9 is not in the active database domain, but the formula
+     mentions it, so quantifiers must see it *)
+  Alcotest.(check bool) "formula constant" true
+    (Fo_naive.sentence_holds db (Parser.parse_fo "exists X. X = 9"))
+
+(* ------------------------------------------------------------------ *)
+(* Join-based evaluation *)
+
+let test_join_eval_basic () =
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y), X != Y." in
+  let reference = Cq_naive.evaluate db q in
+  Alcotest.(check bool) "hash join" true
+    (Relation.set_equal (Paradb_eval.Join_eval.evaluate db q) reference);
+  Alcotest.(check bool) "sort merge" true
+    (Relation.set_equal
+       (Paradb_eval.Join_eval.evaluate ~algorithm:Paradb_eval.Join_eval.Sort_merge db q)
+       reference)
+
+let test_join_eval_cross_product () =
+  let q = Parser.parse_cq "ans(X, Y) :- e(X, 2), e(3, Y)." in
+  Alcotest.(check bool) "disconnected atoms" true
+    (Relation.set_equal (Paradb_eval.Join_eval.evaluate db q)
+       (Cq_naive.evaluate db q))
+
+let test_join_eval_constants_comparisons () =
+  let q = Parser.parse_cq "ans(X) :- e(X, Y), e(Y, Y), X < Y, X != 1." in
+  Alcotest.(check bool) "selections" true
+    (Relation.set_equal (Paradb_eval.Join_eval.evaluate db q)
+       (Cq_naive.evaluate db q))
+
+let test_join_eval_empty_body () =
+  let q = Cq.make ~head:[ Term.int 9 ] [] in
+  Alcotest.(check bool) "trivial" true
+    (Relation.mem (Tuple.of_ints [ 9 ]) (Paradb_eval.Join_eval.evaluate db q))
+
+(* cross-check: boolean CQs against the FO evaluator *)
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"cq eval agrees with fo eval" ~count:80
+      (fun rng ->
+        let db =
+          Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:10
+        in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:3 ~max_arity:3 ~neq_tries:2
+            ~domain_size:4
+        in
+        let boolean =
+          Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:[]
+            q.Cq.body
+        in
+        let f = Fo.of_boolean_cq boolean in
+        Cq_naive.is_satisfiable db boolean = Fo_naive.sentence_holds db f);
+    Qgen.seeded_property ~name:"join-based eval = naive (hash)" ~count:100
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:10 in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:3 ~neq_tries:3
+            ~domain_size:4
+        in
+        Relation.set_equal (Paradb_eval.Join_eval.evaluate db q)
+          (Cq_naive.evaluate db q));
+    Qgen.seeded_property ~name:"join-based eval = naive (sort-merge)" ~count:60
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:10 in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:3 ~neq_tries:3
+            ~domain_size:4
+        in
+        Relation.set_equal
+          (Paradb_eval.Join_eval.evaluate
+             ~algorithm:Paradb_eval.Join_eval.Sort_merge db q)
+          (Cq_naive.evaluate db q));
+    Qgen.seeded_property ~name:"decide = membership in evaluate" ~count:60
+      (fun rng ->
+        let db =
+          Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:3 ~tuples:8
+        in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:3 ~max_arity:3 ~neq_tries:1
+            ~domain_size:3
+        in
+        let result = Cq_naive.evaluate db q in
+        let all_match =
+          Relation.fold
+            (fun row acc -> acc && Cq_naive.decide db q row)
+            result true
+        in
+        (* also check one tuple not in the result *)
+        let witness_out =
+          let candidate =
+            Array.make (List.length q.Cq.head) (Value.Int 99)
+          in
+          not (Relation.mem candidate result) && not (Cq_naive.decide db q candidate)
+        in
+        all_match && witness_out);
+  ]
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "cq naive",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "constants" `Quick test_constants_in_atoms;
+          Alcotest.test_case "repeated vars" `Quick test_repeated_vars;
+          Alcotest.test_case "neq" `Quick test_neq;
+          Alcotest.test_case "comparisons" `Quick test_comparison;
+          Alcotest.test_case "neq constant" `Quick test_neq_constant;
+          Alcotest.test_case "boolean" `Quick test_boolean_queries;
+          Alcotest.test_case "decide" `Quick test_decide;
+          Alcotest.test_case "empty body" `Quick test_empty_body;
+          Alcotest.test_case "cross product" `Quick test_cross_product_query;
+          Alcotest.test_case "stats" `Quick test_stats_count_probes;
+          Alcotest.test_case "ordering equivalence" `Quick test_atom_ordering_equivalent;
+        ] );
+      ( "join based",
+        [
+          Alcotest.test_case "basic" `Quick test_join_eval_basic;
+          Alcotest.test_case "cross product" `Quick test_join_eval_cross_product;
+          Alcotest.test_case "selections" `Quick test_join_eval_constants_comparisons;
+          Alcotest.test_case "empty body" `Quick test_join_eval_empty_body;
+        ] );
+      ( "fo naive",
+        [
+          Alcotest.test_case "atoms" `Quick test_fo_atoms;
+          Alcotest.test_case "negation" `Quick test_fo_negation;
+          Alcotest.test_case "vacuous forall" `Quick test_fo_forall_vacuous;
+          Alcotest.test_case "equality" `Quick test_fo_equality;
+          Alcotest.test_case "difference" `Quick test_fo_difference_from_positive;
+          Alcotest.test_case "free variables" `Quick test_fo_free_vars;
+          Alcotest.test_case "custom domain" `Quick test_fo_custom_domain;
+          Alcotest.test_case "formula constants" `Quick test_fo_constants_in_domain;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

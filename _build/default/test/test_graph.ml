@@ -1,0 +1,191 @@
+module Graph = Paradb_graph.Graph
+module Digraph = Paradb_graph.Digraph
+
+let test_basic () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (0, 1) ] in
+  Alcotest.(check int) "n" 5 (Graph.n_vertices g);
+  Alcotest.(check int) "m (dedup)" 2 (Graph.n_edges g);
+  Alcotest.(check bool) "edge" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no edge" false (Graph.has_edge g 0 2);
+  Alcotest.(check (list int)) "neighbors" [ 0; 2 ] (Graph.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 1)
+
+let test_self_loop () =
+  let g = Graph.of_edges 2 [ (0, 0) ] in
+  Alcotest.(check bool) "self loop" true (Graph.has_edge g 0 0);
+  Alcotest.(check int) "m" 1 (Graph.n_edges g)
+
+let test_bounds () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph: vertex out of range")
+    (fun () -> ignore (Graph.has_edge g 0 3))
+
+let test_complement () =
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  let c = Graph.complement g in
+  Alcotest.(check bool) "dropped" false (Graph.has_edge c 0 1);
+  Alcotest.(check bool) "added" true (Graph.has_edge c 0 2);
+  Alcotest.(check int) "m" 2 (Graph.n_edges c)
+
+let test_disjoint_union () =
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  let h = Graph.of_edges 3 [ (1, 2) ] in
+  let u = Graph.disjoint_union g h in
+  Alcotest.(check int) "n" 5 (Graph.n_vertices u);
+  Alcotest.(check bool) "g edge" true (Graph.has_edge u 0 1);
+  Alcotest.(check bool) "h edge shifted" true (Graph.has_edge u 3 4);
+  Alcotest.(check bool) "no cross" false (Graph.has_edge u 1 2)
+
+let test_apex () =
+  let g = Graph.of_edges 2 [] in
+  let a = Graph.add_apex_clique g 2 in
+  Alcotest.(check int) "n" 4 (Graph.n_vertices a);
+  Alcotest.(check bool) "apex-apex" true (Graph.has_edge a 2 3);
+  Alcotest.(check bool) "apex-old" true (Graph.has_edge a 2 0);
+  Alcotest.(check bool) "old untouched" false (Graph.has_edge a 0 1)
+
+let test_clique () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  Alcotest.(check bool) "3-clique" true (Graph.has_clique g 3);
+  Alcotest.(check bool) "no 4-clique" false (Graph.has_clique g 4);
+  (match Graph.find_clique g 3 with
+   | Some vs -> Alcotest.(check bool) "witness" true (Graph.is_clique g vs)
+   | None -> Alcotest.fail "expected clique");
+  Alcotest.(check bool) "0-clique" true (Graph.has_clique g 0);
+  Alcotest.(check bool) "complete" true (Graph.has_clique (Graph.complete_graph 6) 6)
+
+let test_simple_path () =
+  let g = Graph.path_graph 5 in
+  Alcotest.(check bool) "full path" true (Graph.has_simple_path g 5);
+  Alcotest.(check bool) "no 6 path" false (Graph.has_simple_path g 6);
+  (match Graph.find_simple_path g 4 with
+   | Some p ->
+       Alcotest.(check int) "length" 4 (List.length p);
+       Alcotest.(check bool) "valid" true (Graph.is_simple_path g p)
+   | None -> Alcotest.fail "expected path");
+  let tri = Graph.cycle_graph 3 in
+  Alcotest.(check bool) "cycle path" true (Graph.has_simple_path tri 3)
+
+let test_hamiltonian () =
+  Alcotest.(check bool) "path graph" true (Graph.hamiltonian_path (Graph.path_graph 4) <> None);
+  let star = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check bool) "star has none" true (Graph.hamiltonian_path star = None)
+
+let test_dominating_set () =
+  let star = Graph.of_edges 5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  Alcotest.(check bool) "star k=1" true (Graph.has_dominating_set star 1);
+  (match Graph.find_dominating_set star 1 with
+   | Some vs -> Alcotest.(check bool) "witness" true (Graph.is_dominating star vs)
+   | None -> Alcotest.fail "expected");
+  let p5 = Graph.path_graph 5 in
+  Alcotest.(check bool) "path k=1" false (Graph.has_dominating_set p5 1);
+  Alcotest.(check bool) "path k=2" true (Graph.has_dominating_set p5 2);
+  Alcotest.(check bool) "k >= n trivial" true (Graph.has_dominating_set p5 9);
+  Alcotest.(check bool) "empty set on empty graph" true
+    (Graph.has_dominating_set (Graph.create 0) 0);
+  Alcotest.(check bool) "isolated vertex needs itself" false
+    (Graph.has_dominating_set (Graph.create 2) 1)
+
+let test_generators () =
+  let rng = Random.State.make [| 3 |] in
+  let g, planted = Graph.planted_clique rng 12 0.1 4 in
+  Alcotest.(check bool) "planted clique" true (Graph.is_clique g planted);
+  let g2, path = Graph.planted_path rng 12 0.05 5 in
+  Alcotest.(check bool) "planted path" true (Graph.is_simple_path g2 path);
+  let dense = Graph.gnp rng 10 1.0 in
+  Alcotest.(check int) "complete gnp" 45 (Graph.n_edges dense);
+  let sparse = Graph.gnp rng 10 0.0 in
+  Alcotest.(check int) "empty gnp" 0 (Graph.n_edges sparse)
+
+(* digraph *)
+
+let test_digraph_basic () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  Alcotest.(check bool) "edge" true (Digraph.has_edge g 0 1);
+  Alcotest.(check bool) "directed" false (Digraph.has_edge g 1 0);
+  Alcotest.(check (list int)) "succ" [ 0; 3 ] (Digraph.successors g 2)
+
+let test_sccs () =
+  let g = Digraph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3); (4, 5) ] in
+  let comp, count = Digraph.sccs g in
+  Alcotest.(check int) "count" 3 count;
+  Alcotest.(check bool) "triangle scc" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  Alcotest.(check bool) "pair scc" true (comp.(3) = comp.(4));
+  Alcotest.(check bool) "separate" true (comp.(0) <> comp.(3) && comp.(3) <> comp.(5));
+  (* reverse-topological numbering: edge from comp a to comp b => a > b *)
+  Alcotest.(check bool) "topo order" true (comp.(0) > comp.(3) && comp.(3) > comp.(5))
+
+let test_reachable () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2) ] in
+  let r = Digraph.reachable g 0 in
+  Alcotest.(check bool) "reaches 2" true r.(2);
+  Alcotest.(check bool) "not 3" false r.(3);
+  Alcotest.(check bool) "self" true r.(0)
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"planted clique found by search" ~count:40
+      (fun rng ->
+        let k = 3 + Random.State.int rng 2 in
+        let g, _ = Graph.planted_clique rng 10 0.2 k in
+        Graph.has_clique g k);
+    Qgen.seeded_property ~name:"clique witness is a clique" ~count:40
+      (fun rng ->
+        let g = Graph.gnp rng 9 0.5 in
+        match Graph.find_clique g 3 with
+        | Some vs -> Graph.is_clique g vs && List.length vs = 3
+        | None -> not (Graph.has_clique g 3));
+    Qgen.seeded_property ~name:"sccs partition the vertices" ~count:50
+      (fun rng ->
+        let n = 2 + Random.State.int rng 8 in
+        let g = Digraph.create n in
+        for _ = 1 to n * 2 do
+          Digraph.add_edge g (Random.State.int rng n) (Random.State.int rng n)
+        done;
+        let comp, count = Digraph.sccs g in
+        Array.for_all (fun c -> c >= 0 && c < count) comp);
+    Qgen.seeded_property ~name:"mutual reachability = same scc" ~count:50
+      (fun rng ->
+        let n = 2 + Random.State.int rng 6 in
+        let g = Digraph.create n in
+        for _ = 1 to n * 2 do
+          Digraph.add_edge g (Random.State.int rng n) (Random.State.int rng n)
+        done;
+        let comp, _ = Digraph.sccs g in
+        let ok = ref true in
+        for u = 0 to n - 1 do
+          let ru = Digraph.reachable g u in
+          for v = 0 to n - 1 do
+            let rv = Digraph.reachable g v in
+            let mutual = ru.(v) && rv.(u) in
+            if mutual <> (comp.(u) = comp.(v)) then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_basic;
+          Alcotest.test_case "self loops" `Quick test_self_loop;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "apex clique" `Quick test_apex;
+          Alcotest.test_case "clique search" `Quick test_clique;
+          Alcotest.test_case "simple paths" `Quick test_simple_path;
+          Alcotest.test_case "hamiltonian" `Quick test_hamiltonian;
+          Alcotest.test_case "dominating sets" `Quick test_dominating_set;
+          Alcotest.test_case "generators" `Quick test_generators;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "basics" `Quick test_digraph_basic;
+          Alcotest.test_case "sccs" `Quick test_sccs;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

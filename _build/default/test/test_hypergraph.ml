@@ -1,0 +1,165 @@
+module Hypergraph = Paradb_hypergraph.Hypergraph
+module Join_tree = Paradb_hypergraph.Join_tree
+module SS = Paradb_hypergraph.Hypergraph.String_set
+open Paradb_query
+
+let acyclic_examples =
+  [
+    ("single edge", [ [ "a"; "b" ] ]);
+    ("path", [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "d" ] ]);
+    ("star", [ [ "a"; "b" ]; [ "a"; "c" ]; [ "a"; "d" ] ]);
+    ("contained", [ [ "a"; "b"; "c" ]; [ "a"; "b" ]; [ "c" ] ]);
+    ("duplicate edges", [ [ "a"; "b" ]; [ "a"; "b" ] ]);
+    ("disconnected", [ [ "a"; "b" ]; [ "c"; "d" ] ]);
+    ("empty edge", [ [ "a" ]; [] ]);
+    ( "big acyclic",
+      [ [ "a"; "b"; "c" ]; [ "c"; "d" ]; [ "d"; "e"; "f" ]; [ "c"; "g" ] ] );
+  ]
+
+let cyclic_examples =
+  [
+    ("triangle", [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "a" ] ]);
+    ( "square",
+      [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "d" ]; [ "d"; "a" ] ] );
+    ( "triangle plus pendant",
+      [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "a" ]; [ "a"; "x" ] ] );
+    ( "cyclic and acyclic components",
+      [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "a" ]; [ "p"; "q" ] ] );
+  ]
+
+let test_acyclic () =
+  List.iter
+    (fun (name, edges) ->
+      Alcotest.(check bool) name true (Hypergraph.is_acyclic (Hypergraph.make edges)))
+    acyclic_examples
+
+let test_cyclic () =
+  List.iter
+    (fun (name, edges) ->
+      Alcotest.(check bool) name false (Hypergraph.is_acyclic (Hypergraph.make edges)))
+    cyclic_examples
+
+(* The classic: a triangle covered by a big edge IS acyclic. *)
+let test_covered_triangle () =
+  let h =
+    Hypergraph.make [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "a" ]; [ "a"; "b"; "c" ] ]
+  in
+  Alcotest.(check bool) "covered triangle acyclic" true (Hypergraph.is_acyclic h)
+
+let test_components () =
+  let h = Hypergraph.make [ [ "a"; "b" ]; [ "b"; "c" ]; [ "x" ]; [] ] in
+  let comp, count = Hypergraph.components h in
+  Alcotest.(check int) "count" 3 count;
+  Alcotest.(check bool) "linked" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "separate" true (comp.(2) <> comp.(0))
+
+let test_join_tree_valid () =
+  List.iter
+    (fun (name, edges) ->
+      match Join_tree.of_hypergraph (Hypergraph.make edges) with
+      | Some t -> Alcotest.(check bool) (name ^ " valid") true (Join_tree.is_valid t)
+      | None -> Alcotest.fail (name ^ ": expected a join tree"))
+    acyclic_examples
+
+let test_join_tree_none_for_cyclic () =
+  List.iter
+    (fun (name, edges) ->
+      Alcotest.(check bool) name true
+        (Join_tree.of_hypergraph (Hypergraph.make edges) = None))
+    cyclic_examples
+
+let test_join_tree_structure () =
+  let h = Hypergraph.make [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "d" ] ] in
+  match Join_tree.of_hypergraph h with
+  | None -> Alcotest.fail "expected tree"
+  | Some t ->
+      Alcotest.(check int) "nodes" 3 (Join_tree.n_nodes t);
+      (* bottom_up covers all nodes, children before parents *)
+      Alcotest.(check int) "order covers" 3 (Array.length t.Join_tree.bottom_up);
+      let seen = Array.make 3 false in
+      Array.iter
+        (fun j ->
+          List.iter
+            (fun c -> Alcotest.(check bool) "child first" true seen.(c))
+            t.Join_tree.children.(j);
+          seen.(j) <- true)
+        t.Join_tree.bottom_up;
+      (* subtree vars at the root = all vars *)
+      Alcotest.(check int) "root subtree vars" 4
+        (SS.cardinal t.Join_tree.subtree_vars.(t.Join_tree.root))
+
+let test_of_cq () =
+  let q = Parser.parse_cq "ans(X) :- e(X, Y), e(Y, Z)." in
+  Alcotest.(check bool) "chain acyclic" true (Join_tree.of_cq q <> None);
+  let tri = Parser.parse_cq "ans() :- e(X, Y), e(Y, Z), e(Z, X)." in
+  Alcotest.(check bool) "triangle cyclic" true (Join_tree.of_cq tri = None);
+  (* inequalities do not affect the hypergraph *)
+  let q2 = Parser.parse_cq "ans() :- e(X, Y), e(Y, Z), X != Z." in
+  Alcotest.(check bool) "neq ignored" true (Join_tree.of_cq q2 <> None)
+
+let test_empty () =
+  Alcotest.(check bool) "no edges" true
+    (Join_tree.of_hypergraph (Hypergraph.make []) = None);
+  Alcotest.(check bool) "empty acyclic" true (Hypergraph.is_acyclic (Hypergraph.make []))
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"tree-built queries are acyclic with valid join trees"
+      ~count:150 (fun rng ->
+        let q = Qgen.random_tree_cq rng ~max_atoms:6 ~max_arity:3 ~neq_tries:0 ~domain_size:3 in
+        match Join_tree.of_cq q with
+        | Some t -> Join_tree.is_valid t
+        | None -> false);
+    Qgen.seeded_property ~name:"gyo survivor count consistent with is_acyclic"
+      ~count:100 (fun rng ->
+        (* random hypergraph: may be cyclic or not *)
+        let n_vars = 3 + Random.State.int rng 4 in
+        let n_edges = 1 + Random.State.int rng 5 in
+        let edges =
+          List.init n_edges (fun _ ->
+              let size = 1 + Random.State.int rng 3 in
+              List.sort_uniq String.compare
+                (List.init size (fun _ ->
+                     Printf.sprintf "v%d" (Random.State.int rng n_vars))))
+        in
+        let h = Hypergraph.make edges in
+        let _, alive = Hypergraph.gyo h in
+        let survivors =
+          Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive
+        in
+        Hypergraph.is_acyclic h = (survivors <= 1));
+    Qgen.seeded_property ~name:"join tree exists iff acyclic" ~count:100
+      (fun rng ->
+        let n_vars = 3 + Random.State.int rng 4 in
+        let n_edges = 2 + Random.State.int rng 5 in
+        let edges =
+          List.init n_edges (fun _ ->
+              let size = 1 + Random.State.int rng 3 in
+              List.sort_uniq String.compare
+                (List.init size (fun _ ->
+                     Printf.sprintf "v%d" (Random.State.int rng n_vars))))
+        in
+        let h = Hypergraph.make edges in
+        (Join_tree.of_hypergraph h <> None) = Hypergraph.is_acyclic h);
+  ]
+
+let () =
+  Alcotest.run "hypergraph"
+    [
+      ( "gyo",
+        [
+          Alcotest.test_case "acyclic examples" `Quick test_acyclic;
+          Alcotest.test_case "cyclic examples" `Quick test_cyclic;
+          Alcotest.test_case "covered triangle" `Quick test_covered_triangle;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "empty" `Quick test_empty;
+        ] );
+      ( "join tree",
+        [
+          Alcotest.test_case "valid for acyclic" `Quick test_join_tree_valid;
+          Alcotest.test_case "none for cyclic" `Quick test_join_tree_none_for_cyclic;
+          Alcotest.test_case "structure" `Quick test_join_tree_structure;
+          Alcotest.test_case "from cq" `Quick test_of_cq;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,614 @@
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Value = Paradb_relational.Value
+module Graph = Paradb_graph.Graph
+module Circuit = Paradb_wsat.Circuit
+module Formula = Paradb_wsat.Formula
+module Cnf = Paradb_wsat.Cnf
+module Cq_naive = Paradb_eval.Cq_naive
+module Fo_naive = Paradb_eval.Fo_naive
+open Paradb_query
+open Paradb_reductions
+
+(* ------------------------------------------------------------------ *)
+(* Clique -> CQ (Theorem 1 lower bound) *)
+
+let test_clique_query_shape () =
+  let q = Clique_to_cq.query ~k:4 in
+  Alcotest.(check int) "atoms = k choose 2" 6 (List.length q.Cq.body);
+  Alcotest.(check int) "v = k" 4 (Cq.num_vars q);
+  Alcotest.(check bool) "boolean" true (Cq.is_boolean q);
+  (* q = O(k^2): the size measure grows quadratically *)
+  Alcotest.(check bool) "q grows quadratically" true
+    (Cq.size (Clique_to_cq.query ~k:8) > 3 * Cq.size (Clique_to_cq.query ~k:4))
+
+let test_clique_known_graphs () =
+  let tri = Graph.cycle_graph 3 in
+  let q, db = Clique_to_cq.reduce tri ~k:3 in
+  Alcotest.(check bool) "triangle has 3-clique" true (Cq_naive.is_satisfiable db q);
+  let q4, _ = Clique_to_cq.reduce tri ~k:4 in
+  Alcotest.(check bool) "no 4-clique" false
+    (Cq_naive.is_satisfiable (Clique_to_cq.database tri) q4);
+  (* decode a witness *)
+  match Cq_naive.all_bindings db q with
+  | b :: _ ->
+      let vs = Clique_to_cq.decode b ~k:3 in
+      Alcotest.(check bool) "decoded clique" true (Graph.is_clique tri vs)
+  | [] -> Alcotest.fail "expected witness"
+
+(* ------------------------------------------------------------------ *)
+(* CQ -> weighted 2CNF (Theorem 1 upper bound, parameter q) *)
+
+let test_cq_to_wsat_shape () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3)." in
+  let q = Parser.parse_cq "goal :- e(X, Y), e(Y, Z)." in
+  let lab = Cq_to_wsat.reduce db q in
+  Alcotest.(check int) "k = atoms" 2 lab.Cq_to_wsat.k;
+  Alcotest.(check int) "vars = consistent pairs" 4
+    lab.Cq_to_wsat.cnf.Cnf.n_vars;
+  Alcotest.(check bool) "2cnf" true (Cnf.is_2cnf lab.Cq_to_wsat.cnf);
+  Alcotest.(check bool) "all negative" true (Cnf.all_negative lab.Cq_to_wsat.cnf)
+
+let test_cq_to_wsat_decode () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3)." in
+  let q = Parser.parse_cq "goal :- e(X, Y), e(Y, Z)." in
+  let lab = Cq_to_wsat.reduce db q in
+  match Cnf.weighted_sat lab.Cq_to_wsat.cnf lab.Cq_to_wsat.k with
+  | None -> Alcotest.fail "expected satisfiable"
+  | Some a ->
+      let binding = Cq_to_wsat.decode lab q a in
+      Alcotest.(check bool) "Y = 2" true
+        (Binding.find "Y" binding = Some (Value.Int 2))
+
+let test_cq_to_wsat_guards () =
+  let db = Parser.parse_facts "e(1, 2)." in
+  Alcotest.(check bool) "rejects open" true
+    (try ignore (Cq_to_wsat.reduce db (Parser.parse_cq "ans(X) :- e(X, Y).")); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects constraints" true
+    (try ignore (Cq_to_wsat.reduce db (Parser.parse_cq "goal :- e(X, Y), X != Y.")); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded variables rewrite (parameter v) *)
+
+let test_bounded_vars_size () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3). f(1, 2). f(2, 2)." in
+  (* two atoms over the same variable set {X,Y} collapse into one R_S *)
+  let q = Parser.parse_cq "goal :- e(X, Y), f(X, Y), f(Y, X), e(Y, Z)." in
+  let q', db' = Bounded_vars.reduce db q in
+  Alcotest.(check int) "one atom per var-set" 2 (List.length q'.Cq.body);
+  Alcotest.(check bool) "equivalent" true
+    (Cq_naive.is_satisfiable db' q' = Cq_naive.is_satisfiable db q)
+
+let test_bounded_vars_repeated_and_constants () =
+  let db = Parser.parse_facts "e(1, 1). e(1, 2)." in
+  let q = Parser.parse_cq "goal :- e(X, X), e(X, 2)." in
+  let q', db' = Bounded_vars.reduce db q in
+  Alcotest.(check bool) "equivalent" true
+    (Cq_naive.is_satisfiable db' q' = Cq_naive.is_satisfiable db q);
+  (* R_{X} is the intersection of instantiations from both atoms *)
+  Alcotest.(check int) "one atom" 1 (List.length q'.Cq.body)
+
+(* ------------------------------------------------------------------ *)
+(* Union of CQs -> clique (footnote 2) *)
+
+let test_cqs_to_clique_padding () =
+  let db = Parser.parse_facts "e(1, 2). u(7)." in
+  (* satisfiable, but with only 1 atom: needs padding up to k = 2 *)
+  let q1 = Parser.parse_cq "goal :- e(X, Y)." in
+  (* unsatisfiable 2-atom disjunct: u holds only of 7 *)
+  let q2 = Parser.parse_cq "goal :- u(1), e(X, Y)." in
+  let g, k = Cqs_to_clique.reduce db [ q1; q2 ] in
+  Alcotest.(check int) "k = max atoms" 2 k;
+  Alcotest.(check bool) "union satisfiable via padded disjunct" true
+    (Graph.has_clique g k);
+  (* sanity: the satisfiable disjunct alone, unpadded, has k1 = 1 *)
+  let g1, k1 = Cqs_to_clique.disjunct_graph db q1 in
+  Alcotest.(check int) "k1" 1 k1;
+  Alcotest.(check bool) "1-clique" true (Graph.has_clique g1 k1)
+
+let test_cqs_to_clique_all_unsat () =
+  let db = Parser.parse_facts "e(1, 2)." in
+  let q1 = Parser.parse_cq "goal :- e(X, X), e(X, 9)." in
+  let q2 = Parser.parse_cq "goal :- e(9, X), e(X, 9)." in
+  let g, k = Cqs_to_clique.reduce db [ q1; q2 ] in
+  Alcotest.(check bool) "no clique" false (Graph.has_clique g k)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted formula <-> positive queries *)
+
+let test_wformula_query_uses_k_vars () =
+  let phi = Formula.(conj [ var 0; neg (var 1) ]) in
+  let fo, _ = Wformula_to_positive.reduce phi ~k:3 in
+  Alcotest.(check int) "v = k" 3 (Fo.num_vars fo);
+  Alcotest.(check bool) "positive" true (Fo.is_positive fo);
+  Alcotest.(check bool) "sentence" true (Fo.is_sentence fo)
+
+let test_wformula_known () =
+  (* phi = x0 & !x1: weight-1 yes (x0), weight-2 no over 2 vars *)
+  let phi = Formula.(conj [ var 0; neg (var 1) ]) in
+  let fo1, db1 = Wformula_to_positive.reduce phi ~k:1 in
+  Alcotest.(check bool) "k=1" true (Fo_naive.sentence_holds db1 fo1);
+  let fo2, db2 = Wformula_to_positive.reduce phi ~k:2 in
+  Alcotest.(check bool) "k=2" false (Fo_naive.sentence_holds db2 fo2);
+  (* with a padding variable, weight 2 becomes possible *)
+  let fo3, db3 = Wformula_to_positive.reduce ~n_vars:3 phi ~k:2 in
+  Alcotest.(check bool) "k=2 padded" true (Fo_naive.sentence_holds db3 fo3)
+
+let test_positive_to_wformula_known () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3)." in
+  let f = Parser.parse_fo "exists X Y Z. (e(X, Y) & e(Y, Z))" in
+  let lab = Positive_to_wformula.reduce db f in
+  Alcotest.(check int) "k = 3" 3 lab.Positive_to_wformula.k;
+  Alcotest.(check bool) "satisfiable at weight k" true
+    (Formula.weighted_sat_exists
+       ~n_vars:(Array.length lab.Positive_to_wformula.z)
+       lab.Positive_to_wformula.formula lab.Positive_to_wformula.k)
+
+let test_positive_to_wformula_guards () =
+  let db = Parser.parse_facts "e(1, 2)." in
+  Alcotest.(check bool) "rejects negation" true
+    (try ignore (Positive_to_wformula.reduce db (Parser.parse_fo "!e(1, 2)")); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects open" true
+    (try ignore (Positive_to_wformula.reduce db (Parser.parse_fo "e(X, 2)")); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Monotone circuit -> FO (Theorem 1, first-order rows) *)
+
+let and_or_circuit () =
+  (* (x0 | x1) & (x2 | x3) *)
+  Circuit.make ~n_inputs:4
+    [|
+      Circuit.G_input 0; Circuit.G_input 1; Circuit.G_input 2; Circuit.G_input 3;
+      Circuit.G_or [ 0; 1 ]; Circuit.G_or [ 2; 3 ]; Circuit.G_and [ 4; 5 ];
+    |]
+    ~output:6
+
+let test_normalize_alternates () =
+  let nz = Circuit_to_fo.normalize (and_or_circuit ()) in
+  let c = nz.Circuit_to_fo.circuit in
+  Alcotest.(check bool) "monotone" true (Circuit.is_monotone c);
+  (* output is an OR at even level 2t *)
+  let levels = Circuit.levels c in
+  Alcotest.(check int) "output level even" 0 (levels.(c.Circuit.output) mod 2);
+  Alcotest.(check int) "t" (levels.(c.Circuit.output) / 2) nz.Circuit_to_fo.t;
+  (* wires span exactly one level; OR at even, AND at odd *)
+  Array.iteri
+    (fun id gate ->
+      match gate with
+      | Circuit.G_and js ->
+          Alcotest.(check int) "and odd" 1 (levels.(id) mod 2);
+          List.iter (fun j -> Alcotest.(check int) "span" (levels.(id) - 1) levels.(j)) js
+      | Circuit.G_or js ->
+          Alcotest.(check int) "or even" 0 (levels.(id) mod 2);
+          List.iter (fun j -> Alcotest.(check int) "span" (levels.(id) - 1) levels.(j)) js
+      | _ -> ())
+    c.Circuit.gates;
+  (* normalization preserves the function *)
+  Seq.iter
+    (fun a ->
+      Alcotest.(check bool) "same function" (Circuit.eval (and_or_circuit ()) a)
+        (Circuit.eval c a))
+    (Circuit.weight_k_assignments 4 2)
+
+let test_circuit_to_fo_query_shape () =
+  let nz = Circuit_to_fo.normalize (and_or_circuit ()) in
+  let fo = Circuit_to_fo.query nz ~k:2 in
+  Alcotest.(check int) "k + 2 variables" 4 (Fo.num_vars fo);
+  Alcotest.(check bool) "sentence" true (Fo.is_sentence fo);
+  Alcotest.(check bool) "not positive (forall/neg)" false (Fo.is_positive fo)
+
+let test_circuit_to_fo_known () =
+  let c = and_or_circuit () in
+  (* weight 2 satisfiable (one from each side) *)
+  let fo2, db2 = Circuit_to_fo.reduce c ~k:2 in
+  Alcotest.(check bool) "k=2 true" true (Fo_naive.sentence_holds db2 fo2);
+  (* weight 1 cannot satisfy the AND of two ORs *)
+  let fo1, db1 = Circuit_to_fo.reduce c ~k:1 in
+  Alcotest.(check bool) "k=1 false" false (Fo_naive.sentence_holds db1 fo1)
+
+let test_circuit_to_fo_duplicate_inputs () =
+  (* two gates reading the same variable must be merged *)
+  let c =
+    Circuit.make ~n_inputs:2
+      [|
+        Circuit.G_input 0; Circuit.G_input 0; Circuit.G_input 1;
+        Circuit.G_and [ 0; 1; 2 ];
+      |]
+      ~output:3
+  in
+  let fo, db = Circuit_to_fo.reduce c ~k:2 in
+  Alcotest.(check bool) "weight 2 satisfies" true (Fo_naive.sentence_holds db fo)
+
+let test_circuit_to_fo_guards () =
+  let non_monotone =
+    Circuit.make ~n_inputs:1 [| Circuit.G_input 0; Circuit.G_not 0 |] ~output:1
+  in
+  Alcotest.(check bool) "rejects non-monotone" true
+    (try ignore (Circuit_to_fo.reduce non_monotone ~k:1); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3: clique -> acyclic with comparisons *)
+
+let test_encode_injective () =
+  let n = 5 in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for b = 0 to 1 do
+        let v = Clique_to_comparisons.encode ~n ~i ~j ~b in
+        Alcotest.(check bool) "fresh" false (Hashtbl.mem seen v);
+        Hashtbl.add seen v ()
+      done
+    done
+  done
+
+let test_t3_query_is_acyclic () =
+  let q = Clique_to_comparisons.query ~n:4 ~k:3 in
+  Alcotest.(check bool) "relational hypergraph acyclic" true
+    (Paradb_hypergraph.Hypergraph.is_acyclic
+       (Paradb_hypergraph.Hypergraph.of_cq q));
+  Alcotest.(check bool) "consistent comparisons" true
+    (Paradb_core.Comparisons.preprocess q <> Paradb_core.Comparisons.Inconsistent);
+  (* only strict comparisons *)
+  List.iter
+    (fun c -> Alcotest.(check bool) "strict" true (c.Constr.op = Constr.Lt))
+    q.Cq.constraints
+
+let test_t3_known_graphs () =
+  let tri = Graph.cycle_graph 3 in
+  let q, db = Clique_to_comparisons.reduce tri ~k:3 in
+  Alcotest.(check bool) "triangle" true (Cq_naive.is_satisfiable db q);
+  let square = Graph.cycle_graph 4 in
+  let q2, db2 = Clique_to_comparisons.reduce square ~k:3 in
+  Alcotest.(check bool) "square has none" false (Cq_naive.is_satisfiable db2 q2)
+
+(* ------------------------------------------------------------------ *)
+(* Hamiltonian path -> acyclic + neq *)
+
+let test_hamiltonian_known () =
+  let path = Graph.path_graph 4 in
+  let q, db = Hamiltonian_to_neq.reduce path in
+  Alcotest.(check bool) "path graph" true (Paradb_core.Engine.is_satisfiable db q);
+  let star = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  let q2, db2 = Hamiltonian_to_neq.reduce star in
+  Alcotest.(check bool) "star" false (Paradb_core.Engine.is_satisfiable db2 q2)
+
+let test_hamiltonian_query_size () =
+  (* the query grows with the graph: combined complexity regime *)
+  let q4 = Hamiltonian_to_neq.query ~n:4 and q8 = Hamiltonian_to_neq.query ~n:8 in
+  Alcotest.(check bool) "query grows" true (Cq.size q8 > 2 * Cq.size q4)
+
+(* ------------------------------------------------------------------ *)
+(* AW classes: alternating quantification (Section 4) *)
+
+module A = Paradb_wsat.Alternating
+
+let test_alternating_to_fo_known () =
+  (* (x0 | x1) & (x2 | x3), E{x0,x1} w=1 then A{x2,x3} w=1:
+     whatever the forall picks on the right OR, it is satisfied; the
+     exists must pick one of the left -> true *)
+  let c = and_or_circuit () in
+  let blocks =
+    [ { A.quantifier = A.Q_exists; vars = [ 0; 1 ]; weight = 1 };
+      { A.quantifier = A.Q_forall; vars = [ 2; 3 ]; weight = 1 } ]
+  in
+  let expected = A.holds_circuit c blocks in
+  Alcotest.(check bool) "game value" true expected;
+  let fo, db = Alternating_to_fo.reduce c blocks in
+  Alcotest.(check bool) "reduction agrees" expected
+    (Fo_naive.sentence_holds db fo);
+  (* forall over an AND leg that can be starved *)
+  let c2 =
+    Circuit.make ~n_inputs:3
+      [| Circuit.G_input 0; Circuit.G_input 1; Circuit.G_input 2;
+         Circuit.G_and [ 0; 1 ] |]
+      ~output:3
+  in
+  let blocks2 =
+    [ { A.quantifier = A.Q_forall; vars = [ 0; 1; 2 ]; weight = 2 } ]
+  in
+  let expected2 = A.holds_circuit c2 blocks2 in
+  Alcotest.(check bool) "starved and" false expected2;
+  let fo2, db2 = Alternating_to_fo.reduce c2 blocks2 in
+  Alcotest.(check bool) "reduction agrees 2" expected2
+    (Fo_naive.sentence_holds db2 fo2)
+
+let test_alternating_to_fo_guards () =
+  let non_monotone =
+    Circuit.make ~n_inputs:1 [| Circuit.G_input 0; Circuit.G_not 0 |] ~output:1
+  in
+  Alcotest.(check bool) "monotone required" true
+    (try
+       ignore
+         (Alternating_to_fo.reduce non_monotone
+            [ { A.quantifier = A.Q_exists; vars = [ 0 ]; weight = 1 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fo_to_awsat_known () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3)." in
+  let checks =
+    [ ("forall X. exists Y. e(X, Y)", false) (* 3 has no successor *);
+      ("exists X. forall Y. !e(Y, X)", true) (* 1 has no predecessor *);
+      ("exists X Y. (e(X, Y) & !(X = Y))", true);
+      ("forall X. (e(X, X) -> false)", true) ]
+  in
+  List.iter
+    (fun (text, expected) ->
+      let f = Parser.parse_fo text in
+      Alcotest.(check bool) text expected (Fo_naive.sentence_holds db f);
+      let lab = Fo_to_awsat.reduce db f in
+      Alcotest.(check bool) (text ^ " via awsat") expected (Fo_to_awsat.holds lab);
+      Alcotest.(check int) (text ^ " parameter")
+        (List.length (fst (Fo.prenex f)))
+        (A.parameter lab.Fo_to_awsat.blocks))
+    checks
+
+let test_dominating_known () =
+  let star = Graph.of_edges 5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  let fo1, db1 = Dominating_to_fo.reduce star ~k:1 in
+  Alcotest.(check bool) "star center dominates" true
+    (Fo_naive.sentence_holds db1 fo1);
+  let p5 = Graph.path_graph 5 in
+  let fo, db = Dominating_to_fo.reduce p5 ~k:1 in
+  Alcotest.(check bool) "path needs 2" false (Fo_naive.sentence_holds db fo);
+  let fo2, db2 = Dominating_to_fo.reduce p5 ~k:2 in
+  Alcotest.(check bool) "2 suffice" true (Fo_naive.sentence_holds db2 fo2);
+  (* v = k + 1 *)
+  Alcotest.(check int) "variables" 3 (Fo.num_vars fo2);
+  (* isolated vertices must be dominated by being chosen *)
+  let isolated = Graph.create 3 in
+  let fo3, db3 = Dominating_to_fo.reduce isolated ~k:2 in
+  Alcotest.(check bool) "3 isolated need 3" false (Fo_naive.sentence_holds db3 fo3);
+  let fo4, db4 = Dominating_to_fo.reduce isolated ~k:3 in
+  Alcotest.(check bool) "3 cover" true (Fo_naive.sentence_holds db4 fo4)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1's schema axis: encoding into a fixed schema *)
+
+let test_fixed_schema_known () =
+  let db = Parser.parse_facts "e(1, 2). e(2, 3). u(2)." in
+  let q = Parser.parse_cq "ans(X) :- e(X, Y), u(Y), X != Y." in
+  let q', db' = Fixed_schema.reduce db q in
+  Alcotest.(check (list string)) "fixed schema" [ "cell"; "tup" ]
+    (Database.names db');
+  Alcotest.(check bool) "equivalent" true
+    (Relation.set_equal (Cq_naive.evaluate db' q') (Cq_naive.evaluate db q));
+  (* atoms grow linearly: 1 tup + arity cells per original atom *)
+  Alcotest.(check int) "rewritten atoms" (1 + 2 + 1 + 1)
+    (List.length q'.Cq.body);
+  (* one fresh variable per atom *)
+  Alcotest.(check int) "vars" (Cq.num_vars q + 2) (Cq.num_vars q')
+
+let test_fixed_schema_zero_arity () =
+  let db = Parser.parse_facts "flag. e(1, 1)." in
+  let q = Parser.parse_cq "goal :- flag, e(X, X)." in
+  let q', db' = Fixed_schema.reduce db q in
+  Alcotest.(check bool) "0-ary preserved" true
+    (Cq_naive.is_satisfiable db' q' = Cq_naive.is_satisfiable db q)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: instance-level equivalence on random inputs *)
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"clique->cq equivalence" ~count:60 (fun rng ->
+        let n = 4 + Random.State.int rng 4 in
+        let g = Graph.gnp rng n 0.5 in
+        let k = 2 + Random.State.int rng 2 in
+        let q, db = Clique_to_cq.reduce g ~k in
+        Cq_naive.is_satisfiable db q = Graph.has_clique g k);
+    Qgen.seeded_property ~name:"cq->weighted-2cnf equivalence" ~count:50
+      (fun rng ->
+        let g = Graph.gnp rng 6 0.5 in
+        let q, db = Clique_to_cq.reduce g ~k:3 in
+        let lab = Cq_to_wsat.reduce db q in
+        (Cnf.weighted_sat_neg2cnf lab.Cq_to_wsat.cnf lab.Cq_to_wsat.k <> None)
+        = Cq_naive.is_satisfiable db q);
+    Qgen.seeded_property ~name:"bounded-vars rewrite equivalence" ~count:60
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:8 in
+        let q0 =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:3 ~neq_tries:0
+            ~domain_size:4
+        in
+        let q = Cq.make ~name:q0.Cq.name ~head:[] q0.Cq.body in
+        let q', db' = Bounded_vars.reduce db q in
+        Cq_naive.is_satisfiable db' q' = Cq_naive.is_satisfiable db q);
+    Qgen.seeded_property ~name:"positive query -> clique via footnote 2"
+      ~count:40 (fun rng ->
+        let db =
+          Qgen.random_database rng ~schema:[ ("r1", 1); ("r2", 2) ]
+            ~domain_size:3 ~tuples:5
+        in
+        let f =
+          Qgen.random_positive_sentence rng ~relations:[ ("r1", 1); ("r2", 2) ]
+            ~domain_size:3 ~depth:2
+        in
+        let cqs = Fo.positive_to_cqs f in
+        let g, k = Cqs_to_clique.reduce db cqs in
+        Graph.has_clique g k = Fo_naive.sentence_holds db f);
+    Qgen.seeded_property ~name:"wformula->positive equivalence" ~count:50
+      (fun rng ->
+        let nv = 2 + Random.State.int rng 3 in
+        let phi = Formula.random rng ~n_vars:nv ~depth:2 in
+        let k = Random.State.int rng (nv + 1) in
+        let fo, db = Wformula_to_positive.reduce ~n_vars:nv phi ~k in
+        Fo_naive.sentence_holds db fo
+        = Formula.weighted_sat_exists ~n_vars:nv phi k);
+    Qgen.seeded_property ~name:"positive->wformula equivalence" ~count:40
+      (fun rng ->
+        let db =
+          Qgen.random_database rng ~schema:[ ("r1", 1); ("r2", 2) ]
+            ~domain_size:3 ~tuples:5
+        in
+        let f =
+          Qgen.random_positive_sentence rng ~relations:[ ("r1", 1); ("r2", 2) ]
+            ~domain_size:3 ~depth:2
+        in
+        let lab = Positive_to_wformula.reduce db f in
+        Formula.weighted_sat_exists
+          ~n_vars:(Array.length lab.Positive_to_wformula.z)
+          lab.Positive_to_wformula.formula lab.Positive_to_wformula.k
+        = Fo_naive.sentence_holds db f);
+    Qgen.seeded_property ~name:"circuit->fo equivalence" ~count:30 (fun rng ->
+        let n_inputs = 3 + Random.State.int rng 2 in
+        let c = Qgen.random_monotone_circuit rng ~n_inputs ~n_gates:5 in
+        let k = 1 + Random.State.int rng (n_inputs - 1) in
+        let fo, db = Circuit_to_fo.reduce c ~k in
+        Fo_naive.sentence_holds db fo = Circuit.weighted_sat_exists c k);
+    Qgen.seeded_property ~name:"clique->comparisons equivalence" ~count:25
+      (fun rng ->
+        let n = 4 + Random.State.int rng 2 in
+        let g = Graph.gnp rng n 0.6 in
+        let k = 2 + Random.State.int rng 2 in
+        let q, db = Clique_to_comparisons.reduce g ~k in
+        Cq_naive.is_satisfiable db q = Graph.has_clique g k);
+    Qgen.seeded_property ~name:"alternating circuit -> fo equivalence" ~count:40
+      (fun rng ->
+        let n_inputs = 4 in
+        let c = Qgen.random_monotone_circuit rng ~n_inputs ~n_gates:4 in
+        let split = 1 + Random.State.int rng 3 in
+        let left = List.init split Fun.id in
+        let right =
+          List.filter (fun v -> v >= split) (List.init n_inputs Fun.id)
+        in
+        let quant () =
+          if Random.State.bool rng then A.Q_exists else A.Q_forall
+        in
+        let blocks =
+          List.filter
+            (fun b -> b.A.vars <> [])
+            [ { A.quantifier = quant (); vars = left;
+                weight = Random.State.int rng (List.length left + 1) };
+              { A.quantifier = quant (); vars = right;
+                weight =
+                  (if right = [] then 0
+                   else Random.State.int rng (List.length right + 1)) } ]
+        in
+        let expected = A.holds_circuit c blocks in
+        let fo, db = Alternating_to_fo.reduce c blocks in
+        Fo_naive.sentence_holds db fo = expected);
+    Qgen.seeded_property ~name:"prenex fo -> awsat equivalence" ~count:40
+      (fun rng ->
+        let db =
+          Qgen.random_database rng ~schema:[ ("r1", 1); ("r2", 2) ]
+            ~domain_size:3 ~tuples:5
+        in
+        (* random prenex sentence: 2 quantifiers over a small matrix *)
+        let v1 = "y1" and v2 = "y2" in
+        let atom () =
+          match Random.State.int rng 3 with
+          | 0 -> Fo.atom "r2" [ Term.var v1; Term.var v2 ]
+          | 1 -> Fo.atom "r1" [ Term.var (if Random.State.bool rng then v1 else v2) ]
+          | _ -> Fo.eq (Term.var v1) (Term.var v2)
+        in
+        let lit () =
+          let a = atom () in
+          if Random.State.bool rng then Fo.neg a else a
+        in
+        let matrix =
+          if Random.State.bool rng then Fo.conj [ lit (); lit () ]
+          else Fo.disj [ lit (); lit () ]
+        in
+        let wrap v body =
+          if Random.State.bool rng then Fo.exists [ v ] body
+          else Fo.forall [ v ] body
+        in
+        let sentence = wrap v1 (wrap v2 matrix) in
+        let lab = Fo_to_awsat.reduce db sentence in
+        Fo_to_awsat.holds lab = Fo_naive.sentence_holds db sentence);
+    Qgen.seeded_property ~name:"dominating-set reduction equivalence" ~count:40
+      (fun rng ->
+        let n = 3 + Random.State.int rng 4 in
+        let g = Graph.gnp rng n 0.35 in
+        let k = 1 + Random.State.int rng 2 in
+        let fo, db = Dominating_to_fo.reduce g ~k in
+        Fo_naive.sentence_holds db fo = Graph.has_dominating_set g k);
+    Qgen.seeded_property ~name:"fixed-schema rewrite equivalence" ~count:60
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:8 in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:3 ~max_arity:3 ~neq_tries:2
+            ~domain_size:4
+        in
+        let q', db' = Fixed_schema.reduce db q in
+        Relation.set_equal (Cq_naive.evaluate db' q') (Cq_naive.evaluate db q));
+    Qgen.seeded_property ~name:"hamiltonian equivalence" ~count:30 (fun rng ->
+        let n = 3 + Random.State.int rng 3 in
+        let g = Graph.gnp rng n 0.5 in
+        let q, db = Hamiltonian_to_neq.reduce g in
+        Paradb_core.Engine.is_satisfiable db q
+        = (Graph.hamiltonian_path g <> None));
+  ]
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "clique -> cq",
+        [
+          Alcotest.test_case "shape" `Quick test_clique_query_shape;
+          Alcotest.test_case "known graphs" `Quick test_clique_known_graphs;
+        ] );
+      ( "cq -> weighted 2cnf",
+        [
+          Alcotest.test_case "shape" `Quick test_cq_to_wsat_shape;
+          Alcotest.test_case "decode" `Quick test_cq_to_wsat_decode;
+          Alcotest.test_case "guards" `Quick test_cq_to_wsat_guards;
+        ] );
+      ( "bounded vars",
+        [
+          Alcotest.test_case "size collapse" `Quick test_bounded_vars_size;
+          Alcotest.test_case "constants/repeats" `Quick test_bounded_vars_repeated_and_constants;
+        ] );
+      ( "cqs -> clique",
+        [
+          Alcotest.test_case "padding" `Quick test_cqs_to_clique_padding;
+          Alcotest.test_case "all unsat" `Quick test_cqs_to_clique_all_unsat;
+        ] );
+      ( "weighted formula <-> positive",
+        [
+          Alcotest.test_case "k variables" `Quick test_wformula_query_uses_k_vars;
+          Alcotest.test_case "known formula" `Quick test_wformula_known;
+          Alcotest.test_case "membership known" `Quick test_positive_to_wformula_known;
+          Alcotest.test_case "membership guards" `Quick test_positive_to_wformula_guards;
+        ] );
+      ( "circuit -> fo",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalize_alternates;
+          Alcotest.test_case "query shape" `Quick test_circuit_to_fo_query_shape;
+          Alcotest.test_case "known circuit" `Quick test_circuit_to_fo_known;
+          Alcotest.test_case "duplicate inputs" `Quick test_circuit_to_fo_duplicate_inputs;
+          Alcotest.test_case "guards" `Quick test_circuit_to_fo_guards;
+        ] );
+      ( "theorem 3",
+        [
+          Alcotest.test_case "encoding injective" `Quick test_encode_injective;
+          Alcotest.test_case "acyclic query" `Quick test_t3_query_is_acyclic;
+          Alcotest.test_case "known graphs" `Quick test_t3_known_graphs;
+        ] );
+      ( "alternating (AW)",
+        [
+          Alcotest.test_case "circuit game" `Quick test_alternating_to_fo_known;
+          Alcotest.test_case "guards" `Quick test_alternating_to_fo_guards;
+          Alcotest.test_case "prenex fo -> awsat" `Quick test_fo_to_awsat_known;
+        ] );
+      ( "dominating set (W[2])",
+        [ Alcotest.test_case "known graphs" `Quick test_dominating_known ] );
+      ( "fixed schema",
+        [
+          Alcotest.test_case "known" `Quick test_fixed_schema_known;
+          Alcotest.test_case "0-ary" `Quick test_fixed_schema_zero_arity;
+        ] );
+      ( "hamiltonian",
+        [
+          Alcotest.test_case "known graphs" `Quick test_hamiltonian_known;
+          Alcotest.test_case "query size" `Quick test_hamiltonian_query_size;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

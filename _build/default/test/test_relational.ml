@@ -1,0 +1,290 @@
+module Value = Paradb_relational.Value
+module Tuple = Paradb_relational.Tuple
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+
+let rel name schema rows =
+  Relation.create ~name ~schema (List.map Tuple.of_ints rows)
+
+let r_edges =
+  rel "e" [ "a"; "b" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 1; 3 ] ]
+
+let check_cardinality = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (Value.Int 3) (Value.Int 3))
+
+let test_value_of_string () =
+  Alcotest.(check bool) "parses int" true (Value.equal (Value.of_string "42") (Value.Int 42));
+  Alcotest.(check bool) "parses neg" true (Value.equal (Value.of_string "-7") (Value.Int (-7)));
+  Alcotest.(check bool) "parses str" true (Value.equal (Value.of_string "x1") (Value.Str "x1"));
+  Alcotest.(check string) "to_string int" "42" (Value.to_string (Value.Int 42))
+
+let test_value_to_int () =
+  Alcotest.(check int) "payload" 9 (Value.to_int (Value.Int 9));
+  Alcotest.check_raises "str payload" (Invalid_argument "Value.to_int: not an integer: a")
+    (fun () -> ignore (Value.to_int (Value.Str "a")))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple *)
+
+let test_tuple_compare () =
+  let t1 = Tuple.of_ints [ 1; 2 ] and t2 = Tuple.of_ints [ 1; 3 ] in
+  Alcotest.(check bool) "lt" true (Tuple.compare t1 t2 < 0);
+  Alcotest.(check bool) "eq" true (Tuple.equal t1 (Tuple.of_ints [ 1; 2 ]));
+  Alcotest.(check bool) "arity sorts first" true
+    (Tuple.compare (Tuple.of_ints [ 9 ]) (Tuple.of_ints [ 1; 1 ]) < 0)
+
+let test_tuple_sub_append () =
+  let t = Tuple.of_ints [ 10; 20; 30 ] in
+  Alcotest.(check bool) "sub" true
+    (Tuple.equal (Tuple.sub t [| 2; 0; 2 |]) (Tuple.of_ints [ 30; 10; 30 ]));
+  Alcotest.(check bool) "append" true
+    (Tuple.equal
+       (Tuple.append (Tuple.of_ints [ 1 ]) (Tuple.of_ints [ 2 ]))
+       (Tuple.of_ints [ 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Relation basics *)
+
+let test_create_dedups () =
+  let r = rel "r" [ "x" ] [ [ 1 ]; [ 1 ]; [ 2 ] ] in
+  check_cardinality "dedup" 2 (Relation.cardinality r)
+
+let test_create_validates () =
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Relation: duplicate attribute a") (fun () ->
+      ignore (rel "r" [ "a"; "a" ] []));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation r: row arity 1, schema arity 2") (fun () ->
+      ignore (rel "r" [ "a"; "b" ] [ [ 1 ] ]))
+
+let test_project () =
+  let p = Relation.project [ "b" ] r_edges in
+  check_cardinality "projected" 3 (Relation.cardinality p);
+  Alcotest.(check (list string)) "schema" [ "b" ] (Relation.schema_list p);
+  (* reorder *)
+  let swapped = Relation.project [ "b"; "a" ] r_edges in
+  Alcotest.(check bool) "reordered row" true
+    (Relation.mem (Tuple.of_ints [ 2; 1 ]) swapped)
+
+let test_rename () =
+  let r = Relation.rename [ ("a", "x") ] r_edges in
+  Alcotest.(check (list string)) "renamed" [ "x"; "b" ] (Relation.schema_list r);
+  let r2 = Relation.rename_positional [ "u"; "v" ] r_edges in
+  Alcotest.(check (list string)) "positional" [ "u"; "v" ] (Relation.schema_list r2)
+
+let test_select_restrict () =
+  let big = Relation.restrict r_edges "a" (fun v -> Value.to_int v >= 2) in
+  check_cardinality "restricted" 2 (Relation.cardinality big);
+  let none = Relation.select (fun _ -> false) r_edges in
+  Alcotest.(check bool) "empty" true (Relation.is_empty none)
+
+(* ------------------------------------------------------------------ *)
+(* Joins *)
+
+let test_natural_join_chain () =
+  let r2 = Relation.rename_positional [ "b"; "c" ] r_edges in
+  let j = Relation.natural_join r_edges r2 in
+  (* paths of length 2: 1-2-3, 2-3-4, 1-3-4 *)
+  check_cardinality "join size" 3 (Relation.cardinality j);
+  Alcotest.(check (list string)) "join schema" [ "a"; "b"; "c" ]
+    (Relation.schema_list j);
+  Alcotest.(check bool) "has 1-2-3" true
+    (Relation.mem (Tuple.of_ints [ 1; 2; 3 ]) j)
+
+let test_join_no_common_is_product () =
+  let s = rel "s" [ "c" ] [ [ 7 ]; [ 8 ] ] in
+  let j = Relation.natural_join r_edges s in
+  check_cardinality "product size" 8 (Relation.cardinality j);
+  let p = Relation.product r_edges s in
+  Alcotest.(check bool) "same as product" true (Relation.set_equal j p)
+
+let test_product_rejects_shared () =
+  Alcotest.check_raises "shared attr"
+    (Invalid_argument "Relation.product: shared attribute a") (fun () ->
+      ignore (Relation.product r_edges r_edges))
+
+let test_sort_merge_join () =
+  let r2 = Relation.rename_positional [ "b"; "c" ] r_edges in
+  let hash = Relation.natural_join r_edges r2 in
+  let merge = Relation.sort_merge_join r_edges r2 in
+  Alcotest.(check bool) "agree" true (Relation.set_equal hash merge);
+  (* no common attributes: product *)
+  let s = rel "s" [ "z" ] [ [ 7 ]; [ 8 ] ] in
+  Alcotest.(check bool) "product" true
+    (Relation.set_equal (Relation.sort_merge_join r_edges s)
+       (Relation.product r_edges s))
+
+let test_semijoin () =
+  let s = rel "s" [ "b" ] [ [ 2 ]; [ 4 ] ] in
+  let sj = Relation.semijoin r_edges s in
+  check_cardinality "semijoin" 2 (Relation.cardinality sj);
+  Alcotest.(check bool) "kept 1-2" true (Relation.mem (Tuple.of_ints [ 1; 2 ]) sj);
+  Alcotest.(check bool) "kept 3-4" true (Relation.mem (Tuple.of_ints [ 3; 4 ]) sj);
+  (* no common attributes: semijoin keeps all iff other side nonempty *)
+  let t = rel "t" [ "z" ] [ [ 0 ] ] in
+  Alcotest.(check bool) "nonempty other side" true
+    (Relation.set_equal (Relation.semijoin r_edges t) r_edges);
+  let empty_t = rel "t" [ "z" ] [] in
+  Alcotest.(check bool) "empty other side" true
+    (Relation.is_empty (Relation.semijoin r_edges empty_t))
+
+let test_set_ops () =
+  let r1 = rel "r" [ "a"; "b" ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+  (* same attribute set, different column order *)
+  let r2 = rel "r" [ "b"; "a" ] [ [ 2; 1 ]; [ 9; 9 ] ] in
+  let u = Relation.union r1 r2 in
+  check_cardinality "union" 3 (Relation.cardinality u);
+  let i = Relation.inter r1 r2 in
+  check_cardinality "inter" 1 (Relation.cardinality i);
+  Alcotest.(check bool) "inter row" true (Relation.mem (Tuple.of_ints [ 1; 2 ]) i);
+  let d = Relation.diff r1 r2 in
+  check_cardinality "diff" 1 (Relation.cardinality d);
+  Alcotest.(check bool) "diff row" true (Relation.mem (Tuple.of_ints [ 3; 4 ]) d)
+
+let test_extend () =
+  let r = Relation.extend "sum" (fun row ->
+      Value.Int (Value.to_int row.(0) + Value.to_int row.(1))) r_edges in
+  Alcotest.(check (list string)) "schema" [ "a"; "b"; "sum" ]
+    (Relation.schema_list r);
+  Alcotest.(check bool) "computed" true (Relation.mem (Tuple.of_ints [ 1; 2; 3 ]) r)
+
+let test_arity_zero () =
+  let t = rel "t" [] [ [] ] in
+  check_cardinality "one empty tuple" 1 (Relation.cardinality t);
+  let f = rel "f" [] [] in
+  Alcotest.(check bool) "empty 0-ary" true (Relation.is_empty f);
+  (* joining with a 0-ary relation acts as a boolean guard *)
+  let j = Relation.natural_join r_edges t in
+  Alcotest.(check bool) "guard true" true (Relation.set_equal j r_edges);
+  let j2 = Relation.natural_join r_edges f in
+  Alcotest.(check bool) "guard false" true (Relation.is_empty j2)
+
+let test_domain () =
+  let d = Relation.domain r_edges in
+  Alcotest.(check int) "domain size" 4 (Value.Set.cardinal d)
+
+(* ------------------------------------------------------------------ *)
+(* Database *)
+
+let test_database () =
+  let db = Database.of_relations [ r_edges; rel "s" [ "x" ] [ [ 9 ] ] ] in
+  Alcotest.(check (list string)) "names" [ "e"; "s" ] (Database.names db);
+  Alcotest.(check int) "size" 5 (Database.size db);
+  Alcotest.(check int) "cells" 9 (Database.cells db);
+  Alcotest.(check int) "arity" 2 (Database.arity_of db "e");
+  Alcotest.(check int) "domain" 5 (Value.Set.cardinal (Database.domain db));
+  Alcotest.(check bool) "find_opt none" true (Database.find_opt db "zzz" = None)
+
+let test_database_unnamed () =
+  Alcotest.check_raises "unnamed"
+    (Invalid_argument "Database.add: relation has no name") (fun () ->
+      ignore (Database.add (Relation.create ~schema:[ "x" ] []) Database.empty))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  let random_rel rng ~schema =
+    Qgen.random_relation rng ~name:"r" ~arity:(List.length schema)
+      ~domain_size:4
+      ~tuples:(1 + Random.State.int rng 12)
+    |> Relation.rename_positional schema
+  in
+  [
+    Qgen.seeded_property ~name:"join is commutative (as sets)" ~count:100
+      (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let s = random_rel rng ~schema:[ "b"; "c" ] in
+        Relation.set_equal (Relation.natural_join r s)
+          (Relation.natural_join s r));
+    Qgen.seeded_property ~name:"join is associative (as sets)" ~count:100
+      (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let s = random_rel rng ~schema:[ "b"; "c" ] in
+        let t = random_rel rng ~schema:[ "c"; "d" ] in
+        Relation.set_equal
+          (Relation.natural_join (Relation.natural_join r s) t)
+          (Relation.natural_join r (Relation.natural_join s t)));
+    Qgen.seeded_property ~name:"sort-merge join = hash join" ~count:100
+      (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let s = random_rel rng ~schema:[ "b"; "c" ] in
+        Relation.set_equal (Relation.sort_merge_join r s)
+          (Relation.natural_join r s));
+    Qgen.seeded_property ~name:"semijoin = project of join" ~count:100
+      (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let s = random_rel rng ~schema:[ "b"; "c" ] in
+        Relation.set_equal (Relation.semijoin r s)
+          (Relation.project [ "a"; "b" ] (Relation.natural_join r s)));
+    Qgen.seeded_property ~name:"semijoin shrinks" ~count:100 (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let s = random_rel rng ~schema:[ "b"; "c" ] in
+        Relation.cardinality (Relation.semijoin r s) <= Relation.cardinality r);
+    Qgen.seeded_property ~name:"union/inter/diff partition" ~count:100
+      (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let s = random_rel rng ~schema:[ "a"; "b" ] in
+        Relation.cardinality (Relation.union r s)
+        = Relation.cardinality (Relation.diff r s)
+          + Relation.cardinality (Relation.inter r s)
+          + Relation.cardinality (Relation.diff s r));
+    Qgen.seeded_property ~name:"projection is monotone" ~count:100 (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b"; "c" ] in
+        let s = Relation.select (fun row -> Value.to_int row.(0) < 2) r in
+        Relation.cardinality (Relation.project [ "a"; "c" ] s)
+        <= Relation.cardinality (Relation.project [ "a"; "c" ] r));
+    Qgen.seeded_property ~name:"double rename is identity" ~count:100
+      (fun rng ->
+        let r = random_rel rng ~schema:[ "a"; "b" ] in
+        let there = Relation.rename [ ("a", "z") ] r in
+        let back = Relation.rename [ ("z", "a") ] there in
+        Relation.set_equal r back);
+  ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "order" `Quick test_value_order;
+          Alcotest.test_case "of_string" `Quick test_value_of_string;
+          Alcotest.test_case "to_int" `Quick test_value_to_int;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "compare" `Quick test_tuple_compare;
+          Alcotest.test_case "sub/append" `Quick test_tuple_sub_append;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "dedup" `Quick test_create_dedups;
+          Alcotest.test_case "validation" `Quick test_create_validates;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "select" `Quick test_select_restrict;
+          Alcotest.test_case "natural join" `Quick test_natural_join_chain;
+          Alcotest.test_case "sort-merge join" `Quick test_sort_merge_join;
+          Alcotest.test_case "join as product" `Quick test_join_no_common_is_product;
+          Alcotest.test_case "product guard" `Quick test_product_rejects_shared;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+          Alcotest.test_case "extend" `Quick test_extend;
+          Alcotest.test_case "0-ary relations" `Quick test_arity_zero;
+          Alcotest.test_case "domain" `Quick test_domain;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "basics" `Quick test_database;
+          Alcotest.test_case "unnamed rejected" `Quick test_database_unnamed;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

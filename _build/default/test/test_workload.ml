@@ -1,0 +1,130 @@
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Value = Paradb_relational.Value
+module Generators = Paradb_workload.Generators
+module Vardi = Paradb_workload.Vardi
+module Bench_util = Paradb_workload.Bench_util
+open Paradb_query
+
+let rng () = Random.State.make [| 17 |]
+
+let test_random_database () =
+  let db =
+    Generators.random_database (rng ()) ~schema:[ ("r", 2); ("s", 3) ]
+      ~domain_size:5 ~tuples:20
+  in
+  Alcotest.(check int) "r arity" 2 (Database.arity_of db "r");
+  Alcotest.(check int) "s arity" 3 (Database.arity_of db "s");
+  Alcotest.(check bool) "r nonempty" false
+    (Relation.is_empty (Database.find db "r"));
+  Alcotest.(check bool) "domain bounded" true
+    (Value.Set.for_all
+       (fun v -> Value.to_int v < 5)
+       (Database.domain db))
+
+let test_edge_database_and_chain () =
+  let db = Generators.edge_database (rng ()) ~nodes:10 ~edges:30 in
+  Alcotest.(check int) "at most 30 edges" 30
+    (max 30 (Relation.cardinality (Database.find db "e")));
+  let q = Generators.chain_query ~length:3 ~neq:[ (0, 3); (1, 2) ] in
+  Alcotest.(check int) "atoms" 3 (List.length q.Cq.body);
+  Alcotest.(check int) "constraints" 2 (List.length q.Cq.constraints);
+  (* the engine and the naive evaluator agree on the generated workload *)
+  Alcotest.(check bool) "engines agree" true
+    (Relation.set_equal
+       (Paradb_core.Engine.evaluate db q)
+       (Paradb_eval.Cq_naive.evaluate db q))
+
+let test_employees_scenario () =
+  let db, q =
+    Generators.employees_multi_project (rng ()) ~employees:20 ~projects:5
+      ~assignments:40
+  in
+  let r = Paradb_core.Engine.evaluate db q in
+  Alcotest.(check bool) "agrees with naive" true
+    (Relation.set_equal r (Paradb_eval.Cq_naive.evaluate db q));
+  (* with 40 random assignments over 20 employees, someone has 2 projects *)
+  Alcotest.(check bool) "nonempty" false (Relation.is_empty r)
+
+let test_students_scenario () =
+  let db, q =
+    Generators.students_outside_department (rng ()) ~students:15 ~courses:10
+      ~departments:3 ~enrollments:30
+  in
+  Alcotest.(check bool) "agrees with naive" true
+    (Relation.set_equal
+       (Paradb_core.Engine.evaluate db q)
+       (Paradb_eval.Cq_naive.evaluate db q))
+
+let test_salary_scenario () =
+  let db, q =
+    Generators.employees_higher_salary (rng ()) ~employees:12 ~max_salary:50
+  in
+  Alcotest.(check bool) "agrees with naive" true
+    (Relation.set_equal
+       (Paradb_core.Comparisons.evaluate db q)
+       (Paradb_eval.Cq_naive.evaluate db q))
+
+let test_vardi_database () =
+  let db = Vardi.database ~edges:[ (0, 1) ] ~sources:[ 0 ] ~targets:[ 1 ] in
+  Alcotest.(check int) "e" 1 (Relation.cardinality (Database.find db "e"));
+  Alcotest.(check int) "s" 1 (Relation.cardinality (Database.find db "s"));
+  let p = Vardi.program ~k:2 in
+  Alcotest.(check int) "three rules" 3 (List.length p.Program.rules);
+  Alcotest.(check bool) "goal" true
+    (Paradb_datalog.Engine.goal_holds db p)
+
+let test_layered_instance () =
+  let db = Vardi.layered_instance (rng ()) ~layers:3 ~width:2 ~edge_prob:1.0 in
+  (* complete layers: 2 layers of 4 edges *)
+  Alcotest.(check int) "edges" 8 (Relation.cardinality (Database.find db "e"));
+  Alcotest.(check bool) "reachable" true
+    (Paradb_datalog.Engine.goal_holds db (Vardi.program ~k:1))
+
+let test_bench_util_time () =
+  let (), t = Bench_util.time (fun () -> ignore (Sys.opaque_identity (List.init 1000 Fun.id))) in
+  Alcotest.(check bool) "nonnegative" true (t >= 0.0);
+  let _, tm = Bench_util.time_median ~runs:3 (fun () -> 42) in
+  Alcotest.(check bool) "median nonnegative" true (tm >= 0.0)
+
+let test_bench_util_table () =
+  let s =
+    Bench_util.table ~header:[ "n"; "time" ]
+      [ [ "10"; "1.0ms" ]; [ "100"; "2.0ms" ] ]
+  in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "|");
+  Alcotest.(check int) "four lines" 4
+    (List.length (String.split_on_char '\n' s))
+
+let test_pretty_seconds () =
+  Alcotest.(check string) "ns" "500ns" (Bench_util.pretty_seconds 5e-7);
+  Alcotest.(check string) "us" "50.0us" (Bench_util.pretty_seconds 5e-5);
+  Alcotest.(check string) "ms" "5.00ms" (Bench_util.pretty_seconds 5e-3);
+  Alcotest.(check string) "s" "5.00s" (Bench_util.pretty_seconds 5.0);
+  Alcotest.(check string) "ratio" "x2.0" (Bench_util.ratio_string 1.0 2.0);
+  Alcotest.(check string) "ratio zero" "-" (Bench_util.ratio_string 0.0 2.0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "random database" `Quick test_random_database;
+          Alcotest.test_case "edges and chains" `Quick test_edge_database_and_chain;
+          Alcotest.test_case "employees" `Quick test_employees_scenario;
+          Alcotest.test_case "students" `Quick test_students_scenario;
+          Alcotest.test_case "salaries" `Quick test_salary_scenario;
+        ] );
+      ( "vardi",
+        [
+          Alcotest.test_case "database" `Quick test_vardi_database;
+          Alcotest.test_case "layered" `Quick test_layered_instance;
+        ] );
+      ( "bench utils",
+        [
+          Alcotest.test_case "time" `Quick test_bench_util_time;
+          Alcotest.test_case "table" `Quick test_bench_util_table;
+          Alcotest.test_case "pretty" `Quick test_pretty_seconds;
+        ] );
+    ]

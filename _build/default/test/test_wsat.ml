@@ -1,0 +1,323 @@
+module Circuit = Paradb_wsat.Circuit
+module Formula = Paradb_wsat.Formula
+module Cnf = Paradb_wsat.Cnf
+module Graph = Paradb_graph.Graph
+
+(* ------------------------------------------------------------------ *)
+(* Circuits *)
+
+(* (x0 & x1) | !x2 *)
+let example_circuit =
+  Circuit.make ~n_inputs:3
+    [|
+      Circuit.G_input 0;
+      Circuit.G_input 1;
+      Circuit.G_input 2;
+      Circuit.G_and [ 0; 1 ];
+      Circuit.G_not 2;
+      Circuit.G_or [ 3; 4 ];
+    |]
+    ~output:5
+
+let test_circuit_eval () =
+  Alcotest.(check bool) "tt f" true (Circuit.eval example_circuit [| true; true; true |]);
+  Alcotest.(check bool) "ff f" true (Circuit.eval example_circuit [| false; false; false |]);
+  Alcotest.(check bool) "f t t" false (Circuit.eval example_circuit [| false; true; true |])
+
+let test_circuit_validation () =
+  Alcotest.(check bool) "forward ref rejected" true
+    (try
+       ignore (Circuit.make ~n_inputs:1 [| Circuit.G_and [ 1 ]; Circuit.G_input 0 |] ~output:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad input rejected" true
+    (try ignore (Circuit.make ~n_inputs:1 [| Circuit.G_input 5 |] ~output:0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad output rejected" true
+    (try ignore (Circuit.make ~n_inputs:1 [| Circuit.G_input 0 |] ~output:7); false
+     with Invalid_argument _ -> true)
+
+let test_circuit_monotone_depth () =
+  Alcotest.(check bool) "not monotone" false (Circuit.is_monotone example_circuit);
+  (* depth: NOT on an input is not counted *)
+  Alcotest.(check int) "depth" 2 (Circuit.depth example_circuit);
+  let mono =
+    Circuit.make ~n_inputs:2
+      [| Circuit.G_input 0; Circuit.G_input 1; Circuit.G_or [ 0; 1 ] |]
+      ~output:2
+  in
+  Alcotest.(check bool) "monotone" true (Circuit.is_monotone mono);
+  Alcotest.(check int) "depth 1" 1 (Circuit.depth mono)
+
+let test_weight_k_assignments () =
+  let count n k = Seq.length (Circuit.weight_k_assignments n k) in
+  Alcotest.(check int) "5 choose 2" 10 (count 5 2);
+  Alcotest.(check int) "4 choose 0" 1 (count 4 0);
+  Alcotest.(check int) "4 choose 4" 1 (count 4 4);
+  Alcotest.(check int) "4 choose 5" 0 (count 4 5);
+  (* every assignment has the right weight *)
+  Seq.iter
+    (fun a ->
+      let w = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
+      Alcotest.(check int) "weight" 3 w)
+    (Circuit.weight_k_assignments 6 3)
+
+let test_circuit_weighted_sat () =
+  (* (x0 & x1) | !x2 : weight-2 solutions include {x0,x1} *)
+  (match Circuit.weighted_sat example_circuit 2 with
+  | Some a -> Alcotest.(check bool) "satisfies" true (Circuit.eval example_circuit a)
+  | None -> Alcotest.fail "expected solution");
+  (* all-AND circuit needs all inputs *)
+  let all_and =
+    Circuit.make ~n_inputs:3
+      [| Circuit.G_input 0; Circuit.G_input 1; Circuit.G_input 2; Circuit.G_and [ 0; 1; 2 ] |]
+      ~output:3
+  in
+  Alcotest.(check bool) "weight 2 fails" false (Circuit.weighted_sat_exists all_and 2);
+  Alcotest.(check bool) "weight 3 works" true (Circuit.weighted_sat_exists all_and 3)
+
+(* ------------------------------------------------------------------ *)
+(* Formulas *)
+
+let test_formula_eval () =
+  let f = Formula.(conj [ disj [ var 0; neg (var 1) ]; var 2 ]) in
+  Alcotest.(check bool) "tft" true (Formula.eval f [| true; false; true |]);
+  Alcotest.(check bool) "ftt" false (Formula.eval f [| false; true; true |]);
+  Alcotest.(check int) "n_vars" 3 (Formula.n_vars f);
+  Alcotest.(check bool) "not monotone" false (Formula.is_monotone f)
+
+let test_formula_nnf () =
+  let f = Formula.(neg (conj [ var 0; neg (var 1) ])) in
+  let n = Formula.nnf f in
+  let rec negs_on_vars = function
+    | Formula.F_not (Formula.F_var _) -> true
+    | Formula.F_not _ -> false
+    | Formula.F_const _ | Formula.F_var _ -> true
+    | Formula.F_and fs | Formula.F_or fs -> List.for_all negs_on_vars fs
+  in
+  Alcotest.(check bool) "nnf shape" true (negs_on_vars n);
+  (* semantics preserved *)
+  List.iter
+    (fun a -> Alcotest.(check bool) "same" (Formula.eval f a) (Formula.eval n a))
+    [ [| true; true |]; [| true; false |]; [| false; true |]; [| false; false |] ]
+
+let test_formula_occurrences () =
+  let f = Formula.(conj [ var 0; neg (var 1); var 0 ]) in
+  Alcotest.(check (list (pair int bool))) "occurrences"
+    [ (0, true); (1, false); (0, true) ]
+    (Formula.occurrences f)
+
+let test_formula_to_circuit () =
+  let rng = Random.State.make [| 21 |] in
+  for _ = 1 to 30 do
+    let f = Formula.random rng ~n_vars:4 ~depth:3 in
+    let c = Formula.to_circuit ~n_vars:4 f in
+    Seq.iter
+      (fun a ->
+        Alcotest.(check bool) "circuit agrees" (Formula.eval f a) (Circuit.eval c a))
+      (Circuit.weight_k_assignments 4 2)
+  done
+
+let test_formula_weighted_sat_universe () =
+  (* x0 with universe of 3 variables: weight 2 satisfiable (x0 plus a
+     padding variable), but weight 2 over the formula's own single
+     variable is not *)
+  let f = Formula.var 0 in
+  Alcotest.(check bool) "padded" true (Formula.weighted_sat_exists ~n_vars:3 f 2);
+  Alcotest.(check bool) "unpadded" false (Formula.weighted_sat_exists f 2)
+
+(* ------------------------------------------------------------------ *)
+(* CNF *)
+
+let test_cnf_eval () =
+  let cnf =
+    Cnf.make ~n_vars:3 [ [ Cnf.pos 0; Cnf.neg 1 ]; [ Cnf.pos 2 ] ]
+  in
+  Alcotest.(check bool) "eval" true (Cnf.eval cnf [| true; true; true |]);
+  Alcotest.(check bool) "eval2" false (Cnf.eval cnf [| false; true; true |]);
+  Alcotest.(check bool) "is 2cnf" true (Cnf.is_2cnf cnf);
+  Alcotest.(check bool) "is 3cnf" true (Cnf.is_3cnf cnf);
+  Alcotest.(check bool) "not all negative" false (Cnf.all_negative cnf);
+  Alcotest.(check bool) "range checked" true
+    (try ignore (Cnf.make ~n_vars:1 [ [ Cnf.pos 3 ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_cnf_formula_agree () =
+  let cnf =
+    Cnf.make ~n_vars:3 [ [ Cnf.neg 0; Cnf.neg 1 ]; [ Cnf.neg 1; Cnf.neg 2 ] ]
+  in
+  let f = Cnf.to_formula cnf in
+  Seq.iter
+    (fun a -> Alcotest.(check bool) "agree" (Cnf.eval cnf a) (Formula.eval f a))
+    (Circuit.weight_k_assignments 3 1)
+
+let test_neg2cnf_solver () =
+  (* conflict graph path 0-1-2: max independent set 2 *)
+  let cnf =
+    Cnf.make ~n_vars:3 [ [ Cnf.neg 0; Cnf.neg 1 ]; [ Cnf.neg 1; Cnf.neg 2 ] ]
+  in
+  Alcotest.(check bool) "weight 2" true (Cnf.weighted_sat_neg2cnf cnf 2 <> None);
+  Alcotest.(check bool) "weight 3" true (Cnf.weighted_sat_neg2cnf cnf 3 = None);
+  (match Cnf.weighted_sat_neg2cnf cnf 2 with
+  | Some a -> Alcotest.(check bool) "valid" true (Cnf.eval cnf a)
+  | None -> Alcotest.fail "expected");
+  (* unit clause blocks a variable *)
+  let blocked = Cnf.make ~n_vars:2 [ [ Cnf.neg 0 ] ] in
+  (match Cnf.weighted_sat_neg2cnf blocked 1 with
+  | Some a -> Alcotest.(check bool) "picked free var" true a.(1)
+  | None -> Alcotest.fail "expected");
+  Alcotest.(check bool) "guard" true
+    (try ignore (Cnf.weighted_sat_neg2cnf (Cnf.make ~n_vars:1 [ [ Cnf.pos 0 ] ]) 1); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Alternating weighted satisfiability *)
+
+module A = Paradb_wsat.Alternating
+
+let test_alternating_subsets () =
+  Alcotest.(check int) "4 choose 2" 6 (Seq.length (A.subsets [ 3; 5; 7; 9 ] 2));
+  Alcotest.(check int) "choose 0" 1 (Seq.length (A.subsets [ 1; 2 ] 0));
+  Alcotest.(check int) "choose too many" 0 (Seq.length (A.subsets [ 1 ] 2));
+  Seq.iter
+    (fun sub -> Alcotest.(check int) "size" 2 (List.length sub))
+    (A.subsets [ 0; 1; 2; 3 ] 2)
+
+let test_alternating_validate () =
+  Alcotest.(check bool) "overlap rejected" true
+    (try
+       A.validate ~n_vars:3
+         [ { A.quantifier = A.Q_exists; vars = [ 0; 1 ]; weight = 1 };
+           { A.quantifier = A.Q_forall; vars = [ 1; 2 ]; weight = 1 } ];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "weight too big" true
+    (try
+       A.validate ~n_vars:2
+         [ { A.quantifier = A.Q_exists; vars = [ 0 ]; weight = 2 } ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_alternating_holds () =
+  (* circuit: x0 & !x1 ... use formula for negation *)
+  let f = Formula.(conj [ var 0; neg (var 1) ]) in
+  (* E{x0} A{x1}: exists weight-1 choice of {x0} (must take x0), forall
+     weight-0 of {x1} (x1 stays false) -> true *)
+  Alcotest.(check bool) "E then A weight 0" true
+    (A.holds_formula f
+       [ { A.quantifier = A.Q_exists; vars = [ 0 ]; weight = 1 };
+         { A.quantifier = A.Q_forall; vars = [ 1 ]; weight = 0 } ]);
+  (* forall weight-1 of {x1} forces x1 true -> false *)
+  Alcotest.(check bool) "E then A weight 1" false
+    (A.holds_formula f
+       [ { A.quantifier = A.Q_exists; vars = [ 0 ]; weight = 1 };
+         { A.quantifier = A.Q_forall; vars = [ 1 ]; weight = 1 } ]);
+  (* OR circuit: forall single choices of two vars, each satisfies *)
+  let g = Formula.(disj [ var 0; var 1 ]) in
+  Alcotest.(check bool) "forall either" true
+    (A.holds_formula g
+       [ { A.quantifier = A.Q_forall; vars = [ 0; 1 ]; weight = 1 } ]);
+  let h = Formula.var 0 in
+  Alcotest.(check bool) "forall may pick the other" false
+    (A.holds_formula ~n_vars:2 h
+       [ { A.quantifier = A.Q_forall; vars = [ 0; 1 ]; weight = 1 } ])
+
+let test_alternating_pure_exists_is_weighted_sat () =
+  let rng = Random.State.make [| 41 |] in
+  for _ = 1 to 30 do
+    let f = Formula.random rng ~n_vars:4 ~depth:2 in
+    let k = Random.State.int rng 5 in
+    let blocks =
+      [ { A.quantifier = A.Q_exists; vars = [ 0; 1; 2; 3 ]; weight = k } ]
+    in
+    if k <= 4 then
+      Alcotest.(check bool) "matches weighted sat"
+        (Formula.weighted_sat_exists ~n_vars:4 f k)
+        (A.holds_formula ~n_vars:4 f blocks)
+  done
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"neg2cnf solver = brute force" ~count:80
+      (fun rng ->
+        let n = 2 + Random.State.int rng 5 in
+        let clauses =
+          List.init (Random.State.int rng 6) (fun _ ->
+              let a = Random.State.int rng n and b = Random.State.int rng n in
+              [ Cnf.neg a; Cnf.neg b ])
+        in
+        let cnf = Cnf.make ~n_vars:n clauses in
+        let k = Random.State.int rng (n + 1) in
+        (Cnf.weighted_sat_neg2cnf cnf k <> None) = Cnf.weighted_sat_exists cnf k);
+    Qgen.seeded_property ~name:"formula -> circuit preserves weighted sat"
+      ~count:60 (fun rng ->
+        let f = Formula.random rng ~n_vars:4 ~depth:2 in
+        let c = Formula.to_circuit ~n_vars:4 f in
+        let k = Random.State.int rng 5 in
+        Formula.weighted_sat_exists ~n_vars:4 f k = Circuit.weighted_sat_exists c k);
+    Qgen.seeded_property ~name:"monotone circuits are upward closed" ~count:60
+      (fun rng ->
+        let c = Qgen.random_monotone_circuit rng ~n_inputs:4 ~n_gates:5 in
+        (* flipping a 0 to 1 never turns the output off *)
+        let ok = ref true in
+        Seq.iter
+          (fun a ->
+            if Circuit.eval c a then
+              Array.iteri
+                (fun i v ->
+                  if not v then begin
+                    let a' = Array.copy a in
+                    a'.(i) <- true;
+                    if not (Circuit.eval c a') then ok := false
+                  end)
+                a)
+          (Circuit.weight_k_assignments 4 2);
+        !ok);
+    Qgen.seeded_property ~name:"levels respect wiring" ~count:60 (fun rng ->
+        let c = Qgen.random_monotone_circuit rng ~n_inputs:3 ~n_gates:6 in
+        let levels = Circuit.levels c in
+        let ok = ref true in
+        Array.iteri
+          (fun id gate ->
+            match gate with
+            | Circuit.G_and js | Circuit.G_or js ->
+                List.iter (fun j -> if levels.(j) >= levels.(id) then ok := false) js
+            | _ -> ())
+          c.Circuit.gates;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "wsat"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "eval" `Quick test_circuit_eval;
+          Alcotest.test_case "validation" `Quick test_circuit_validation;
+          Alcotest.test_case "monotone/depth" `Quick test_circuit_monotone_depth;
+          Alcotest.test_case "weight-k enumeration" `Quick test_weight_k_assignments;
+          Alcotest.test_case "weighted sat" `Quick test_circuit_weighted_sat;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "eval" `Quick test_formula_eval;
+          Alcotest.test_case "nnf" `Quick test_formula_nnf;
+          Alcotest.test_case "occurrences" `Quick test_formula_occurrences;
+          Alcotest.test_case "to_circuit" `Quick test_formula_to_circuit;
+          Alcotest.test_case "weighted sat universe" `Quick test_formula_weighted_sat_universe;
+        ] );
+      ( "cnf",
+        [
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+          Alcotest.test_case "formula agreement" `Quick test_cnf_formula_agree;
+          Alcotest.test_case "neg2cnf solver" `Quick test_neg2cnf_solver;
+        ] );
+      ( "alternating",
+        [
+          Alcotest.test_case "subsets" `Quick test_alternating_subsets;
+          Alcotest.test_case "validate" `Quick test_alternating_validate;
+          Alcotest.test_case "holds" `Quick test_alternating_holds;
+          Alcotest.test_case "pure exists" `Quick test_alternating_pure_exists_is_weighted_sat;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
