@@ -429,6 +429,25 @@ let t2_scaling_n () =
       in
       prev_naive := Some (n, t_naive);
       prev_fpt := Some (n, t_fpt);
+      (* q = atoms in the chain query, v = variables, rows = edge tuples. *)
+      B.record
+        [
+          ("name", B.J_string "t2-scaling-n");
+          ("n", B.J_int n);
+          ("q", B.J_int 3);
+          ("v", B.J_int 4);
+          ("median_ns", B.J_int (int_of_float (t_fpt *. 1e9)));
+          ("rows", B.J_int n);
+        ];
+      B.record
+        [
+          ("name", B.J_string "t2-scaling-n-naive");
+          ("n", B.J_int n);
+          ("q", B.J_int 3);
+          ("v", B.J_int 4);
+          ("median_ns", B.J_int (int_of_float (t_naive *. 1e9)));
+          ("rows", B.J_int n);
+        ];
       rows :=
         [
           string_of_int n;
@@ -1275,24 +1294,46 @@ let bechamel_suite () =
     (List.sort compare rows)
 
 let usage () =
-  print_endline "usage: main.exe [--list | --only <id> | --bechamel]";
+  print_endline
+    "usage: main.exe [--list | --only <id> | --bechamel] [--json <file>]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] ->
-      print_endline "# paradb experiment harness";
-      List.iter (fun (_, run) -> run ()) experiments
-  | [ _; "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
-  | [ _; "--bechamel" ] -> bechamel_suite ()
-  | [ _; "--only"; id ] -> (
-      match List.assoc_opt id experiments with
-      | Some run -> run ()
+  let only = ref None and json = ref None and mode = ref `Run in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: rest ->
+        mode := `List;
+        parse rest
+    | "--bechamel" :: rest ->
+        mode := `Bechamel;
+        parse rest
+    | "--only" :: id :: rest ->
+        only := Some id;
+        parse rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | _ ->
+        usage ();
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !json <> None then B.json_enabled := true;
+  (match !mode with
+  | `List -> List.iter (fun (name, _) -> print_endline name) experiments
+  | `Bechamel -> bechamel_suite ()
+  | `Run -> (
+      match !only with
       | None ->
-          Printf.eprintf "unknown experiment %s\n" id;
-          usage ();
-          exit 1)
-  | _ ->
-      usage ();
-      exit 1
+          print_endline "# paradb experiment harness";
+          List.iter (fun (_, run) -> run ()) experiments
+      | Some id -> (
+          match List.assoc_opt id experiments with
+          | Some run -> run ()
+          | None ->
+              Printf.eprintf "unknown experiment %s\n" id;
+              usage ();
+              exit 1)));
+  match !json with None -> () | Some file -> B.write_json file

@@ -143,8 +143,20 @@ let find_simple_path ?family g k =
   if k = 0 then Some []
   else if k > Graph.n_vertices g then None
   else begin
-    let result = Engine.evaluate ?family (graph_database g) (path_query ~k) in
-    match Relation.tuples result with
-    | [] -> None
-    | row :: _ -> Some (List.map Value.to_int (Tuple.to_list row))
+    (* One witness suffices, so stop at the first coloring whose Q_h is
+       nonempty instead of unioning every trial's answer as [evaluate]
+       would. *)
+    let family =
+      match family with Some f -> f | None -> Hashing.Multiplicative_sweep
+    in
+    let db = graph_database g in
+    let q = path_query ~k in
+    let domain = Value.Set.elements (Database.domain db) in
+    Seq.find_map
+      (fun h ->
+        let result = Engine.evaluate_with db q h in
+        match Relation.tuples result with
+        | [] -> None
+        | row :: _ -> Some (List.map Value.to_int (Tuple.to_list row)))
+      (Hashing.functions family ~domain ~k)
   end

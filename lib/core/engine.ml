@@ -2,6 +2,7 @@ module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 module Tuple = Paradb_relational.Tuple
 module Value = Paradb_relational.Value
+module Dictionary = Paradb_relational.Dictionary
 module Join_tree = Paradb_hypergraph.Join_tree
 module SS = Paradb_hypergraph.Hypergraph.String_set
 module Yannakakis = Paradb_yannakakis.Yannakakis
@@ -20,6 +21,11 @@ type stats = {
 }
 
 let new_stats () = { trials = 0; successes = 0; peak_rows = 0 }
+
+let merge_stats into s =
+  into.trials <- into.trials + s.trials;
+  into.successes <- into.successes + s.successes;
+  if s.peak_rows > into.peak_rows then into.peak_rows <- s.peak_rows
 
 let observe stats rel =
   let n = Relation.cardinality rel in
@@ -140,8 +146,43 @@ let build_task ?(prereduce = true) db q formula =
           SS.cardinal prime_vars + List.length formula_consts;
       }
 
-(* Extend S_j with the shadow attributes x' = h(x). *)
-let prime_relation task h j =
+let task_dict task = Relation.dict task.base_rels.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-coloring machinery.
+
+   A prepared [trial] carries everything interning-related so the trial
+   body itself is dictionary-write-free and can run on any domain:
+   [color_code.(c)] is the dictionary code of [Value.Int c] (interned
+   sequentially during preparation), and [color_of_code] maps every
+   dictionary code to its color under [h] (read-only to build).  The hot
+   loop is then pure int-array work. *)
+
+type trial = {
+  h : Hashing.fn;
+  color_code : int array; (* color -> code of [Value.Int color] *)
+}
+
+let prep_trial task h =
+  let dict = task_dict task in
+  {
+    h;
+    color_code =
+      Array.init h.Hashing.range (fun c -> Dictionary.intern dict (Value.Int c));
+  }
+
+(* Color of every dictionary code under [h]; -1 marks values outside [h]'s
+   domain (codes that never occur in the base relations). *)
+let color_table task h =
+  let dict = task_dict task in
+  Array.init (Dictionary.size dict) (fun c ->
+      match h.Hashing.apply (Dictionary.value dict c) with
+      | color -> color
+      | exception Invalid_argument _ -> -1)
+
+(* Extend S_j with the shadow attributes x' = h(x), working entirely on
+   code rows: shadow cell = code of [Value.Int (h x)]. *)
+let prime_relation task trial colors j =
   let rel = task.base_rels.(j) in
   let vars =
     List.filter (fun x -> SS.mem x task.prime_vars) (Relation.schema_list rel)
@@ -150,17 +191,11 @@ let prime_relation task h j =
   | [] -> rel
   | _ ->
       let positions = Relation.positions rel vars in
-      let schema = Relation.schema_list rel @ List.map primed vars in
-      let rows =
-        Relation.fold
-          (fun row acc ->
-            let shadow =
-              Array.map (fun i -> Value.Int (h.Hashing.apply row.(i))) positions
-            in
-            Tuple.Set.add (Tuple.append row shadow) acc)
-          rel Tuple.Set.empty
-      in
-      Relation.of_set ~name:(Relation.name rel) ~schema rows
+      let color_code = trial.color_code in
+      Relation.extend_codes
+        (List.map primed vars)
+        (fun row -> Array.map (fun i -> color_code.(colors.(row.(i)))) positions)
+        rel
 
 (* The selection F of Algorithm 1 at the moment child j is merged into
    parent u: for every I1 pair {x, y} with x' in Y_j \ U'_u and y' among
@@ -187,8 +222,9 @@ let f_checks task ~proj_attrs ~parent_attrs j u =
        task.pairs)
 
 (* Evaluate the root formula on a row of colors.  Variables read their
-   shadow attribute; constants are hashed with the same h. *)
-let root_filter task h rel =
+   shadow attribute (decoding the color code); constants are hashed with
+   the same h. *)
+let root_filter task trial rel =
   match task.formula with
   | None -> rel
   | Some f ->
@@ -197,8 +233,9 @@ let root_filter task h rel =
         List.map (fun x -> (x, pos (primed x))) (Ineq_formula.vars f)
       in
       let resolve row = function
-        | Term.Var x -> Value.to_int row.(List.assoc x var_pos)
-        | Term.Const c -> h.Hashing.apply c
+        | Term.Var x ->
+            Value.to_int (Relation.decode_value rel row.(List.assoc x var_pos))
+        | Term.Const c -> trial.h.Hashing.apply c
       in
       let rec holds row = function
         | Ineq_formula.True -> true
@@ -211,17 +248,18 @@ let root_filter task h rel =
         | Ineq_formula.And fs -> List.for_all (holds row) fs
         | Ineq_formula.Or fs -> List.exists (holds row) fs
       in
-      Relation.select (fun row -> holds row f) rel
+      Relation.select_codes (fun row -> holds row f) rel
 
 (* Algorithm 1: bottom-up pass.  Returns the final P array if Q_h(d) is
    nonempty, None otherwise. *)
-let algorithm1 ?stats task h =
+let algorithm1_trial ?stats task trial =
   let observe rel =
     match stats with Some s -> observe s rel | None -> ()
   in
+  let colors = color_table task trial.h in
   let tree = task.tree in
   let n = Join_tree.n_nodes tree in
-  let p = Array.init n (prime_relation task h) in
+  let p = Array.init n (prime_relation task trial colors) in
   Array.iter observe p;
   let failed = ref false in
   Array.iter
@@ -235,24 +273,37 @@ let algorithm1 ?stats task h =
         in
         let parent_attrs = Relation.schema_list p.(u) in
         let proj = Relation.project proj_attrs p.(j) in
-        let joined = Relation.natural_join p.(u) proj in
         let checks = f_checks task ~proj_attrs ~parent_attrs j u in
         let filtered =
           match checks with
-          | [] -> joined
+          | [] -> Relation.natural_join p.(u) proj
           | _ ->
-              let positions =
-                List.map
-                  (fun (a, b) ->
-                    (Relation.position joined a, Relation.position joined b))
-                  checks
+              (* The join's output schema is the parent's attributes
+                 followed by the projection's non-common ones, so check
+                 positions are known before the join runs; the filter
+                 fuses into the probe loop.  Shadow cells are codes of
+                 the same dictionary, so color inequality is plain code
+                 inequality. *)
+              let out_attrs =
+                parent_attrs
+                @ List.filter
+                    (fun a -> not (List.mem a parent_attrs))
+                    proj_attrs
               in
-              Relation.select
-                (fun row ->
-                  List.for_all
-                    (fun (i, l) -> not (Value.equal row.(i) row.(l)))
-                    positions)
-                joined
+              let pos a =
+                let rec go i = function
+                  | [] -> raise Not_found
+                  | b :: rest -> if String.equal a b then i else go (i + 1) rest
+                in
+                go 0 out_attrs
+              in
+              let positions =
+                List.map (fun (a, b) -> (pos a, pos b)) checks
+              in
+              Relation.natural_join
+                ~keep:(fun row ->
+                  List.for_all (fun (i, l) -> row.(i) <> row.(l)) positions)
+                p.(u) proj
         in
         observe filtered;
         p.(u) <- filtered;
@@ -262,9 +313,11 @@ let algorithm1 ?stats task h =
   if !failed then None
   else begin
     let root = tree.Join_tree.root in
-    p.(root) <- root_filter task h p.(root);
+    p.(root) <- root_filter task trial p.(root);
     if Relation.is_empty p.(root) then None else Some p
   end
+
+let algorithm1 ?stats task h = algorithm1_trial ?stats task (prep_trial task h)
 
 (* Algorithm 2: top-down semijoin pass, then bottom-up join-and-project;
    returns Q_h(d)'s projection onto the head variables. *)
@@ -316,6 +369,103 @@ let hash_domain db task =
 
 let default_family = Hashing.Multiplicative_sweep
 
+(* ------------------------------------------------------------------ *)
+(* The trial driver.
+
+   Independent colorings fan out across domains: trials are prepared
+   (= dictionary-interning) sequentially in chunks, then each chunk is
+   drained by [domain_count] workers pulling trial indexes off an atomic
+   counter.  Merging is a set union (evaluation) or a disjunction
+   (satisfiability), both order-insensitive, so parallel runs return
+   bit-identical answers to sequential ones.  [PARADB_DOMAINS=1] opts
+   out. *)
+
+let domain_count () =
+  match Sys.getenv_opt "PARADB_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec seq_take n acc seq =
+  if n = 0 then (List.rev acc, seq)
+  else
+    match Seq.uncons seq with
+    | None -> (List.rev acc, Seq.empty)
+    | Some (x, rest) -> seq_take (n - 1) (x :: acc) rest
+
+(* Run [run] over every coloring of [functions].  [run st trial] returns
+   [Some r] on a successful trial; results are folded with [merge] into
+   [init].  With [stop_on_hit] the remaining trials are abandoned after
+   the first success (one witness settles satisfiability). *)
+let run_trials ~stats ~stop_on_hit task functions ~init ~merge ~run =
+  let nd = domain_count () in
+  let acc = ref init in
+  if nd <= 1 then begin
+    (try
+       Seq.iter
+         (fun h ->
+           let trial = prep_trial task h in
+           stats.trials <- stats.trials + 1;
+           match run stats trial with
+           | Some r ->
+               stats.successes <- stats.successes + 1;
+               acc := merge !acc r;
+               if stop_on_hit then raise Exit
+           | None -> ())
+         functions
+     with Exit -> ());
+    !acc
+  end
+  else begin
+    let chunk_size = nd * 4 in
+    let rec loop fns =
+      match seq_take chunk_size [] fns with
+      | [], _ -> ()
+      | batch, rest ->
+          let work = Array.of_list (List.map (prep_trial task) batch) in
+          let next = Atomic.make 0 in
+          let found = Atomic.make false in
+          let worker () =
+            let st = new_stats () in
+            let out = ref [] in
+            let rec drain () =
+              if not (stop_on_hit && Atomic.get found) then begin
+                let i = Atomic.fetch_and_add next 1 in
+                if i < Array.length work then begin
+                  st.trials <- st.trials + 1;
+                  (match run st work.(i) with
+                  | Some r ->
+                      st.successes <- st.successes + 1;
+                      out := r :: !out;
+                      if stop_on_hit then Atomic.set found true
+                  | None -> ());
+                  drain ()
+                end
+              end
+            in
+            drain ();
+            (st, !out)
+          in
+          let helpers =
+            Array.init
+              (min (nd - 1) (max 0 (Array.length work - 1)))
+              (fun _ -> Domain.spawn worker)
+          in
+          let mine = worker () in
+          let results = mine :: Array.to_list (Array.map Domain.join helpers) in
+          List.iter
+            (fun (st, out) ->
+              merge_stats stats st;
+              List.iter (fun r -> acc := merge !acc r) out)
+            results;
+          if not (stop_on_hit && Atomic.get found) then loop rest
+    in
+    loop functions;
+    !acc
+  end
+
 let run_satisfiable ?prereduce ~family ~stats db q formula =
   if q.Cq.body = [] then
     (* No atoms, hence no variables (Cq.make safety): the formula, if any,
@@ -328,30 +478,26 @@ let run_satisfiable ?prereduce ~family ~stats db q formula =
     if Array.exists Relation.is_empty task.base_rels then false
     else begin
       let domain = hash_domain db task in
-      let found = ref false in
       let functions =
         Hashing.functions family ~domain ~k:task.separation
       in
-      (try
-         Seq.iter
-           (fun h ->
-             stats.trials <- stats.trials + 1;
-             match algorithm1 ~stats task h with
-             | Some _ ->
-                 stats.successes <- stats.successes + 1;
-                 Log.debug (fun m ->
-                     m "satisfiable after %d coloring(s) (k = %d)" stats.trials
-                       task.separation);
-                 found := true;
-                 raise Exit
-             | None -> ())
-           functions
-       with Exit -> ());
-      if not !found then
+      let found =
+        run_trials ~stats ~stop_on_hit:true task functions ~init:false
+          ~merge:(fun _ _ -> true)
+          ~run:(fun st trial ->
+            match algorithm1_trial ~stats:st task trial with
+            | Some _ -> Some ()
+            | None -> None)
+      in
+      if found then
+        Log.debug (fun m ->
+            m "satisfiable after %d coloring(s) (k = %d)" stats.trials
+              task.separation)
+      else
         Log.debug (fun m ->
             m "no coloring succeeded after %d trial(s) (k = %d)" stats.trials
               task.separation);
-      !found
+      found
     end
   end
 
@@ -385,15 +531,12 @@ let run_evaluate ?prereduce ~family ~stats db q formula =
           Hashing.functions family ~domain ~k:task.separation
         in
         let rows =
-          Seq.fold_left
-            (fun acc h ->
-              stats.trials <- stats.trials + 1;
-              match algorithm1 ~stats task h with
-              | None -> acc
-              | Some p ->
-                  stats.successes <- stats.successes + 1;
-                  Tuple.Set.union acc (head_rows task (algorithm2 task p)))
-            Tuple.Set.empty functions
+          run_trials ~stats ~stop_on_hit:false task functions
+            ~init:Tuple.Set.empty ~merge:Tuple.Set.union
+            ~run:(fun st trial ->
+              match algorithm1_trial ~stats:st task trial with
+              | None -> None
+              | Some p -> Some (head_rows task (algorithm2 task p)))
         in
         Relation.of_set ~name:task.name ~schema rows
       end

@@ -13,25 +13,25 @@ type join_algorithm =
 let atom_relation db atom =
   let vars = Atom.vars atom in
   let rel = Database.find db atom.Atom.rel in
+  (* Accumulate a plain list: [Relation.create] dedups in its hash store,
+     so no ordered-set intermediate is needed. *)
   let rows =
     Relation.fold
       (fun tuple acc ->
         match Atom.matches atom tuple with
         | None -> acc
         | Some binding ->
-            let row =
-              Array.of_list
-                (List.map
-                   (fun x ->
-                     match Binding.find x binding with
-                     | Some v -> v
-                     | None -> assert false)
-                   vars)
-            in
-            Tuple.Set.add row acc)
-      rel Tuple.Set.empty
+            Array.of_list
+              (List.map
+                 (fun x ->
+                   match Binding.find x binding with
+                   | Some v -> v
+                   | None -> assert false)
+                 vars)
+            :: acc)
+      rel []
   in
-  Relation.of_set ~schema:vars rows
+  Relation.create ~schema:vars rows
 
 (* Apply every not-yet-applied constraint whose variables are all present
    in the relation. *)

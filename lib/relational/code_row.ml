@@ -1,0 +1,57 @@
+type t = int array
+
+let equal (a : t) (b : t) =
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+(* FNV-1a over the cells; int codes are immediate so this never follows a
+   pointer. *)
+let hash (a : t) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor a.(i)) * 0x01000193
+  done;
+  !h land max_int
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let sub (row : t) (positions : int array) =
+  Array.map (fun i -> row.(i)) positions
+
+(* Hash and equality of the sub-row at [positions] without materialising
+   it — the allocation-free primitives behind key indexes. *)
+let hash_sub (row : t) (positions : int array) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length positions - 1 do
+    h := (!h lxor row.(positions.(i))) * 0x01000193
+  done;
+  !h land max_int
+
+let equal_sub (a : t) (pa : int array) (b : t) (pb : int array) =
+  let la = Array.length pa in
+  la = Array.length pb
+  &&
+  let rec go i = i >= la || (a.(pa.(i)) = b.(pb.(i)) && go (i + 1)) in
+  go 0
+
+let append = Array.append
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,30 @@
+(** Rows of dictionary codes: the hot-path tuple representation.
+
+    A code row is a flat [int array] whose cells are {!Dictionary} codes.
+    Equality, hashing and ordering are on the raw integers — two code rows
+    over the same dictionary are equal iff the value tuples they encode
+    are equal.  The ordering is {e not} the value ordering of
+    {!Tuple.compare}; it is only guaranteed to be a total order consistent
+    with equality (which is all grouping-based algorithms need). *)
+
+type t = int array
+
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+
+(** [sub row positions] extracts cells at [positions], in order (positions
+    may repeat). *)
+val sub : t -> int array -> t
+
+(** [hash_sub row positions] = [hash (sub row positions)], without
+    allocating the sub-row. *)
+val hash_sub : t -> int array -> int
+
+(** [equal_sub a pa b pb] = [equal (sub a pa) (sub b pb)], without
+    allocating. *)
+val equal_sub : t -> int array -> t -> int array -> bool
+
+val append : t -> t -> t
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,48 @@
+type t = {
+  mutable values : Value.t array; (* code -> value; grown geometrically *)
+  mutable size : int;
+  codes : int Value.Table.t; (* value -> code *)
+  lock : Mutex.t;
+}
+
+let create ?(size_hint = 1024) () =
+  {
+    values = Array.make (max 16 size_hint) (Value.Int 0);
+    size = 0;
+    codes = Value.Table.create (max 16 size_hint);
+    lock = Mutex.create ();
+  }
+
+let global = create ()
+let size d = d.size
+
+let intern d v =
+  (* Fast path: already interned.  Safe only because codes are never
+     removed or reassigned, and the slow path double-checks under the
+     lock. *)
+  match Value.Table.find_opt d.codes v with
+  | Some c -> c
+  | None ->
+      Mutex.protect d.lock (fun () ->
+          match Value.Table.find_opt d.codes v with
+          | Some c -> c
+          | None ->
+              let c = d.size in
+              if c = Array.length d.values then begin
+                let bigger = Array.make (2 * c) (Value.Int 0) in
+                Array.blit d.values 0 bigger 0 c;
+                (* Publish the grown array before the new size so a
+                   concurrent [value] never reads past the array. *)
+                d.values <- bigger
+              end;
+              d.values.(c) <- v;
+              d.size <- c + 1;
+              Value.Table.add d.codes v c;
+              c)
+
+let code_opt d v = Value.Table.find_opt d.codes v
+
+let value d c =
+  if c < 0 || c >= d.size then
+    invalid_arg (Printf.sprintf "Dictionary.value: unknown code %d" c)
+  else d.values.(c)

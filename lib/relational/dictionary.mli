@@ -1,0 +1,40 @@
+(** Value interning (dictionary encoding).
+
+    A dictionary assigns every distinct {!Value.t} a dense integer code in
+    [0 .. size - 1].  Relations store their rows as arrays of codes, so the
+    hot relational operators (join, semijoin, projection) work on immediate
+    integers: equality is [(=)] on ints, hashing never touches a boxed
+    value, and a code row fits in one flat [int array].
+
+    Codes are only comparable between relations sharing the same dictionary;
+    {!global} is the process-wide default and every relation uses it unless
+    built with an explicit dictionary.
+
+    Concurrency contract: {!intern} is serialized by an internal mutex and
+    is safe against concurrent {!intern} calls.  {!value} is safe against
+    concurrent interning (codes are never reassigned and the backing array
+    is replaced wholesale on growth).  {!code_opt} is a plain hash-table
+    read and must not race with {!intern}; the engine pre-interns every
+    value a parallel region can see before fanning out. *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+
+(** The process-wide dictionary used by default for every relation. *)
+val global : t
+
+(** Number of codes assigned so far. *)
+val size : t -> int
+
+(** [intern d v] returns the code of [v], assigning the next free code on
+    first sight. *)
+val intern : t -> Value.t -> int
+
+(** [code_opt d v] is the code of [v] if it has been interned, without
+    interning it. *)
+val code_opt : t -> Value.t -> int option
+
+(** [value d c] decodes a code.  Raises [Invalid_argument] on a code never
+    returned by [intern d]. *)
+val value : t -> int -> Value.t

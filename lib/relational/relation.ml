@@ -1,8 +1,31 @@
+(* Rows are stored dictionary-encoded: each cell is a dense int code from
+   [dict], and the row store is a hash set of flat [int array]s.  All
+   operators work directly on code rows; [Value.t] tuples only appear at
+   the construction/observation boundary.  Per-relation key indexes
+   (key-position vector -> hash index from key to rows) are built lazily
+   and memoized, so repeated joins/semijoins against the same relation pay
+   for the index once. *)
+
+(* A hash join index: bucket heads + per-row chain links over the dense
+   row array of the owning [Row_set].  Probing hashes the probe row's key
+   cells in place ([Code_row.hash_sub]) and walks the chain comparing
+   cells positionally, so neither building nor probing allocates keys. *)
+type key_index = {
+  kpos : int array; (* key column positions in the owner *)
+  ktable : int array; (* hash slot -> first row id, -1 = empty *)
+  knext : int array; (* row id -> next row id in the same slot *)
+  kmask : int;
+}
+
 type t = {
   name : string;
   schema : string array;
-  index : (string, int) Hashtbl.t;
-  rows : Tuple.Set.t;
+  index : (string, int) Hashtbl.t; (* attribute -> column *)
+  dict : Dictionary.t;
+  rows : Row_set.t;
+  key_indexes : key_index Code_row.Table.t; (* positions -> index, lazy *)
+  mutable decoded : Tuple.t array option; (* memoized decoded rows *)
+  lock : Mutex.t; (* guards [key_indexes] and [decoded] *)
 }
 
 let build_index schema =
@@ -15,217 +38,366 @@ let build_index schema =
     schema;
   index
 
-let of_set ?(name = "") ~schema rows =
-  let schema = Array.of_list schema in
+let make ?(name = "") ~schema_array:schema ~dict rows =
   let index = build_index schema in
-  let arity = Array.length schema in
-  Tuple.Set.iter
-    (fun row ->
-      if Array.length row <> arity then
-        invalid_arg
-          (Printf.sprintf "Relation %s: row arity %d, schema arity %d" name
-             (Array.length row) arity))
-    rows;
-  { name; schema; index; rows }
+  { name; schema; index; dict; rows; key_indexes = Code_row.Table.create 2;
+    decoded = None; lock = Mutex.create () }
 
-let create ?(name = "") ~schema rows =
-  of_set ~name ~schema (Tuple.Set.of_list rows)
+let dict r = r.dict
+let encode_row dict row = Array.map (Dictionary.intern dict) row
+let decode_row dict row = Array.map (Dictionary.value dict) row
+
+let check_arity name arity row =
+  if Array.length row <> arity then
+    invalid_arg
+      (Printf.sprintf "Relation %s: row arity %d, schema arity %d" name
+         (Array.length row) arity)
+
+let of_seq ?(name = "") ?(dict = Dictionary.global) ~schema rows =
+  let schema = Array.of_list schema in
+  let arity = Array.length schema in
+  let store = Row_set.create 16 in
+  Seq.iter
+    (fun row ->
+      check_arity name arity row;
+      Row_set.add store (encode_row dict row))
+    rows;
+  make ~name ~schema_array:schema ~dict store
+
+let create ?name ?dict ~schema rows = of_seq ?name ?dict ~schema (List.to_seq rows)
+let of_set ?name ?dict ~schema rows = of_seq ?name ?dict ~schema (Tuple.Set.to_seq rows)
 
 let name r = r.name
 let with_name name r = { r with name }
 let schema r = r.schema
 let schema_list r = Array.to_list r.schema
 let arity r = Array.length r.schema
-let cardinality r = Tuple.Set.cardinal r.rows
-let is_empty r = Tuple.Set.is_empty r.rows
-let mem row r = Tuple.Set.mem row r.rows
-let tuples r = Tuple.Set.elements r.rows
-let tuple_set r = r.rows
-let iter f r = Tuple.Set.iter f r.rows
-let fold f r init = Tuple.Set.fold f r.rows init
+let cardinality r = Row_set.cardinal r.rows
+let is_empty r = Row_set.is_empty r.rows
+
+let mem row r =
+  Array.length row = arity r
+  &&
+  let encoded =
+    try Some (Array.map (fun v ->
+        match Dictionary.code_opt r.dict v with
+        | Some c -> c
+        | None -> raise Exit) row)
+    with Exit -> None
+  in
+  match encoded with None -> false | Some codes -> Row_set.mem r.rows codes
+
+(* Decoded rows are memoized: evaluators that repeatedly iterate the same
+   relation at the [Value.t] level (the naive backtracking baseline above
+   all) decode each row once, not once per pass. *)
+let decoded_rows r =
+  match r.decoded with
+  | Some a -> a
+  | None ->
+      Mutex.protect r.lock (fun () ->
+          match r.decoded with
+          | Some a -> a
+          | None ->
+              let a = Array.make (cardinality r) [||] in
+              let i = ref 0 in
+              Row_set.iter
+                (fun row ->
+                  a.(!i) <- decode_row r.dict row;
+                  incr i)
+                r.rows;
+              r.decoded <- Some a;
+              a)
+
+let fold f r init = Array.fold_left (fun acc row -> f row acc) init (decoded_rows r)
+let iter f r = Array.iter f (decoded_rows r)
+let tuples r = fold List.cons r []
+let tuple_set r = fold Tuple.Set.add r Tuple.Set.empty
+
+let fold_codes f r init = Row_set.fold f r.rows init
+let iter_codes f r = Row_set.iter f r.rows
+let decode_value r code = Dictionary.value r.dict code
+let code_of_value r v = Dictionary.code_opt r.dict v
 
 let add row r =
   if Array.length row <> arity r then invalid_arg "Relation.add: arity";
-  { r with rows = Tuple.Set.add row r.rows }
+  let rows = Row_set.copy r.rows in
+  Row_set.add rows (encode_row r.dict row);
+  make ~name:r.name ~schema_array:r.schema ~dict:r.dict rows
 
 let position r attr = Hashtbl.find r.index attr
 let positions r attrs = Array.of_list (List.map (position r) attrs)
 let has_attr r attr = Hashtbl.mem r.index attr
+let common_attrs r1 r2 = List.filter (has_attr r2) (schema_list r1)
 
-let common_attrs r1 r2 =
-  List.filter (has_attr r2) (schema_list r1)
+(* Re-encode [r] into [dict] (identity when the dictionaries coincide,
+   which they do for every relation built without an explicit
+   dictionary). *)
+let recode_into dict r =
+  if r.dict == dict then r
+  else
+    let rows = Row_set.create (cardinality r) in
+    Row_set.iter
+      (fun row ->
+        Row_set.add rows
+          (Array.map (fun c -> Dictionary.intern dict (Dictionary.value r.dict c)) row))
+      r.rows;
+    make ~name:r.name ~schema_array:r.schema ~dict rows
+
+(* The memoized key index for [positions].  Guarded by [r.lock] so
+   concurrent domains sharing a relation build it once. *)
+let rec index_cap n c = if c >= n then c else index_cap n (c * 2)
+
+let key_index r (positions : int array) =
+  let build () =
+    let n = cardinality r in
+    let cap = index_cap (2 * max 8 n) 16 in
+    let ktable = Array.make cap (-1) in
+    let knext = Array.make (max 1 n) (-1) in
+    let kmask = cap - 1 in
+    for i = 0 to n - 1 do
+      let slot = Code_row.hash_sub (Row_set.get r.rows i) positions land kmask in
+      knext.(i) <- ktable.(slot);
+      ktable.(slot) <- i
+    done;
+    { kpos = positions; ktable; knext; kmask }
+  in
+  Mutex.protect r.lock (fun () ->
+      match Code_row.Table.find_opt r.key_indexes positions with
+      | Some idx -> idx
+      | None ->
+          let idx = build () in
+          Code_row.Table.add r.key_indexes positions idx;
+          idx)
+
+(* [probe_iter owner idx row key f] calls [f row2] for every row2 of
+   [owner] whose key cells (at [idx.kpos]) equal [row]'s cells at [key]. *)
+let probe_iter owner idx row (key : int array) f =
+  let slot = Code_row.hash_sub row key land idx.kmask in
+  let i = ref idx.ktable.(slot) in
+  while !i >= 0 do
+    let row2 = Row_set.get owner.rows !i in
+    if Code_row.equal_sub row2 idx.kpos row key then f row2;
+    i := idx.knext.(!i)
+  done
+
+let probe_mem owner idx row (key : int array) =
+  let slot = Code_row.hash_sub row key land idx.kmask in
+  let rec go i =
+    i >= 0
+    && (Code_row.equal_sub (Row_set.get owner.rows i) idx.kpos row key
+        || go idx.knext.(i))
+  in
+  go idx.ktable.(slot)
 
 let project attrs r =
   let pos = positions r attrs in
-  let rows =
-    Tuple.Set.fold
-      (fun row acc -> Tuple.Set.add (Tuple.sub row pos) acc)
-      r.rows Tuple.Set.empty
-  in
-  of_set ~name:r.name ~schema:attrs rows
+  let rows = Row_set.create (cardinality r) in
+  Row_set.iter (fun row -> Row_set.add rows (Code_row.sub row pos)) r.rows;
+  make ~name:r.name ~schema_array:(Array.of_list attrs) ~dict:r.dict rows
 
 let rename pairs r =
   let fresh attr =
     match List.assoc_opt attr pairs with Some nu -> nu | None -> attr
   in
-  let schema = List.map fresh (schema_list r) in
-  of_set ~name:r.name ~schema r.rows
+  let schema = Array.map fresh r.schema in
+  (* Rows and cached indexes are position-based, hence schema-independent:
+     share them. *)
+  { r with schema; index = build_index schema }
 
 let rename_positional new_schema r =
   if List.length new_schema <> arity r then
     invalid_arg "Relation.rename_positional: arity";
-  of_set ~name:r.name ~schema:new_schema r.rows
+  let schema = Array.of_list new_schema in
+  { r with schema; index = build_index schema }
 
-let select pred r = { r with rows = Tuple.Set.filter pred r.rows }
+let select_codes pred r =
+  let rows = Row_set.create (cardinality r) in
+  Row_set.iter (fun row -> if pred row then Row_set.add rows row) r.rows;
+  make ~name:r.name ~schema_array:r.schema ~dict:r.dict rows
+
+let select pred r = select_codes (fun row -> pred (decode_row r.dict row)) r
 
 let restrict r attr pred =
   let i = position r attr in
-  select (fun row -> pred row.(i)) r
+  select_codes (fun row -> pred (Dictionary.value r.dict row.(i))) r
 
-(* Hash join.  The probe side is [r1]; the build side [r2] is indexed on the
-   common attributes.  Result schema: r1's attributes followed by r2's
-   attributes that are not common. *)
-let natural_join r1 r2 =
+let extend_codes extra_attrs f r =
+  let schema = Array.append r.schema (Array.of_list extra_attrs) in
+  let rows = Row_set.create (cardinality r) in
+  Row_set.iter (fun row -> Row_set.add rows (Code_row.append row (f row))) r.rows;
+  make ~name:r.name ~schema_array:schema ~dict:r.dict rows
+
+let extend attr f r =
+  extend_codes [ attr ]
+    (fun row -> [| Dictionary.intern r.dict (f (decode_row r.dict row)) |])
+    r
+
+(* Hash join.  The probe side is [r1]; the build side [r2] is indexed on
+   the common attributes (via the memoized key index).  Result schema:
+   r1's attributes followed by r2's attributes that are not common.
+   [keep], when given, filters output rows before they are stored — a
+   fused join-then-select that skips materialising the unfiltered
+   result. *)
+let natural_join ?keep r1 r2 =
+  let r2 = recode_into r1.dict r2 in
   let common = common_attrs r1 r2 in
   let extra = List.filter (fun a -> not (has_attr r1 a)) (schema_list r2) in
   let key1 = positions r1 common and key2 = positions r2 common in
   let extra2 = positions r2 extra in
-  let table : Tuple.t list Tuple.Table.t =
-    Tuple.Table.create (max 16 (cardinality r2))
+  let idx = key_index r2 key2 in
+  let rows = Row_set.create (max (cardinality r1) 16) in
+  let n1 = Array.length r1.schema and nx = Array.length extra2 in
+  let emit =
+    match keep with
+    | None -> Row_set.add rows
+    | Some pred -> fun out -> if pred out then Row_set.add rows out
   in
-  iter
+  Row_set.iter
     (fun row ->
-      let key = Tuple.sub row key2 in
-      let rest = Tuple.sub row extra2 in
-      let bucket = try Tuple.Table.find table key with Not_found -> [] in
-      Tuple.Table.replace table key (rest :: bucket))
-    r2;
-  let rows =
-    fold
-      (fun row acc ->
-        let key = Tuple.sub row key1 in
-        match Tuple.Table.find_opt table key with
-        | None -> acc
-        | Some bucket ->
-            List.fold_left
-              (fun acc rest -> Tuple.Set.add (Tuple.append row rest) acc)
-              acc bucket)
-      r1 Tuple.Set.empty
-  in
-  of_set ~name:r1.name ~schema:(schema_list r1 @ extra) rows
+      probe_iter r2 idx row key1 (fun row2 ->
+          let out = Array.make (n1 + nx) 0 in
+          Array.blit row 0 out 0 n1;
+          for i = 0 to nx - 1 do
+            out.(n1 + i) <- row2.(extra2.(i))
+          done;
+          emit out))
+    r1.rows;
+  make ~name:r1.name
+    ~schema_array:(Array.append r1.schema (Array.of_list extra))
+    ~dict:r1.dict rows
 
+(* Same result as [natural_join], computed by sorting both sides on the
+   common attributes and merging (the [|P| log |P|] implementation the
+   paper's accounting assumes).  Code order is not value order, but any
+   total order consistent with equality groups correctly. *)
 let sort_merge_join r1 r2 =
+  let r2 = recode_into r1.dict r2 in
   let common = common_attrs r1 r2 in
   let key1 = positions r1 common and key2 = positions r2 common in
   let extra = List.filter (fun a -> not (has_attr r1 a)) (schema_list r2) in
   let extra2 = positions r2 extra in
-  let keyed rel keypos =
+  let keyed store keypos =
     let rows =
-      List.map (fun row -> (Tuple.sub row keypos, row)) (tuples rel)
+      Row_set.fold (fun row acc -> (Code_row.sub row keypos, row) :: acc) store []
     in
-    List.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2) rows
+    List.sort (fun (k1, _) (k2, _) -> Code_row.compare k1 k2) rows
   in
-  let left = keyed r1 key1 and right = keyed r2 key2 in
+  let left = keyed r1.rows key1 and right = keyed r2.rows key2 in
+  let rows = Row_set.create (max (cardinality r1) 16) in
   (* Advance both sorted lists; on equal keys, emit the group product. *)
   let rec take_group key acc = function
-    | (k, row) :: rest when Tuple.equal k key -> take_group key (row :: acc) rest
+    | (k, row) :: rest when Code_row.equal k key -> take_group key (row :: acc) rest
     | rest -> (acc, rest)
   in
-  let rec merge acc left right =
+  let rec merge left right =
     match left, right with
-    | [], _ | _, [] -> acc
+    | [], _ | _, [] -> ()
     | (k1, _) :: _, (k2, _) :: _ ->
-        let c = Tuple.compare k1 k2 in
-        if c < 0 then merge acc (snd (take_group k1 [] left)) right
-        else if c > 0 then merge acc left (snd (take_group k2 [] right))
+        let c = Code_row.compare k1 k2 in
+        if c < 0 then merge (snd (take_group k1 [] left)) right
+        else if c > 0 then merge left (snd (take_group k2 [] right))
         else begin
           let group1, left' = take_group k1 [] left in
           let group2, right' = take_group k1 [] right in
-          let acc =
-            List.fold_left
-              (fun acc row1 ->
-                List.fold_left
-                  (fun acc row2 ->
-                    Tuple.Set.add
-                      (Tuple.append row1 (Tuple.sub row2 extra2))
-                      acc)
-                  acc group2)
-              acc group1
-          in
-          merge acc left' right'
+          List.iter
+            (fun row1 ->
+              List.iter
+                (fun row2 ->
+                  Row_set.add rows
+                    (Code_row.append row1 (Code_row.sub row2 extra2)))
+                group2)
+            group1;
+          merge left' right'
         end
   in
-  let rows = merge Tuple.Set.empty left right in
-  of_set ~name:r1.name ~schema:(schema_list r1 @ extra) rows
+  merge left right;
+  make ~name:r1.name
+    ~schema_array:(Array.append r1.schema (Array.of_list extra))
+    ~dict:r1.dict rows
 
 let semijoin r1 r2 =
+  let r2 = recode_into r1.dict r2 in
   let common = common_attrs r1 r2 in
   match common with
-  | [] -> if is_empty r2 then { r1 with rows = Tuple.Set.empty } else r1
+  | [] ->
+      (* Degenerate cartesian case: with no shared attributes, r1 x r2
+         restricted to r1's columns is r1 itself when r2 has at least one
+         row, and empty (with r1's schema) when r2 is empty.  This holds
+         for 0-ary r2 too: a 0-ary relation with the empty tuple counts as
+         nonempty. *)
+      if is_empty r2 then
+        make ~name:r1.name ~schema_array:r1.schema ~dict:r1.dict (Row_set.create 1)
+      else r1
   | _ ->
       let key1 = positions r1 common and key2 = positions r2 common in
-      let keys =
-        fold
-          (fun row acc -> Tuple.Set.add (Tuple.sub row key2) acc)
-          r2 Tuple.Set.empty
-      in
-      select (fun row -> Tuple.Set.mem (Tuple.sub row key1) keys) r1
+      let idx = key_index r2 key2 in
+      select_codes (fun row -> probe_mem r2 idx row key1) r1
 
-let align_schemas op_name r1 r2 =
-  (* Reorder r2's columns to match r1's schema; fail if attribute sets
-     differ. *)
+(* Reorder r2's columns to match r1's schema; fail if attribute sets
+   differ. *)
+let align_rows op_name r1 r2 =
+  let r2 = recode_into r1.dict r2 in
   if arity r1 <> arity r2 then invalid_arg (op_name ^ ": schemas differ");
   let pos =
     try positions r2 (schema_list r1)
     with Not_found -> invalid_arg (op_name ^ ": schemas differ")
   in
-  Tuple.Set.fold
-    (fun row acc -> Tuple.Set.add (Tuple.sub row pos) acc)
-    r2.rows Tuple.Set.empty
+  let rows = Row_set.create (cardinality r2) in
+  Row_set.iter (fun row -> Row_set.add rows (Code_row.sub row pos)) r2.rows;
+  rows
 
 let union r1 r2 =
-  let rows2 = align_schemas "Relation.union" r1 r2 in
-  { r1 with rows = Tuple.Set.union r1.rows rows2 }
+  let rows2 = align_rows "Relation.union" r1 r2 in
+  let rows = Row_set.copy r1.rows in
+  Row_set.iter (fun row -> Row_set.add rows row) rows2;
+  make ~name:r1.name ~schema_array:r1.schema ~dict:r1.dict rows
 
 let diff r1 r2 =
-  let rows2 = align_schemas "Relation.diff" r1 r2 in
-  { r1 with rows = Tuple.Set.diff r1.rows rows2 }
+  let rows2 = align_rows "Relation.diff" r1 r2 in
+  let rows = Row_set.create (cardinality r1) in
+  Row_set.iter
+    (fun row -> if not (Row_set.mem rows2 row) then Row_set.add rows row)
+    r1.rows;
+  make ~name:r1.name ~schema_array:r1.schema ~dict:r1.dict rows
 
 let inter r1 r2 =
-  let rows2 = align_schemas "Relation.inter" r1 r2 in
-  { r1 with rows = Tuple.Set.inter r1.rows rows2 }
+  let rows2 = align_rows "Relation.inter" r1 r2 in
+  let rows = Row_set.create 16 in
+  Row_set.iter
+    (fun row -> if Row_set.mem rows2 row then Row_set.add rows row)
+    r1.rows;
+  make ~name:r1.name ~schema_array:r1.schema ~dict:r1.dict rows
 
 let product r1 r2 =
   (match common_attrs r1 r2 with
   | [] -> ()
   | a :: _ -> invalid_arg ("Relation.product: shared attribute " ^ a));
-  let rows =
-    fold
-      (fun row1 acc ->
-        fold
-          (fun row2 acc -> Tuple.Set.add (Tuple.append row1 row2) acc)
-          r2 acc)
-      r1 Tuple.Set.empty
-  in
-  of_set ~name:r1.name ~schema:(schema_list r1 @ schema_list r2) rows
-
-let extend attr f r =
-  let rows =
-    Tuple.Set.fold
-      (fun row acc -> Tuple.Set.add (Tuple.append row [| f row |]) acc)
-      r.rows Tuple.Set.empty
-  in
-  of_set ~name:r.name ~schema:(schema_list r @ [ attr ]) rows
+  let r2 = recode_into r1.dict r2 in
+  let rows = Row_set.create (max (cardinality r1) 16) in
+  Row_set.iter
+    (fun row1 ->
+      Row_set.iter
+        (fun row2 -> Row_set.add rows (Code_row.append row1 row2))
+        r2.rows)
+    r1.rows;
+  make ~name:r1.name
+    ~schema_array:(Array.append r1.schema r2.schema)
+    ~dict:r1.dict rows
 
 let set_equal r1 r2 =
   arity r1 = arity r2
   && List.for_all (has_attr r2) (schema_list r1)
-  && Tuple.Set.equal r1.rows (align_schemas "Relation.set_equal" r1 r2)
+  && Row_set.equal r1.rows (align_rows "Relation.set_equal" r1 r2)
 
 let domain r =
-  fold
-    (fun row acc -> Array.fold_left (fun acc v -> Value.Set.add v acc) acc row)
-    r Value.Set.empty
+  (* Collect distinct codes first so each value is decoded once. *)
+  let seen = Hashtbl.create 64 in
+  Row_set.iter
+    (fun row -> Array.iter (fun c -> Hashtbl.replace seen c ()) row)
+    r.rows;
+  Hashtbl.fold
+    (fun c () acc -> Value.Set.add (Dictionary.value r.dict c) acc)
+    seen Value.Set.empty
 
 (* Printing is capped so that accidentally formatting a large relation
    stays readable; [set_equal] and friends are the programmatic API. *)

@@ -4,16 +4,32 @@
     attribute names).  All relational-algebra operators used in the paper
     are provided: selection, projection, renaming, natural join, semijoin,
     union, difference, intersection, product, and column extension (used by
-    the Theorem-2 engine to add hashed shadow attributes). *)
+    the Theorem-2 engine to add hashed shadow attributes).
+
+    Internally rows are dictionary-encoded (see {!Dictionary}): each cell
+    is a dense int code and the row store is a hash set of flat
+    [int array]s, so membership, joins and semijoins never compare boxed
+    values.  Key indexes (from key-position vectors to hash indexes) are
+    built lazily per relation and memoized, so repeated joins/semijoins
+    against the same relation reuse them.  The [Value.t]-level API below
+    encodes/decodes at the boundary; the [_codes] API exposes the raw code
+    rows for performance-critical callers. *)
 
 type t
 
 (** [create ~name ~schema rows] builds a relation.  Raises
     [Invalid_argument] if attribute names repeat or a row has the wrong
-    arity.  Duplicate rows are merged (set semantics). *)
-val create : ?name:string -> schema:string list -> Tuple.t list -> t
+    arity.  Duplicate rows are merged (set semantics).  All relations use
+    {!Dictionary.global} unless [dict] is given; binary operators
+    re-encode their right argument when dictionaries differ. *)
+val create :
+  ?name:string -> ?dict:Dictionary.t -> schema:string list -> Tuple.t list -> t
 
-val of_set : ?name:string -> schema:string list -> Tuple.Set.t -> t
+val of_set :
+  ?name:string -> ?dict:Dictionary.t -> schema:string list -> Tuple.Set.t -> t
+
+val of_seq :
+  ?name:string -> ?dict:Dictionary.t -> schema:string list -> Tuple.t Seq.t -> t
 
 val name : t -> string
 val with_name : string -> t -> t
@@ -57,7 +73,11 @@ val select : (Tuple.t -> bool) -> t -> t
     [pred]. *)
 val restrict : t -> string -> (Value.t -> bool) -> t
 
-val natural_join : t -> t -> t
+(** [natural_join r s] hash-joins on the common attributes; result schema
+    is [r]'s attributes followed by [s]'s non-common ones.  [keep], when
+    given, filters output code rows before they are stored (a fused
+    join-then-select). *)
+val natural_join : ?keep:(Code_row.t -> bool) -> t -> t -> t
 
 (** [sort_merge_join r s] — same result as {!natural_join}, computed by
     sorting both sides on the common attributes and merging (the
@@ -65,7 +85,10 @@ val natural_join : t -> t -> t
 val sort_merge_join : t -> t -> t
 
 (** [semijoin r s] is [r ⋉ s]: the rows of [r] that join with some row of
-    [s] on their common attributes. *)
+    [s] on their common attributes.  With no common attributes this
+    degenerates to the cartesian guard: [r] itself when [s] is nonempty
+    (including 0-ary [s] holding the empty tuple), the empty relation over
+    [r]'s schema when [s] is empty. *)
 val semijoin : t -> t -> t
 
 val union : t -> t -> t
@@ -84,6 +107,30 @@ val set_equal : t -> t -> bool
 
 (** Active domain of the relation. *)
 val domain : t -> Value.Set.t
+
+(** {2 Code-level API}
+
+    Raw access to the dictionary-encoded rows, for hot paths (the
+    Theorem-2 engine's per-coloring loop).  Code rows handed to callbacks
+    are the stored arrays: do not mutate them. *)
+
+val dict : t -> Dictionary.t
+val fold_codes : (Code_row.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_codes : (Code_row.t -> unit) -> t -> unit
+
+(** [select_codes pred r] keeps the rows whose code row satisfies [pred].
+    Code equality coincides with value equality within one dictionary. *)
+val select_codes : (Code_row.t -> bool) -> t -> t
+
+(** [extend_codes attrs f r] appends the code cells computed by [f] under
+    the new attributes [attrs].  The returned cells must be codes of [dict
+    r]. *)
+val extend_codes : string list -> (Code_row.t -> int array) -> t -> t
+
+(** [decode_value r c] is the value behind code [c] in [r]'s dictionary. *)
+val decode_value : t -> int -> Value.t
+
+val code_of_value : t -> Value.t -> int option
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,116 @@
+(* Open-addressing hash set with a dense side array of rows.  [table]
+   holds indexes into [rows] (-1 = empty slot); linear probing; row
+   hashes are cached in [hashes] so resizing never rehashes a row.  Rows
+   are kept in insertion order, which gives O(1) [get] and cheap dense
+   iteration. *)
+
+type t = {
+  mutable rows : Code_row.t array;
+  mutable hashes : int array;
+  mutable size : int;
+  mutable table : int array;
+  mutable mask : int;
+}
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create n =
+  let cap = pow2 (2 * max 8 n) 16 in
+  {
+    rows = Array.make (max 8 n) [||];
+    hashes = Array.make (max 8 n) 0;
+    size = 0;
+    table = Array.make cap (-1);
+    mask = cap - 1;
+  }
+
+let cardinal s = s.size
+let is_empty s = s.size = 0
+let get s i = s.rows.(i)
+
+let grow_dense s =
+  let n = Array.length s.rows in
+  let rows = Array.make (2 * n) [||] and hashes = Array.make (2 * n) 0 in
+  Array.blit s.rows 0 rows 0 n;
+  Array.blit s.hashes 0 hashes 0 n;
+  s.rows <- rows;
+  s.hashes <- hashes
+
+let resize_table s =
+  let cap = 2 * (s.mask + 1) in
+  let table = Array.make cap (-1) in
+  let mask = cap - 1 in
+  for i = 0 to s.size - 1 do
+    let j = ref (s.hashes.(i) land mask) in
+    while table.(!j) >= 0 do
+      j := (!j + 1) land mask
+    done;
+    table.(!j) <- i
+  done;
+  s.table <- table;
+  s.mask <- mask
+
+let add s row =
+  let h = Code_row.hash row in
+  let j = ref (h land s.mask) in
+  let i = ref s.table.(!j) in
+  let dup = ref false in
+  while (not !dup) && !i >= 0 do
+    if s.hashes.(!i) = h && Code_row.equal s.rows.(!i) row then dup := true
+    else begin
+      j := (!j + 1) land s.mask;
+      i := s.table.(!j)
+    end
+  done;
+  if not !dup then begin
+    if s.size = Array.length s.rows then grow_dense s;
+    s.rows.(s.size) <- row;
+    s.hashes.(s.size) <- h;
+    s.table.(!j) <- s.size;
+    s.size <- s.size + 1;
+    (* Keep load factor under 3/4. *)
+    if 4 * s.size > 3 * (s.mask + 1) then resize_table s
+  end
+
+let mem s row =
+  let h = Code_row.hash row in
+  let j = ref (h land s.mask) in
+  let i = ref s.table.(!j) in
+  let found = ref false in
+  while (not !found) && !i >= 0 do
+    if s.hashes.(!i) = h && Code_row.equal s.rows.(!i) row then found := true
+    else begin
+      j := (!j + 1) land s.mask;
+      i := s.table.(!j)
+    end
+  done;
+  !found
+
+let iter f s =
+  for i = 0 to s.size - 1 do
+    f s.rows.(i)
+  done
+
+let fold f s init =
+  let acc = ref init in
+  for i = 0 to s.size - 1 do
+    acc := f s.rows.(i) !acc
+  done;
+  !acc
+
+let copy s =
+  {
+    rows = Array.copy s.rows;
+    hashes = Array.copy s.hashes;
+    size = s.size;
+    table = Array.copy s.table;
+    mask = s.mask;
+  }
+
+let equal a b =
+  cardinal a = cardinal b
+  &&
+  try
+    iter (fun row -> if not (mem b row) then raise Exit) a;
+    true
+  with Exit -> false

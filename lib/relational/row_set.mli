@@ -1,0 +1,29 @@
+(** Hash-backed sets of code rows: the relation row store.
+
+    Replaces the former AVL-tree [Tuple.Set] store on the hot path: an
+    open-addressing table of indexes into a dense row array, so
+    [add]/[mem] are expected O(1) with no per-entry allocation and
+    [cardinal] is O(1).  Sets are mutable during construction; relational
+    operators treat a set as frozen once its relation is built (they
+    always build a fresh set rather than mutating a published one). *)
+
+type t
+
+val create : int -> t
+
+(** [get s i] is the [i]th row in insertion order, [0 <= i < cardinal s].
+    Do not mutate the returned array. *)
+val get : t -> int -> Code_row.t
+
+(** [add s row] inserts [row], deduplicating. *)
+val add : t -> Code_row.t -> unit
+
+val mem : t -> Code_row.t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val iter : (Code_row.t -> unit) -> t -> unit
+val fold : (Code_row.t -> 'a -> 'a) -> t -> 'a -> 'a
+val copy : t -> t
+
+(** [equal a b] — same rows. *)
+val equal : t -> t -> bool

@@ -51,6 +51,62 @@ let table ~header rows =
 
 let print_table ~header rows = print_endline (table ~header rows)
 
+(* Machine-readable results: experiments append flat records and the
+   driver dumps them as a JSON array (hand-rolled writer — no JSON
+   dependency in the toolchain). *)
+type json_value =
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_bool of bool
+
+let json_records : (string * json_value) list list ref = ref []
+let json_enabled = ref false
+
+let record fields =
+  if !json_enabled then json_records := fields :: !json_records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_value_to_string = function
+  | J_int i -> string_of_int i
+  | J_float f -> Printf.sprintf "%.6g" f
+  | J_string s -> "\"" ^ json_escape s ^ "\""
+  | J_bool b -> string_of_bool b
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let records = List.rev !json_records in
+  List.iteri
+    (fun i fields ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc "  {";
+      output_string oc
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\": %s" (json_escape k)
+                  (json_value_to_string v))
+              fields));
+      output_string oc "}")
+    records;
+  output_string oc "\n]\n";
+  close_out oc
+
 let pretty_seconds s =
   if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
   else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)

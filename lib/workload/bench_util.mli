@@ -12,6 +12,26 @@ val table : header:string list -> string list list -> string
 
 val print_table : header:string list -> string list list -> unit
 
+(** {2 Machine-readable results}
+
+    Experiments append flat records via {!record}; when {!json_enabled}
+    is set, the driver dumps them with {!write_json} as a JSON array of
+    objects (hand-rolled writer — no JSON dependency). *)
+
+type json_value =
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_bool of bool
+
+(** Enables {!record}; set by the driver when [--json FILE] is given. *)
+val json_enabled : bool ref
+
+(** [record fields] appends one record; no-op unless [json_enabled]. *)
+val record : (string * json_value) list -> unit
+
+val write_json : string -> unit
+
 (** Format seconds adaptively (ns/µs/ms/s). *)
 val pretty_seconds : float -> string
 

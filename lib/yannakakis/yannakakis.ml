@@ -10,6 +10,8 @@ let atom_relations ?(filter = fun _ -> true) db q =
   let per_atom atom =
     let vars = Atom.vars atom in
     let rel = Database.find db atom.Atom.rel in
+    (* Accumulate a plain list: [Relation.of_seq] dedups in its hash
+       store, so no ordered-set intermediate is needed. *)
     let rows =
       Relation.fold
         (fun tuple acc ->
@@ -17,20 +19,18 @@ let atom_relations ?(filter = fun _ -> true) db q =
           | None -> acc
           | Some binding ->
               if filter binding then
-                let row =
-                  Array.of_list
-                    (List.map
-                       (fun x ->
-                         match Binding.find x binding with
-                         | Some v -> v
-                         | None -> assert false)
-                       vars)
-                in
-                Tuple.Set.add row acc
+                Array.of_list
+                  (List.map
+                     (fun x ->
+                       match Binding.find x binding with
+                       | Some v -> v
+                       | None -> assert false)
+                     vars)
+                :: acc
               else acc)
-        rel Tuple.Set.empty
+        rel []
     in
-    Relation.of_set ~name:atom.Atom.rel ~schema:vars rows
+    Relation.create ~name:atom.Atom.rel ~schema:vars rows
   in
   Array.of_list (List.map per_atom q.Cq.body)
 

@@ -136,6 +136,53 @@ let test_semijoin () =
   Alcotest.(check bool) "empty other side" true
     (Relation.is_empty (Relation.semijoin r_edges empty_t))
 
+(* Degenerate shapes: empty sides, empty common-attribute sets, 0-ary
+   operands.  These are the cartesian-guard corners of semijoin /
+   natural_join / product. *)
+let test_degenerate_cases () =
+  let empty_edges = rel "e" [ "a"; "b" ] [] in
+  (* semijoin: common attributes present but other side empty *)
+  let s_empty = rel "s" [ "b" ] [] in
+  Alcotest.(check bool) "semijoin vs empty (common attrs)" true
+    (Relation.is_empty (Relation.semijoin r_edges s_empty));
+  Alcotest.(check (list string)) "semijoin keeps left schema" [ "a"; "b" ]
+    (Relation.schema_list (Relation.semijoin r_edges s_empty));
+  (* semijoin: empty left side *)
+  let s = rel "s" [ "b" ] [ [ 2 ] ] in
+  Alcotest.(check bool) "empty left semijoin" true
+    (Relation.is_empty (Relation.semijoin empty_edges s));
+  (* semijoin: 0-ary other side acts as a boolean guard *)
+  let t_true = rel "t" [] [ [] ] and t_false = rel "t" [] [] in
+  Alcotest.(check bool) "0-ary guard true" true
+    (Relation.set_equal (Relation.semijoin r_edges t_true) r_edges);
+  Alcotest.(check bool) "0-ary guard false" true
+    (Relation.is_empty (Relation.semijoin r_edges t_false));
+  (* natural_join: empty side kills the join but keeps the merged schema *)
+  let r2 = Relation.rename_positional [ "b"; "c" ] empty_edges in
+  let j = Relation.natural_join r_edges r2 in
+  Alcotest.(check bool) "join vs empty" true (Relation.is_empty j);
+  Alcotest.(check (list string)) "join schema survives" [ "a"; "b"; "c" ]
+    (Relation.schema_list j);
+  let j2 = Relation.natural_join r2 r_edges in
+  Alcotest.(check bool) "empty probe side" true (Relation.is_empty j2);
+  (* natural_join with no common attributes and an empty side: empty
+     product, not the left operand *)
+  let z_empty = rel "z" [ "z" ] [] in
+  Alcotest.(check bool) "product join vs empty" true
+    (Relation.is_empty (Relation.natural_join r_edges z_empty));
+  (* product: empty and 0-ary operands *)
+  Alcotest.(check bool) "product vs empty" true
+    (Relation.is_empty (Relation.product r_edges z_empty));
+  Alcotest.(check bool) "product with 0-ary unit" true
+    (Relation.set_equal (Relation.product r_edges t_true) r_edges);
+  Alcotest.(check bool) "product with 0-ary zero" true
+    (Relation.is_empty (Relation.product r_edges t_false));
+  (* full projection: nonempty relation projects to the single 0-ary row *)
+  Alcotest.(check int) "project-to-unit cardinality" 1
+    (Relation.cardinality (Relation.project [] r_edges));
+  Alcotest.(check bool) "project-to-unit of empty" true
+    (Relation.is_empty (Relation.project [] empty_edges))
+
 let test_set_ops () =
   let r1 = rel "r" [ "a"; "b" ] [ [ 1; 2 ]; [ 3; 4 ] ] in
   (* same attribute set, different column order *)
@@ -276,6 +323,7 @@ let () =
           Alcotest.test_case "join as product" `Quick test_join_no_common_is_product;
           Alcotest.test_case "product guard" `Quick test_product_rejects_shared;
           Alcotest.test_case "semijoin" `Quick test_semijoin;
+          Alcotest.test_case "degenerate cases" `Quick test_degenerate_cases;
           Alcotest.test_case "set ops" `Quick test_set_ops;
           Alcotest.test_case "extend" `Quick test_extend;
           Alcotest.test_case "0-ary relations" `Quick test_arity_zero;
