@@ -5,7 +5,9 @@
      check     static analysis of a query: acyclicity, I1/I2 partition,
                comparison consistency, join tree
      datalog   bottom-up evaluation of a Datalog program
-     generate  emit a sample workload as a fact file *)
+     generate  emit a sample workload as a fact file
+     serve     resident TCP query server (catalog + plan cache)
+     client    line-protocol client for a running server *)
 
 module Relation = Paradb_relational.Relation
 module Database = Paradb_relational.Database
@@ -14,22 +16,30 @@ module Hypergraph = Paradb_hypergraph.Hypergraph
 module Join_tree = Paradb_hypergraph.Join_tree
 module Engine = Paradb_core.Engine
 module Hashing = Paradb_core.Hashing
+module Plan = Paradb_server.Plan
+module Server = Paradb_server.Server
+module Client = Paradb_server.Client
+module Protocol = Paradb_server.Protocol
 open Paradb_query
 open Cmdliner
 
-let read_file path =
-  if path = "-" then In_channel.input_all In_channel.stdin
-  else In_channel.with_open_text path In_channel.input_all
+(* file reading and parse-error wrapping live in Paradb_query.Source,
+   the code path shared with the server's LOAD and the client *)
+let read_file = Source.read_file
+let load_database = Source.load_database
+let parse_query = Source.parse_query
 
-let load_database path =
-  try Ok (Parser.parse_facts (read_file path)) with
-  | Parser.Parse_error msg -> Error ("database: " ^ msg)
-  | Sys_error msg -> Error msg
-
-let parse_query text =
-  try Ok (Parser.parse_cq text) with
-  | Parser.Parse_error msg -> Error ("query: " ^ msg)
-  | Invalid_argument msg -> Error ("query: " ^ msg)
+(* Exit-code discipline (documented in every subcommand's man page):
+   0 on success — a Boolean query answering "false" is a success —
+   and 1 on parse, I/O and usage errors. *)
+let exits =
+  [
+    Cmd.Exit.info 0
+      ~doc:
+        "on success.  A Boolean query whose answer is $(i,false) (an empty \
+         answer set) is a success, not a failure.";
+    Cmd.Exit.info 1 ~doc:"on parse errors, I/O errors and command line usage errors.";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Arguments *)
@@ -84,17 +94,20 @@ let family_of kind ~k ~seed =
       Hashing.Random_trials
         { trials = Hashing.default_trials ~c:3.0 ~k; seed }
 
+(* dispatch is single-sourced in Plan.analyze (the decision the server's
+   plan cache stores); the CLI only translates its argv enum *)
+let plan_kind = function
+  | E_auto -> Plan.Auto
+  | E_naive -> Plan.Naive
+  | E_yannakakis -> Plan.Yannakakis
+  | E_fpt -> Plan.Fpt
+
 let choose_engine kind q =
-  let acyclic = Hypergraph.is_acyclic (Hypergraph.of_cq q) in
-  match kind with
-  | E_naive -> `Naive
-  | E_yannakakis -> `Yannakakis
-  | E_fpt -> `Fpt
-  | E_auto ->
-      if not acyclic then `Naive
-      else if Cq.has_constraints q then
-        if Cq.neq_only q then `Fpt else `Comparisons
-      else `Yannakakis
+  match (Plan.analyze (plan_kind kind) q).Plan.engine with
+  | Plan.E_naive -> `Naive
+  | Plan.E_yannakakis -> `Yannakakis
+  | Plan.E_comparisons -> `Comparisons
+  | Plan.E_fpt -> `Fpt
 
 let run_eval db_path query_text engine family seed stats =
   match load_database db_path, parse_query query_text with
@@ -138,7 +151,7 @@ let run_eval db_path query_text engine family seed stats =
 let eval_cmd =
   let doc = "Evaluate a query over a fact file." in
   Cmd.v
-    (Cmd.info "eval" ~doc)
+    (Cmd.info "eval" ~doc ~exits)
     Term.(
       const run_eval $ db_arg $ query_arg $ engine_arg $ family_arg $ seed_arg
       $ stats_arg)
@@ -189,7 +202,7 @@ let run_check query_text dot =
 
 let check_cmd =
   let doc = "Analyze a query: acyclicity, partition, join tree." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ query_arg $ dot_arg)
+  Cmd.v (Cmd.info "check" ~doc ~exits) Term.(const run_check $ query_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* datalog *)
@@ -216,24 +229,27 @@ let run_datalog db_path program_path goal strategy stats =
       Printf.eprintf "error: %s\n" e;
       1
   | Ok db -> (
-      try
-        let program = Parser.parse_program (read_file program_path) ~goal in
-        let s = Paradb_datalog.Engine.new_stats () in
-        let r = Paradb_datalog.Engine.evaluate ~strategy ~stats:s db program in
-        if stats then
-          Printf.printf "%% rounds: %d, derivations: %d\n"
-            s.Paradb_datalog.Engine.rounds s.Paradb_datalog.Engine.derived;
-        Format.printf "%a@." Relation.pp r;
-        0
+      match
+        match read_file program_path with
+        | exception Sys_error msg -> Error msg
+        | text -> Source.parse_program text ~goal
       with
-      | Parser.Parse_error msg | Invalid_argument msg | Sys_error msg ->
+      | Error msg ->
           Printf.eprintf "error: %s\n" msg;
-          1)
+          1
+      | Ok program ->
+          let s = Paradb_datalog.Engine.new_stats () in
+          let r = Paradb_datalog.Engine.evaluate ~strategy ~stats:s db program in
+          if stats then
+            Printf.printf "%% rounds: %d, derivations: %d\n"
+              s.Paradb_datalog.Engine.rounds s.Paradb_datalog.Engine.derived;
+          Format.printf "%a@." Relation.pp r;
+          0)
 
 let datalog_cmd =
   let doc = "Run a Datalog program bottom-up." in
   Cmd.v
-    (Cmd.info "datalog" ~doc)
+    (Cmd.info "datalog" ~doc ~exits)
     Term.(
       const run_datalog $ db_arg $ program_arg $ goal_arg $ strategy_arg
       $ stats_arg)
@@ -282,8 +298,133 @@ let run_generate scenario size seed =
 let generate_cmd =
   let doc = "Emit a sample workload as a fact file." in
   Cmd.v
-    (Cmd.info "generate" ~doc)
+    (Cmd.info "generate" ~doc ~exits)
     Term.(const run_generate $ scenario_arg $ size_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let port_arg ~default =
+  Arg.(value & opt int default
+       & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+
+let workers_arg =
+  let doc = "Worker domains draining the connection queue." in
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Plan cache capacity (LRU entries)." in
+  Arg.(value & opt int 128 & info [ "cache-size" ] ~docv:"N" ~doc)
+
+let trial_domains_arg =
+  let doc =
+    "Value for \\$(b,PARADB_DOMAINS) (the fpt engine's per-query trial \
+     parallelism) unless it is already set; the default 1 keeps all \
+     parallelism in the worker pool."
+  in
+  Arg.(value & opt int 1 & info [ "trial-domains" ] ~docv:"N" ~doc)
+
+let run_serve host port workers cache_size trial_domains family seed =
+  if workers < 1 || cache_size < 1 || trial_domains < 1 then begin
+    Printf.eprintf "error: --workers, --cache-size and --trial-domains must be positive\n";
+    1
+  end
+  else begin
+    if Sys.getenv_opt "PARADB_DOMAINS" = None then
+      Unix.putenv "PARADB_DOMAINS" (string_of_int trial_domains);
+    let family =
+      match family with
+      | `Sweep -> None
+      | `Random -> Some (family_of `Random ~k:4 ~seed)
+    in
+    match
+      Server.start ~host ?family ~port ~workers ~cache_capacity:cache_size ()
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+          (Unix.error_message e);
+        1
+    | server ->
+        Printf.printf "paradb: listening on %s:%d (%d workers, plan cache %d)\n%!"
+          host (Server.port server) workers cache_size;
+        Server.wait server;
+        0
+  end
+
+let serve_cmd =
+  let doc = "Run the resident query server (catalog + plan cache)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves the line protocol: $(b,LOAD) $(i,DB) $(i,PATH), $(b,FACT) \
+         $(i,DB) $(i,FACT), $(b,EVAL) $(i,DB) $(i,ENGINE) $(i,QUERY), \
+         $(b,CHECK) $(i,QUERY), $(b,STATS) and $(b,QUIT).  Responses are \
+         framed as $(b,OK) $(i,N) $(i,SUMMARY) followed by $(i,N) payload \
+         lines, or a single $(b,ERR) $(i,MESSAGE) line.  See DESIGN.md, \
+         section \"Server protocol\".";
+      `P "Stop the server with SIGINT (Ctrl-C).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man ~exits)
+    Term.(
+      const run_serve $ host_arg $ port_arg ~default:7411 $ workers_arg
+      $ cache_arg $ trial_domains_arg $ family_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client *)
+
+let command_args =
+  let doc =
+    "Command to send (repeatable, sent in order).  Without any, commands \
+     are read from standard input, one per line."
+  in
+  Arg.(value & opt_all string [] & info [ "c"; "command" ] ~docv:"CMD" ~doc)
+
+let run_client host port commands =
+  let commands =
+    if commands <> [] then commands
+    else
+      In_channel.input_lines In_channel.stdin
+      |> List.filter (fun l -> String.trim l <> "")
+  in
+  match
+    Client.with_connection ~host ~port (fun conn ->
+        List.fold_left
+          (fun failed line ->
+            let response = Client.request_line conn line in
+            List.iter print_endline (Protocol.response_to_lines response);
+            failed || match response with Protocol.Err _ -> true | _ -> false)
+          false commands)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message e);
+      1
+  | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | failed -> if failed then 1 else 0
+
+let client_cmd =
+  let doc = "Send protocol commands to a running server." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Each command's framed response is printed verbatim ($(b,OK)/$(b,ERR) \
+         line, then the payload lines).  The exit status is 1 if any \
+         command was answered with $(b,ERR).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc ~man ~exits)
+    Term.(const run_client $ host_arg $ port_arg ~default:7411 $ command_args)
 
 (* ------------------------------------------------------------------ *)
 
@@ -291,7 +432,12 @@ let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.0.0" ~doc)
-    [ eval_cmd; check_cmd; datalog_cmd; generate_cmd ]
+  Cmd.group (Cmd.info "paradb" ~version:"1.0.0" ~doc ~exits)
+    [ eval_cmd; check_cmd; datalog_cmd; generate_cmd; serve_cmd; client_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  (* usage and CLI parse errors exit 1, not cmdliner's default 124 *)
+  match Cmd.eval_value main_cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error _ -> exit 1

@@ -26,6 +26,7 @@ module Rule = Paradb_query.Rule
 module Program = Paradb_query.Program
 module Parser = Paradb_query.Parser
 module Fact_format = Paradb_query.Fact_format
+module Source = Paradb_query.Source
 
 (** {2 Hypergraphs and join trees} *)
 
@@ -71,6 +72,19 @@ module Reductions = struct
   module Hamiltonian_to_neq = Paradb_reductions.Hamiltonian_to_neq
   module Dominating_to_fo = Paradb_reductions.Dominating_to_fo
   module Fixed_schema = Paradb_reductions.Fixed_schema
+end
+
+(** {2 The query server ([paradb serve])} *)
+
+module Server = struct
+  module Protocol = Paradb_server.Protocol
+  module Plan = Paradb_server.Plan
+  module Plan_cache = Paradb_server.Plan_cache
+  module Catalog = Paradb_server.Catalog
+  module Stats = Paradb_server.Stats
+  module Session = Paradb_server.Session
+  module Server = Paradb_server.Server
+  module Client = Paradb_server.Client
 end
 
 (** {2 Chandra–Merlin containment} *)

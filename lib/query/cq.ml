@@ -113,3 +113,16 @@ let pp ppf q =
   Format.pp_print_string ppf (String.concat ", " items)
 
 let to_string q = Format.asprintf "%a" pp q
+
+let alpha_normalize q =
+  (* First-occurrence order over the body then head (= [vars q]), so any
+     two queries differing only by an injective variable renaming get the
+     same normal form.  The canonical names [V0, V1, ...] start with an
+     uppercase letter, hence re-parse as variables. *)
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i x -> Hashtbl.replace table x (Printf.sprintf "V%d" i))
+    (vars q);
+  rename (fun x -> try Hashtbl.find table x with Not_found -> x) q
+
+let cache_key q = to_string (alpha_normalize q)

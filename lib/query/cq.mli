@@ -53,6 +53,18 @@ val substitute : Binding.t -> t -> t
     [vars q] to preserve meaning; not checked). *)
 val rename : (string -> string) -> t -> t
 
+(** [alpha_normalize q] renames the variables to the canonical
+    [V0, V1, ...] in first-occurrence order over the body then head
+    (the order of {!vars}).  Two queries that differ only by an injective
+    variable renaming have equal normal forms; the canonical names
+    re-parse as variables, so
+    [parse_cq (to_string (alpha_normalize q)) = alpha_normalize q]. *)
+val alpha_normalize : t -> t
+
+(** [cache_key q = to_string (alpha_normalize q)] — the renaming-invariant
+    key the server's plan cache uses. *)
+val cache_key : t -> string
+
 (** [head_tuple binding q] instantiates the head under a satisfying
     binding. *)
 val head_tuple : Binding.t -> t -> Paradb_relational.Tuple.t

@@ -1,0 +1,23 @@
+let read_file path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let parse_facts text =
+  try Ok (Parser.parse_facts text) with
+  | Parser.Parse_error msg -> Error ("database: " ^ msg)
+  | Invalid_argument msg -> Error ("database: " ^ msg)
+
+let load_database path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text -> parse_facts text
+
+let parse_query text =
+  try Ok (Parser.parse_cq text) with
+  | Parser.Parse_error msg -> Error ("query: " ^ msg)
+  | Invalid_argument msg -> Error ("query: " ^ msg)
+
+let parse_program text ~goal =
+  try Ok (Parser.parse_program text ~goal) with
+  | Parser.Parse_error msg -> Error ("program: " ^ msg)
+  | Invalid_argument msg -> Error ("program: " ^ msg)

@@ -1,0 +1,26 @@
+(** Reading query and database sources — the one code path shared by the
+    CLI subcommands, the server's [LOAD], and the client.
+
+    Every function wraps parse and I/O failures into [result] values with
+    a short prefixed message, so front ends never catch parser exceptions
+    themselves. *)
+
+(** [read_file path] reads a whole file; ["-"] means stdin. *)
+val read_file : string -> string
+
+(** [load_database path] parses the fact file at [path] ('-' for stdin).
+    Errors are prefixed with ["database: "] (parse) or are the raw
+    [Sys_error] message (I/O). *)
+val load_database :
+  string -> (Paradb_relational.Database.t, string) result
+
+(** [parse_facts text] — like {!load_database} on an in-memory string. *)
+val parse_facts : string -> (Paradb_relational.Database.t, string) result
+
+(** [parse_query text] parses a conjunctive query; errors are prefixed
+    with ["query: "]. *)
+val parse_query : string -> (Cq.t, string) result
+
+(** [parse_program text ~goal] parses a Datalog program; errors are
+    prefixed with ["program: "]. *)
+val parse_program : string -> goal:string -> (Program.t, string) result

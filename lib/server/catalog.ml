@@ -1,0 +1,43 @@
+module Database = Paradb_relational.Database
+module Source = Paradb_query.Source
+
+type t = { table : (string, Database.t) Hashtbl.t; lock : Mutex.t }
+
+let create () = { table = Hashtbl.create 16; lock = Mutex.create () }
+
+let set cat name db =
+  Mutex.protect cat.lock (fun () -> Hashtbl.replace cat.table name db)
+
+let find cat name =
+  Mutex.protect cat.lock (fun () -> Hashtbl.find_opt cat.table name)
+
+let add_fact cat name fact =
+  (* parse_facts accepts any fact-file fragment, so one ill-formed or
+     non-ground "fact" fails here rather than corrupting the entry *)
+  match Source.parse_facts fact with
+  | Error e -> Error e
+  | Ok additions -> (
+      try
+      Mutex.protect cat.lock (fun () ->
+          let base =
+            Option.value (Hashtbl.find_opt cat.table name) ~default:Database.empty
+          in
+          let merged =
+            List.fold_left
+              (fun db r ->
+                match Database.find_opt db (Paradb_relational.Relation.name r) with
+                | None -> Database.add r db
+                | Some existing ->
+                    Database.add (Paradb_relational.Relation.union existing r) db)
+              base (Database.relations additions)
+          in
+          Hashtbl.replace cat.table name merged;
+          Ok merged)
+      with Invalid_argument msg ->
+        (* e.g. an arity clash with the relation already in the entry *)
+        Error msg)
+
+let entries cat =
+  Mutex.protect cat.lock (fun () ->
+      Hashtbl.fold (fun name db acc -> (name, Database.size db) :: acc) cat.table [])
+  |> List.sort compare

@@ -1,0 +1,29 @@
+(** The catalog: named in-memory databases shared by every session.
+
+    {!Paradb_relational.Database.t} values are immutable, so the catalog
+    is just a mutex-protected table from names to the current snapshot.
+    Mutations ([LOAD], [FACT]) replace the binding; an evaluation that
+    already fetched a snapshot keeps running on the database it saw —
+    readers never block writers and answers are always computed against
+    one consistent database value. *)
+
+module Database = Paradb_relational.Database
+
+type t
+
+val create : unit -> t
+
+(** [set cat name db] binds (or replaces) a catalog entry. *)
+val set : t -> string -> Database.t -> unit
+
+val find : t -> string -> Database.t option
+
+(** [add_fact cat name atom] parses one ground fact (e.g. ["edge(1, 2)."])
+    and adds it to the named database, creating the entry if absent.
+    Returns the new snapshot, or an error message for unparsable input.
+    The parse-and-replace runs under the catalog lock, so concurrent
+    [FACT]s to one entry never lose updates. *)
+val add_fact : t -> string -> string -> (Database.t, string) result
+
+(** Entry names with their tuple counts, sorted by name. *)
+val entries : t -> (string * int) list

@@ -1,0 +1,30 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let request_line t line =
+  send_line t line;
+  match Protocol.read_response t.ic with
+  | Some r -> r
+  | None -> failwith "connection closed by server"
+
+let request t req = request_line t (Protocol.request_to_line req)
+
+let close t =
+  (try send_line t "QUIT" with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?host ~port f =
+  let t = connect ?host ~port () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,21 @@
+(** A blocking client for the {!Protocol} wire format, shared by
+    [paradb client] and the server-throughput bench. *)
+
+type t
+
+(** [connect ?host ~port ()] — TCP connect; [host] defaults to
+    ["127.0.0.1"].  Raises [Unix.Unix_error] on refusal. *)
+val connect : ?host:string -> port:int -> unit -> t
+
+(** [request t req] sends one request and reads its framed response.
+    Raises [Failure] if the server hangs up before responding. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** [request_line t line] — same over a raw command line. *)
+val request_line : t -> string -> Protocol.response
+
+(** Sends [QUIT] (best effort) and closes the socket. *)
+val close : t -> unit
+
+(** [with_connection ?host ~port f] — connect, run, always close. *)
+val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a

@@ -1,0 +1,97 @@
+module Cq = Paradb_query.Cq
+module Atom = Paradb_query.Atom
+module Constr = Paradb_query.Constr
+module Term = Paradb_query.Term
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Dictionary = Paradb_relational.Dictionary
+module Tuple = Paradb_relational.Tuple
+module Hypergraph = Paradb_hypergraph.Hypergraph
+module Join_tree = Paradb_hypergraph.Join_tree
+module Engine = Paradb_core.Engine
+module Ineq = Paradb_core.Ineq
+
+type engine_kind = Auto | Naive | Yannakakis | Fpt
+
+type engine = E_naive | E_yannakakis | E_comparisons | E_fpt
+
+type t = {
+  query : Cq.t;
+  key : string;
+  requested : engine_kind;
+  engine : engine;
+  acyclic : bool;
+  neq_k : int;
+  tree : Join_tree.t option;
+}
+
+let engine_kind_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some Auto
+  | "naive" -> Some Naive
+  | "yannakakis" -> Some Yannakakis
+  | "fpt" -> Some Fpt
+  | _ -> None
+
+let engine_kind_name = function
+  | Auto -> "auto"
+  | Naive -> "naive"
+  | Yannakakis -> "yannakakis"
+  | Fpt -> "fpt"
+
+let engine_name = function
+  | E_naive -> "naive"
+  | E_yannakakis -> "yannakakis"
+  | E_comparisons -> "comparisons"
+  | E_fpt -> "fpt"
+
+let cache_key kind q =
+  engine_kind_name kind ^ "|" ^ Cq.cache_key q
+
+let constants q =
+  List.concat_map Atom.constants q.Cq.body
+  @ List.concat_map Constr.constants q.Cq.constraints
+  @ List.filter_map
+      (function Term.Const v -> Some v | Term.Var _ -> None)
+      q.Cq.head
+
+let analyze requested q =
+  let nq = Cq.alpha_normalize q in
+  let acyclic = Hypergraph.is_acyclic (Hypergraph.of_cq nq) in
+  let engine =
+    match requested with
+    | Naive -> E_naive
+    | Yannakakis -> E_yannakakis
+    | Fpt -> E_fpt
+    | Auto ->
+        if not acyclic then E_naive
+        else if Cq.has_constraints nq then
+          if Cq.neq_only nq then E_fpt else E_comparisons
+        else E_yannakakis
+  in
+  let neq_k =
+    if engine = E_fpt && Cq.neq_only nq then (Ineq.partition nq).Ineq.k else 0
+  in
+  (* Pre-intern the query's constants: evaluation then only reads the
+     dictionary, which is the discipline the engine's parallel trials
+     already rely on (Dictionary's concurrency contract). *)
+  List.iter (fun v -> ignore (Dictionary.intern Dictionary.global v)) (constants q);
+  {
+    query = nq;
+    key = cache_key requested q;
+    requested;
+    engine;
+    acyclic;
+    neq_k;
+    tree = Join_tree.of_cq nq;
+  }
+
+let evaluate ?family plan db q =
+  match plan.engine with
+  | E_naive -> Paradb_eval.Cq_naive.evaluate db q
+  | E_yannakakis -> Paradb_yannakakis.Yannakakis.evaluate db q
+  | E_comparisons -> Paradb_core.Comparisons.evaluate db q
+  | E_fpt -> Engine.evaluate ?family db q
+
+let sorted_tuples r =
+  List.map Tuple.to_string (List.sort Tuple.compare (Relation.tuples r))

@@ -1,0 +1,55 @@
+(** Query plans: the parameter-dependent, database-independent part of
+    evaluation (PAPER.md, Theorem 2's f(k) preprocessing), computed once
+    per normalized query and cached by {!Plan_cache}.
+
+    A plan fixes the engine dispatch decision, the acyclicity verdict,
+    the I1/I2 inequality partition's hash range [k], and the join tree —
+    everything {!evaluate} needs besides the database and the (alpha-
+    equivalent) parsed query itself. *)
+
+module Cq = Paradb_query.Cq
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+
+type engine_kind = Auto | Naive | Yannakakis | Fpt
+
+type engine = E_naive | E_yannakakis | E_comparisons | E_fpt
+
+type t = {
+  query : Cq.t;  (** the alpha-normalized query the plan was built from *)
+  key : string;  (** {!cache_key} of the query and requested engine *)
+  requested : engine_kind;
+  engine : engine;  (** resolved dispatch decision *)
+  acyclic : bool;
+  neq_k : int;  (** [|V1|] of the Ineq partition; 0 unless [E_fpt] *)
+  tree : Paradb_hypergraph.Join_tree.t option;
+}
+
+val engine_kind_of_string : string -> engine_kind option
+val engine_name : engine -> string
+
+(** [cache_key kind q] — the plan-cache key: the requested engine's name
+    and [Cq.cache_key q]. *)
+val cache_key : engine_kind -> Cq.t -> string
+
+(** [analyze kind q] resolves the dispatch (for [Auto]: cyclic queries go
+    to the naive engine, acyclic constraint-free ones to Yannakakis,
+    [!=]-only ones to the Theorem-2 engine, comparison queries to the
+    Theorem-3 preprocessing) and precomputes the cacheable analysis.  All
+    constants of [q] are interned into the global dictionary here, per
+    the {!Paradb_relational.Dictionary} concurrency contract. *)
+val analyze : engine_kind -> Cq.t -> t
+
+(** [evaluate plan db q] runs the plan's engine on [q] — which must be
+    alpha-equivalent to [plan.query]; the fresh parse is used directly so
+    head attribute names are preserved.  [family], when given, overrides
+    the deterministic sweep family of the fpt engine.  Raises the
+    engines' exceptions ([Cyclic_query], [Invalid_argument]) unchanged. *)
+val evaluate :
+  ?family:Paradb_core.Hashing.family -> t -> Database.t -> Cq.t -> Relation.t
+
+(** [sorted_tuples r] — the result rows rendered one per line, sorted
+    with {!Paradb_relational.Tuple.compare}.  This is the canonical
+    answer-set serialization: identical relations always print
+    identically, whatever the row-store iteration order. *)
+val sorted_tuples : Relation.t -> string list

@@ -1,0 +1,107 @@
+(* Classic hash-table-plus-intrusive-doubly-linked-list LRU; the list
+   head is the most recently used entry.  All structure mutations happen
+   under [lock]. *)
+
+type node = {
+  key : string;
+  mutable plan : Plan.t;
+  mutable prev : node option; (* towards the head (more recent) *)
+  mutable next : node option; (* towards the tail (less recent) *)
+}
+
+type counters = { hits : int; misses : int; evictions : int; size : int }
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity c = c.capacity
+
+let unlink c n =
+  (match n.prev with Some p -> p.next <- n.next | None -> c.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> c.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front c n =
+  n.next <- c.head;
+  (match c.head with Some h -> h.prev <- Some n | None -> c.tail <- Some n);
+  c.head <- Some n
+
+let evict_lru c =
+  match c.tail with
+  | None -> ()
+  | Some n ->
+      unlink c n;
+      Hashtbl.remove c.table n.key;
+      c.evictions <- c.evictions + 1
+
+let find_or_build c ~key build =
+  let cached =
+    Mutex.protect c.lock (fun () ->
+        match Hashtbl.find_opt c.table key with
+        | Some n ->
+            c.hits <- c.hits + 1;
+            unlink c n;
+            push_front c n;
+            Some n.plan
+        | None ->
+            c.misses <- c.misses + 1;
+            None)
+  in
+  match cached with
+  | Some plan -> (plan, `Hit)
+  | None ->
+      let plan = build () in
+      Mutex.protect c.lock (fun () ->
+          match Hashtbl.find_opt c.table key with
+          | Some n ->
+              (* a racing session inserted first; keep one entry *)
+              n.plan <- plan;
+              unlink c n;
+              push_front c n
+          | None ->
+              if Hashtbl.length c.table >= c.capacity then evict_lru c;
+              let n = { key; plan; prev = None; next = None } in
+              Hashtbl.replace c.table key n;
+              push_front c n);
+      (plan, `Miss)
+
+let mem c key = Mutex.protect c.lock (fun () -> Hashtbl.mem c.table key)
+
+let counters c =
+  Mutex.protect c.lock (fun () ->
+      {
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+        size = Hashtbl.length c.table;
+      })
+
+let keys c =
+  Mutex.protect c.lock (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go (n.key :: acc) n.next
+      in
+      go [] c.head)

@@ -1,0 +1,33 @@
+(** A mutex-protected LRU cache of query {!Plan.t}s, shared by every
+    server session.
+
+    Keys are {!Plan.cache_key} strings (requested engine + the
+    alpha-normalized query text), so queries differing only in variable
+    names — or whitespace — hit the same entry.  Capacity is a hard
+    bound: inserting into a full cache evicts the least recently used
+    plan.  Hit/miss/eviction counters feed the [STATS] report and the
+    server-throughput bench. *)
+
+type t
+
+type counters = { hits : int; misses : int; evictions : int; size : int }
+
+(** [create ~capacity ()] — [capacity] must be positive. *)
+val create : capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** [find_or_build cache ~key build] returns the cached plan for [key],
+    bumping its recency, or runs [build ()], inserts the result and
+    returns it.  [build] runs outside the lock: two sessions racing on a
+    cold key may both build; the last insert wins (plans for one key are
+    interchangeable). *)
+val find_or_build : t -> key:string -> (unit -> Plan.t) -> Plan.t * [ `Hit | `Miss ]
+
+(** Peek without counting or bumping recency (tests). *)
+val mem : t -> string -> bool
+
+val counters : t -> counters
+
+(** Keys from most to least recently used (tests). *)
+val keys : t -> string list

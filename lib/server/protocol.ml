@@ -1,0 +1,96 @@
+type request =
+  | Load of { db : string; path : string }
+  | Fact of { db : string; fact : string }
+  | Eval of { db : string; engine : string; query : string }
+  | Check of string
+  | Stats
+  | Quit
+
+type response =
+  | Ok_ of { summary : string; payload : string list }
+  | Err of string
+
+let is_blank c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+(* [split_word s] — (first token, rest with leading blanks dropped). *)
+let split_word s =
+  let s = trim s in
+  let n = String.length s in
+  let rec find_blank i = if i < n && not (is_blank s.[i]) then find_blank (i + 1) else i in
+  let cut = find_blank 0 in
+  let rec skip i = if i < n && is_blank s.[i] then skip (i + 1) else i in
+  (String.sub s 0 cut, String.sub s (skip cut) (n - skip cut))
+
+let parse_request line =
+  let keyword, rest = split_word line in
+  let need what tok = Error (Printf.sprintf "%s: missing %s" tok what) in
+  match String.uppercase_ascii keyword with
+  | "" -> Error "empty request"
+  | "LOAD" -> (
+      match split_word rest with
+      | "", _ -> need "database name" "LOAD"
+      | db, path when trim path <> "" -> Ok (Load { db; path = trim path })
+      | _ -> need "file path" "LOAD")
+  | "FACT" -> (
+      match split_word rest with
+      | "", _ -> need "database name" "FACT"
+      | db, fact when trim fact <> "" -> Ok (Fact { db; fact = trim fact })
+      | _ -> need "fact" "FACT")
+  | "EVAL" -> (
+      match split_word rest with
+      | "", _ -> need "database name" "EVAL"
+      | db, rest -> (
+          match split_word rest with
+          | "", _ -> need "engine" "EVAL"
+          | engine, query when trim query <> "" ->
+              Ok (Eval { db; engine; query = trim query })
+          | _ -> need "query" "EVAL"))
+  | "CHECK" ->
+      if trim rest = "" then need "query" "CHECK" else Ok (Check (trim rest))
+  | "STATS" -> Ok Stats
+  | "QUIT" -> Ok Quit
+  | other -> Error (Printf.sprintf "unknown request %s" other)
+
+let request_to_line = function
+  | Load { db; path } -> Printf.sprintf "LOAD %s %s" db path
+  | Fact { db; fact } -> Printf.sprintf "FACT %s %s" db fact
+  | Eval { db; engine; query } -> Printf.sprintf "EVAL %s %s %s" db engine query
+  | Check query -> "CHECK " ^ query
+  | Stats -> "STATS"
+  | Quit -> "QUIT"
+
+let response_to_lines = function
+  | Ok_ { summary; payload } ->
+      Printf.sprintf "OK %d %s" (List.length payload) summary :: payload
+  | Err msg -> [ "ERR " ^ msg ]
+
+let write_response oc r =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (response_to_lines r);
+  flush oc
+
+let read_response ic =
+  match In_channel.input_line ic with
+  | None -> None
+  | Some line -> (
+      let keyword, rest = split_word line in
+      match String.uppercase_ascii keyword with
+      | "ERR" -> Some (Err rest)
+      | "OK" -> (
+          let count, summary = split_word rest in
+          match int_of_string_opt count with
+          | None -> failwith ("malformed response line: " ^ line)
+          | Some n ->
+              let payload =
+                List.init n (fun _ ->
+                    match In_channel.input_line ic with
+                    | Some l -> l
+                    | None -> failwith "truncated response payload")
+              in
+              Some (Ok_ { summary; payload }))
+      | _ -> failwith ("malformed response line: " ^ line))

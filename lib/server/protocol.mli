@@ -1,0 +1,55 @@
+(** The wire protocol of [paradb serve] — a line-based text codec.
+
+    Requests are single lines; the first whitespace-separated token is a
+    case-insensitive keyword:
+
+    {v
+      LOAD <db> <path>            load a fact file into catalog entry <db>
+      FACT <db> <fact>            add one ground fact, e.g. edge(1, 2).
+      EVAL <db> <engine> <query>  evaluate; engine is auto | naive |
+                                  yannakakis | fpt
+      CHECK <query>               static analysis (no database touched)
+      STATS                       session and server counters
+      QUIT                        close the session
+    v}
+
+    Responses are framed so a client never guesses where a reply ends:
+
+    {v
+      OK <n> <summary>            followed by exactly <n> payload lines
+      ERR <message>               a single line
+    v}
+
+    Payload lines never start with [OK] or [ERR] (answers are tuples,
+    [key value] counter pairs, or indented report lines), but the framing
+    never relies on that: the [<n>] count is authoritative. *)
+
+type request =
+  | Load of { db : string; path : string }
+  | Fact of { db : string; fact : string }
+  | Eval of { db : string; engine : string; query : string }
+  | Check of string
+  | Stats
+  | Quit
+
+type response =
+  | Ok_ of { summary : string; payload : string list }
+  | Err of string
+
+(** [parse_request line] — [Error] carries a human-readable message
+    (unknown keyword, missing operand).  Leading/trailing blanks are
+    ignored. *)
+val parse_request : string -> (request, string) result
+
+(** Render a request as its wire line (inverse of {!parse_request}). *)
+val request_to_line : request -> string
+
+(** [write_response oc r] emits the framing line and the payload,
+    flushing at the end. *)
+val write_response : out_channel -> response -> unit
+
+(** [read_response ic] reads one framed response; [None] on EOF.
+    Raises [Failure] on a malformed framing line. *)
+val read_response : in_channel -> response option
+
+val response_to_lines : response -> string list

@@ -1,0 +1,100 @@
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  shared : Session.shared;
+  workers : unit Domain.t array;
+  stopping : bool Atomic.t;
+  stopped : Mutex.t; (* serializes [stop] so joins happen once *)
+  mutable joined : bool;
+}
+
+let port t = t.bound_port
+let shared t = t.shared
+
+(* One connection: line in, framed response out, until QUIT/EOF.  Every
+   escape is a socket-level failure; the session dispatcher itself never
+   raises. *)
+let serve_connection shared fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = Session.create shared in
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        let response, verdict = Session.handle_line session line in
+        Protocol.write_response oc response;
+        (match verdict with `Continue -> loop () | `Quit -> ())
+  in
+  (try loop () with Sys_error _ | End_of_file -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker_loop stopping shared listen_fd () =
+  let rec loop () =
+    if not (Atomic.get stopping) then begin
+      match Unix.accept ~cloexec:true listen_fd with
+      | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+          (* EBADF/EINVAL: [stop] closed the listening socket under us;
+             ECONNABORTED: the peer vanished between accept queuing and
+             now — only the latter leaves the socket usable. *)
+          if not (Atomic.get stopping) then loop ()
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      | fd, _peer ->
+          serve_connection shared fd;
+          loop ()
+    end
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ?family ~port ~workers ~cache_capacity () =
+  if workers < 1 then invalid_arg "Server.start: need at least one worker";
+  (* a peer that disconnects mid-response must surface as EPIPE, not
+     kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.inet_addr_of_string host in
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd SO_REUSEADDR true;
+     Unix.bind fd (ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> assert false
+  in
+  let shared = Session.make_shared ?family ~cache_capacity () in
+  let stopping = Atomic.make false in
+  let pool =
+    Array.init workers (fun _ -> Domain.spawn (worker_loop stopping shared fd))
+  in
+  {
+    listen_fd = fd;
+    bound_port;
+    shared;
+    workers = pool;
+    stopping;
+    stopped = Mutex.create ();
+    joined = false;
+  }
+
+let join_all t =
+  Mutex.protect t.stopped (fun () ->
+      if not t.joined then begin
+        Array.iter Domain.join t.workers;
+        t.joined <- true
+      end)
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* [shutdown] — not [close] — wakes workers blocked in [accept] (they
+     get EINVAL); the fd is closed only after every worker has exited,
+     so its number cannot be recycled under a racing accept. *)
+  (try Unix.shutdown t.listen_fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  join_all t;
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let wait = join_all

@@ -1,0 +1,43 @@
+(** The resident TCP server: a listening socket drained by a pool of
+    worker {!Domain}s.
+
+    Each worker accepts connections directly off the shared listening
+    socket (the kernel serializes [accept]) and runs one blocking
+    session at a time, so up to [workers] sessions progress in parallel.
+    Parallelism across queries comes from the pool; by default the fpt
+    engine's own trial parallelism is left to [PARADB_DOMAINS] exactly
+    as in one-shot mode — [paradb serve] sets it to 1 unless the user
+    overrides, keeping the domain count bounded by the pool size.
+
+    Safety of concurrent sessions rests on three facts: database
+    snapshots are immutable (see {!Catalog}), the plan cache and stats
+    are mutex-protected, and plans pre-intern query constants per the
+    dictionary's concurrency contract. *)
+
+type t
+
+(** [start ?host ?family ~port ~workers ~cache_capacity ()] binds and
+    listens (port [0] picks an ephemeral port — see {!port}) and spawns
+    the worker pool.  [host] defaults to ["127.0.0.1"]. *)
+val start :
+  ?host:string ->
+  ?family:Paradb_core.Hashing.family ->
+  port:int ->
+  workers:int ->
+  cache_capacity:int ->
+  unit ->
+  t
+
+(** The actual bound port (useful after [~port:0]). *)
+val port : t -> int
+
+val shared : t -> Session.shared
+
+(** [stop t] closes the listening socket and joins every worker; idle
+    workers exit immediately, busy ones after their current session
+    ends.  Idempotent. *)
+val stop : t -> unit
+
+(** Block until every worker has exited (i.e. until {!stop} is called
+    from a signal handler or another domain). *)
+val wait : t -> unit

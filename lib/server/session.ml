@@ -1,0 +1,146 @@
+module Cq = Paradb_query.Cq
+module Source = Paradb_query.Source
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Hypergraph = Paradb_hypergraph.Hypergraph
+module Join_tree = Paradb_hypergraph.Join_tree
+
+type shared = {
+  catalog : Catalog.t;
+  cache : Plan_cache.t;
+  stats : Stats.t;
+  family : Paradb_core.Hashing.family option;
+}
+
+let make_shared ?family ~cache_capacity () =
+  {
+    catalog = Catalog.create ();
+    cache = Plan_cache.create ~capacity:cache_capacity ();
+    stats = Stats.create ();
+    family;
+  }
+
+type t = { shared : shared; stats : Stats.t (* this session only *) }
+
+let create (shared : shared) =
+  Stats.incr_connections shared.stats;
+  let stats = Stats.create () in
+  Stats.incr_connections stats;
+  { shared; stats }
+
+let err s msg =
+  Stats.incr_errors s.shared.stats;
+  Stats.incr_errors s.stats;
+  Protocol.Err msg
+
+let ok ?(payload = []) summary = Protocol.Ok_ { summary; payload }
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+
+let do_load s ~db ~path =
+  match Source.load_database path with
+  | Error e -> err s e
+  | Ok database ->
+      Catalog.set s.shared.catalog db database;
+      ok
+        (Printf.sprintf "loaded %s relations=%d tuples=%d" db
+           (List.length (Database.relations database))
+           (Database.size database))
+
+let do_fact s ~db ~fact =
+  match Catalog.add_fact s.shared.catalog db fact with
+  | Error e -> err s e
+  | Ok database ->
+      ok (Printf.sprintf "%s tuples=%d" db (Database.size database))
+
+let do_eval s ~db ~engine ~query =
+  match Plan.engine_kind_of_string engine with
+  | None -> err s (Printf.sprintf "unknown engine %s" engine)
+  | Some kind -> (
+      match Source.parse_query query with
+      | Error e -> err s e
+      | Ok q -> (
+          match Catalog.find s.shared.catalog db with
+          | None -> err s (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+          | Some database -> (
+              let key = Plan.cache_key kind q in
+              let plan, outcome =
+                Plan_cache.find_or_build s.shared.cache ~key (fun () ->
+                    Plan.analyze kind q)
+              in
+              let t0 = now_ns () in
+              match Plan.evaluate ?family:s.shared.family plan database q with
+              | exception
+                  ( Paradb_yannakakis.Yannakakis.Cyclic_query
+                  | Paradb_core.Engine.Cyclic_query ) ->
+                  err s "the query hypergraph is cyclic; use engine naive"
+              | exception Invalid_argument msg -> err s msg
+              | result ->
+                  let ns = now_ns () - t0 in
+                  let hit = outcome = `Hit in
+                  Stats.record s.shared.stats
+                    ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
+                  Stats.record s.stats
+                    ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
+                  ok
+                    ~payload:(Plan.sorted_tuples result)
+                    (Printf.sprintf "engine=%s cache=%s rows=%d ns=%d"
+                       (Plan.engine_name plan.Plan.engine)
+                       (if hit then "hit" else "miss")
+                       (Relation.cardinality result)
+                       ns))))
+
+let do_check s query =
+  match Source.parse_query query with
+  | Error e -> err s e
+  | Ok q ->
+      let plan = Plan.analyze Plan.Auto q in
+      let payload =
+        [
+          Printf.sprintf "query: %s" (Cq.to_string q);
+          Printf.sprintf "size %d vars %d" (Cq.size q) (Cq.num_vars q);
+          Printf.sprintf "acyclic: %b" plan.Plan.acyclic;
+          Printf.sprintf "join_tree: %s"
+            (match plan.Plan.tree with
+            | Some t -> Printf.sprintf "%d nodes" (Join_tree.n_nodes t)
+            | None -> "none");
+          Printf.sprintf "neq_partition_k: %d" plan.Plan.neq_k;
+          Printf.sprintf "recommended_engine: %s"
+            (Plan.engine_name plan.Plan.engine);
+        ]
+      in
+      ok ~payload (Printf.sprintf "checked size=%d" (Cq.size q))
+
+let do_stats s =
+  let cache = Plan_cache.counters s.shared.cache in
+  let payload =
+    Stats.report ~prefix:"session." s.stats
+    @ Stats.report ~prefix:"server." s.shared.stats
+    @ [
+        Printf.sprintf "server.cache.size %d" cache.Plan_cache.size;
+        Printf.sprintf "server.cache.capacity %d"
+          (Plan_cache.capacity s.shared.cache);
+        Printf.sprintf "server.cache.evictions %d" cache.Plan_cache.evictions;
+      ]
+    @ List.map
+        (fun (name, tuples) -> Printf.sprintf "db.%s %d" name tuples)
+        (Catalog.entries s.shared.catalog)
+  in
+  ok ~payload "stats"
+
+let handle s req =
+  match req with
+  | Protocol.Load { db; path } -> (do_load s ~db ~path, `Continue)
+  | Protocol.Fact { db; fact } -> (do_fact s ~db ~fact, `Continue)
+  | Protocol.Eval { db; engine; query } ->
+      (do_eval s ~db ~engine ~query, `Continue)
+  | Protocol.Check query -> (do_check s query, `Continue)
+  | Protocol.Stats -> (do_stats s, `Continue)
+  | Protocol.Quit -> (ok "bye", `Quit)
+
+let handle_line s line =
+  match Protocol.parse_request line with
+  | Error e -> (err s e, `Continue)
+  | Ok req -> handle s req

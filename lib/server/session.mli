@@ -1,0 +1,32 @@
+(** One client session: request dispatch over the shared server state.
+
+    A session owns no socket — the server (or a test) feeds it parsed
+    {!Protocol.request}s and writes the returned {!Protocol.response}s
+    wherever it likes.  All catalog/cache/stats state lives in
+    {!shared}; a session adds only its private counters, reported by
+    [STATS] next to the server-wide ones. *)
+
+type shared = {
+  catalog : Catalog.t;
+  cache : Plan_cache.t;
+  stats : Stats.t;  (** server-wide *)
+  family : Paradb_core.Hashing.family option;
+      (** fpt-engine hash family override; [None] = deterministic sweep *)
+}
+
+val make_shared :
+  ?family:Paradb_core.Hashing.family -> cache_capacity:int -> unit -> shared
+
+type t
+
+(** Registers the connection in the server-wide counters. *)
+val create : shared -> t
+
+(** [handle session req] — dispatch one request.  [`Quit] is returned
+    for [QUIT] (after its farewell response); every error is an [Err]
+    response, never an exception. *)
+val handle : t -> Protocol.request -> Protocol.response * [ `Continue | `Quit ]
+
+(** Convenience for tests and the server loop: parse a raw line and
+    dispatch it ([Err] on parse failure). *)
+val handle_line : t -> string -> Protocol.response * [ `Continue | `Quit ]

@@ -1,0 +1,75 @@
+type t = {
+  mutable connections : int;
+  mutable queries : int;
+  mutable errors : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  by_engine : (string, int * int) Hashtbl.t; (* engine -> queries, ns sum *)
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    connections = 0;
+    queries = 0;
+    errors = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    by_engine = Hashtbl.create 8;
+    lock = Mutex.create ();
+  }
+
+let record t ~engine ~hit ~ns =
+  Mutex.protect t.lock (fun () ->
+      t.queries <- t.queries + 1;
+      if hit then t.cache_hits <- t.cache_hits + 1
+      else t.cache_misses <- t.cache_misses + 1;
+      let n, total =
+        Option.value (Hashtbl.find_opt t.by_engine engine) ~default:(0, 0)
+      in
+      Hashtbl.replace t.by_engine engine (n + 1, total + ns))
+
+let incr_connections t =
+  Mutex.protect t.lock (fun () -> t.connections <- t.connections + 1)
+
+let incr_errors t = Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1)
+
+type snapshot = {
+  connections : int;
+  queries : int;
+  errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  by_engine : (string * int * int) list;
+}
+
+let snapshot t =
+  Mutex.protect t.lock (fun () ->
+      {
+        connections = t.connections;
+        queries = t.queries;
+        errors = t.errors;
+        cache_hits = t.cache_hits;
+        cache_misses = t.cache_misses;
+        by_engine =
+          List.sort compare
+            (Hashtbl.fold
+               (fun e (n, ns) acc -> (e, n, ns) :: acc)
+               t.by_engine []);
+      })
+
+let report ~prefix t =
+  let s = snapshot t in
+  let line k v = Printf.sprintf "%s%s %d" prefix k v in
+  [
+    line "connections" s.connections;
+    line "queries" s.queries;
+    line "errors" s.errors;
+    line "cache_hits" s.cache_hits;
+    line "cache_misses" s.cache_misses;
+  ]
+  @ List.concat_map
+      (fun (e, n, ns) ->
+        [ line (Printf.sprintf "engine.%s.queries" e) n;
+          line (Printf.sprintf "engine.%s.ns" e) ns ])
+      s.by_engine

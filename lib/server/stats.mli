@@ -1,0 +1,34 @@
+(** Monotone counters, kept per session and globally for the server.
+
+    Everything is mutated under one mutex ({!record} and friends) and
+    snapshotted by {!report}; the [STATS] response concatenates the
+    session report with the server-wide one, so tests and the bench can
+    assert cache behavior — not just liveness — over the wire. *)
+
+type t
+
+val create : unit -> t
+
+(** One query served: which engine ran, whether the plan cache hit, and
+    the evaluation latency in nanoseconds. *)
+val record : t -> engine:string -> hit:bool -> ns:int -> unit
+
+val incr_connections : t -> unit
+val incr_errors : t -> unit
+
+type snapshot = {
+  connections : int;
+  queries : int;
+  errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  by_engine : (string * int * int) list;
+      (** engine, queries served, summed latency in ns — sorted by name *)
+}
+
+val snapshot : t -> snapshot
+
+(** Render as [key value] lines (the [STATS] payload format):
+    [connections], [queries], [errors], [cache_hits], [cache_misses],
+    then per engine [engine.<name>.queries] and [engine.<name>.ns]. *)
+val report : prefix:string -> t -> string list

@@ -129,6 +129,23 @@ let test_cq_rename () =
   let q' = Cq.rename (fun v -> v ^ "_0") q in
   Alcotest.(check (list string)) "renamed" [ "x_0"; "y_0" ] (Cq.vars q')
 
+let test_cq_alpha_normalize () =
+  (* variables are renamed V0, V1, ... in first-occurrence order, so any
+     two alpha-equivalent queries normalize — and cache-key — identically *)
+  let q1 = Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y), X != Y." in
+  let q2 = Parser.parse_cq "ans(Foo, Bar) :- e(Foo, Mid), e(Mid, Bar), Foo != Bar." in
+  Alcotest.(check string) "normal form" "ans(V0, V2) :- e(V0, V1), e(V1, V2), V0 != V2"
+    (Cq.to_string (Cq.alpha_normalize q1));
+  Alcotest.(check string) "cache key agrees" (Cq.cache_key q1) (Cq.cache_key q2);
+  (* constants are untouched *)
+  let q3 = Parser.parse_cq "ans(X) :- e(X, 3), X != alice." in
+  Alcotest.(check string) "constants preserved" "ans(V0) :- e(V0, 3), V0 != alice"
+    (Cq.to_string (Cq.alpha_normalize q3));
+  (* structurally different queries keep distinct keys *)
+  let q4 = Parser.parse_cq "ans(X, Y) :- e(Y, Z), e(Z, X), X != Y." in
+  Alcotest.(check bool) "different structure, different key" false
+    (Cq.cache_key q1 = Cq.cache_key q4)
+
 (* ------------------------------------------------------------------ *)
 (* First-order formulas *)
 
@@ -397,6 +414,20 @@ let qcheck_tests =
         let q = Cq.rename String.capitalize_ascii q in
         let q' = Parser.parse_cq (Cq.to_string q) in
         Cq.equal q q');
+    (* print∘parse is the identity up to variable renaming, and the
+       alpha-normal form is a fixpoint of the parser *)
+    Qgen.seeded_property ~name:"parse/print identity up to renaming" ~count:100
+      (fun rng ->
+        let q = Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:3 ~neq_tries:3 ~domain_size:5 in
+        let q = Cq.rename String.capitalize_ascii q in
+        let q' = Parser.parse_cq (Cq.to_string q) in
+        (* a systematic injective renaming must not change the normal form *)
+        let scrambled = Cq.rename (fun v -> "Z" ^ v ^ "q") q in
+        let norm = Cq.alpha_normalize q in
+        Cq.equal (Cq.alpha_normalize q') norm
+        && Cq.equal (Cq.alpha_normalize scrambled) norm
+        && Cq.cache_key scrambled = Cq.cache_key q
+        && Cq.equal (Parser.parse_cq (Cq.to_string norm)) norm);
     QCheck.Test.make ~name:"parser never crashes on garbage" ~count:300
       QCheck.(string_of_size (Gen.int_range 0 40))
       (fun s ->
@@ -480,6 +511,7 @@ let () =
           Alcotest.test_case "measures" `Quick test_cq_measures;
           Alcotest.test_case "close with tuple" `Quick test_close_with_tuple;
           Alcotest.test_case "rename" `Quick test_cq_rename;
+          Alcotest.test_case "alpha normalize" `Quick test_cq_alpha_normalize;
         ] );
       ( "fo",
         [

@@ -1,0 +1,359 @@
+(* The paradb serve subsystem: protocol codec round-trips, plan-cache LRU
+   discipline, session dispatch, and — the acceptance criterion — eight
+   parallel client connections receiving answer sets bit-identical to
+   single-shot evaluation. *)
+
+module Protocol = Paradb_server.Protocol
+module Plan = Paradb_server.Plan
+module Plan_cache = Paradb_server.Plan_cache
+module Catalog = Paradb_server.Catalog
+module Session = Paradb_server.Session
+module Server = Paradb_server.Server
+module Client = Paradb_server.Client
+module Database = Paradb_relational.Database
+module Value = Paradb_relational.Value
+open Paradb_query
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_parse_request () =
+  let ok line expected =
+    match Protocol.parse_request line with
+    | Ok r -> Alcotest.(check bool) line true (r = expected)
+    | Error e -> Alcotest.failf "%s: unexpected error %s" line e
+  in
+  ok "LOAD g /tmp/x.facts" (Protocol.Load { db = "g"; path = "/tmp/x.facts" });
+  ok "  load  g   /tmp/x.facts "
+    (Protocol.Load { db = "g"; path = "/tmp/x.facts" });
+  ok "FACT g edge(1, 2)." (Protocol.Fact { db = "g"; fact = "edge(1, 2)." });
+  ok "EVAL g auto ans(X) :- e(X, Y)."
+    (Protocol.Eval { db = "g"; engine = "auto"; query = "ans(X) :- e(X, Y)." });
+  ok "CHECK ans(X) :- e(X, X)." (Protocol.Check "ans(X) :- e(X, X).");
+  ok "stats" Protocol.Stats;
+  ok "Quit" Protocol.Quit;
+  let err line =
+    match Protocol.parse_request line with
+    | Ok _ -> Alcotest.failf "%s: expected an error" line
+    | Error _ -> ()
+  in
+  err "";
+  err "LOAD";
+  err "LOAD g";
+  err "EVAL g auto";
+  err "CHECK";
+  err "FROB g"
+
+let test_request_line_roundtrip () =
+  List.iter
+    (fun r ->
+      match Protocol.parse_request (Protocol.request_to_line r) with
+      | Ok r' ->
+          Alcotest.(check bool) (Protocol.request_to_line r) true (r = r')
+      | Error e -> Alcotest.fail e)
+    [
+      Protocol.Load { db = "g"; path = "examples/graph.facts" };
+      Protocol.Fact { db = "g"; fact = "edge(1, 2)." };
+      Protocol.Eval { db = "g"; engine = "fpt"; query = "ans(X) :- e(X, Y), X != Y." };
+      Protocol.Check "ans() :- e(X, X).";
+      Protocol.Stats;
+      Protocol.Quit;
+    ]
+
+let test_response_roundtrip () =
+  let roundtrip r =
+    let path = Filename.temp_file "paradb_proto" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Out_channel.with_open_text path (fun oc -> Protocol.write_response oc r);
+        In_channel.with_open_text path (fun ic ->
+            match Protocol.read_response ic with
+            | Some r' -> Alcotest.(check bool) "response" true (r = r')
+            | None -> Alcotest.fail "eof"))
+  in
+  roundtrip (Protocol.Ok_ { summary = "stats"; payload = [ "a 1"; "b 2" ] });
+  roundtrip (Protocol.Ok_ { summary = ""; payload = [] });
+  roundtrip (Protocol.Err "no database g");
+  (* payload lines that *look* like framing must survive (count wins) *)
+  roundtrip (Protocol.Ok_ { summary = "tricky"; payload = [ "OK 0 fake"; "ERR fake" ] })
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache *)
+
+let plan_for text =
+  Plan.analyze Plan.Auto (Parser.parse_cq text)
+
+let test_cache_key_invariance () =
+  let q1 = Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y), X != Y." in
+  let q2 = Parser.parse_cq "ans(A, B) :- e(A, C),   e(C, B),  A != B." in
+  let q3 = Parser.parse_cq "ans(X, Y) :- e(Y, Z), e(Z, X), X != Y." in
+  Alcotest.(check string) "alpha + whitespace invariant"
+    (Plan.cache_key Plan.Auto q1) (Plan.cache_key Plan.Auto q2);
+  Alcotest.(check bool) "different queries differ" false
+    (Plan.cache_key Plan.Auto q1 = Plan.cache_key Plan.Auto q3);
+  Alcotest.(check bool) "engine in the key" false
+    (Plan.cache_key Plan.Auto q1 = Plan.cache_key Plan.Naive q1)
+
+let test_lru_discipline () =
+  let cache = Plan_cache.create ~capacity:2 () in
+  let get text =
+    let q = Parser.parse_cq text in
+    let key = Plan.cache_key Plan.Auto q in
+    snd (Plan_cache.find_or_build cache ~key (fun () -> plan_for text))
+  in
+  let a = "ans(X) :- r1(X)." in
+  let b = "ans(X) :- r2(X, Y)." in
+  let c = "ans(X) :- r3(X, Y, Z)." in
+  Alcotest.(check bool) "a cold" true (get a = `Miss);
+  Alcotest.(check bool) "b cold" true (get b = `Miss);
+  Alcotest.(check bool) "a warm" true (get a = `Hit);
+  (* recency is now [a; b]: inserting c evicts b *)
+  Alcotest.(check bool) "c cold" true (get c = `Miss);
+  Alcotest.(check bool) "b evicted" true (get b = `Miss);
+  Alcotest.(check bool) "a survived, then evicted by b" true (get a = `Miss);
+  let counters = Plan_cache.counters cache in
+  Alcotest.(check int) "hits" 1 counters.Plan_cache.hits;
+  Alcotest.(check int) "misses" 5 counters.Plan_cache.misses;
+  Alcotest.(check int) "evictions" 3 counters.Plan_cache.evictions;
+  Alcotest.(check int) "size bound" 2 counters.Plan_cache.size;
+  Alcotest.(check int) "lru order" 2 (List.length (Plan_cache.keys cache))
+
+let test_plan_dispatch () =
+  let engine text = (plan_for text).Plan.engine in
+  Alcotest.(check bool) "acyclic, no constraints -> yannakakis" true
+    (engine "ans(X) :- e(X, Y)." = Plan.E_yannakakis);
+  Alcotest.(check bool) "acyclic + != -> fpt" true
+    (engine "ans(X) :- e(X, Y), X != Y." = Plan.E_fpt);
+  Alcotest.(check bool) "acyclic + < -> comparisons" true
+    (engine "ans(X) :- e(X, Y), X < Y." = Plan.E_comparisons);
+  Alcotest.(check bool) "cyclic -> naive" true
+    (engine "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." = Plan.E_naive);
+  let p = plan_for "ans(X) :- e(X, Y), e(Y, Z), X != Z, X != Y." in
+  Alcotest.(check bool) "fpt partition k > 0" true (p.Plan.neq_k > 0);
+  Alcotest.(check bool) "join tree cached" true (p.Plan.tree <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Session dispatch (no sockets) *)
+
+let write_temp_facts text =
+  let path = Filename.temp_file "paradb_facts" ".facts" in
+  Out_channel.with_open_text path (fun oc -> output_string oc text);
+  path
+
+let summary_of = function
+  | Protocol.Ok_ { summary; _ } -> summary
+  | Protocol.Err e -> Alcotest.failf "unexpected ERR %s" e
+
+let payload_of = function
+  | Protocol.Ok_ { payload; _ } -> payload
+  | Protocol.Err e -> Alcotest.failf "unexpected ERR %s" e
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_session_dispatch () =
+  let shared = Session.make_shared ~cache_capacity:8 () in
+  let session = Session.create shared in
+  let run line = fst (Session.handle_line session line) in
+  let path = write_temp_facts "e(1, 2). e(2, 3). e(3, 1). e(2, 2).\n" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (* LOAD *)
+  Alcotest.(check bool) "load ok" true
+    (contains (summary_of (run (Printf.sprintf "LOAD g %s" path))) "tuples=4");
+  (* EVAL, all engines agree on an acyclic != query *)
+  let answers engine =
+    payload_of
+      (run (Printf.sprintf "EVAL g %s ans(X, Y) :- e(X, Y), X != Y." engine))
+  in
+  let reference = answers "naive" in
+  Alcotest.(check (list string)) "fpt = naive" reference (answers "fpt");
+  Alcotest.(check int) "three rows" 3 (List.length reference);
+  (* the same query under renamed variables is a cache hit *)
+  let renamed = run "EVAL g fpt ans(A, B) :- e(A, B), A != B." in
+  Alcotest.(check bool) "cache hit" true
+    (contains (summary_of renamed) "cache=hit");
+  Alcotest.(check (list string)) "hit payload identical" (answers "fpt")
+    (payload_of renamed);
+  (* FACT appends and invalidates nothing (plans are db-independent) *)
+  Alcotest.(check bool) "fact ok" true
+    (contains (summary_of (run "FACT g e(9, 1).")) "tuples=5");
+  Alcotest.(check int) "new row visible" 4 (List.length (answers "naive"));
+  (* FACT onto a fresh entry creates it *)
+  Alcotest.(check bool) "fact creates db" true
+    (contains (summary_of (run "FACT h r(1).")) "h tuples=1");
+  (* CHECK *)
+  let check_payload = payload_of (run "CHECK ans(X) :- e(X, Y), X != Y.") in
+  Alcotest.(check bool) "check reports engine" true
+    (List.exists (fun l -> contains l "recommended_engine: fpt") check_payload);
+  (* STATS *)
+  let field_of stats name =
+    match
+      List.find_map
+        (fun l ->
+          match String.split_on_char ' ' l with
+          | [ k; v ] when k = name -> int_of_string_opt v
+          | _ -> None)
+        stats
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "STATS lacks %s" name
+  in
+  let field name = field_of (payload_of (run "STATS")) name in
+  Alcotest.(check int) "cache hits counted" 3 (field "server.cache_hits");
+  Alcotest.(check int) "cache misses counted" 2 (field "server.cache_misses");
+  Alcotest.(check int) "catalog sizes" 5 (field "db.g");
+  (* errors *)
+  let expect_err line =
+    match run line with
+    | Protocol.Err _ -> ()
+    | Protocol.Ok_ _ -> Alcotest.failf "%s: expected ERR" line
+  in
+  expect_err "EVAL nosuch auto ans(X) :- e(X, Y).";
+  expect_err "EVAL g warp ans(X) :- e(X, Y).";
+  expect_err "EVAL g auto ans(X) :- ";
+  expect_err "EVAL g yannakakis ans(X) :- e(X, Y), e(Y, Z), e(Z, X).";
+  expect_err "LOAD g /nonexistent/path.facts";
+  expect_err "FACT g r(1";
+  (* QUIT *)
+  Alcotest.(check int) "errors counted" 6 (field "server.errors");
+  Alcotest.(check int) "session mirrors server errors" 6 (field "session.errors");
+  match Session.handle_line session "QUIT" with
+  | _, `Quit -> ()
+  | _, `Continue -> Alcotest.fail "QUIT should end the session"
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: 8 parallel connections, answers bit-identical to
+   single-shot evaluation (acceptance criterion) *)
+
+let test_concurrent_sessions () =
+  (* bound the domain count: parallelism comes from the pool, not the
+     fpt engine's trial fan-out *)
+  Unix.putenv "PARADB_DOMAINS" "1";
+  let rng = Random.State.make [| 42 |] in
+  let db =
+    Paradb_workload.Generators.edge_database rng ~nodes:40 ~edges:160
+  in
+  let path = write_temp_facts (Fact_format.to_string db) in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (* a mixed workload hitting all four engines *)
+  let queries =
+    [
+      ("fpt", "ans(X, Y) :- e(X, Z), e(Z, Y), X != Y, X != Z, Z != Y.");
+      ("auto", "ans(X, Y) :- e(X, Z), e(Z, Y).");
+      ("naive", "ans(X) :- e(X, Y), e(Y, Z), e(Z, X).");
+      ("auto", "ans(X, Y) :- e(X, Y), X < Y.");
+      ("yannakakis", "ans(X) :- e(X, X).");
+    ]
+  in
+  (* single-shot reference answers, same process, same dictionary *)
+  let expected =
+    List.map
+      (fun (engine, text) ->
+        let q = Parser.parse_cq text in
+        let kind = Option.get (Plan.engine_kind_of_string engine) in
+        let plan = Plan.analyze kind q in
+        Plan.sorted_tuples (Plan.evaluate plan db q))
+      queries
+  in
+  let server = Server.start ~port:0 ~workers:8 ~cache_capacity:32 () in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let port = Server.port server in
+  Client.with_connection ~port (fun c ->
+      match Client.request_line c (Printf.sprintf "LOAD g %s" path) with
+      | Protocol.Ok_ _ -> ()
+      | Protocol.Err e -> Alcotest.failf "LOAD failed: %s" e);
+  let rounds = 3 in
+  let client_task id () =
+    Client.with_connection ~port (fun c ->
+        let mismatches = ref [] in
+        for round = 0 to rounds - 1 do
+          List.iteri
+            (fun i ((engine, text), want) ->
+              (* rotate the starting point so connections interleave
+                 differently *)
+              let j = (i + id + round) mod List.length queries in
+              let engine, text, want =
+                if j = i then (engine, text, want)
+                else
+                  let e, t = List.nth queries j in
+                  (e, t, List.nth expected j)
+              in
+              match
+                Client.request_line c
+                  (Printf.sprintf "EVAL g %s %s" engine text)
+              with
+              | Protocol.Ok_ { payload; _ } ->
+                  if payload <> want then
+                    mismatches := (id, round, text) :: !mismatches
+              | Protocol.Err e -> mismatches := (id, round, e) :: !mismatches)
+            (List.combine queries expected)
+        done;
+        !mismatches)
+  in
+  let clients = Array.init 8 (fun id -> Domain.spawn (client_task id)) in
+  let mismatches = Array.to_list clients |> List.concat_map Domain.join in
+  (match mismatches with
+  | [] -> ()
+  | (id, round, what) :: _ ->
+      Alcotest.failf "%d mismatched answers; first: client %d round %d (%s)"
+        (List.length mismatches) id round what);
+  (* repeat queries must have hit the plan cache *)
+  Client.with_connection ~port (fun c ->
+      match Client.request_line c "STATS" with
+      | Protocol.Ok_ { payload; _ } ->
+          let hits =
+            List.find_map
+              (fun l ->
+                match String.split_on_char ' ' l with
+                | [ "server.cache_hits"; v ] -> int_of_string_opt v
+                | _ -> None)
+              payload
+          in
+          Alcotest.(check bool) "cache hits over the wire" true
+            (match hits with Some h -> h > 0 | None -> false)
+      | Protocol.Err e -> Alcotest.failf "STATS failed: %s" e)
+
+let test_server_stop_is_idempotent () =
+  let server = Server.start ~port:0 ~workers:2 ~cache_capacity:4 () in
+  let port = Server.port server in
+  Client.with_connection ~port (fun c ->
+      match Client.request_line c "CHECK ans(X) :- e(X, Y)." with
+      | Protocol.Ok_ _ -> ()
+      | Protocol.Err e -> Alcotest.fail e);
+  Server.stop server;
+  Server.stop server;
+  (* the port is released: a fresh server can bind it again *)
+  let server2 = Server.start ~port ~workers:1 ~cache_capacity:4 () in
+  Server.stop server2
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse requests" `Quick test_parse_request;
+          Alcotest.test_case "request line roundtrip" `Quick
+            test_request_line_roundtrip;
+          Alcotest.test_case "response framing roundtrip" `Quick
+            test_response_roundtrip;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "key invariance" `Quick test_cache_key_invariance;
+          Alcotest.test_case "lru discipline" `Quick test_lru_discipline;
+          Alcotest.test_case "dispatch decisions" `Quick test_plan_dispatch;
+        ] );
+      ("session", [ Alcotest.test_case "dispatch" `Quick test_session_dispatch ]);
+      ( "concurrency",
+        [
+          Alcotest.test_case "8 parallel connections, bit-identical answers"
+            `Quick test_concurrent_sessions;
+          Alcotest.test_case "stop is idempotent and releases the port" `Quick
+            test_server_stop_is_idempotent;
+        ] );
+    ]
