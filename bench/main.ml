@@ -1456,6 +1456,7 @@ let () =
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
+  Paradb_telemetry.Trace.init_from_env ();
   if !json <> None then B.json_enabled := true;
   (match !mode with
   | `List -> List.iter (fun (name, _) -> print_endline name) experiments

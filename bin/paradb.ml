@@ -7,7 +7,8 @@
      datalog   bottom-up evaluation of a Datalog program
      generate  emit a sample workload as a fact file
      serve     resident TCP query server (catalog + plan cache)
-     client    line-protocol client for a running server *)
+     client    line-protocol client for a running server
+     stats     telemetry snapshot of a running server *)
 
 module Relation = Paradb_relational.Relation
 module Database = Paradb_relational.Database
@@ -84,6 +85,27 @@ let seed_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.")
 
+let trace_arg =
+  let doc =
+    "Write a span trace to $(docv), one JSON object per line (see \
+     DESIGN.md, section \"Telemetry\").  When absent, the \
+     $(b,PARADB_TRACE) environment variable enables the same trace."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* [--trace] wins over PARADB_TRACE; a bad path or a malformed
+   environment value is a usage error, reported like any other. *)
+let with_trace trace f =
+  match
+    match trace with
+    | Some file -> Paradb_telemetry.Trace.enable ~file
+    | None -> Paradb_telemetry.Trace.init_from_env ()
+  with
+  | exception Invalid_argument msg | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | () -> f ()
+
 (* ------------------------------------------------------------------ *)
 (* eval *)
 
@@ -109,7 +131,8 @@ let choose_engine kind q =
   | Plan.E_comparisons -> `Comparisons
   | Plan.E_fpt -> `Fpt
 
-let run_eval db_path query_text engine family seed stats =
+let run_eval db_path query_text engine family seed stats trace =
+  with_trace trace @@ fun () ->
   match load_database db_path, parse_query query_text with
   | Error e, _ | _, Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -154,7 +177,7 @@ let eval_cmd =
     (Cmd.info "eval" ~doc ~exits)
     Term.(
       const run_eval $ db_arg $ query_arg $ engine_arg $ family_arg $ seed_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check *)
@@ -223,7 +246,8 @@ let strategy_arg =
            Paradb_datalog.Engine.Seminaive
        & info [ "strategy" ] ~doc)
 
-let run_datalog db_path program_path goal strategy stats =
+let run_datalog db_path program_path goal strategy stats trace =
+  with_trace trace @@ fun () ->
   match load_database db_path with
   | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -252,7 +276,7 @@ let datalog_cmd =
     (Cmd.info "datalog" ~doc ~exits)
     Term.(
       const run_datalog $ db_arg $ program_arg $ goal_arg $ strategy_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate *)
@@ -328,12 +352,14 @@ let trial_domains_arg =
   in
   Arg.(value & opt int 1 & info [ "trial-domains" ] ~docv:"N" ~doc)
 
-let run_serve host port workers cache_size trial_domains family seed =
+let run_serve host port workers cache_size trial_domains family seed trace =
   if workers < 1 || cache_size < 1 || trial_domains < 1 then begin
     Printf.eprintf "error: --workers, --cache-size and --trial-domains must be positive\n";
     1
   end
-  else begin
+  else
+    with_trace trace @@ fun () ->
+    begin
     if Sys.getenv_opt "PARADB_DOMAINS" = None then
       Unix.putenv "PARADB_DOMAINS" (string_of_int trial_domains);
     let family =
@@ -363,10 +389,10 @@ let serve_cmd =
       `P
         "Serves the line protocol: $(b,LOAD) $(i,DB) $(i,PATH), $(b,FACT) \
          $(i,DB) $(i,FACT), $(b,EVAL) $(i,DB) $(i,ENGINE) $(i,QUERY), \
-         $(b,CHECK) $(i,QUERY), $(b,STATS) and $(b,QUIT).  Responses are \
-         framed as $(b,OK) $(i,N) $(i,SUMMARY) followed by $(i,N) payload \
-         lines, or a single $(b,ERR) $(i,MESSAGE) line.  See DESIGN.md, \
-         section \"Server protocol\".";
+         $(b,CHECK) $(i,QUERY), $(b,STATS), $(b,METRICS) and $(b,QUIT).  \
+         Responses are framed as $(b,OK) $(i,N) $(i,SUMMARY) followed by \
+         $(i,N) payload lines, or a single $(b,ERR) $(i,MESSAGE) line.  See \
+         DESIGN.md, section \"Server protocol\".";
       `P "Stop the server with SIGINT (Ctrl-C).";
     ]
   in
@@ -374,7 +400,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc ~man ~exits)
     Term.(
       const run_serve $ host_arg $ port_arg ~default:7411 $ workers_arg
-      $ cache_arg $ trial_domains_arg $ family_arg $ seed_arg)
+      $ cache_arg $ trial_domains_arg $ family_arg $ seed_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client *)
@@ -427,13 +453,63 @@ let client_cmd =
     Term.(const run_client $ host_arg $ port_arg ~default:7411 $ command_args)
 
 (* ------------------------------------------------------------------ *)
+(* stats *)
+
+let json_arg =
+  let doc =
+    "Print the $(b,METRICS) snapshot (one JSON object) instead of the \
+     $(b,STATS) counter table."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let run_stats host port json =
+  let request = if json then "METRICS" else "STATS" in
+  match
+    Client.with_connection ~host ~port (fun conn ->
+        Client.request_line conn request)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message e);
+      1
+  | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Protocol.Err msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Protocol.Ok_ { payload; _ } ->
+      List.iter print_endline payload;
+      0
+
+let stats_cmd =
+  let doc = "Print a running server's counters and latency telemetry." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Sends $(b,STATS) (or, with $(b,--json), $(b,METRICS)) to the \
+         server and prints the payload.  The table includes per-verb \
+         latency histograms as $(b,telemetry.server.verb.)$(i,VERB) \
+         $(b,.p50)/$(b,.p95)/$(b,.p99) lines (nanoseconds); the JSON \
+         form carries the same snapshot as a single object.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc ~man ~exits)
+    Term.(const run_stats $ host_arg $ port_arg ~default:7411 $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.0.0" ~doc ~exits)
-    [ eval_cmd; check_cmd; datalog_cmd; generate_cmd; serve_cmd; client_cmd ]
+  Cmd.group (Cmd.info "paradb" ~version:"1.3.0" ~doc ~exits)
+    [
+      eval_cmd; check_cmd; datalog_cmd; generate_cmd; serve_cmd; client_cmd;
+      stats_cmd;
+    ]
 
 let () =
   (* usage and CLI parse errors exit 1, not cmdliner's default 124 *)

@@ -3,7 +3,12 @@ module Relation = Paradb_relational.Relation
 module Tuple = Paradb_relational.Tuple
 module Value = Paradb_relational.Value
 module Graph = Paradb_graph.Graph
+module Metrics = Paradb_telemetry.Metrics
+module Trace = Paradb_telemetry.Trace
 open Paradb_query
+
+let m_dp_trials = Metrics.counter "color_coding.dp_trials"
+let m_dp_hits = Metrics.counter "color_coding.dp_hits"
 
 let graph_database g =
   let vertices =
@@ -128,8 +133,15 @@ let find_simple_path_dp ?trials ?(seed = 0) g k =
       if remaining = 0 then None
       else begin
         let colors = Array.init n (fun _ -> Random.State.int rng k) in
-        match colorful_path g colors k with
-        | Some path -> Some path
+        Metrics.incr m_dp_trials;
+        let hit =
+          Trace.with_span "color_coding.dp_trial" @@ fun () ->
+          colorful_path g colors k
+        in
+        match hit with
+        | Some path ->
+            Metrics.incr m_dp_hits;
+            Some path
         | None -> try_trial (remaining - 1)
       end
     in

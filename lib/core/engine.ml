@@ -6,11 +6,22 @@ module Dictionary = Paradb_relational.Dictionary
 module Join_tree = Paradb_hypergraph.Join_tree
 module SS = Paradb_hypergraph.Hypergraph.String_set
 module Yannakakis = Paradb_yannakakis.Yannakakis
+module Metrics = Paradb_telemetry.Metrics
+module Trace = Paradb_telemetry.Trace
+module Tel_clock = Paradb_telemetry.Clock
 open Paradb_query
 
 let log_src = Logs.Src.create "paradb.engine" ~doc:"Theorem-2 engine"
 
 module Log = (val Logs.src_log log_src)
+
+(* Global telemetry, merged across domains on snapshot (the [stats]
+   record remains the per-call API). *)
+let m_tasks = Metrics.counter "engine.tasks"
+let m_trials = Metrics.counter "engine.trials"
+let m_successes = Metrics.counter "engine.trial_successes"
+let m_trial_ns = Metrics.histogram "engine.trial_ns"
+let m_peak_rows = Metrics.gauge "engine.peak_rows"
 
 exception Cyclic_query
 
@@ -29,7 +40,8 @@ let merge_stats into s =
 
 let observe stats rel =
   let n = Relation.cardinality rel in
-  if n > stats.peak_rows then stats.peak_rows <- n
+  if n > stats.peak_rows then stats.peak_rows <- n;
+  Metrics.set_max m_peak_rows n
 
 (* Shadow ("primed") attribute for a variable.  '$' cannot appear in
    parsed variable names, so no collision with real attributes. *)
@@ -85,15 +97,19 @@ let w_set tree ~prime_vars ~formula_vars ~pairs j u_j =
    shrinks every subsequent coloring's work. *)
 let prereduce_base tree base_rels =
   if Array.exists Relation.is_empty base_rels then base_rels
-  else Yannakakis.full_reducer tree base_rels
+  else
+    Trace.with_span "engine.prereduce" (fun () ->
+        Yannakakis.full_reducer tree base_rels)
 
 let build_task ?(prereduce = true) db q formula =
+  Metrics.incr m_tasks;
+  Trace.with_span "engine.build_task" @@ fun () ->
   (match formula with
   | Some f when not (Ineq_formula.neq_only f) ->
       invalid_arg "Engine: formula must use only != atoms"
   | _ -> ());
   let part = Ineq.partition q in
-  match Join_tree.of_cq q with
+  match Trace.with_span "join_tree.build" (fun () -> Join_tree.of_cq q) with
   | None -> raise Cyclic_query
   | Some tree ->
       let pairs = Ineq.i1_pairs part in
@@ -323,24 +339,26 @@ let algorithm1 ?stats task h = algorithm1_trial ?stats task (prep_trial task h)
    returns Q_h(d)'s projection onto the head variables. *)
 let algorithm2 task p =
   let tree = task.tree in
-  Array.iter
-    (fun j ->
-      let u = tree.Join_tree.parent.(j) in
-      if u >= 0 then p.(j) <- Relation.semijoin p.(j) p.(u))
-    tree.Join_tree.top_down;
+  Trace.with_span "engine.semijoin_top_down" (fun () ->
+      Array.iter
+        (fun j ->
+          let u = tree.Join_tree.parent.(j) in
+          if u >= 0 then p.(j) <- Relation.semijoin p.(j) p.(u))
+        tree.Join_tree.top_down);
   let head_set = SS.of_list task.head_vars in
-  Array.iter
-    (fun j ->
-      let u = tree.Join_tree.parent.(j) in
-      if u >= 0 then begin
-        let keep =
-          List.filter
-            (fun a -> SS.mem a task.y_sets.(u) || SS.mem a head_set)
-            (Relation.schema_list p.(j))
-        in
-        p.(u) <- Relation.natural_join p.(u) (Relation.project keep p.(j))
-      end)
-    tree.Join_tree.bottom_up;
+  Trace.with_span "engine.join_bottom_up" (fun () ->
+      Array.iter
+        (fun j ->
+          let u = tree.Join_tree.parent.(j) in
+          if u >= 0 then begin
+            let keep =
+              List.filter
+                (fun a -> SS.mem a task.y_sets.(u) || SS.mem a head_set)
+                (Relation.schema_list p.(j))
+            in
+            p.(u) <- Relation.natural_join p.(u) (Relation.project keep p.(j))
+          end)
+        tree.Join_tree.bottom_up);
   Relation.project task.head_vars p.(tree.Join_tree.root)
 
 let head_schema task = List.mapi (fun i _ -> Printf.sprintf "a%d" i) task.head
@@ -380,13 +398,7 @@ let default_family = Hashing.Multiplicative_sweep
    bit-identical answers to sequential ones.  [PARADB_DOMAINS=1] opts
    out. *)
 
-let domain_count () =
-  match Sys.getenv_opt "PARADB_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+let domain_count () = Paradb_telemetry.Env.domains ()
 
 let rec seq_take n acc seq =
   if n = 0 then (List.rev acc, seq)
@@ -400,6 +412,20 @@ let rec seq_take n acc seq =
    [init].  With [stop_on_hit] the remaining trials are abandoned after
    the first success (one witness settles satisfiability). *)
 let run_trials ~stats ~stop_on_hit task functions ~init ~merge ~run =
+  (* Instrument every coloring uniformly, sequential or fanned out:
+     a span (free when tracing is off) plus global trial counters and a
+     per-trial latency histogram. *)
+  let run st trial =
+    let sp = Trace.start "engine.trial" in
+    let t0 = Tel_clock.now_ns () in
+    let r = run st trial in
+    Metrics.observe m_trial_ns (Tel_clock.now_ns () - t0);
+    Metrics.incr m_trials;
+    let hit = Option.is_some r in
+    if hit then Metrics.incr m_successes;
+    Trace.finish ~attrs:[ ("nonempty", string_of_bool hit) ] sp;
+    r
+  in
   let nd = domain_count () in
   let acc = ref init in
   if nd <= 1 then begin

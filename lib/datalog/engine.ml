@@ -1,11 +1,17 @@
 module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 module Tuple = Paradb_relational.Tuple
+module Metrics = Paradb_telemetry.Metrics
+module Trace = Paradb_telemetry.Trace
 open Paradb_query
 
 type strategy =
   | Naive
   | Seminaive
+
+let m_naive_derived = Metrics.counter "datalog.naive.derived"
+let m_seminaive_derived = Metrics.counter "datalog.seminaive.derived"
+let m_round_delta = Metrics.histogram "datalog.round_delta_rows"
 
 type stats = {
   mutable rounds : int;
@@ -25,13 +31,16 @@ let empty_idb_relations db p =
       Relation.create ~name ~schema:(positional_schema (Program.arity p name)) [])
     (Program.idb_predicates p)
 
-(* Evaluate one rule body against [db] and return the derived head tuples. *)
-let derive_rule stats db rule =
+(* Evaluate one rule body against [db] and return the derived head
+   tuples.  [m_derived] is the per-strategy work counter, so naive vs
+   semi-naive derivation counts stay comparable in a metrics snapshot. *)
+let derive_rule m_derived stats db rule =
   let cq = Rule.to_cq rule in
   let bindings = Paradb_eval.Cq_naive.all_bindings db cq in
   List.fold_left
     (fun acc b ->
       stats.derived <- stats.derived + 1;
+      Metrics.incr m_derived;
       Tuple.Set.add (Cq.head_tuple b cq) acc)
     Tuple.Set.empty bindings
 
@@ -46,18 +55,20 @@ let add_tuples db name rows =
 let fixpoint_naive stats db0 p =
   let rec loop db =
     stats.rounds <- stats.rounds + 1;
-    let db', changed =
+    let db', grown =
+      Trace.with_span "datalog.round" @@ fun () ->
       List.fold_left
-        (fun (db', changed) rule ->
+        (fun (db', grown) rule ->
           let name = rule.Rule.head.Atom.rel in
-          let fresh = derive_rule stats db rule in
+          let fresh = derive_rule m_naive_derived stats db rule in
           let before = Relation.cardinality (Database.find db' name) in
           let db' = add_tuples db' name fresh in
           let after = Relation.cardinality (Database.find db' name) in
-          (db', changed || after > before))
-        (db, false) p.Program.rules
+          (db', grown + (after - before)))
+        (db, 0) p.Program.rules
     in
-    if changed then loop db' else db'
+    Metrics.observe m_round_delta grown;
+    if grown > 0 then loop db' else db'
   in
   loop (List.fold_left (fun db r -> Database.add r db) db0 (empty_idb_relations db0 p))
 
@@ -101,10 +112,11 @@ let fixpoint_seminaive stats db0 p =
   (* Round 0: fire all rules once on the (empty-IDB) database. *)
   stats.rounds <- stats.rounds + 1;
   let first_deltas =
+    Trace.with_span "datalog.round" @@ fun () ->
     List.fold_left
       (fun acc rule ->
         let name = rule.Rule.head.Atom.rel in
-        let fresh = derive_rule stats initial_db rule in
+        let fresh = derive_rule m_seminaive_derived stats initial_db rule in
         let prev =
           match List.assoc_opt name acc with
           | Some s -> s
@@ -146,31 +158,42 @@ let fixpoint_seminaive stats db0 p =
           if Tuple.Set.is_empty fresh then None else Some (name, fresh))
         deltas
     in
+    Metrics.observe m_round_delta
+      (List.fold_left
+         (fun n (_, rows) -> n + Tuple.Set.cardinal rows)
+         0 truly_new);
     if truly_new = [] then db
     else begin
       stats.rounds <- stats.rounds + 1;
-      let old_db = db in
-      let db = apply_deltas db truly_new in
-      let db_with_deltas = delta_relations ~old_db db truly_new in
-      let next_deltas =
-        List.fold_left
-          (fun acc rule ->
-            List.fold_left
-              (fun acc (variant, uses_delta) ->
-                if not uses_delta then acc
-                else begin
-                  let name = variant.Rule.head.Atom.rel in
-                  let fresh = derive_rule stats db_with_deltas variant in
-                  let prev =
-                    match List.assoc_opt name acc with
-                    | Some s -> s
-                    | None -> Tuple.Set.empty
-                  in
-                  (name, Tuple.Set.union prev fresh)
-                  :: List.remove_assoc name acc
-                end)
-              acc (variants rule))
-          [] p.Program.rules
+      let db, next_deltas =
+        Trace.with_span "datalog.round" @@ fun () ->
+        let old_db = db in
+        let db = apply_deltas db truly_new in
+        let db_with_deltas = delta_relations ~old_db db truly_new in
+        let next_deltas =
+          List.fold_left
+            (fun acc rule ->
+              List.fold_left
+                (fun acc (variant, uses_delta) ->
+                  if not uses_delta then acc
+                  else begin
+                    let name = variant.Rule.head.Atom.rel in
+                    let fresh =
+                      derive_rule m_seminaive_derived stats db_with_deltas
+                        variant
+                    in
+                    let prev =
+                      match List.assoc_opt name acc with
+                      | Some s -> s
+                      | None -> Tuple.Set.empty
+                    in
+                    (name, Tuple.Set.union prev fresh)
+                    :: List.remove_assoc name acc
+                  end)
+                acc (variants rule))
+            [] p.Program.rules
+        in
+        (db, next_deltas)
       in
       loop db next_deltas
     end
@@ -179,6 +202,9 @@ let fixpoint_seminaive stats db0 p =
 
 let fixpoint ?(strategy = Seminaive) ?stats db p =
   let stats = match stats with Some s -> s | None -> new_stats () in
+  let label = match strategy with Naive -> "naive" | Seminaive -> "seminaive" in
+  Trace.with_span ~attrs:[ ("strategy", label) ] "datalog.fixpoint"
+  @@ fun () ->
   match strategy with
   | Naive -> fixpoint_naive stats db p
   | Seminaive -> fixpoint_seminaive stats db p

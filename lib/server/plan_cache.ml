@@ -11,6 +11,12 @@ type node = {
 
 type counters = { hits : int; misses : int; evictions : int; size : int }
 
+module Metrics = Paradb_telemetry.Metrics
+
+let m_hits = Metrics.counter "server.plan_cache.hits"
+let m_misses = Metrics.counter "server.plan_cache.misses"
+let m_evictions = Metrics.counter "server.plan_cache.evictions"
+
 type t = {
   capacity : int;
   table : (string, node) Hashtbl.t;
@@ -54,7 +60,8 @@ let evict_lru c =
   | Some n ->
       unlink c n;
       Hashtbl.remove c.table n.key;
-      c.evictions <- c.evictions + 1
+      c.evictions <- c.evictions + 1;
+      Metrics.incr m_evictions
 
 let find_or_build c ~key build =
   let cached =
@@ -62,11 +69,13 @@ let find_or_build c ~key build =
         match Hashtbl.find_opt c.table key with
         | Some n ->
             c.hits <- c.hits + 1;
+            Metrics.incr m_hits;
             unlink c n;
             push_front c n;
             Some n.plan
         | None ->
             c.misses <- c.misses + 1;
+            Metrics.incr m_misses;
             None)
   in
   match cached with

@@ -4,11 +4,21 @@ type request =
   | Eval of { db : string; engine : string; query : string }
   | Check of string
   | Stats
+  | Metrics
   | Quit
 
 type response =
   | Ok_ of { summary : string; payload : string list }
   | Err of string
+
+let verb_name = function
+  | Load _ -> "load"
+  | Fact _ -> "fact"
+  | Eval _ -> "eval"
+  | Check _ -> "check"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Quit -> "quit"
 
 let is_blank c = c = ' ' || c = '\t' || c = '\r'
 
@@ -50,6 +60,7 @@ let parse_request line =
   | "CHECK" ->
       if trim rest = "" then need "query" "CHECK" else Ok (Check (trim rest))
   | "STATS" -> Ok Stats
+  | "METRICS" -> Ok Metrics
   | "QUIT" -> Ok Quit
   | other -> Error (Printf.sprintf "unknown request %s" other)
 
@@ -59,6 +70,7 @@ let request_to_line = function
   | Eval { db; engine; query } -> Printf.sprintf "EVAL %s %s %s" db engine query
   | Check query -> "CHECK " ^ query
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
   | Quit -> "QUIT"
 
 let response_to_lines = function

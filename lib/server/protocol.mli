@@ -10,6 +10,7 @@
                                   yannakakis | fpt
       CHECK <query>               static analysis (no database touched)
       STATS                       session and server counters
+      METRICS                     process telemetry snapshot as one JSON line
       QUIT                        close the session
     v}
 
@@ -30,11 +31,16 @@ type request =
   | Eval of { db : string; engine : string; query : string }
   | Check of string
   | Stats
+  | Metrics
   | Quit
 
 type response =
   | Ok_ of { summary : string; payload : string list }
   | Err of string
+
+(** Lowercase verb keyword of a request, the label used in per-verb
+    telemetry metric names ([server.verb.<verb>.ns]). *)
+val verb_name : request -> string
 
 (** [parse_request line] — [Error] carries a human-readable message
     (unknown keyword, missing operand).  Leading/trailing blanks are

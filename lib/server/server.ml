@@ -1,3 +1,8 @@
+module Metrics = Paradb_telemetry.Metrics
+
+let m_bytes_in = Metrics.counter "server.bytes_in"
+let m_bytes_out = Metrics.counter "server.bytes_out"
+
 type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -23,7 +28,15 @@ let serve_connection shared fd =
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
     | Some line ->
+        Metrics.incr ~by:(String.length line + 1) m_bytes_in;
         let response, verdict = Session.handle_line session line in
+        Metrics.incr
+          ~by:
+            (List.fold_left
+               (fun n l -> n + String.length l + 1)
+               0
+               (Protocol.response_to_lines response))
+          m_bytes_out;
         Protocol.write_response oc response;
         (match verdict with `Continue -> loop () | `Quit -> ())
   in

@@ -4,6 +4,22 @@ module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 module Hypergraph = Paradb_hypergraph.Hypergraph
 module Join_tree = Paradb_hypergraph.Join_tree
+module Metrics = Paradb_telemetry.Metrics
+module Trace = Paradb_telemetry.Trace
+module Export = Paradb_telemetry.Export
+module Clock = Paradb_telemetry.Clock
+
+(* Per-verb latency histograms, prebuilt so the hot path is one assoc
+   lookup over a short fixed list.  "invalid" times unparseable lines. *)
+let verb_hist =
+  List.map
+    (fun v -> (v, Metrics.histogram (Printf.sprintf "server.verb.%s.ns" v)))
+    [ "load"; "fact"; "eval"; "check"; "stats"; "metrics"; "quit"; "invalid" ]
+
+let observe_verb verb ns =
+  match List.assoc_opt verb verb_hist with
+  | Some h -> Metrics.observe h ns
+  | None -> ()
 
 type shared = {
   catalog : Catalog.t;
@@ -35,7 +51,7 @@ let err s msg =
 
 let ok ?(payload = []) summary = Protocol.Ok_ { summary; payload }
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Clock.now_ns
 
 (* ------------------------------------------------------------------ *)
 
@@ -127,10 +143,14 @@ let do_stats s =
     @ List.map
         (fun (name, tuples) -> Printf.sprintf "db.%s %d" name tuples)
         (Catalog.entries s.shared.catalog)
+    @ Export.to_table ~prefix:"telemetry." (Metrics.snapshot ())
   in
   ok ~payload "stats"
 
-let handle s req =
+let do_metrics () =
+  ok ~payload:[ Export.to_json (Metrics.snapshot ()) ] "metrics"
+
+let dispatch s req =
   match req with
   | Protocol.Load { db; path } -> (do_load s ~db ~path, `Continue)
   | Protocol.Fact { db; fact } -> (do_fact s ~db ~fact, `Continue)
@@ -138,9 +158,22 @@ let handle s req =
       (do_eval s ~db ~engine ~query, `Continue)
   | Protocol.Check query -> (do_check s query, `Continue)
   | Protocol.Stats -> (do_stats s, `Continue)
+  | Protocol.Metrics -> (do_metrics (), `Continue)
   | Protocol.Quit -> (ok "bye", `Quit)
 
+let handle s req =
+  let verb = Protocol.verb_name req in
+  Trace.with_span ("server." ^ verb) @@ fun () ->
+  let t0 = now_ns () in
+  let r = dispatch s req in
+  observe_verb verb (now_ns () - t0);
+  r
+
 let handle_line s line =
+  let t0 = now_ns () in
   match Protocol.parse_request line with
-  | Error e -> (err s e, `Continue)
+  | Error e ->
+      let r = (err s e, `Continue) in
+      observe_verb "invalid" (now_ns () - t0);
+      r
   | Ok req -> handle s req

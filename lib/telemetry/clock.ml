@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "paradb_monotonic_ns" [@@noalloc]

@@ -1,0 +1,9 @@
+(** Monotonic time source for span and latency measurement.
+
+    Wall-clock time ([Unix.gettimeofday]) can step backwards under NTP;
+    every duration in this subsystem is a difference of two
+    [CLOCK_MONOTONIC] readings instead.  The origin is arbitrary (boot
+    time on Linux) — only differences are meaningful. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed origin.  Allocation-free. *)

@@ -1,0 +1,21 @@
+let positive_int ~name ~default =
+  match Sys.getenv_opt name with
+  | None -> default ()
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "%s: expected a positive integer, got %S" name raw))
+
+let domains () =
+  positive_int ~name:"PARADB_DOMAINS" ~default:Domain.recommended_domain_count
+
+let trace_file () =
+  match Sys.getenv_opt "PARADB_TRACE" with
+  | None -> None
+  | Some raw ->
+      let file = String.trim raw in
+      if file = "" then
+        invalid_arg "PARADB_TRACE: expected a trace file path, got a blank value"
+      else Some file

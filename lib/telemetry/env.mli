@@ -1,0 +1,23 @@
+(** The single home for [PARADB_*] environment variables.
+
+    Every reader goes through these validated accessors; a malformed
+    value raises [Invalid_argument] with a message naming the variable,
+    the expected shape and the offending text — instead of the ad-hoc
+    silent fallbacks that [Sys.getenv_opt] call sites used to hide.
+
+    Variables:
+    - [PARADB_DOMAINS] — positive integer; the engine's per-query trial
+      parallelism ([1] disables the fan-out).  Default:
+      [Domain.recommended_domain_count ()].
+    - [PARADB_TRACE] — path of the JSONL trace file; setting it turns
+      tracing on (see {!Trace.init_from_env}). *)
+
+val positive_int : name:string -> default:(unit -> int) -> int
+(** Read variable [name] as a positive integer; [default] when unset.
+    Raises [Invalid_argument] on a malformed or non-positive value. *)
+
+val domains : unit -> int
+(** [PARADB_DOMAINS], defaulting to [Domain.recommended_domain_count]. *)
+
+val trace_file : unit -> string option
+(** [PARADB_TRACE]; raises [Invalid_argument] when set but blank. *)

@@ -1,0 +1,67 @@
+let quantiles = [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
+
+let q_int s q =
+  let v = Metrics.quantile s q in
+  if Float.is_nan v then 0 else int_of_float (Float.round v)
+
+let to_table ?(prefix = "") (s : Metrics.snapshot) =
+  let line name v = Printf.sprintf "%s%s %d" prefix name v in
+  List.map (fun (name, v) -> line name v) s.Metrics.counters
+  @ List.map (fun (name, v) -> line name v) s.Metrics.gauges
+  @ List.concat_map
+      (fun (name, h) ->
+        [
+          line (name ^ ".count") h.Metrics.count;
+          line (name ^ ".sum") h.Metrics.sum;
+          line (name ^ ".min") h.Metrics.min;
+          line (name ^ ".max") h.Metrics.max;
+        ]
+        @ List.map (fun (label, q) -> line (name ^ "." ^ label) (q_int h q))
+            quantiles)
+      s.Metrics.histograms
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (s : Metrics.snapshot) =
+  let buf = Buffer.create 512 in
+  let obj label render entries =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":{" label);
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":" (json_escape name));
+        render v)
+      entries;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_char buf '{';
+  obj "counters" (fun v -> Buffer.add_string buf (string_of_int v)) s.counters;
+  Buffer.add_char buf ',';
+  obj "gauges" (fun v -> Buffer.add_string buf (string_of_int v)) s.gauges;
+  Buffer.add_char buf ',';
+  obj "histograms"
+    (fun (h : Metrics.histogram_snapshot) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d"
+           h.count h.sum h.min h.max);
+      List.iter
+        (fun (label, q) ->
+          Buffer.add_string buf (Printf.sprintf ",\"%s\":%d" label (q_int h q)))
+        quantiles;
+      Buffer.add_char buf '}')
+    s.histograms;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

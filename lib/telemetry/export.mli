@@ -1,0 +1,16 @@
+(** Renderers for a {!Metrics.snapshot}.
+
+    Two stable formats:
+    - {!to_table}: one ["<prefix><name> <value>"] line per scalar, the
+      format the server's [STATS] payload speaks.  Histograms expand to
+      [.count], [.sum], [.min], [.max], [.p50], [.p95], [.p99] lines
+      (quantiles rounded to integers — they are ns or row counts).
+    - {!to_json}: a single-line JSON object
+      [{"counters":{...},"gauges":{...},"histograms":{...}}] with keys
+      sorted by metric name, the format [METRICS] and
+      [paradb stats --json] return and [bench --json] embeds.  Empty
+      histograms render quantiles as [0] (never [nan], which is not
+      JSON). *)
+
+val to_table : ?prefix:string -> Metrics.snapshot -> string list
+val to_json : Metrics.snapshot -> string

@@ -1,0 +1,276 @@
+(* One process-global registry; every metric fans writes out to
+   per-domain sinks kept in domain-local storage.  The registry mutex
+   guards only the name table and each metric's sink list — the write
+   path (incr / set_max / observe) touches nothing but the calling
+   domain's own sink record.  Sink-list registration happens once per
+   (metric, domain), inside the DLS initializer, which never runs while
+   the lock is held. *)
+
+let lock = Mutex.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Bucket math: bucket 0 is [<= 0]; 1, 2, 3 are exact; from 4 upward
+   each power of two splits into four sub-buckets keyed by the two bits
+   after the leading one.  Index of the first bucket of octave o >= 2 is
+   4 (o - 1); the scheme is continuous across octave boundaries. *)
+
+let n_buckets = 200
+
+let bucket_of v =
+  if v <= 0 then 0
+  else if v < 4 then v
+  else begin
+    let o = ref 0 and x = ref v in
+    while !x > 1 do
+      x := !x lsr 1;
+      incr o
+    done;
+    let idx = (4 * (!o - 1)) + ((v lsr (!o - 2)) land 3) in
+    if idx >= n_buckets - 1 then n_buckets - 1 else idx
+  end
+
+let bucket_lower i =
+  if i <= 0 then 0
+  else if i < 4 then i
+  else
+    let o = (i / 4) + 1 and sub = i mod 4 in
+    (4 + sub) lsl (o - 2)
+
+let bucket_upper i = if i >= n_buckets - 1 then max_int else bucket_lower (i + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counter_sink = { mutable cn : int }
+
+type counter = {
+  c_sinks : counter_sink list ref;
+  c_key : counter_sink Domain.DLS.key;
+}
+
+let make_counter () =
+  let sinks = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = { cn = 0 } in
+        Mutex.protect lock (fun () -> sinks := s :: !sinks);
+        s)
+  in
+  { c_sinks = sinks; c_key = key }
+
+let incr ?(by = 1) c =
+  let s = Domain.DLS.get c.c_key in
+  s.cn <- s.cn + by
+
+let counter_total c = List.fold_left (fun acc s -> acc + s.cn) 0 !(c.c_sinks)
+
+let counter_value c = Mutex.protect lock (fun () -> counter_total c)
+
+(* ------------------------------------------------------------------ *)
+(* Gauges (high-watermark) *)
+
+type gauge_sink = { mutable gv : int }
+
+type gauge = {
+  g_sinks : gauge_sink list ref;
+  g_key : gauge_sink Domain.DLS.key;
+}
+
+let make_gauge () =
+  let sinks = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = { gv = 0 } in
+        Mutex.protect lock (fun () -> sinks := s :: !sinks);
+        s)
+  in
+  { g_sinks = sinks; g_key = key }
+
+let set_max g v =
+  let s = Domain.DLS.get g.g_key in
+  if v > s.gv then s.gv <- v
+
+let gauge_total g = List.fold_left (fun acc s -> max acc s.gv) 0 !(g.g_sinks)
+let gauge_value g = Mutex.protect lock (fun () -> gauge_total g)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+type histogram_sink = {
+  mutable hn : int;
+  mutable hsum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+  counts : int array;
+}
+
+type histogram = {
+  h_sinks : histogram_sink list ref;
+  h_key : histogram_sink Domain.DLS.key;
+}
+
+let make_histogram () =
+  let sinks = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s =
+          { hn = 0; hsum = 0; hmin = max_int; hmax = 0;
+            counts = Array.make n_buckets 0 }
+        in
+        Mutex.protect lock (fun () -> sinks := s :: !sinks);
+        s)
+  in
+  { h_sinks = sinks; h_key = key }
+
+let observe h v =
+  let s = Domain.DLS.get h.h_key in
+  s.hn <- s.hn + 1;
+  s.hsum <- s.hsum + v;
+  if v < s.hmin then s.hmin <- v;
+  if v > s.hmax then s.hmax <- v;
+  let b = bucket_of v in
+  s.counts.(b) <- s.counts.(b) + 1
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : int array;
+}
+
+let histogram_total h =
+  let buckets = Array.make n_buckets 0 in
+  let count = ref 0 and sum = ref 0 and mn = ref max_int and mx = ref 0 in
+  List.iter
+    (fun s ->
+      count := !count + s.hn;
+      sum := !sum + s.hsum;
+      if s.hn > 0 then begin
+        if s.hmin < !mn then mn := s.hmin;
+        if s.hmax > !mx then mx := s.hmax
+      end;
+      Array.iteri (fun i c -> buckets.(i) <- buckets.(i) + c) s.counts)
+    !(h.h_sinks);
+  {
+    count = !count;
+    sum = !sum;
+    min = (if !count = 0 then 0 else !mn);
+    max = !mx;
+    buckets;
+  }
+
+let histogram_read h = Mutex.protect lock (fun () -> histogram_total h)
+
+let quantile s q =
+  if s.count = 0 then nan
+  else begin
+    let target =
+      let r = int_of_float (ceil (q *. float_of_int s.count)) in
+      if r < 1 then 1 else if r > s.count then s.count else r
+    in
+    let rec walk i before =
+      if i >= n_buckets then float_of_int s.max
+      else
+        let c = s.buckets.(i) in
+        if before + c >= target then begin
+          (* interpolate within the bucket, clamped to observed extremes *)
+          let lo = Stdlib.max (bucket_lower i) s.min in
+          let hi = Stdlib.min (bucket_upper i) (s.max + 1) in
+          let frac =
+            if c = 0 then 0.0
+            else float_of_int (target - before) /. float_of_int c
+          in
+          let v = float_of_int lo +. (float_of_int (hi - lo) *. frac) in
+          Float.min (Float.max v (float_of_int s.min)) (float_of_int s.max)
+        end
+        else walk (i + 1) (before + c)
+    in
+    walk 0 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let mismatch name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered with a different type"
+       name)
+
+let counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (M_counter c) -> c
+      | Some _ -> mismatch name
+      | None ->
+          let c = make_counter () in
+          Hashtbl.replace registry name (M_counter c);
+          c)
+
+let gauge name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (M_gauge g) -> g
+      | Some _ -> mismatch name
+      | None ->
+          let g = make_gauge () in
+          Hashtbl.replace registry name (M_gauge g);
+          g)
+
+let histogram name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (M_histogram h) -> h
+      | Some _ -> mismatch name
+      | None ->
+          let h = make_histogram () in
+          Hashtbl.replace registry name (M_histogram h);
+          h)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      let cs = ref [] and gs = ref [] and hs = ref [] in
+      Hashtbl.iter
+        (fun name m ->
+          match m with
+          | M_counter c -> cs := (name, counter_total c) :: !cs
+          | M_gauge g -> gs := (name, gauge_total g) :: !gs
+          | M_histogram h -> hs := (name, histogram_total h) :: !hs)
+        registry;
+      let by_name (a, _) (b, _) = String.compare a b in
+      {
+        counters = List.sort by_name !cs;
+        gauges = List.sort by_name !gs;
+        histograms = List.sort by_name !hs;
+      })
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> List.iter (fun s -> s.cn <- 0) !(c.c_sinks)
+          | M_gauge g -> List.iter (fun s -> s.gv <- 0) !(g.g_sinks)
+          | M_histogram h ->
+              List.iter
+                (fun s ->
+                  s.hn <- 0;
+                  s.hsum <- 0;
+                  s.hmin <- max_int;
+                  s.hmax <- 0;
+                  Array.fill s.counts 0 n_buckets 0)
+                !(h.h_sinks))
+        registry)

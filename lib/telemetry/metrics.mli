@@ -1,0 +1,92 @@
+(** Domain-safe counters, gauges and log-scale-bucket histograms.
+
+    Every metric is registered in a process-global registry under a
+    dotted name ([engine.trials], [server.verb.eval.ns], ...) and fans
+    its writes out to {b per-domain sinks} held in domain-local storage:
+    the hot path is a DLS lookup plus a plain mutable-field update — no
+    mutex, no atomic, no contention between domains.  {!snapshot} takes
+    the registry lock once and merges every domain's sink; totals are
+    exact for domains that have been joined (the join synchronizes) and
+    at-most-slightly-stale for domains still running, which is the usual
+    monitoring contract.
+
+    Metric constructors are idempotent: [counter "x"] returns the same
+    counter every time, so modules can look their metrics up at
+    top-level without coordinating ownership. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find or create the counter registered under this name. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to the calling domain's sink. *)
+
+val counter_value : counter -> int
+(** Sum over all domain sinks. *)
+
+val gauge : string -> gauge
+(** Find or create a high-watermark gauge: {!set_max} keeps the largest
+    value ever set; merging takes the max across domains. *)
+
+val set_max : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val histogram : string -> histogram
+(** Find or create a histogram over non-negative integers (latencies in
+    ns, sizes in rows or bytes).  Values land in log-scale buckets: four
+    sub-buckets per power of two, so any quantile read off the buckets
+    is within 1/4 of a binary order of magnitude of the true value. *)
+
+val observe : histogram -> int -> unit
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when [count = 0] *)
+  max : int;
+  buckets : int array;  (** merged counts, length {!n_buckets} *)
+}
+
+val histogram_read : histogram -> histogram_snapshot
+
+(** {2 Bucket math}
+
+    Exposed for tests and for quantile extraction from a merged bucket
+    array.  Bucket [0] holds values [<= 0]; buckets [1..3] hold exactly
+    1, 2, 3; from 4 upward each power of two splits into 4 sub-buckets.
+    The last bucket is the overflow bucket. *)
+
+val n_buckets : int
+
+val bucket_of : int -> int
+(** Index of the bucket a value lands in, in [0, n_buckets - 1]. *)
+
+val bucket_lower : int -> int
+(** Inclusive lower bound of bucket [i]. *)
+
+val bucket_upper : int -> int
+(** Exclusive upper bound of bucket [i]; [max_int] for the overflow
+    bucket. *)
+
+val quantile : histogram_snapshot -> float -> float
+(** [quantile s q] for [q] in [[0, 1]]: linear interpolation inside the
+    bucket holding rank [ceil (q * count)], clamped to the observed
+    [min]/[max].  [nan] when the histogram is empty. *)
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;          (** sorted by name *)
+  gauges : (string * int) list;            (** sorted by name *)
+  histograms : (string * histogram_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge every registered metric across all domain sinks. *)
+
+val reset : unit -> unit
+(** Zero every sink of every registered metric (tests, benchmarks).
+    Existing counter/gauge/histogram handles stay valid. *)

@@ -1,0 +1,14 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC is immune to
+   wall-clock steps (NTP, manual adjustment), so span durations are
+   never negative.  Nanoseconds since an arbitrary origin fit a tagged
+   63-bit OCaml int for ~146 years of uptime, so no boxing. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+value paradb_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

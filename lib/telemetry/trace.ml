@@ -1,0 +1,127 @@
+type active = {
+  name : string;
+  id : int;
+  parent : int;
+  start_ns : int;
+  start_attrs : (string * string) list;
+}
+
+type span = No_span | Span of active
+
+(* [on] is the fast-path switch: one atomic load decides everything.
+   The channel and its mutex only matter once [on] is true. *)
+let on = Atomic.make false
+let out : out_channel option ref = ref None
+let out_lock = Mutex.create ()
+let next_id = Atomic.make 1
+
+(* Innermost-unfinished-span id, per domain. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enabled () = Atomic.get on
+
+let disable () =
+  Atomic.set on false;
+  Mutex.protect out_lock (fun () ->
+      match !out with
+      | None -> ()
+      | Some oc ->
+          out := None;
+          close_out_noerr oc)
+
+let enable ~file =
+  let oc = open_out file in
+  Mutex.protect out_lock (fun () ->
+      (match !out with Some old -> close_out_noerr old | None -> ());
+      out := Some oc);
+  Atomic.set on true
+
+let init_from_env () =
+  match Env.trace_file () with None -> () | Some file -> enable ~file
+
+let () = at_exit disable
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let start ?(attrs = []) name =
+  if not (Atomic.get on) then No_span
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> 0 | p :: _ -> p in
+    stack := id :: !stack;
+    Span { name; id; parent; start_ns = Clock.now_ns (); start_attrs = attrs }
+  end
+
+let emit a end_ns finish_attrs =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf "{\"name\":\"";
+  Buffer.add_string buf (json_escape a.name);
+  Buffer.add_string buf (Printf.sprintf "\",\"span\":%d," a.id);
+  if a.parent = 0 then Buffer.add_string buf "\"parent\":null,"
+  else Buffer.add_string buf (Printf.sprintf "\"parent\":%d," a.parent);
+  Buffer.add_string buf
+    (Printf.sprintf "\"domain\":%d,\"start_ns\":%d,\"dur_ns\":%d"
+       (Domain.self () :> int)
+       a.start_ns
+       (end_ns - a.start_ns));
+  (match a.start_attrs @ finish_attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string buf ",\"attrs\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        attrs;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}';
+  Mutex.protect out_lock (fun () ->
+      match !out with
+      | None -> ()
+      | Some oc ->
+          output_string oc (Buffer.contents buf);
+          output_char oc '\n';
+          flush oc)
+
+let finish ?(attrs = []) span =
+  match span with
+  | No_span -> ()
+  | Span a ->
+      let end_ns = Clock.now_ns () in
+      let stack = Domain.DLS.get stack_key in
+      (* Well-nested finishes pop the head; a mismatched finish (span
+         leaked across a raise, finished out of order) drops just its
+         own id, keeping ancestors intact. *)
+      (match !stack with
+      | top :: rest when top = a.id -> stack := rest
+      | l -> stack := List.filter (fun id -> id <> a.id) l);
+      if Atomic.get on then emit a end_ns attrs
+
+let with_span ?attrs name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let sp = start ?attrs name in
+    match f () with
+    | v ->
+        finish sp;
+        v
+    | exception e ->
+        finish ~attrs:[ ("raised", Printexc.to_string e) ] sp;
+        raise e
+  end

@@ -1,0 +1,46 @@
+(** Monotonic-clock spans emitted as JSONL.
+
+    Tracing is off by default and {b pay-for-what-you-use}: a disabled
+    {!start} returns an immediate constant and a disabled {!with_span}
+    tail-calls its thunk — no allocation, no clock read, no lock.  When
+    enabled (via [--trace FILE] or [PARADB_TRACE]), every finished span
+    appends one JSON object per line to the trace file:
+
+    {v
+    {"name":"engine.trial","span":7,"parent":3,"domain":0,
+     "start_ns":123,"dur_ns":456,"attrs":{"success":"true"}}
+    v}
+
+    [span] ids are unique per process; [parent] is the id of the
+    enclosing span {e on the same domain} (0 when the span is a root —
+    spans on spawned worker domains start fresh stacks).  [start_ns] is
+    a {!Clock.now_ns} reading, meaningful only relative to other spans
+    of the same process.  Lines are flushed as written, so a trace is
+    readable while the process lives and survives a crash. *)
+
+type span
+
+val enabled : unit -> bool
+
+val enable : file:string -> unit
+(** Open (truncate) [file] and start emitting spans.  Raises
+    [Sys_error] if the file cannot be opened. *)
+
+val disable : unit -> unit
+(** Stop emitting and close the file.  Idempotent. *)
+
+val init_from_env : unit -> unit
+(** [enable ~file] when [PARADB_TRACE] is set (see {!Env.trace_file});
+    no-op otherwise. *)
+
+val start : ?attrs:(string * string) list -> string -> span
+(** Begin a span named [name] whose parent is the innermost unfinished
+    span started on this domain. *)
+
+val finish : ?attrs:(string * string) list -> span -> unit
+(** End the span and emit its line; [attrs] given here are appended to
+    the ones given at {!start}.  Finishing a disabled span is a no-op. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span is finished even
+    if [f] raises. *)

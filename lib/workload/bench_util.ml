@@ -59,12 +59,24 @@ type json_value =
   | J_float of float
   | J_string of string
   | J_bool of bool
+  | J_raw of string
 
 let json_records : (string * json_value) list list ref = ref []
 let json_enabled = ref false
 
 let record fields =
-  if !json_enabled then json_records := fields :: !json_records
+  if !json_enabled then begin
+    let fields =
+      fields
+      @ [
+          ( "telemetry",
+            J_raw
+              (Paradb_telemetry.Export.to_json
+                 (Paradb_telemetry.Metrics.snapshot ())) );
+        ]
+    in
+    json_records := fields :: !json_records
+  end
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -86,6 +98,7 @@ let json_value_to_string = function
   | J_float f -> Printf.sprintf "%.6g" f
   | J_string s -> "\"" ^ json_escape s ^ "\""
   | J_bool b -> string_of_bool b
+  | J_raw s -> s
 
 let write_json path =
   let oc = open_out path in

@@ -23,11 +23,16 @@ type json_value =
   | J_float of float
   | J_string of string
   | J_bool of bool
+  | J_raw of string  (** emitted verbatim — must already be valid JSON *)
 
 (** Enables {!record}; set by the driver when [--json FILE] is given. *)
 val json_enabled : bool ref
 
-(** [record fields] appends one record; no-op unless [json_enabled]. *)
+(** [record fields] appends one record; no-op unless [json_enabled].
+    A ["telemetry"] field holding the current {!Paradb_telemetry.Metrics}
+    snapshot (as rendered by {!Paradb_telemetry.Export.to_json}) is
+    appended to every record, so bench JSON carries the engine's own
+    counters next to the wall-clock numbers. *)
 val record : (string * json_value) list -> unit
 
 val write_json : string -> unit

@@ -2,9 +2,13 @@ module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 module Tuple = Paradb_relational.Tuple
 module Join_tree = Paradb_hypergraph.Join_tree
+module Trace = Paradb_telemetry.Trace
+module Metrics = Paradb_telemetry.Metrics
 open Paradb_query
 
 exception Cyclic_query
+
+let m_full_reduce = Metrics.counter "yannakakis.full_reduce"
 
 let atom_relations ?(filter = fun _ -> true) db q =
   let per_atom atom =
@@ -35,6 +39,7 @@ let atom_relations ?(filter = fun _ -> true) db q =
   Array.of_list (List.map per_atom q.Cq.body)
 
 let semijoin_bottom_up tree rels =
+  Trace.with_span "yannakakis.semijoin_bottom_up" @@ fun () ->
   let rels = Array.copy rels in
   Array.iter
     (fun j ->
@@ -44,6 +49,7 @@ let semijoin_bottom_up tree rels =
   rels
 
 let semijoin_top_down tree rels =
+  Trace.with_span "yannakakis.semijoin_top_down" @@ fun () ->
   let rels = Array.copy rels in
   Array.iter
     (fun j ->
@@ -52,7 +58,9 @@ let semijoin_top_down tree rels =
     tree.Join_tree.top_down;
   rels
 
-let full_reducer tree rels = semijoin_top_down tree (semijoin_bottom_up tree rels)
+let full_reducer tree rels =
+  Metrics.incr m_full_reduce;
+  semijoin_top_down tree (semijoin_bottom_up tree rels)
 
 let join_nonempty tree rels =
   let reduced = semijoin_bottom_up tree rels in

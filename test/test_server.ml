@@ -31,6 +31,7 @@ let test_parse_request () =
     (Protocol.Eval { db = "g"; engine = "auto"; query = "ans(X) :- e(X, Y)." });
   ok "CHECK ans(X) :- e(X, X)." (Protocol.Check "ans(X) :- e(X, X).");
   ok "stats" Protocol.Stats;
+  ok "METRICS" Protocol.Metrics;
   ok "Quit" Protocol.Quit;
   let err line =
     match Protocol.parse_request line with
@@ -57,6 +58,7 @@ let test_request_line_roundtrip () =
       Protocol.Eval { db = "g"; engine = "fpt"; query = "ans(X) :- e(X, Y), X != Y." };
       Protocol.Check "ans() :- e(X, X).";
       Protocol.Stats;
+      Protocol.Metrics;
       Protocol.Quit;
     ]
 
@@ -205,6 +207,18 @@ let test_session_dispatch () =
   Alcotest.(check int) "cache hits counted" 3 (field "server.cache_hits");
   Alcotest.(check int) "cache misses counted" 2 (field "server.cache_misses");
   Alcotest.(check int) "catalog sizes" 5 (field "db.g");
+  (* METRICS: a single JSON line carrying quantile fields, and STATS
+     carries the same snapshot as telemetry.* table lines *)
+  let metrics = payload_of (run "METRICS") in
+  Alcotest.(check int) "metrics payload is one line" 1 (List.length metrics);
+  Alcotest.(check bool) "metrics reports p99" true
+    (contains (List.hd metrics) "\"p99\"");
+  Alcotest.(check bool) "metrics reports per-verb latency" true
+    (contains (List.hd metrics) "server.verb.eval.ns");
+  Alcotest.(check bool) "stats carries telemetry lines" true
+    (List.exists
+       (fun l -> contains l "telemetry.server.plan_cache.hits")
+       (payload_of (run "STATS")));
   (* errors *)
   let expect_err line =
     match run line with

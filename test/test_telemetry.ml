@@ -1,0 +1,368 @@
+(* The telemetry subsystem: log-scale bucket math, quantile extraction,
+   per-domain sink merging (the qcheck property: concurrent writers merge
+   to the same totals as a sequential replay), env validation, span
+   nesting in the JSONL trace, and the two snapshot renderers. *)
+
+module Metrics = Paradb_telemetry.Metrics
+module Trace = Paradb_telemetry.Trace
+module Export = Paradb_telemetry.Export
+module Env = Paradb_telemetry.Env
+module Clock = Paradb_telemetry.Clock
+
+(* unique metric names: the registry is process-global *)
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test.%s.%d" prefix !n
+
+(* ------------------------------------------------------------------ *)
+(* Bucket math *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "zero" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "negative" 0 (Metrics.bucket_of (-17));
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (Metrics.bucket_of v))
+    [ 1; 2; 3 ];
+  (* every regular bucket is a half-open interval [lower, upper) whose
+     endpoints map back to itself / its successor *)
+  for i = 1 to Metrics.n_buckets - 2 do
+    let lo = Metrics.bucket_lower i and hi = Metrics.bucket_upper i in
+    Alcotest.(check bool) (Printf.sprintf "bucket %d nonempty" i) true (lo < hi);
+    Alcotest.(check int) (Printf.sprintf "lower of %d" i) i (Metrics.bucket_of lo);
+    Alcotest.(check int)
+      (Printf.sprintf "upper-1 of %d" i)
+      i
+      (Metrics.bucket_of (hi - 1))
+  done;
+  (* continuity across octave boundaries *)
+  Alcotest.(check int) "4" 4 (Metrics.bucket_of 4);
+  Alcotest.(check int) "7" 7 (Metrics.bucket_of 7);
+  Alcotest.(check int) "8" 8 (Metrics.bucket_of 8)
+
+let test_bucket_overflow () =
+  Alcotest.(check int) "max_int" (Metrics.n_buckets - 1)
+    (Metrics.bucket_of max_int);
+  let last_regular = Metrics.n_buckets - 2 in
+  Alcotest.(check int) "first overflow value" (Metrics.n_buckets - 1)
+    (Metrics.bucket_of (Metrics.bucket_upper last_regular));
+  Alcotest.(check int) "overflow upper" max_int
+    (Metrics.bucket_upper (Metrics.n_buckets - 1))
+
+let test_bucket_monotone () =
+  (* bucket_of is monotone: crossing a boundary never decreases the index *)
+  let prev = ref 0 in
+  for v = 0 to 5000 do
+    let b = Metrics.bucket_of v in
+    if b < !prev then
+      Alcotest.failf "bucket_of %d = %d < previous %d" v b !prev;
+    prev := b
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Histograms and quantiles *)
+
+let test_histogram_totals () =
+  let h = Metrics.histogram (fresh "hist") in
+  List.iter (Metrics.observe h) [ 5; 1; 100; 1; 42 ];
+  let s = Metrics.histogram_read h in
+  Alcotest.(check int) "count" 5 s.Metrics.count;
+  Alcotest.(check int) "sum" 149 s.Metrics.sum;
+  Alcotest.(check int) "min" 1 s.Metrics.min;
+  Alcotest.(check int) "max" 100 s.Metrics.max
+
+let test_quantile_empty () =
+  let h = Metrics.histogram (fresh "hist") in
+  let s = Metrics.histogram_read h in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile s 0.5));
+  Alcotest.(check int) "empty min renders as 0" 0 s.Metrics.min
+
+let test_quantile_single () =
+  let h = Metrics.histogram (fresh "hist") in
+  Metrics.observe h 100;
+  let s = Metrics.histogram_read h in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%.2f" q)
+        100.0 (Metrics.quantile s q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_quantile_uniform () =
+  (* 1..1000 uniformly: quantiles must land within bucket resolution
+     (4 sub-buckets per octave = at worst ~1/4 of the value off) *)
+  let h = Metrics.histogram (fresh "hist") in
+  for v = 1 to 1000 do
+    Metrics.observe h v
+  done;
+  let s = Metrics.histogram_read h in
+  List.iter
+    (fun (q, expected) ->
+      let got = Metrics.quantile s q in
+      if Float.abs (got -. expected) > 0.25 *. expected then
+        Alcotest.failf "q%.2f: got %.1f, want %.1f +- 25%%" q got expected)
+    [ (0.5, 500.0); (0.95, 950.0); (0.99, 990.0) ];
+  (* quantiles stay inside the observed range and are monotone in q *)
+  let qs = List.map (Metrics.quantile s) [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "within range" true (v >= 1.0 && v <= 1000.0))
+    qs;
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (a <= b);
+        mono rest
+    | _ -> ()
+  in
+  mono qs
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain sinks: concurrent writers merge exactly (qcheck) *)
+
+let prop_domain_merge =
+  QCheck.Test.make ~count:50
+    ~name:"per-domain sinks merge to the sequential totals"
+    QCheck.(list_of_size Gen.(1 -- 4) (list (int_bound 10_000)))
+    (fun workloads ->
+      let c = Metrics.counter (fresh "merge_c") in
+      let h = Metrics.histogram (fresh "merge_h") in
+      let work vs () =
+        List.iter
+          (fun v ->
+            Metrics.incr ~by:v c;
+            Metrics.observe h v)
+          vs
+      in
+      let domains = List.map (fun vs -> Domain.spawn (work vs)) workloads in
+      List.iter Domain.join domains;
+      let all = List.concat workloads in
+      let s = Metrics.histogram_read h in
+      Metrics.counter_value c = List.fold_left ( + ) 0 all
+      && s.Metrics.count = List.length all
+      && s.Metrics.sum = List.fold_left ( + ) 0 all
+      && s.Metrics.min = (if all = [] then 0 else List.fold_left min max_int all)
+      && s.Metrics.max = List.fold_left max 0 all)
+
+let test_gauge_high_watermark () =
+  let g = Metrics.gauge (fresh "gauge") in
+  Metrics.set_max g 7;
+  Metrics.set_max g 3;
+  Alcotest.(check int) "keeps the max" 7 (Metrics.gauge_value g);
+  let d = Domain.spawn (fun () -> Metrics.set_max g 11) in
+  Domain.join d;
+  Alcotest.(check int) "max across domains" 11 (Metrics.gauge_value g)
+
+let test_registry_idempotent () =
+  let name = fresh "idem" in
+  let c1 = Metrics.counter name in
+  let c2 = Metrics.counter name in
+  Metrics.incr c1;
+  Metrics.incr c2;
+  Alcotest.(check int) "same counter" 2 (Metrics.counter_value c1);
+  match Metrics.histogram name with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type mismatch must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Env *)
+
+let test_env_positive_int () =
+  Unix.putenv "PARADB_TEST_GOOD" "  3 ";
+  Alcotest.(check int) "parsed" 3
+    (Env.positive_int ~name:"PARADB_TEST_GOOD" ~default:(fun () -> 9));
+  Alcotest.(check int) "default when unset" 9
+    (Env.positive_int ~name:"PARADB_TEST_UNSET" ~default:(fun () -> 9));
+  List.iter
+    (fun bad ->
+      Unix.putenv "PARADB_TEST_BAD" bad;
+      match
+        Env.positive_int ~name:"PARADB_TEST_BAD" ~default:(fun () -> 9)
+      with
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message names the variable (%S)" bad)
+            true
+            (String.length msg > 0
+            && String.sub msg 0 (String.length "PARADB_TEST_BAD")
+               = "PARADB_TEST_BAD")
+      | v -> Alcotest.failf "%S: expected Invalid_argument, got %d" bad v)
+    [ "0"; "-2"; "many"; "1.5"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled_is_noop () =
+  Alcotest.(check bool) "off by default" false (Trace.enabled ());
+  let sp = Trace.start "noop" in
+  Trace.finish sp;
+  Alcotest.(check int) "with_span passes the value through" 5
+    (Trace.with_span "noop" (fun () -> 5))
+
+(* crude field extraction: the writer emits ["field":value] exactly once
+   per line, so a substring scan is enough for a test *)
+let field_int line key =
+  let marker = Printf.sprintf "\"%s\":" key in
+  match String.index_opt line ':' with
+  | None -> None
+  | Some _ -> (
+      let rec find i =
+        if i + String.length marker > String.length line then None
+        else if String.sub line i (String.length marker) = marker then
+          Some (i + String.length marker)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some start ->
+          let stop = ref start in
+          while
+            !stop < String.length line
+            && (match line.[!stop] with
+               | '0' .. '9' | '-' -> true
+               | _ -> false)
+          do
+            incr stop
+          done;
+          int_of_string_opt (String.sub line start (!stop - start)))
+
+let test_trace_nesting () =
+  let path = Filename.temp_file "paradb_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Sys.remove path)
+    (fun () ->
+      Trace.enable ~file:path;
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner" (fun () -> ()));
+      Trace.disable ();
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check int) "two spans" 2 (List.length lines);
+      (* spans finish innermost-first *)
+      let inner = List.nth lines 0 and outer = List.nth lines 1 in
+      let has sub s =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "inner first" true (has "\"name\":\"inner\"" inner);
+      Alcotest.(check bool) "outer second" true (has "\"name\":\"outer\"" outer);
+      Alcotest.(check bool) "outer is a root" true (has "\"parent\":null" outer);
+      let outer_id = field_int outer "span" in
+      let inner_parent = field_int inner "parent" in
+      Alcotest.(check bool) "inner nests under outer" true
+        (outer_id <> None && outer_id = inner_parent);
+      List.iter
+        (fun l ->
+          match field_int l "dur_ns" with
+          | Some d -> Alcotest.(check bool) "duration non-negative" true (d >= 0)
+          | None -> Alcotest.failf "no dur_ns in %s" l)
+        lines)
+
+let test_trace_attrs_escaped () =
+  let path = Filename.temp_file "paradb_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Sys.remove path)
+    (fun () ->
+      Trace.enable ~file:path;
+      let sp = Trace.start ~attrs:[ ("k", "a\"b") ] "quoted" in
+      Trace.finish ~attrs:[ ("done", "yes") ] sp;
+      Trace.disable ();
+      match In_channel.with_open_text path In_channel.input_lines with
+      | [ line ] ->
+          let has sub =
+            let n = String.length sub in
+            let rec go i =
+              i + n <= String.length line
+              && (String.sub line i n = sub || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "start attr escaped" true (has "\"k\":\"a\\\"b\"");
+          Alcotest.(check bool) "finish attr appended" true
+            (has "\"done\":\"yes\"")
+      | lines -> Alcotest.failf "expected one span, got %d" (List.length lines))
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let test_export_renderers () =
+  let c = Metrics.counter (fresh "export_c") in
+  let h = Metrics.histogram (fresh "export_h") in
+  Metrics.incr ~by:4 c;
+  Metrics.observe h 10;
+  let s = Metrics.snapshot () in
+  let table = Export.to_table ~prefix:"telemetry." s in
+  Alcotest.(check bool) "table lines are two tokens" true
+    (List.for_all
+       (fun l -> List.length (String.split_on_char ' ' l) = 2)
+       table);
+  Alcotest.(check bool) "table is prefixed" true
+    (List.for_all (fun l -> String.length l > 10 && String.sub l 0 10 = "telemetry.") table);
+  let json = Export.to_json s in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "json has sections" true
+    (has "\"counters\"" && has "\"gauges\"" && has "\"histograms\"");
+  Alcotest.(check bool) "json has quantiles" true
+    (has "\"p50\"" && has "\"p95\"" && has "\"p99\"");
+  Alcotest.(check bool) "no nan leaks into json" false (has "nan");
+  Alcotest.(check bool) "single line" false (String.contains json '\n')
+
+let test_clock_monotone () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "plausible magnitude" true (a > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "buckets",
+        [
+          Alcotest.test_case "boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "overflow" `Quick test_bucket_overflow;
+          Alcotest.test_case "monotone" `Quick test_bucket_monotone;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "totals" `Quick test_histogram_totals;
+          Alcotest.test_case "empty quantile" `Quick test_quantile_empty;
+          Alcotest.test_case "single-value quantile" `Quick test_quantile_single;
+          Alcotest.test_case "uniform quantiles" `Quick test_quantile_uniform;
+        ] );
+      ( "domains",
+        [
+          QCheck_alcotest.to_alcotest prop_domain_merge;
+          Alcotest.test_case "gauge high-watermark" `Quick
+            test_gauge_high_watermark;
+          Alcotest.test_case "registry idempotent" `Quick
+            test_registry_idempotent;
+        ] );
+      ("env", [ Alcotest.test_case "positive_int" `Quick test_env_positive_int ]);
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_trace_disabled_is_noop;
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "attrs escaped" `Quick test_trace_attrs_escaped;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "renderers" `Quick test_export_renderers;
+          Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+        ] );
+    ]
