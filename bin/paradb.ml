@@ -18,6 +18,8 @@ module Join_tree = Paradb_hypergraph.Join_tree
 module Engine = Paradb_core.Engine
 module Hashing = Paradb_core.Hashing
 module Plan = Paradb_server.Plan
+module Guard = Paradb_server.Guard
+module Fault = Paradb_server.Fault
 module Server = Paradb_server.Server
 module Client = Paradb_server.Client
 module Protocol = Paradb_server.Protocol
@@ -352,9 +354,58 @@ let trial_domains_arg =
   in
   Arg.(value & opt int 1 & info [ "trial-domains" ] ~docv:"N" ~doc)
 
-let run_serve host port workers cache_size trial_domains family seed trace =
+let deadline_arg =
+  let doc =
+    "Per-request evaluation deadline in milliseconds.  An $(b,EVAL) that \
+     outlives it is cancelled cooperatively and answered with $(b,ERR) \
+     $(b,deadline-exceeded); the worker survives.  Unlimited when absent."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_line_arg =
+  let doc = "Maximum request-line length in bytes; longer lines answer $(b,ERR)." in
+  Arg.(value & opt int Guard.default_limits.Guard.max_line
+       & info [ "max-line" ] ~docv:"BYTES" ~doc)
+
+let max_rows_arg =
+  let doc =
+    "Maximum result rows per response; wider results are truncated and \
+     marked $(b,truncated=true) in the summary.  Unlimited when absent."
+  in
+  Arg.(value & opt (some int) None & info [ "max-rows" ] ~docv:"N" ~doc)
+
+let idle_timeout_arg =
+  let doc =
+    "Seconds a connection may sit idle between requests before the server \
+     closes it.  Unlimited when absent."
+  in
+  Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+
+let grace_arg =
+  let doc =
+    "Graceful-shutdown window in seconds: on SIGINT/SIGTERM the server \
+     stops accepting, lets in-flight requests finish for up to $(docv), \
+     then force-closes the stragglers."
+  in
+  Arg.(value & opt float 2.0 & info [ "grace" ] ~docv:"SECONDS" ~doc)
+
+let run_serve host port workers cache_size trial_domains family seed trace
+    deadline_ms max_line max_rows idle_timeout grace =
   if workers < 1 || cache_size < 1 || trial_domains < 1 then begin
     Printf.eprintf "error: --workers, --cache-size and --trial-domains must be positive\n";
+    1
+  end
+  else if
+    (let bad_opt cmp = function Some v -> cmp v | None -> false in
+     bad_opt (fun v -> v <= 0) deadline_ms
+     || max_line < 1
+     || bad_opt (fun v -> v <= 0) max_rows
+     || bad_opt (fun v -> v <= 0.0) idle_timeout
+     || grace < 0.0)
+  then begin
+    Printf.eprintf
+      "error: --deadline-ms, --max-rows and --idle-timeout must be positive, \
+       --max-line at least 1, --grace non-negative\n";
     1
   end
   else
@@ -362,22 +413,60 @@ let run_serve host port workers cache_size trial_domains family seed trace =
     begin
     if Sys.getenv_opt "PARADB_DOMAINS" = None then
       Unix.putenv "PARADB_DOMAINS" (string_of_int trial_domains);
+    match Fault.init_from_env () with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | () ->
     let family =
       match family with
       | `Sweep -> None
       | `Random -> Some (family_of `Random ~k:4 ~seed)
     in
+    let limits =
+      {
+        Guard.deadline_ns = Option.map (fun ms -> ms * 1_000_000) deadline_ms;
+        max_line;
+        max_rows;
+        idle_timeout;
+      }
+    in
     match
-      Server.start ~host ?family ~port ~workers ~cache_capacity:cache_size ()
+      Server.start ~host ?family ~limits ~port ~workers
+        ~cache_capacity:cache_size ()
     with
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
           (Unix.error_message e);
         1
     | server ->
+        (* Stop on SIGINT/SIGTERM.  The handler only flips a flag: the
+           main domain polls it and runs the graceful stop itself, since
+           handlers should not join domains. *)
+        let stop_requested = Atomic.make false in
+        let install sg =
+          try
+            Sys.set_signal sg
+              (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true))
+          with Invalid_argument _ | Sys_error _ -> ()
+        in
+        install Sys.sigint;
+        install Sys.sigterm;
         Printf.printf "paradb: listening on %s:%d (%d workers, plan cache %d)\n%!"
           host (Server.port server) workers cache_size;
-        Server.wait server;
+        (if Fault.active () then
+           Printf.printf "paradb: fault injection enabled (PARADB_FAULTS)\n%!");
+        let rec wait_for_stop () =
+          if Atomic.get stop_requested then begin
+            Printf.printf "paradb: shutting down (grace %.1fs)\n%!" grace;
+            Server.stop ~grace server
+          end
+          else begin
+            (try Unix.sleepf 0.1 with Unix.Unix_error (EINTR, _, _) -> ());
+            wait_for_stop ()
+          end
+        in
+        wait_for_stop ();
         0
   end
 
@@ -393,14 +482,28 @@ let serve_cmd =
          Responses are framed as $(b,OK) $(i,N) $(i,SUMMARY) followed by \
          $(i,N) payload lines, or a single $(b,ERR) $(i,MESSAGE) line.  See \
          DESIGN.md, section \"Server protocol\".";
-      `P "Stop the server with SIGINT (Ctrl-C).";
+      `P
+        "Resource governance: $(b,--deadline-ms), $(b,--max-line), \
+         $(b,--max-rows) and $(b,--idle-timeout) bound each request's \
+         evaluation time, line length, result size and connection \
+         idleness; every rejection is an $(b,ERR) response plus a \
+         telemetry counter, never a dropped worker.  The \
+         $(b,PARADB_FAULTS) environment variable (e.g. \
+         'short_read:0.1,disconnect:0.05,seed:42') enables fault \
+         injection for chaos testing.";
+      `P
+        "Stop the server with SIGINT or SIGTERM: it stops accepting, \
+         drains in-flight requests for up to $(b,--grace) seconds, then \
+         force-closes the rest.";
     ]
   in
   Cmd.v
     (Cmd.info "serve" ~doc ~man ~exits)
     Term.(
       const run_serve $ host_arg $ port_arg ~default:7411 $ workers_arg
-      $ cache_arg $ trial_domains_arg $ family_arg $ seed_arg $ trace_arg)
+      $ cache_arg $ trial_domains_arg $ family_arg $ seed_arg $ trace_arg
+      $ deadline_arg $ max_line_arg $ max_rows_arg $ idle_timeout_arg
+      $ grace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client *)
@@ -412,7 +515,21 @@ let command_args =
   in
   Arg.(value & opt_all string [] & info [ "c"; "command" ] ~docv:"CMD" ~doc)
 
-let run_client host port commands =
+let timeout_arg =
+  let doc =
+    "Seconds to wait for the connect and for each response before giving \
+     up.  Unlimited when absent."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Connect retries on refusal/reset/timeout, with exponential backoff \
+     and jitter."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let run_client host port timeout retries commands =
   let commands =
     if commands <> [] then commands
     else
@@ -420,7 +537,7 @@ let run_client host port commands =
       |> List.filter (fun l -> String.trim l <> "")
   in
   match
-    Client.with_connection ~host ~port (fun conn ->
+    Client.with_connection ~host ?timeout ~retries ~port (fun conn ->
         List.fold_left
           (fun failed line ->
             let response = Client.request_line conn line in
@@ -450,7 +567,9 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client" ~doc ~man ~exits)
-    Term.(const run_client $ host_arg $ port_arg ~default:7411 $ command_args)
+    Term.(
+      const run_client $ host_arg $ port_arg ~default:7411 $ timeout_arg
+      $ retries_arg $ command_args)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -462,10 +581,10 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let run_stats host port json =
+let run_stats host port timeout retries json =
   let request = if json then "METRICS" else "STATS" in
   match
-    Client.with_connection ~host ~port (fun conn ->
+    Client.with_connection ~host ?timeout ~retries ~port (fun conn ->
         Client.request_line conn request)
   with
   | exception Unix.Unix_error (e, _, _) ->
@@ -497,7 +616,9 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc ~man ~exits)
-    Term.(const run_stats $ host_arg $ port_arg ~default:7411 $ json_arg)
+    Term.(
+      const run_stats $ host_arg $ port_arg ~default:7411 $ timeout_arg
+      $ retries_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -505,7 +626,7 @@ let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.3.0" ~doc ~exits)
+  Cmd.group (Cmd.info "paradb" ~version:"1.4.0" ~doc ~exits)
     [
       eval_cmd; check_cmd; datalog_cmd; generate_cmd; serve_cmd; client_cmd;
       stats_cmd;

@@ -1,0 +1,5 @@
+(* The cooperative-cancellation core, re-exported from the telemetry
+   layer (which owns the monotonic clock and has no dependencies, so the
+   evaluators below [lib/core] can poll the same budget type). *)
+
+include Paradb_telemetry.Budget

@@ -1,0 +1,11 @@
+(** Per-request evaluation budgets — deadline + cooperative cancellation,
+    polled at every engine's loop checkpoints.
+
+    This is {!Paradb_telemetry.Budget} re-exported under the core
+    library: the type lives in the telemetry layer (next to the
+    monotonic clock, below every evaluator in the dependency order) so
+    the naive/FO/Datalog/Yannakakis evaluators and the Theorem-2 trial
+    driver can all poll one budget value. *)
+
+include module type of Paradb_telemetry.Budget
+  with type t = Paradb_telemetry.Budget.t

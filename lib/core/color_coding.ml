@@ -5,6 +5,7 @@ module Value = Paradb_relational.Value
 module Graph = Paradb_graph.Graph
 module Metrics = Paradb_telemetry.Metrics
 module Trace = Paradb_telemetry.Trace
+module Budget = Paradb_telemetry.Budget
 open Paradb_query
 
 let m_dp_trials = Metrics.counter "color_coding.dp_trials"
@@ -45,16 +46,16 @@ let path_query ~k =
     Cq.make ~constraints ~head body
   end
 
-let has_simple_path ?family g k =
+let has_simple_path ?budget ?family g k =
   if k = 0 then true
   else if k > Graph.n_vertices g then false
   else
-    Engine.is_satisfiable ?family (graph_database g) (path_query ~k)
+    Engine.is_satisfiable ?budget ?family (graph_database g) (path_query ~k)
 
 (* Colorful-path DP: state (v, mask) = "a path ends at v whose vertices
    use exactly the colors in mask".  Parents are remembered for witness
    recovery.  O(2^k * (n + m)) states/transitions. *)
-let colorful_path g colors k =
+let colorful_path ?budget g colors k =
   if k < 1 then invalid_arg "Color_coding.colorful_path: k must be positive";
   let n = Graph.n_vertices g in
   Array.iter
@@ -79,6 +80,7 @@ let colorful_path g colors k =
   let answer = ref None in
   let steps = ref 1 in
   while !answer = None && !steps < k && !frontier <> [] do
+    Budget.poll budget;
     incr steps;
     let next = ref [] in
     List.iter
@@ -116,7 +118,7 @@ let colorful_path g colors k =
       in
       Some (walk state [])
 
-let find_simple_path_dp ?trials ?(seed = 0) g k =
+let find_simple_path_dp ?budget ?trials ?(seed = 0) g k =
   if k = 0 then Some []
   else if k > Graph.n_vertices g then None
   else if k = 1 then
@@ -132,11 +134,12 @@ let find_simple_path_dp ?trials ?(seed = 0) g k =
     let rec try_trial remaining =
       if remaining = 0 then None
       else begin
+        Budget.poll budget;
         let colors = Array.init n (fun _ -> Random.State.int rng k) in
         Metrics.incr m_dp_trials;
         let hit =
           Trace.with_span "color_coding.dp_trial" @@ fun () ->
-          colorful_path g colors k
+          colorful_path ?budget g colors k
         in
         match hit with
         | Some path ->
@@ -148,10 +151,10 @@ let find_simple_path_dp ?trials ?(seed = 0) g k =
     try_trial trials
   end
 
-let has_simple_path_dp ?trials ?seed g k =
-  find_simple_path_dp ?trials ?seed g k <> None
+let has_simple_path_dp ?budget ?trials ?seed g k =
+  find_simple_path_dp ?budget ?trials ?seed g k <> None
 
-let find_simple_path ?family g k =
+let find_simple_path ?budget ?family g k =
   if k = 0 then Some []
   else if k > Graph.n_vertices g then None
   else begin
@@ -166,6 +169,7 @@ let find_simple_path ?family g k =
     let domain = Value.Set.elements (Database.domain db) in
     Seq.find_map
       (fun h ->
+        Budget.poll budget;
         let result = Engine.evaluate_with db q h in
         match Relation.tuples result with
         | [] -> None

@@ -112,7 +112,7 @@ let empty_result q =
     ~schema:(List.mapi (fun i _ -> Printf.sprintf "a%d" i) q.Cq.head)
     []
 
-let evaluate db q =
+let evaluate ?budget db q =
   match preprocess q with
   | Inconsistent -> empty_result q
   | Collapsed q' ->
@@ -121,10 +121,10 @@ let evaluate db q =
           (Paradb_hypergraph.Hypergraph.of_cq q')
       in
       if Cq.comparison_constraints q' = [] && acyclic && q'.Cq.body <> [] then
-        Engine.evaluate db q'
-      else Paradb_eval.Cq_naive.evaluate db q'
+        Engine.evaluate ?budget db q'
+      else Paradb_eval.Cq_naive.evaluate ?budget db q'
 
-let is_satisfiable db q =
+let is_satisfiable ?budget db q =
   match preprocess q with
   | Inconsistent -> false
   | Collapsed q' ->
@@ -133,5 +133,5 @@ let is_satisfiable db q =
           (Paradb_hypergraph.Hypergraph.of_cq q')
       in
       if Cq.comparison_constraints q' = [] && acyclic && q'.Cq.body <> [] then
-        Engine.is_satisfiable db q'
-      else Paradb_eval.Cq_naive.is_satisfiable db q'
+        Engine.is_satisfiable ?budget db q'
+      else Paradb_eval.Cq_naive.is_satisfiable ?budget db q'

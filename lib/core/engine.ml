@@ -95,14 +95,15 @@ let w_set tree ~prime_vars ~formula_vars ~pairs j u_j =
 (* An h-independent semijoin pass over the base relations: dangling
    tuples can never contribute to any Q_h, so removing them up front
    shrinks every subsequent coloring's work. *)
-let prereduce_base tree base_rels =
+let prereduce_base ?budget tree base_rels =
   if Array.exists Relation.is_empty base_rels then base_rels
   else
     Trace.with_span "engine.prereduce" (fun () ->
-        Yannakakis.full_reducer tree base_rels)
+        Yannakakis.full_reducer ?budget tree base_rels)
 
-let build_task ?(prereduce = true) db q formula =
+let build_task ?budget ?(prereduce = true) db q formula =
   Metrics.incr m_tasks;
+  Budget.poll budget;
   Trace.with_span "engine.build_task" @@ fun () ->
   (match formula with
   | Some f when not (Ineq_formula.neq_only f) ->
@@ -136,7 +137,7 @@ let build_task ?(prereduce = true) db q formula =
                  (SS.fold (fun x acc -> SS.add (primed x) acc) w SS.empty)))
       in
       let base_rels =
-        Yannakakis.atom_relations
+        Yannakakis.atom_relations ?budget
           ~filter:(fun binding ->
             Ineq.i2_filter part
               (List.map fst (Binding.bindings binding))
@@ -144,7 +145,7 @@ let build_task ?(prereduce = true) db q formula =
           db q
       in
       let base_rels =
-        if prereduce then prereduce_base tree base_rels else base_rels
+        if prereduce then prereduce_base ?budget tree base_rels else base_rels
       in
       {
         tree;
@@ -411,7 +412,7 @@ let rec seq_take n acc seq =
    [Some r] on a successful trial; results are folded with [merge] into
    [init].  With [stop_on_hit] the remaining trials are abandoned after
    the first success (one witness settles satisfiability). *)
-let run_trials ~stats ~stop_on_hit task functions ~init ~merge ~run =
+let run_trials ?budget ~stats ~stop_on_hit task functions ~init ~merge ~run =
   (* Instrument every coloring uniformly, sequential or fanned out:
      a span (free when tracing is off) plus global trial counters and a
      per-trial latency histogram. *)
@@ -428,10 +429,18 @@ let run_trials ~stats ~stop_on_hit task functions ~init ~merge ~run =
   in
   let nd = domain_count () in
   let acc = ref init in
+  (* Non-raising per-trial test for the parallel drain loops: helper
+     domains must exit cleanly (an exception crossing [Domain.join]
+     would leak its siblings), so they only observe expiry here and the
+     coordinator raises after joining. *)
+  let budget_expired () =
+    match budget with Some b -> Budget.expired b | None -> false
+  in
   if nd <= 1 then begin
     (try
        Seq.iter
          (fun h ->
+           Budget.poll budget;
            let trial = prep_trial task h in
            stats.trials <- stats.trials + 1;
            match run stats trial with
@@ -457,7 +466,8 @@ let run_trials ~stats ~stop_on_hit task functions ~init ~merge ~run =
             let st = new_stats () in
             let out = ref [] in
             let rec drain () =
-              if not (stop_on_hit && Atomic.get found) then begin
+              if not (stop_on_hit && Atomic.get found) && not (budget_expired ())
+              then begin
                 let i = Atomic.fetch_and_add next 1 in
                 if i < Array.length work then begin
                   st.trials <- st.trials + 1;
@@ -486,13 +496,20 @@ let run_trials ~stats ~stop_on_hit task functions ~init ~merge ~run =
               merge_stats stats st;
               List.iter (fun r -> acc := merge !acc r) out)
             results;
-          if not (stop_on_hit && Atomic.get found) then loop rest
+          if not (stop_on_hit && Atomic.get found) then begin
+            (* With a witness in hand the answer is already valid; an
+               incomplete sweep is only wrong when we must union every
+               trial (evaluation) or report a definitive "no". *)
+            Budget.poll budget;
+            loop rest
+          end
     in
     loop functions;
+    if not (stop_on_hit && !acc <> init) then Budget.poll budget;
     !acc
   end
 
-let run_satisfiable ?prereduce ~family ~stats db q formula =
+let run_satisfiable ?budget ?prereduce ~family ~stats db q formula =
   if q.Cq.body = [] then
     (* No atoms, hence no variables (Cq.make safety): the formula, if any,
        is ground and can be evaluated directly. *)
@@ -500,7 +517,7 @@ let run_satisfiable ?prereduce ~family ~stats db q formula =
     | None -> true
     | Some f -> Ineq_formula.holds Binding.empty f)
   else begin
-    let task = build_task ?prereduce db q formula in
+    let task = build_task ?budget ?prereduce db q formula in
     if Array.exists Relation.is_empty task.base_rels then false
     else begin
       let domain = hash_domain db task in
@@ -508,7 +525,7 @@ let run_satisfiable ?prereduce ~family ~stats db q formula =
         Hashing.functions family ~domain ~k:task.separation
       in
       let found =
-        run_trials ~stats ~stop_on_hit:true task functions ~init:false
+        run_trials ?budget ~stats ~stop_on_hit:true task functions ~init:false
           ~merge:(fun _ _ -> true)
           ~run:(fun st trial ->
             match algorithm1_trial ~stats:st task trial with
@@ -527,9 +544,10 @@ let run_satisfiable ?prereduce ~family ~stats db q formula =
     end
   end
 
-let run_evaluate ?prereduce ~family ~stats db q formula =
+let run_evaluate ?budget ?prereduce ~family ~stats db q formula =
   let task =
-    if q.Cq.body = [] then None else Some (build_task ?prereduce db q formula)
+    if q.Cq.body = [] then None
+    else Some (build_task ?budget ?prereduce db q formula)
   in
   match task with
   | None ->
@@ -557,7 +575,7 @@ let run_evaluate ?prereduce ~family ~stats db q formula =
           Hashing.functions family ~domain ~k:task.separation
         in
         let rows =
-          run_trials ~stats ~stop_on_hit:false task functions
+          run_trials ?budget ~stats ~stop_on_hit:false task functions
             ~init:Tuple.Set.empty ~merge:Tuple.Set.union
             ~run:(fun st trial ->
               match algorithm1_trial ~stats:st task trial with
@@ -567,26 +585,26 @@ let run_evaluate ?prereduce ~family ~stats db q formula =
         Relation.of_set ~name:task.name ~schema rows
       end
 
-let is_satisfiable ?prereduce ?(family = default_family) ?stats db q =
+let is_satisfiable ?budget ?prereduce ?(family = default_family) ?stats db q =
   let stats = match stats with Some s -> s | None -> new_stats () in
-  run_satisfiable ?prereduce ~family ~stats db q None
+  run_satisfiable ?budget ?prereduce ~family ~stats db q None
 
-let evaluate ?prereduce ?(family = default_family) ?stats db q =
+let evaluate ?budget ?prereduce ?(family = default_family) ?stats db q =
   let stats = match stats with Some s -> s | None -> new_stats () in
-  run_evaluate ?prereduce ~family ~stats db q None
+  run_evaluate ?budget ?prereduce ~family ~stats db q None
 
-let decide ?family ?stats db q tuple =
+let decide ?budget ?family ?stats db q tuple =
   match Cq.close_with_tuple q tuple with
   | None -> false
-  | Some closed -> is_satisfiable ?family ?stats db closed
+  | Some closed -> is_satisfiable ?budget ?family ?stats db closed
 
-let is_satisfiable_formula ?(family = default_family) ?stats db q f =
+let is_satisfiable_formula ?budget ?(family = default_family) ?stats db q f =
   let stats = match stats with Some s -> s | None -> new_stats () in
-  run_satisfiable ~family ~stats db q (Some f)
+  run_satisfiable ?budget ~family ~stats db q (Some f)
 
-let evaluate_formula ?(family = default_family) ?stats db q f =
+let evaluate_formula ?budget ?(family = default_family) ?stats db q f =
   let stats = match stats with Some s -> s | None -> new_stats () in
-  run_evaluate ~family ~stats db q (Some f)
+  run_evaluate ?budget ~family ~stats db q (Some f)
 
 let split_constant_conjuncts f =
   let is_var_const c =
@@ -619,15 +637,15 @@ let push_constant_conjuncts q f =
   in
   (q', if rest = Ineq_formula.True then None else Some rest)
 
-let evaluate_formula_v ?(family = default_family) ?stats db q f =
+let evaluate_formula_v ?budget ?(family = default_family) ?stats db q f =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let q', rest = push_constant_conjuncts q f in
-  run_evaluate ~family ~stats db q' rest
+  run_evaluate ?budget ~family ~stats db q' rest
 
-let is_satisfiable_formula_v ?(family = default_family) ?stats db q f =
+let is_satisfiable_formula_v ?budget ?(family = default_family) ?stats db q f =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let q', rest = push_constant_conjuncts q f in
-  run_satisfiable ~family ~stats db q' rest
+  run_satisfiable ?budget ~family ~stats db q' rest
 
 let satisfiable_with db q h =
   if q.Cq.body = [] then true

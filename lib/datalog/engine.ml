@@ -3,6 +3,7 @@ module Relation = Paradb_relational.Relation
 module Tuple = Paradb_relational.Tuple
 module Metrics = Paradb_telemetry.Metrics
 module Trace = Paradb_telemetry.Trace
+module Budget = Paradb_telemetry.Budget
 open Paradb_query
 
 type strategy =
@@ -34,9 +35,10 @@ let empty_idb_relations db p =
 (* Evaluate one rule body against [db] and return the derived head
    tuples.  [m_derived] is the per-strategy work counter, so naive vs
    semi-naive derivation counts stay comparable in a metrics snapshot. *)
-let derive_rule m_derived stats db rule =
+let derive_rule ?budget m_derived stats db rule =
+  Budget.poll budget;
   let cq = Rule.to_cq rule in
-  let bindings = Paradb_eval.Cq_naive.all_bindings db cq in
+  let bindings = Paradb_eval.Cq_naive.all_bindings ?budget db cq in
   List.fold_left
     (fun acc b ->
       stats.derived <- stats.derived + 1;
@@ -52,15 +54,16 @@ let add_tuples db name rows =
   in
   Database.add merged db
 
-let fixpoint_naive stats db0 p =
+let fixpoint_naive ?budget stats db0 p =
   let rec loop db =
     stats.rounds <- stats.rounds + 1;
+    Budget.poll budget;
     let db', grown =
       Trace.with_span "datalog.round" @@ fun () ->
       List.fold_left
         (fun (db', grown) rule ->
           let name = rule.Rule.head.Atom.rel in
-          let fresh = derive_rule m_naive_derived stats db rule in
+          let fresh = derive_rule ?budget m_naive_derived stats db rule in
           let before = Relation.cardinality (Database.find db' name) in
           let db' = add_tuples db' name fresh in
           let after = Relation.cardinality (Database.find db' name) in
@@ -78,7 +81,7 @@ let fixpoint_naive stats db0 p =
    relation as it was *before* that delta ("old"), and occurrences after
    i read the full current relation.  Every derivation therefore uses the
    new tuples at least once and is produced by exactly one variant. *)
-let fixpoint_seminaive stats db0 p =
+let fixpoint_seminaive ?budget stats db0 p =
   let idb = Program.idb_predicates p in
   let delta_name name = "$delta_" ^ name in
   let old_name name = "$old_" ^ name in
@@ -116,7 +119,9 @@ let fixpoint_seminaive stats db0 p =
     List.fold_left
       (fun acc rule ->
         let name = rule.Rule.head.Atom.rel in
-        let fresh = derive_rule m_seminaive_derived stats initial_db rule in
+        let fresh =
+          derive_rule ?budget m_seminaive_derived stats initial_db rule
+        in
         let prev =
           match List.assoc_opt name acc with
           | Some s -> s
@@ -165,6 +170,7 @@ let fixpoint_seminaive stats db0 p =
     if truly_new = [] then db
     else begin
       stats.rounds <- stats.rounds + 1;
+      Budget.poll budget;
       let db, next_deltas =
         Trace.with_span "datalog.round" @@ fun () ->
         let old_db = db in
@@ -179,8 +185,8 @@ let fixpoint_seminaive stats db0 p =
                   else begin
                     let name = variant.Rule.head.Atom.rel in
                     let fresh =
-                      derive_rule m_seminaive_derived stats db_with_deltas
-                        variant
+                      derive_rule ?budget m_seminaive_derived stats
+                        db_with_deltas variant
                     in
                     let prev =
                       match List.assoc_opt name acc with
@@ -200,17 +206,17 @@ let fixpoint_seminaive stats db0 p =
   in
   loop initial_db first_deltas
 
-let fixpoint ?(strategy = Seminaive) ?stats db p =
+let fixpoint ?budget ?(strategy = Seminaive) ?stats db p =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let label = match strategy with Naive -> "naive" | Seminaive -> "seminaive" in
   Trace.with_span ~attrs:[ ("strategy", label) ] "datalog.fixpoint"
   @@ fun () ->
   match strategy with
-  | Naive -> fixpoint_naive stats db p
-  | Seminaive -> fixpoint_seminaive stats db p
+  | Naive -> fixpoint_naive ?budget stats db p
+  | Seminaive -> fixpoint_seminaive ?budget stats db p
 
-let evaluate ?strategy ?stats db p =
-  Database.find (fixpoint ?strategy ?stats db p) p.Program.goal
+let evaluate ?budget ?strategy ?stats db p =
+  Database.find (fixpoint ?budget ?strategy ?stats db p) p.Program.goal
 
-let goal_holds ?strategy ?stats db p =
-  not (Relation.is_empty (evaluate ?strategy ?stats db p))
+let goal_holds ?budget ?strategy ?stats db p =
+  not (Relation.is_empty (evaluate ?budget ?strategy ?stats db p))

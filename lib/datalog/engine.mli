@@ -21,19 +21,26 @@ val new_stats : unit -> stats
 
 (** [fixpoint db p] — the database extended with all IDB relations at the
     least fixpoint.  Raises [Invalid_argument] if an IDB predicate name
-    collides with an EDB relation. *)
+    collides with an EDB relation.  [budget] is polled once per round and
+    per rule, and threaded into the per-rule conjunctive evaluation
+    ({!Paradb_telemetry.Budget.Exhausted} propagates): with IDB arity
+    [r] the fixpoint needs up to [n^r] rounds, so unbounded runs are a
+    real hazard, not a theoretical one. *)
 val fixpoint :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?strategy:strategy -> ?stats:stats ->
   Paradb_relational.Database.t -> Paradb_query.Program.t ->
   Paradb_relational.Database.t
 
 (** The goal relation at the fixpoint. *)
 val evaluate :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?strategy:strategy -> ?stats:stats ->
   Paradb_relational.Database.t -> Paradb_query.Program.t ->
   Paradb_relational.Relation.t
 
 (** For a 0-ary goal: is it derivable? *)
 val goal_holds :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?strategy:strategy -> ?stats:stats ->
   Paradb_relational.Database.t -> Paradb_query.Program.t -> bool

@@ -1,5 +1,6 @@
 module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
+module Budget = Paradb_telemetry.Budget
 open Paradb_query
 
 type stats = { mutable probes : int }
@@ -23,9 +24,14 @@ let check_constraints binding cs =
 let bound_var_count binding atom =
   List.length (List.filter (fun x -> Binding.mem x binding) (Atom.vars atom))
 
+(* How many probes between two deadline checks: cheap enough to leave on
+   (one land + branch per probe), frequent enough that expiry surfaces
+   within microseconds of real work. *)
+let budget_stride = 1024
+
 (* Backtracking enumeration of satisfying instantiations; [on_solution] may
    raise to abort the search. *)
-let iter_bindings ~stats ~order_atoms db q on_solution =
+let iter_bindings ?budget ~stats ~order_atoms db q on_solution =
   let constraints = q.Cq.constraints in
   let pick binding remaining =
     if order_atoms then begin
@@ -55,6 +61,10 @@ let iter_bindings ~stats ~order_atoms db q on_solution =
         Relation.iter
           (fun tuple ->
             stats.probes <- stats.probes + 1;
+            (match budget with
+            | Some b when stats.probes land (budget_stride - 1) = 0 ->
+                Budget.check b
+            | _ -> ());
             match Atom.matches grounded tuple with
             | None -> ()
             | Some extension -> (
@@ -68,28 +78,29 @@ let iter_bindings ~stats ~order_atoms db q on_solution =
   in
   search Binding.empty q.Cq.body
 
-let all_bindings ?stats ?(order_atoms = true) db q =
+let all_bindings ?budget ?stats ?(order_atoms = true) db q =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let results = ref [] in
-  iter_bindings ~stats ~order_atoms db q (fun b -> results := b :: !results);
+  iter_bindings ?budget ~stats ~order_atoms db q (fun b ->
+      results := b :: !results);
   !results
 
-let evaluate ?stats ?order_atoms db q =
-  let bindings = all_bindings ?stats ?order_atoms db q in
+let evaluate ?budget ?stats ?order_atoms db q =
+  let bindings = all_bindings ?budget ?stats ?order_atoms db q in
   let schema = List.mapi (fun i _ -> Printf.sprintf "a%d" i) q.Cq.head in
   let rows = List.map (fun b -> Cq.head_tuple b q) bindings in
   Relation.create ~name:q.Cq.name ~schema rows
 
 exception Found
 
-let is_satisfiable ?stats ?(order_atoms = true) db q =
+let is_satisfiable ?budget ?stats ?(order_atoms = true) db q =
   let stats = match stats with Some s -> s | None -> new_stats () in
   try
-    iter_bindings ~stats ~order_atoms db q (fun _ -> raise Found);
+    iter_bindings ?budget ~stats ~order_atoms db q (fun _ -> raise Found);
     false
   with Found -> true
 
-let decide ?stats ?order_atoms db q tuple =
+let decide ?budget ?stats ?order_atoms db q tuple =
   match Cq.close_with_tuple q tuple with
   | None -> false
-  | Some closed -> is_satisfiable ?stats ?order_atoms db closed
+  | Some closed -> is_satisfiable ?budget ?stats ?order_atoms db closed

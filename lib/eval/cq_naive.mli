@@ -14,27 +14,30 @@ val new_stats : unit -> stats
 (** All satisfying instantiations of the query's variables.
     [order_atoms] (default [true]) greedily picks the next atom with the
     most bound variables; set it to [false] for the strict left-to-right
-    baseline. *)
+    baseline.  [budget], when given, is polled every 1024 probes — this
+    evaluator is the [n^{O(q)}] worst case Theorem 1 promises, so it is
+    the one most in need of a deadline
+    ({!Paradb_telemetry.Budget.Exhausted} propagates to the caller). *)
 val all_bindings :
-  ?stats:stats -> ?order_atoms:bool ->
+  ?budget:Paradb_telemetry.Budget.t -> ?stats:stats -> ?order_atoms:bool ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_query.Binding.t list
 
 (** The output relation [Q(d)], with positional attributes
     ["a0", "a1", ...]. *)
 val evaluate :
-  ?stats:stats -> ?order_atoms:bool ->
+  ?budget:Paradb_telemetry.Budget.t -> ?stats:stats -> ?order_atoms:bool ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Relation.t
 
 (** Emptiness of the output (for Boolean queries: truth). *)
 val is_satisfiable :
-  ?stats:stats -> ?order_atoms:bool ->
+  ?budget:Paradb_telemetry.Budget.t -> ?stats:stats -> ?order_atoms:bool ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t -> bool
 
 (** The decision problem: [t ∈ Q(d)]?  Implemented as the paper
     prescribes, by substituting [t]'s constants into the query. *)
 val decide :
-  ?stats:stats -> ?order_atoms:bool ->
+  ?budget:Paradb_telemetry.Budget.t -> ?stats:stats -> ?order_atoms:bool ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Tuple.t -> bool

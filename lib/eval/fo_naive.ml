@@ -1,7 +1,11 @@
 module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 module Value = Paradb_relational.Value
+module Budget = Paradb_telemetry.Budget
 open Paradb_query
+
+(* Quantifier extensions between two deadline checks. *)
+let budget_stride = 256
 
 type stats = { mutable extensions : int }
 
@@ -33,7 +37,7 @@ let resolve binding t =
       invalid_arg
         ("Fo_naive: unbound free variable " ^ Term.to_string t)
 
-let holds ?stats ?domain db f binding =
+let holds ?budget ?stats ?domain db f binding =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let domain =
     match domain with Some d -> d | None -> active_domain db f
@@ -59,6 +63,10 @@ let holds ?stats ?domain db f binding =
     | x :: rest ->
         let try_value v =
           stats.extensions <- stats.extensions + 1;
+          (match budget with
+          | Some b when stats.extensions land (budget_stride - 1) = 0 ->
+              Budget.check b
+          | _ -> ());
           quantify existential (Binding.bind x v binding) rest g
         in
         if existential then List.exists try_value domain
@@ -66,12 +74,12 @@ let holds ?stats ?domain db f binding =
   in
   eval binding f
 
-let sentence_holds ?stats ?domain db f =
+let sentence_holds ?budget ?stats ?domain db f =
   if not (Fo.is_sentence f) then
     invalid_arg "Fo_naive.sentence_holds: formula has free variables";
-  holds ?stats ?domain db f Binding.empty
+  holds ?budget ?stats ?domain db f Binding.empty
 
-let evaluate ?stats ?domain db f ~head =
+let evaluate ?budget ?stats ?domain db f ~head =
   let free = Fo.free_vars f in
   List.iter
     (fun x ->
@@ -85,7 +93,8 @@ let evaluate ?stats ?domain db f ~head =
   let rows = ref [] in
   let rec assign binding = function
     | [] ->
-        if holds ?stats ~domain db f binding then
+        Budget.poll budget;
+        if holds ?budget ?stats ~domain db f binding then
           rows :=
             Array.of_list
               (List.map

@@ -15,14 +15,19 @@ val active_domain :
   Paradb_relational.Value.t list
 
 (** [holds db f binding] — truth of [f] under [binding], which must cover
-    the free variables.  [domain] overrides the quantification domain. *)
+    the free variables.  [domain] overrides the quantification domain.
+    [budget] is polled every 256 quantifier extensions — the [n^{O(v)}]
+    quantifier tower is Theorem 1's first-order worst case
+    ({!Paradb_telemetry.Budget.Exhausted} propagates). *)
 val holds :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?stats:stats -> ?domain:Paradb_relational.Value.t list ->
   Paradb_relational.Database.t -> Paradb_query.Fo.t ->
   Paradb_query.Binding.t -> bool
 
 (** Truth of a sentence. *)
 val sentence_holds :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?stats:stats -> ?domain:Paradb_relational.Value.t list ->
   Paradb_relational.Database.t -> Paradb_query.Fo.t -> bool
 
@@ -30,6 +35,7 @@ val sentence_holds :
     τ ranging over assignments of the free variables of [f] (all free
     variables must be listed in [head]). *)
 val evaluate :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?stats:stats -> ?domain:Paradb_relational.Value.t list ->
   Paradb_relational.Database.t -> Paradb_query.Fo.t ->
   head:string list -> Paradb_relational.Relation.t

@@ -1,12 +1,55 @@
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* Non-blocking connect + select gives a bounded connect; the socket is
+   switched back to blocking with SO_RCVTIMEO/SO_SNDTIMEO so each
+   request is bounded by the same [timeout]. *)
+let connect_once ?(host = "127.0.0.1") ?timeout ~port () =
   let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
-  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     Unix.close fd;
-     raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  try
+    (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    (match timeout with
+    | None -> Unix.connect fd addr
+    | Some seconds ->
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr with
+        | Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) -> (
+            match Unix.select [] [ fd ] [] seconds with
+            | _, [], _ ->
+                raise (Unix.Unix_error (ETIMEDOUT, "connect", ""))
+            | _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> ()
+                | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+        Unix.clear_nonblock fd;
+        Unix.setsockopt_float fd SO_RCVTIMEO seconds;
+        Unix.setsockopt_float fd SO_SNDTIMEO seconds);
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  with e ->
+    Unix.close fd;
+    raise e
+
+let retriable = function
+  | Unix.Unix_error
+      ( ( ECONNREFUSED | ECONNRESET | ETIMEDOUT | EHOSTUNREACH | ENETUNREACH
+        | EAGAIN | EPIPE ),
+        _,
+        _ ) ->
+      true
+  | _ -> false
+
+let connect ?host ?timeout ?(retries = 0) ?(backoff = 0.05) ~port () =
+  let rec go attempt =
+    match connect_once ?host ?timeout ~port () with
+    | t -> t
+    | exception e when retriable e && attempt < retries ->
+        (* exponential backoff with jitter in [0.5, 1.5) so synchronized
+           clients don't re-stampede a recovering server *)
+        let jitter = 0.5 +. Random.float 1.0 in
+        Unix.sleepf (backoff *. (2.0 ** float_of_int attempt) *. jitter);
+        go (attempt + 1)
+  in
+  go 0
 
 let send_line t line =
   output_string t.oc line;
@@ -15,9 +58,12 @@ let send_line t line =
 
 let request_line t line =
   send_line t line;
+  (* with SO_RCVTIMEO set, a stalled server surfaces as Sys_error
+     (EAGAIN under the channel); report it as a timeout, not a crash *)
   match Protocol.read_response t.ic with
   | Some r -> r
   | None -> failwith "connection closed by server"
+  | exception Sys_error msg -> failwith ("request failed: " ^ msg)
 
 let request t req = request_line t (Protocol.request_to_line req)
 
@@ -25,6 +71,6 @@ let close t =
   (try send_line t "QUIT" with Sys_error _ -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection ?host ~port f =
-  let t = connect ?host ~port () in
+let with_connection ?host ?timeout ?retries ?backoff ~port f =
+  let t = connect ?host ?timeout ?retries ?backoff ~port () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -3,12 +3,28 @@
 
 type t
 
-(** [connect ?host ~port ()] — TCP connect; [host] defaults to
-    ["127.0.0.1"].  Raises [Unix.Unix_error] on refusal. *)
-val connect : ?host:string -> port:int -> unit -> t
+(** [connect ?host ?timeout ?retries ?backoff ~port ()] — TCP connect;
+    [host] defaults to ["127.0.0.1"].
+
+    [timeout] (seconds) bounds the connect {e and} every subsequent
+    request on the connection (via [SO_RCVTIMEO]/[SO_SNDTIMEO]);
+    unbounded when omitted.  A refused/reset/timed-out connect is
+    retried up to [retries] times (default 0) with exponential backoff
+    starting at [backoff] seconds (default 0.05), jittered by a factor
+    in [0.5, 1.5).  Raises [Unix.Unix_error] once retries are
+    exhausted. *)
+val connect :
+  ?host:string ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  port:int ->
+  unit ->
+  t
 
 (** [request t req] sends one request and reads its framed response.
-    Raises [Failure] if the server hangs up before responding. *)
+    Raises [Failure] if the server hangs up before responding or the
+    request timeout expires. *)
 val request : t -> Protocol.request -> Protocol.response
 
 (** [request_line t line] — same over a raw command line. *)
@@ -17,5 +33,13 @@ val request_line : t -> string -> Protocol.response
 (** Sends [QUIT] (best effort) and closes the socket. *)
 val close : t -> unit
 
-(** [with_connection ?host ~port f] — connect, run, always close. *)
-val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a
+(** [with_connection ?host ?timeout ?retries ?backoff ~port f] —
+    connect, run, always close. *)
+val with_connection :
+  ?host:string ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  port:int ->
+  (t -> 'a) ->
+  'a

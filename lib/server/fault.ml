@@ -1,0 +1,103 @@
+(* Fault injection for chaos testing.  Disabled by default: the hot-path
+   cost is one [Atomic.get] per injection point.  Enabled either
+   programmatically ([set], used by tests) or from [PARADB_FAULTS]
+   ([init_from_env], used by [paradb serve]); never enabled implicitly. *)
+
+module Metrics = Paradb_telemetry.Metrics
+module Env = Paradb_telemetry.Env
+
+exception Injected of string
+
+type config = {
+  short_read : float;
+  write_delay : float;
+  disconnect : float;
+  raise_eval : float;
+  seed : int;
+}
+
+let default =
+  { short_read = 0.0; write_delay = 0.0; disconnect = 0.0; raise_eval = 0.0;
+    seed = 0 }
+
+let enabled = Atomic.make false
+let current = Atomic.make default
+
+let m_injected = Metrics.counter "server.faults.injected"
+
+(* Worker domains must not share one RNG: a per-domain state keyed off
+   the configured seed keeps runs reproducible per (seed, domain). *)
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      Random.State.make
+        [| (Atomic.get current).seed; (Domain.self () :> int); 0x9e3779 |])
+
+let set = function
+  | None ->
+      Atomic.set enabled false;
+      Atomic.set current default
+  | Some c ->
+      Atomic.set current c;
+      Atomic.set enabled true
+
+let active () = Atomic.get enabled
+
+let parse kvs =
+  let prob name v =
+    if v < 0.0 || v > 1.0 then
+      invalid_arg
+        (Printf.sprintf "PARADB_FAULTS: %s=%g is not a probability in [0,1]"
+           name v)
+    else v
+  in
+  List.fold_left
+    (fun c (k, v) ->
+      match k with
+      | "short_read" -> { c with short_read = prob k v }
+      | "write_delay" -> { c with write_delay = prob k v }
+      | "disconnect" -> { c with disconnect = prob k v }
+      | "raise_eval" -> { c with raise_eval = prob k v }
+      | "seed" -> { c with seed = int_of_float v }
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "PARADB_FAULTS: unknown fault %S (expected short_read, \
+                write_delay, disconnect, raise_eval or seed)"
+               k))
+    default kvs
+
+let init_from_env () =
+  match Env.faults () with
+  | None -> ()
+  | Some kvs -> set (Some (parse kvs))
+
+let rng () = Domain.DLS.get rng_key
+
+let roll p = p > 0.0 && Random.State.float (rng ()) 1.0 < p
+
+let read_cap n =
+  if not (Atomic.get enabled) then n
+  else if roll (Atomic.get current).short_read then begin
+    Metrics.incr m_injected;
+    1 + Random.State.int (rng ()) (max 1 (n / 8))
+  end
+  else n
+
+let write_delay () =
+  if Atomic.get enabled && roll (Atomic.get current).write_delay then begin
+    Metrics.incr m_injected;
+    Unix.sleepf (0.001 +. Random.State.float (rng ()) 0.004)
+  end
+
+let disconnect_now () =
+  Atomic.get enabled
+  && roll (Atomic.get current).disconnect
+  &&
+  (Metrics.incr m_injected;
+   true)
+
+let injected_raise () =
+  if Atomic.get enabled && roll (Atomic.get current).raise_eval then begin
+    Metrics.incr m_injected;
+    raise (Injected "injected raise_eval fault")
+  end

@@ -1,0 +1,50 @@
+(** Fault injection for chaos testing the server's failure handling.
+
+    Off by default — every injection point costs one [Atomic.get] when
+    disabled.  Enable explicitly with {!set} (tests) or from the
+    [PARADB_FAULTS] environment variable with {!init_from_env}
+    ([paradb serve] does this at startup).  Each fired fault increments
+    the [server.faults.injected] counter. *)
+
+(** Raised by {!injected_raise} — deliberately an exception the session
+    dispatcher does not handle, to exercise the server's catch-all. *)
+exception Injected of string
+
+type config = {
+  short_read : float;  (** P(cap a socket read to a few bytes) *)
+  write_delay : float;  (** P(sleep 1–5ms before a response write) *)
+  disconnect : float;  (** P(shut the socket down instead of responding) *)
+  raise_eval : float;  (** P(raise {!Injected} from request dispatch) *)
+  seed : int;  (** RNG seed (per-domain states derive from it) *)
+}
+
+(** All probabilities 0, seed 0. *)
+val default : config
+
+(** [set (Some c)] enables injection with [c]; [set None] disables it
+    and resets the config.  Takes effect on all worker domains. *)
+val set : config option -> unit
+
+val active : unit -> bool
+
+(** [parse kvs] builds a config from [PARADB_FAULTS]-style key/value
+    pairs (see {!Paradb_telemetry.Env.faults}).  [Invalid_argument] on
+    unknown keys or probabilities outside [0,1]. *)
+val parse : (string * float) list -> config
+
+(** Reads [PARADB_FAULTS] and calls {!set}; a no-op when unset.
+    [Invalid_argument] on malformed values. *)
+val init_from_env : unit -> unit
+
+(** [read_cap n] — the byte count a socket read should request: [n], or
+    a few bytes when a short-read fault fires. *)
+val read_cap : int -> int
+
+(** Maybe sleep 1–5ms (write-delay fault). *)
+val write_delay : unit -> unit
+
+(** Should the server drop this connection instead of responding? *)
+val disconnect_now : unit -> bool
+
+(** Maybe raise {!Injected} (raise_eval fault). *)
+val injected_raise : unit -> unit

@@ -1,0 +1,104 @@
+(* Resource-governance primitives for the server: per-session limits and
+   a bounded line reader that replaces [In_channel.input_line] on the
+   request path (which would buffer an arbitrarily long line). *)
+
+type limits = {
+  deadline_ns : int option;
+  max_line : int;
+  max_rows : int option;
+  idle_timeout : float option;
+}
+
+let default_limits =
+  { deadline_ns = None; max_line = 65536; max_rows = None; idle_timeout = None }
+
+type event = Line of string | Too_long | Closed | Idle
+
+type reader = {
+  fd : Unix.file_descr;
+  max_line : int;
+  chunk : Bytes.t;
+  mutable pos : int;  (* first unconsumed byte in [chunk] *)
+  mutable len : int;  (* valid bytes in [chunk] *)
+  line : Buffer.t;
+  mutable overflow : bool;  (* discarding an oversized line up to '\n' *)
+}
+
+let chunk_size = 4096
+
+let reader ?(max_line = default_limits.max_line) fd =
+  if max_line < 1 then invalid_arg "Guard.reader: max_line must be positive";
+  {
+    fd;
+    max_line;
+    chunk = Bytes.create chunk_size;
+    pos = 0;
+    len = 0;
+    line = Buffer.create 256;
+    overflow = false;
+  }
+
+let refill r =
+  match Unix.read r.fd r.chunk 0 (Fault.read_cap chunk_size) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO expired with no data: the peer is idle *)
+      `Idle
+  | exception Unix.Unix_error (EINTR, _, _) -> `Retry
+  | exception
+      Unix.Unix_error
+        ((ECONNRESET | EPIPE | EBADF | ENOTCONN | ETIMEDOUT | ESHUTDOWN), _, _)
+    ->
+      `Eof
+  | 0 -> `Eof
+  | n ->
+      r.pos <- 0;
+      r.len <- n;
+      `Ok
+
+let read_line r =
+  let rec scan () =
+    if r.pos >= r.len then
+      match refill r with
+      | `Idle -> Idle
+      | `Eof -> Closed
+      | `Retry | `Ok -> scan ()
+    else begin
+      let i = ref r.pos in
+      while !i < r.len && Bytes.get r.chunk !i <> '\n' do
+        incr i
+      done;
+      let seg = !i - r.pos in
+      if !i < r.len then
+        (* newline at !i: one full line is available *)
+        if (not r.overflow) && Buffer.length r.line + seg <= r.max_line then begin
+          Buffer.add_subbytes r.line r.chunk r.pos seg;
+          r.pos <- !i + 1;
+          let s = Buffer.contents r.line in
+          Buffer.clear r.line;
+          Line s
+        end
+        else begin
+          (* the offending bytes are consumed through the newline, so the
+             connection stays usable for subsequent requests *)
+          r.pos <- !i + 1;
+          Buffer.clear r.line;
+          r.overflow <- false;
+          Too_long
+        end
+      else begin
+        if not r.overflow then
+          if Buffer.length r.line + seg <= r.max_line then
+            Buffer.add_subbytes r.line r.chunk r.pos seg
+          else begin
+            Buffer.clear r.line;
+            r.overflow <- true
+          end;
+        r.pos <- r.len;
+        scan ()
+      end
+    end
+  in
+  scan ()
+
+let accept_backoff attempt =
+  Float.min 1.0 (0.01 *. (2.0 ** float_of_int (max 0 attempt)))

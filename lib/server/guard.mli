@@ -1,0 +1,41 @@
+(** Resource governance for the server: per-session limits and a bounded
+    request-line reader.
+
+    The limits are all opt-in; {!default_limits} reproduces the
+    ungoverned behaviour except for [max_line], which always bounds
+    request-line memory (the reader never buffers more than
+    [max_line + 4096] bytes, where [In_channel.input_line] would buffer
+    the whole line). *)
+
+type limits = {
+  deadline_ns : int option;
+      (** per-request evaluation budget ([EVAL] only); expiry yields
+          [ERR deadline-exceeded] *)
+  max_line : int;  (** max request-line bytes (excluding the newline) *)
+  max_rows : int option;
+      (** max result rows sent per response; excess rows are dropped and
+          the summary gains [truncated=true] *)
+  idle_timeout : float option;
+      (** seconds a connection may sit idle between requests *)
+}
+
+(** No deadline, 64 KiB lines, unlimited rows, no idle timeout. *)
+val default_limits : limits
+
+(** One read event: a complete line (newline stripped), an oversized
+    line (its bytes consumed through the newline, so the connection can
+    continue), end of stream, or an idle timeout (no bytes before
+    [SO_RCVTIMEO] expired). *)
+type event = Line of string | Too_long | Closed | Idle
+
+type reader
+
+(** [reader ?max_line fd] — a buffered bounded line reader over [fd]
+    (raw [Unix.read], 4 KiB chunks). *)
+val reader : ?max_line:int -> Unix.file_descr -> reader
+
+val read_line : reader -> event
+
+(** [accept_backoff attempt] — seconds to sleep before retrying a failed
+    [accept] ([EMFILE]/[ENFILE]/...): [0.01 · 2^attempt], capped at 1s. *)
+val accept_backoff : int -> float

@@ -86,12 +86,12 @@ let analyze requested q =
     tree = Join_tree.of_cq nq;
   }
 
-let evaluate ?family plan db q =
+let evaluate ?budget ?family plan db q =
   match plan.engine with
-  | E_naive -> Paradb_eval.Cq_naive.evaluate db q
-  | E_yannakakis -> Paradb_yannakakis.Yannakakis.evaluate db q
-  | E_comparisons -> Paradb_core.Comparisons.evaluate db q
-  | E_fpt -> Engine.evaluate ?family db q
+  | E_naive -> Paradb_eval.Cq_naive.evaluate ?budget db q
+  | E_yannakakis -> Paradb_yannakakis.Yannakakis.evaluate ?budget db q
+  | E_comparisons -> Paradb_core.Comparisons.evaluate ?budget db q
+  | E_fpt -> Engine.evaluate ?budget ?family db q
 
 let sorted_tuples r =
   List.map Tuple.to_string (List.sort Tuple.compare (Relation.tuples r))

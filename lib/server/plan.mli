@@ -43,9 +43,12 @@ val analyze : engine_kind -> Cq.t -> t
 (** [evaluate plan db q] runs the plan's engine on [q] — which must be
     alpha-equivalent to [plan.query]; the fresh parse is used directly so
     head attribute names are preserved.  [family], when given, overrides
-    the deterministic sweep family of the fpt engine.  Raises the
-    engines' exceptions ([Cyclic_query], [Invalid_argument]) unchanged. *)
+    the deterministic sweep family of the fpt engine.  [budget] is
+    threaded into whichever engine runs; expiry raises
+    {!Paradb_telemetry.Budget.Exhausted}.  Raises the engines'
+    exceptions ([Cyclic_query], [Invalid_argument]) unchanged. *)
 val evaluate :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?family:Paradb_core.Hashing.family -> t -> Database.t -> Cq.t -> Relation.t
 
 (** [sorted_tuples r] — the result rows rendered one per line, sorted

@@ -16,6 +16,7 @@ module Metrics = Paradb_telemetry.Metrics
 let m_hits = Metrics.counter "server.plan_cache.hits"
 let m_misses = Metrics.counter "server.plan_cache.misses"
 let m_evictions = Metrics.counter "server.plan_cache.evictions"
+let m_build_failures = Metrics.counter "server.plan_cache.build_failures"
 
 type t = {
   capacity : int;
@@ -81,7 +82,17 @@ let find_or_build c ~key build =
   match cached with
   | Some plan -> (plan, `Hit)
   | None ->
-      let plan = build () in
+      (* [build] runs outside the lock and may raise ([Plan.analyze] on a
+         hostile query, an injected fault): nothing was inserted yet, so
+         re-raising leaves the table and LRU list untouched — the key
+         stays absent and the next request retries the build. *)
+      let plan =
+        match build () with
+        | exception e ->
+            Metrics.incr m_build_failures;
+            raise e
+        | plan -> plan
+      in
       Mutex.protect c.lock (fun () ->
           match Hashtbl.find_opt c.table key with
           | Some n ->

@@ -21,7 +21,10 @@ val capacity : t -> int
     bumping its recency, or runs [build ()], inserts the result and
     returns it.  [build] runs outside the lock: two sessions racing on a
     cold key may both build; the last insert wins (plans for one key are
-    interchangeable). *)
+    interchangeable).  A raising [build] propagates without inserting
+    anything — the miss is still counted, the
+    [server.plan_cache.build_failures] counter is bumped, and the next
+    request for [key] retries the build. *)
 val find_or_build : t -> key:string -> (unit -> Plan.t) -> Plan.t * [ `Hit | `Miss ]
 
 (** Peek without counting or bumping recency (tests). *)

@@ -12,16 +12,27 @@
     Safety of concurrent sessions rests on three facts: database
     snapshots are immutable (see {!Catalog}), the plan cache and stats
     are mutex-protected, and plans pre-intern query constants per the
-    dictionary's concurrency contract. *)
+    dictionary's concurrency contract.
+
+    Robustness: request lines are read by {!Guard}'s bounded reader
+    (oversized lines answer [ERR] without unbounded buffering), idle
+    connections are reaped via [SO_RCVTIMEO], any exception escaping the
+    dispatcher answers [ERR internal] and leaves the worker alive, and
+    transient [accept] failures ([EMFILE], [ENFILE], ...) retry with
+    exponential backoff instead of killing the domain.  Each condition
+    has a counter: [server.internal_errors], [server.rejected.oversize],
+    [server.idle_closed], [server.accept.retries]. *)
 
 type t
 
-(** [start ?host ?family ~port ~workers ~cache_capacity ()] binds and
-    listens (port [0] picks an ephemeral port — see {!port}) and spawns
-    the worker pool.  [host] defaults to ["127.0.0.1"]. *)
+(** [start ?host ?family ?limits ~port ~workers ~cache_capacity ()]
+    binds and listens (port [0] picks an ephemeral port — see {!port})
+    and spawns the worker pool.  [host] defaults to ["127.0.0.1"];
+    [limits] to {!Guard.default_limits}. *)
 val start :
   ?host:string ->
   ?family:Paradb_core.Hashing.family ->
+  ?limits:Guard.limits ->
   port:int ->
   workers:int ->
   cache_capacity:int ->
@@ -33,10 +44,16 @@ val port : t -> int
 
 val shared : t -> Session.shared
 
-(** [stop t] closes the listening socket and joins every worker; idle
-    workers exit immediately, busy ones after their current session
-    ends.  Idempotent. *)
-val stop : t -> unit
+(** Connections currently being served (tests, shutdown progress). *)
+val active_connections : t -> int
+
+(** [stop ?grace t] shuts down gracefully: stops accepting, lets
+    in-flight sessions finish their current request (counted in
+    [server.shutdown.drained]), and after [grace] seconds (default 0.5)
+    forcibly shuts the sockets of any stragglers (counted in
+    [server.shutdown.aborted]) so every worker can be joined.
+    Idempotent. *)
+val stop : ?grace:float -> t -> unit
 
 (** Block until every worker has exited (i.e. until {!stop} is called
     from a signal handler or another domain). *)

@@ -8,6 +8,9 @@ module Metrics = Paradb_telemetry.Metrics
 module Trace = Paradb_telemetry.Trace
 module Export = Paradb_telemetry.Export
 module Clock = Paradb_telemetry.Clock
+module Budget = Paradb_telemetry.Budget
+
+let m_deadline = Metrics.counter "server.deadline_exceeded"
 
 (* Per-verb latency histograms, prebuilt so the hot path is one assoc
    lookup over a short fixed list.  "invalid" times unparseable lines. *)
@@ -26,14 +29,16 @@ type shared = {
   cache : Plan_cache.t;
   stats : Stats.t;
   family : Paradb_core.Hashing.family option;
+  limits : Guard.limits;
 }
 
-let make_shared ?family ~cache_capacity () =
+let make_shared ?family ?(limits = Guard.default_limits) ~cache_capacity () =
   {
     catalog = Catalog.create ();
     cache = Plan_cache.create ~capacity:cache_capacity ();
     stats = Stats.create ();
     family;
+    limits;
   }
 
 type t = { shared : shared; stats : Stats.t (* this session only *) }
@@ -86,13 +91,24 @@ let do_eval s ~db ~engine ~query =
                 Plan_cache.find_or_build s.shared.cache ~key (fun () ->
                     Plan.analyze kind q)
               in
+              let budget =
+                Option.map
+                  (fun deadline_ns -> Budget.start ~deadline_ns)
+                  s.shared.limits.Guard.deadline_ns
+              in
               let t0 = now_ns () in
-              match Plan.evaluate ?family:s.shared.family plan database q with
+              match
+                Plan.evaluate ?budget ?family:s.shared.family plan database q
+              with
               | exception
                   ( Paradb_yannakakis.Yannakakis.Cyclic_query
                   | Paradb_core.Engine.Cyclic_query ) ->
                   err s "the query hypergraph is cyclic; use engine naive"
               | exception Invalid_argument msg -> err s msg
+              | exception Budget.Exhausted { elapsed_ns; _ } ->
+                  Metrics.incr m_deadline;
+                  err s
+                    (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
               | result ->
                   let ns = now_ns () - t0 in
                   let hit = outcome = `Hit in
@@ -100,13 +116,20 @@ let do_eval s ~db ~engine ~query =
                     ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
                   Stats.record s.stats
                     ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
-                  ok
-                    ~payload:(Plan.sorted_tuples result)
-                    (Printf.sprintf "engine=%s cache=%s rows=%d ns=%d"
+                  let rows = Relation.cardinality result in
+                  let lines = Plan.sorted_tuples result in
+                  let payload, truncated =
+                    match s.shared.limits.Guard.max_rows with
+                    | Some m when rows > m ->
+                        (List.filteri (fun i _ -> i < m) lines, true)
+                    | _ -> (lines, false)
+                  in
+                  ok ~payload
+                    (Printf.sprintf "engine=%s cache=%s rows=%d ns=%d%s"
                        (Plan.engine_name plan.Plan.engine)
                        (if hit then "hit" else "miss")
-                       (Relation.cardinality result)
-                       ns))))
+                       rows ns
+                       (if truncated then " truncated=true" else "")))))
 
 let do_check s query =
   match Source.parse_query query with
@@ -164,6 +187,9 @@ let dispatch s req =
 let handle s req =
   let verb = Protocol.verb_name req in
   Trace.with_span ("server." ^ verb) @@ fun () ->
+  (* deliberately outside the dispatcher's error handling: exercises the
+     server loop's catch-all (chaos tests) *)
+  Fault.injected_raise ();
   let t0 = now_ns () in
   let r = dispatch s req in
   observe_verb verb (now_ns () - t0);

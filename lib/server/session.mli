@@ -12,10 +12,15 @@ type shared = {
   stats : Stats.t;  (** server-wide *)
   family : Paradb_core.Hashing.family option;
       (** fpt-engine hash family override; [None] = deterministic sweep *)
+  limits : Guard.limits;
+      (** resource governance: per-request deadline, result-row cap (the
+          server loop applies the line and idle limits) *)
 }
 
+(** [limits] defaults to {!Guard.default_limits} (governance off). *)
 val make_shared :
-  ?family:Paradb_core.Hashing.family -> cache_capacity:int -> unit -> shared
+  ?family:Paradb_core.Hashing.family ->
+  ?limits:Guard.limits -> cache_capacity:int -> unit -> shared
 
 type t
 
@@ -24,7 +29,13 @@ val create : shared -> t
 
 (** [handle session req] — dispatch one request.  [`Quit] is returned
     for [QUIT] (after its farewell response); every error is an [Err]
-    response, never an exception. *)
+    response, never an exception — except for deliberately injected
+    {!Fault.Injected} faults, which propagate so the server loop's
+    catch-all can be exercised.  An [EVAL] that outlives
+    [limits.deadline_ns] answers [ERR deadline-exceeded after <ns>ns]
+    and bumps [server.deadline_exceeded]; a result wider than
+    [limits.max_rows] is truncated, marked by [truncated=true] in the
+    summary (the [rows=] field keeps the full cardinality). *)
 val handle : t -> Protocol.request -> Protocol.response * [ `Continue | `Quit ]
 
 (** Convenience for tests and the server loop: parse a raw line and

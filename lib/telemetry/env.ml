@@ -11,6 +11,38 @@ let positive_int ~name ~default =
 let domains () =
   positive_int ~name:"PARADB_DOMAINS" ~default:Domain.recommended_domain_count
 
+let faults () =
+  match Sys.getenv_opt "PARADB_FAULTS" with
+  | None -> None
+  | Some raw ->
+      let raw = String.trim raw in
+      if raw = "" then
+        invalid_arg
+          "PARADB_FAULTS: expected a comma-separated key:value fault spec, \
+           got a blank value";
+      let parse_pair kv =
+        match String.split_on_char ':' (String.trim kv) with
+        | [ key; value ] -> (
+            let key = String.trim key and value = String.trim value in
+            if key = "" then
+              invalid_arg "PARADB_FAULTS: empty fault name in spec";
+            match float_of_string_opt value with
+            | Some f when f >= 0.0 -> (key, f)
+            | _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "PARADB_FAULTS: %s: expected a non-negative number, got \
+                      %S"
+                     key value))
+        | _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "PARADB_FAULTS: expected key:value, got %S (example: \
+                  \"short_read:0.1,disconnect:0.05,seed:42\")"
+                 kv)
+      in
+      Some (List.map parse_pair (String.split_on_char ',' raw))
+
 let trace_file () =
   match Sys.getenv_opt "PARADB_TRACE" with
   | None -> None

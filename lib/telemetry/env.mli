@@ -10,7 +10,11 @@
       parallelism ([1] disables the fan-out).  Default:
       [Domain.recommended_domain_count ()].
     - [PARADB_TRACE] — path of the JSONL trace file; setting it turns
-      tracing on (see {!Trace.init_from_env}). *)
+      tracing on (see {!Trace.init_from_env}).
+    - [PARADB_FAULTS] — comma-separated [key:value] fault-injection
+      spec, e.g. ["short_read:0.1,disconnect:0.05,seed:42"]; semantics
+      (the admissible keys and probability ranges) are owned by
+      [Paradb_server.Fault]. *)
 
 val positive_int : name:string -> default:(unit -> int) -> int
 (** Read variable [name] as a positive integer; [default] when unset.
@@ -18,6 +22,12 @@ val positive_int : name:string -> default:(unit -> int) -> int
 
 val domains : unit -> int
 (** [PARADB_DOMAINS], defaulting to [Domain.recommended_domain_count]. *)
+
+val faults : unit -> (string * float) list option
+(** [PARADB_FAULTS] as validated [key:value] pairs ([None] when unset).
+    Raises [Invalid_argument] on a blank value, a pair without a colon,
+    or a negative/non-numeric value.  Key semantics are checked by the
+    consumer ([Paradb_server.Fault]). *)
 
 val trace_file : unit -> string option
 (** [PARADB_TRACE]; raises [Invalid_argument] when set but blank. *)

@@ -4,14 +4,16 @@ module Tuple = Paradb_relational.Tuple
 module Join_tree = Paradb_hypergraph.Join_tree
 module Trace = Paradb_telemetry.Trace
 module Metrics = Paradb_telemetry.Metrics
+module Budget = Paradb_telemetry.Budget
 open Paradb_query
 
 exception Cyclic_query
 
 let m_full_reduce = Metrics.counter "yannakakis.full_reduce"
 
-let atom_relations ?(filter = fun _ -> true) db q =
+let atom_relations ?budget ?(filter = fun _ -> true) db q =
   let per_atom atom =
+    Budget.poll budget;
     let vars = Atom.vars atom in
     let rel = Database.find db atom.Atom.rel in
     (* Accumulate a plain list: [Relation.of_seq] dedups in its hash
@@ -38,32 +40,34 @@ let atom_relations ?(filter = fun _ -> true) db q =
   in
   Array.of_list (List.map per_atom q.Cq.body)
 
-let semijoin_bottom_up tree rels =
+let semijoin_bottom_up ?budget tree rels =
   Trace.with_span "yannakakis.semijoin_bottom_up" @@ fun () ->
   let rels = Array.copy rels in
   Array.iter
     (fun j ->
+      Budget.poll budget;
       let u = tree.Join_tree.parent.(j) in
       if u >= 0 then rels.(u) <- Relation.semijoin rels.(u) rels.(j))
     tree.Join_tree.bottom_up;
   rels
 
-let semijoin_top_down tree rels =
+let semijoin_top_down ?budget tree rels =
   Trace.with_span "yannakakis.semijoin_top_down" @@ fun () ->
   let rels = Array.copy rels in
   Array.iter
     (fun j ->
+      Budget.poll budget;
       let u = tree.Join_tree.parent.(j) in
       if u >= 0 then rels.(j) <- Relation.semijoin rels.(j) rels.(u))
     tree.Join_tree.top_down;
   rels
 
-let full_reducer tree rels =
+let full_reducer ?budget tree rels =
   Metrics.incr m_full_reduce;
-  semijoin_top_down tree (semijoin_bottom_up tree rels)
+  semijoin_top_down ?budget tree (semijoin_bottom_up ?budget tree rels)
 
-let join_nonempty tree rels =
-  let reduced = semijoin_bottom_up tree rels in
+let join_nonempty ?budget tree rels =
+  let reduced = semijoin_bottom_up ?budget tree rels in
   not (Relation.is_empty reduced.(tree.Join_tree.root))
 
 let head_schema q = List.mapi (fun i _ -> Printf.sprintf "a%d" i) q.Cq.head
@@ -89,7 +93,7 @@ let head_rows q proj =
       Tuple.Set.add out acc)
     proj Tuple.Set.empty
 
-let evaluate db q =
+let evaluate ?budget db q =
   if Cq.has_constraints q then
     invalid_arg
       "Yannakakis.evaluate: query has constraint atoms; use Paradb_core";
@@ -110,10 +114,10 @@ let evaluate db q =
       match Join_tree.of_cq q with
       | None -> raise Cyclic_query
       | Some tree ->
-          let rels = atom_relations db q in
+          let rels = atom_relations ?budget db q in
           if Array.exists Relation.is_empty rels then empty_result ()
           else begin
-            let rels = full_reducer tree rels in
+            let rels = full_reducer ?budget tree rels in
             if Relation.is_empty rels.(tree.Join_tree.root) then empty_result ()
             else begin
               let head_vars = Cq.head_vars q in
@@ -124,6 +128,7 @@ let evaluate db q =
               let acc = Array.copy rels in
               Array.iter
                 (fun j ->
+                  Budget.poll budget;
                   let u = tree.Join_tree.parent.(j) in
                   if u >= 0 then begin
                     let connectors =
@@ -152,7 +157,7 @@ let evaluate db q =
             end
           end)
 
-let is_satisfiable db q =
+let is_satisfiable ?budget db q =
   if Cq.has_constraints q then
     invalid_arg
       "Yannakakis.is_satisfiable: query has constraint atoms; use Paradb_core";
@@ -162,11 +167,11 @@ let is_satisfiable db q =
       match Join_tree.of_cq q with
       | None -> raise Cyclic_query
       | Some tree ->
-          let rels = atom_relations db q in
+          let rels = atom_relations ?budget db q in
           (not (Array.exists Relation.is_empty rels))
-          && join_nonempty tree rels)
+          && join_nonempty ?budget tree rels)
 
-let decide db q tuple =
+let decide ?budget db q tuple =
   match Cq.close_with_tuple q tuple with
   | None -> false
-  | Some closed -> is_satisfiable db closed
+  | Some closed -> is_satisfiable ?budget db closed

@@ -15,20 +15,25 @@ exception Cyclic_query
     Theorem-2 engine for intra-atom [≠] atoms) additionally restricts the
     admitted variable instantiations. *)
 val atom_relations :
+  ?budget:Paradb_telemetry.Budget.t ->
   ?filter:(Paradb_query.Binding.t -> bool) ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Relation.t array
 
 (** Bottom-up then top-down semijoin passes over the join tree; the result
     is globally consistent (every tuple participates in the full join).
-    Relations are indexed by tree node. *)
+    Relations are indexed by tree node.  [budget], here and below, is
+    polled once per tree node / per atom
+    ({!Paradb_telemetry.Budget.Exhausted} propagates). *)
 val full_reducer :
+  ?budget:Paradb_telemetry.Budget.t ->
   Paradb_hypergraph.Join_tree.t ->
   Paradb_relational.Relation.t array ->
   Paradb_relational.Relation.t array
 
 (** Emptiness of the full join, via the bottom-up semijoin pass only. *)
 val join_nonempty :
+  ?budget:Paradb_telemetry.Budget.t ->
   Paradb_hypergraph.Join_tree.t ->
   Paradb_relational.Relation.t array -> bool
 
@@ -37,12 +42,15 @@ val join_nonempty :
     [Invalid_argument] if [q] has constraints (use the Theorem-2 engine
     for those). *)
 val evaluate :
+  ?budget:Paradb_telemetry.Budget.t ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Relation.t
 
 val is_satisfiable :
+  ?budget:Paradb_telemetry.Budget.t ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t -> bool
 
 val decide :
+  ?budget:Paradb_telemetry.Budget.t ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Tuple.t -> bool
