@@ -8,7 +8,8 @@
      generate  emit a sample workload as a fact file
      serve     resident TCP query server (catalog + plan cache)
      client    line-protocol client for a running server
-     stats     telemetry snapshot of a running server *)
+     stats     telemetry snapshot of a running server
+     fuzz      differential cross-engine equivalence fuzzing *)
 
 module Relation = Paradb_relational.Relation
 module Database = Paradb_relational.Database
@@ -621,15 +622,189 @@ let stats_cmd =
       $ retries_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+module Oracle = Paradb_oracle.Oracle
+module Oracle_engines = Paradb_oracle.Engines
+module Oracle_gen = Paradb_oracle.Gen
+
+let fuzz_exits =
+  exits
+  @ [ Cmd.Exit.info 2 ~doc:"when cross-engine divergences were found." ]
+
+let cases_arg =
+  Arg.(value & opt int 500
+       & info [ "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+
+let fuzz_seed_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ]
+           ~doc:"Base seed; case $(i,i) draws from an RNG keyed on (seed, i).")
+
+let max_vars_arg =
+  Arg.(value & opt int 8
+       & info [ "max-vars" ] ~docv:"N"
+           ~doc:"Size knob for generated queries (bounds atoms/variables).")
+
+let max_tuples_arg =
+  Arg.(value & opt int 16
+       & info [ "max-tuples" ] ~docv:"N"
+           ~doc:"Upper bound on tuples per generated relation.")
+
+let engines_filter_arg =
+  let doc =
+    Printf.sprintf
+      "Comma-separated subset of engines to compare (default: all).  Known: \
+       %s."
+      (String.concat ", " Oracle_engines.names)
+  in
+  Arg.(value & opt (some string) None
+       & info [ "engines" ] ~docv:"NAMES" ~doc)
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory (created if missing) for shrunk .case files.")
+
+let replay_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay a .case counterexample instead of fuzzing.")
+
+let print_instance (inst : Oracle_gen.instance) =
+  Printf.printf "  %s: %s\n"
+    (match inst.Oracle_gen.shape with
+    | Oracle_gen.Query _ -> "query"
+    | Oracle_gen.Sentence _ -> "sentence")
+    (Oracle_gen.shape_to_string inst.Oracle_gen.shape);
+  String.split_on_char '\n' (Fact_format.to_string inst.Oracle_gen.db)
+  |> List.iter (fun line -> if line <> "" then Printf.printf "  | %s\n" line)
+
+let print_divergence (d : Oracle.divergence) =
+  Printf.printf
+    "divergence: engine=%s case=%d class=%s shrink_steps=%d atoms=%d \
+     tuples=%d\n"
+    d.Oracle.engine d.Oracle.index d.Oracle.label d.Oracle.shrink_steps
+    (Oracle_gen.atoms d.Oracle.shrunk.Oracle_gen.shape)
+    (Oracle_gen.tuple_count d.Oracle.shrunk);
+  print_instance d.Oracle.shrunk;
+  Printf.printf "  expected: %s\n"
+    (Oracle_engines.outcome_to_string d.Oracle.expected);
+  Printf.printf "  got:      %s\n"
+    (Oracle_engines.outcome_to_string d.Oracle.got);
+  Option.iter (Printf.printf "  case file: %s\n") d.Oracle.case_path
+
+let run_replay path =
+  match Oracle.replay path with
+  | exception Sys_error msg | exception Failure msg
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | exception Parser.Parse_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | inst, engine, reference, got, agree ->
+      Printf.printf "replay: engine=%s\n" engine;
+      print_instance inst;
+      Printf.printf "  reference: %s\n"
+        (Oracle_engines.outcome_to_string reference);
+      Printf.printf "  engine:    %s\n"
+        (Oracle_engines.outcome_to_string got);
+      if agree then begin
+        Printf.printf "replay: engines agree — counterexample is stale\n";
+        0
+      end
+      else begin
+        Printf.printf "replay: divergence reproduced\n";
+        2
+      end
+
+let run_fuzz seed cases max_vars max_tuples engines out replay trace =
+  with_trace trace @@ fun () ->
+  match replay with
+  | Some path -> run_replay path
+  | None ->
+      if cases < 1 || max_vars < 1 || max_tuples < 1 then begin
+        Printf.eprintf
+          "error: --cases, --max-vars and --max-tuples must be positive\n";
+        1
+      end
+      else begin
+        let engines =
+          Option.map
+            (fun s ->
+              String.split_on_char ',' s
+              |> List.map String.trim
+              |> List.filter (fun n -> n <> ""))
+            engines
+        in
+        let cfg =
+          { Oracle.seed; cases; max_vars; max_tuples; engines; out_dir = out }
+        in
+        Option.iter
+          (Printf.printf "fuzz: mutation armed: %s\n%!")
+          (Paradb_telemetry.Mutate.active ());
+        let progress i =
+          if (i + 1) mod 1_000 = 0 then
+            Printf.eprintf "fuzz: %d/%d cases\n%!" (i + 1) cases
+        in
+        match Oracle.run ~progress cfg with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | report ->
+            List.iter print_divergence report.Oracle.divergences;
+            Printf.printf
+              "fuzz: seed=%d cases=%d comparisons=%d divergences=%d \
+               shrink_steps=%d\n"
+              seed report.Oracle.cases_run report.Oracle.comparisons
+              (List.length report.Oracle.divergences)
+              report.Oracle.shrink_steps;
+            if report.Oracle.divergences = [] then 0 else 2
+      end
+
+let fuzz_cmd =
+  let doc = "Differential fuzzing: cross-engine equivalence on random instances." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates seeded random (query, database) instances — acyclic and \
+         cyclic conjunctive queries, with and without $(b,!=) and \
+         order-comparison constraints, plus positive first-order sentences \
+         — and runs each through every applicable engine path: the naive \
+         backtracking reference, both join algorithms, Yannakakis, the \
+         Theorem-2 fpt engine (deterministic sweep and Monte-Carlo \
+         colorings), the comparison-preprocessing path, bottom-up Datalog, \
+         the FO evaluator, and a live $(b,paradb serve) round-trip.  \
+         Deterministic engines must reproduce the reference answer set \
+         bit-for-bit; the Monte-Carlo family must produce a subset (its \
+         error is one-sided).";
+      `P
+        "On divergence the instance is shrunk (drop atoms and constraints, \
+         merge variables, drop tuples, collapse domain values) to a minimal \
+         counterexample, printed and — with $(b,--out) — written as a \
+         replayable $(b,.case) file; $(b,--replay) re-checks one.  The \
+         $(b,PARADB_MUTATE) environment variable arms a known single-point \
+         bug (see DESIGN.md §12) so CI can verify the oracle catches it.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man ~exits:fuzz_exits)
+    Term.(
+      const run_fuzz $ fuzz_seed_arg $ cases_arg $ max_vars_arg
+      $ max_tuples_arg $ engines_filter_arg $ out_arg $ replay_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.4.0" ~doc ~exits)
+  Cmd.group (Cmd.info "paradb" ~version:"1.5.0" ~doc ~exits)
     [
       eval_cmd; check_cmd; datalog_cmd; generate_cmd; serve_cmd; client_cmd;
-      stats_cmd;
+      stats_cmd; fuzz_cmd;
     ]
 
 let () =

@@ -160,7 +160,12 @@ let build_task ?budget ?(prereduce = true) db q formula =
         head_vars = Cq.head_vars q;
         name = q.Cq.name;
         separation =
-          SS.cardinal prime_vars + List.length formula_consts;
+          (let k = SS.cardinal prime_vars + List.length formula_consts in
+           (* Mutation hook: under-count the hash range by one; at k = 2
+              that degrades to a single constant coloring, so every I1
+              pair collides and answers vanish. *)
+           if k > 1 && Paradb_telemetry.Mutate.enabled "color_count" then k - 1
+           else k);
       }
 
 let task_dict task = Relation.dict task.base_rels.(0)
@@ -230,13 +235,20 @@ let f_checks task ~proj_attrs ~parent_attrs j u =
     then Some (px, py)
     else None
   in
-  dedup
-    (List.filter_map
-       (fun (x, y) ->
-         match oriented (x, y) with
-         | Some c -> Some c
-         | None -> oriented (y, x))
-       task.pairs)
+  let checks =
+    dedup
+      (List.filter_map
+         (fun (x, y) ->
+           match oriented (x, y) with
+           | Some c -> Some c
+           | None -> oriented (y, x))
+         task.pairs)
+  in
+  (* Mutation hook: lose the first F selection, admitting rows whose
+     colors collide on an I1 pair. *)
+  if Paradb_telemetry.Mutate.enabled "drop_neq" then
+    match checks with [] -> [] | _ :: rest -> rest
+  else checks
 
 (* Evaluate the root formula on a row of colors.  Variables read their
    shadow attribute (decoding the color code); constants are hashed with

@@ -1,0 +1,76 @@
+module Parser = Paradb_query.Parser
+module Fact_format = Paradb_query.Fact_format
+
+type t = {
+  engine : string;
+  shape : Gen.shape;
+  db : Paradb_relational.Database.t;
+}
+
+let write ~dir ~engine ~expected ~got (inst : Gen.instance) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "case-s%d-i%d-%s.case" inst.seed inst.index engine)
+  in
+  Out_channel.with_open_text path (fun oc ->
+      let line fmt = Printf.fprintf oc (fmt ^^ "\n") in
+      line "# paradb fuzz counterexample — replay: paradb fuzz --replay %s"
+        (Filename.basename path);
+      line "# seed %d case %d class %s" inst.seed inst.index inst.label;
+      line "# expected %s" expected;
+      line "# got      %s" got;
+      line "engine %s" engine;
+      (match inst.shape with
+      | Gen.Query q -> line "query %s" (Paradb_query.Cq.to_string q)
+      | Gen.Sentence f -> line "sentence %s" (Paradb_query.Fo.to_string f));
+      line "facts";
+      output_string oc (Fact_format.to_string inst.db));
+  path
+
+let read path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let fail fmt = Printf.ksprintf failwith ("malformed case file: " ^^ fmt) in
+  let strip_prefix p s =
+    let lp = String.length p in
+    if String.length s >= lp && String.sub s 0 lp = p then
+      Some (String.trim (String.sub s lp (String.length s - lp)))
+    else None
+  in
+  let engine = ref None and shape = ref None and facts = ref None in
+  let rec go = function
+    | [] -> ()
+    | line :: rest -> (
+        let line' = String.trim line in
+        if line' = "" || String.length line' > 0 && line'.[0] = '#' then
+          go rest
+        else
+          match strip_prefix "engine" line' with
+          | Some e ->
+              engine := Some e;
+              go rest
+          | None -> (
+              match strip_prefix "query" line' with
+              | Some q ->
+                  shape := Some (Gen.Query (Parser.parse_cq q));
+                  go rest
+              | None -> (
+                  match strip_prefix "sentence" line' with
+                  | Some f ->
+                      shape := Some (Gen.Sentence (Parser.parse_fo f));
+                      go rest
+                  | None ->
+                      if line' = "facts" then
+                        facts :=
+                          Some (Parser.parse_facts (String.concat "\n" rest))
+                      else fail "unexpected line %S" line)))
+  in
+  go lines;
+  match (!engine, !shape, !facts) with
+  | Some engine, Some shape, Some db -> { engine; shape; db }
+  | None, _, _ -> fail "missing 'engine' line"
+  | _, None, _ -> fail "missing 'query' or 'sentence' line"
+  | _, _, None -> fail "missing 'facts' section"
+
+let to_instance c =
+  { Gen.seed = 0; index = 0; label = "replay"; db = c.db; shape = c.shape }

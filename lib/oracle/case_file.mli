@@ -1,0 +1,26 @@
+(** Replayable [.case] counterexample files.
+
+    The format is line-oriented and human-editable: [#] comments (the
+    writer records seed, case class and the two disagreeing outcomes),
+    an [engine <name>] line, a [query <cq>] or [sentence <fo>] line in
+    the repo's standard query syntax, then a [facts] marker followed by
+    the database as fact lines — exactly what [LOAD] accepts. *)
+
+type t = {
+  engine : string;
+  shape : Gen.shape;
+  db : Paradb_relational.Database.t;
+}
+
+(** Write the shrunk instance under [dir] (created if missing) as
+    [case-s<seed>-i<index>-<engine>.case]; returns the path. *)
+val write :
+  dir:string -> engine:string -> expected:string -> got:string ->
+  Gen.instance -> string
+
+(** Parse a [.case] file.  Raises [Failure] on a malformed file and
+    lets {!Paradb_query.Parser.Parse_error} propagate for bad query or
+    fact syntax. *)
+val read : string -> t
+
+val to_instance : t -> Gen.instance

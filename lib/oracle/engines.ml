@@ -1,0 +1,166 @@
+module Cq = Paradb_query.Cq
+module Fo = Paradb_query.Fo
+module Atom = Paradb_query.Atom
+module Rule = Paradb_query.Rule
+module Program = Paradb_query.Program
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+module Hypergraph = Paradb_hypergraph.Hypergraph
+module Cq_naive = Paradb_eval.Cq_naive
+module Join_eval = Paradb_eval.Join_eval
+module Fo_naive = Paradb_eval.Fo_naive
+module Yannakakis = Paradb_yannakakis.Yannakakis
+module Engine = Paradb_core.Engine
+module Comparisons = Paradb_core.Comparisons
+module Ineq = Paradb_core.Ineq
+module Hashing = Paradb_core.Hashing
+module Datalog = Paradb_datalog.Engine
+
+type mode = Exact | Subset
+
+type outcome =
+  | Rows of string list
+  | Sat of bool
+  | Not_applicable
+  | Engine_error of string
+
+type t = {
+  name : string;
+  mode : mode;
+  run : Gen.instance -> outcome;
+}
+
+(* Canonical answer set: sorted tuple strings — the same serialization
+   the server frames in EVAL payloads. *)
+let canon rel =
+  List.map Tuple.to_string (List.sort Tuple.compare (Relation.tuples rel))
+
+let acyclic q = Hypergraph.is_acyclic (Hypergraph.of_cq q)
+
+let reference inst =
+  match inst.Gen.shape with
+  | Gen.Query q -> Rows (canon (Cq_naive.evaluate inst.Gen.db q))
+  | Gen.Sentence f -> Sat (Fo_naive.sentence_holds inst.Gen.db f)
+
+(* [agrees] is where the one-sided engines are handled: a
+   [Random_trials] coloring family may miss answers (probability ~e^-c
+   per answer) but never invents them, so its contract is [Subset], not
+   [Exact]. *)
+let agrees ~mode ~reference got =
+  match (got, reference) with
+  | Not_applicable, _ -> true
+  | Engine_error _, _ -> false
+  | _, Engine_error _ -> false
+  | Rows got, Rows want -> (
+      match mode with
+      | Exact -> got = want
+      | Subset -> List.for_all (fun r -> List.mem r want) got)
+  | Sat b, Rows want -> (
+      match mode with
+      | Exact -> b = (want <> [])
+      | Subset -> (not b) || want <> [])
+  | Sat b, Sat want -> ( match mode with Exact -> b = want | Subset -> (not b) || want)
+  | Rows _, Sat _ | _, Not_applicable -> false
+
+(* Adapter combinators: applicability guards run first (so an engine
+   that cannot take the instance reports [Not_applicable] instead of an
+   error); anything the engine raises past its guard is a finding. *)
+let query_engine ~name ~mode ?(guard = fun _ -> true) f =
+  let run inst =
+    match inst.Gen.shape with
+    | Gen.Sentence _ -> Not_applicable
+    | Gen.Query q ->
+        if not (guard q) then Not_applicable
+        else (
+          try f inst.Gen.db q
+          with e -> Engine_error (Printexc.to_string e))
+  in
+  { name; mode; run }
+
+let sentence_engine ~name f =
+  let run inst =
+    match inst.Gen.shape with
+    | Gen.Query _ -> Not_applicable
+    | Gen.Sentence s -> (
+        try f inst.Gen.db s with e -> Engine_error (Printexc.to_string e))
+  in
+  { name; mode = Exact; run }
+
+let no_constraints q = not (Cq.has_constraints q)
+let acyclic_neq q = acyclic q && Cq.neq_only q
+
+let sweep = Hashing.Multiplicative_sweep
+
+let random_family q seed =
+  let k = max 1 (Ineq.partition q).Ineq.k in
+  Hashing.Random_trials { trials = Hashing.default_trials ~c:3.0 ~k; seed }
+
+(* The goal predicate for the Datalog path; must not collide with the
+   generated EDB names (r1/r2/r3, e). *)
+let datalog_goal = "fz_goal"
+
+let all ?serve () =
+  [
+    query_engine ~name:"naive-unordered" ~mode:Exact (fun db q ->
+        Rows (canon (Cq_naive.evaluate ~order_atoms:false db q)));
+    query_engine ~name:"join-hash" ~mode:Exact (fun db q ->
+        Rows (canon (Join_eval.evaluate ~algorithm:Join_eval.Hash_join db q)));
+    query_engine ~name:"join-merge" ~mode:Exact (fun db q ->
+        Rows (canon (Join_eval.evaluate ~algorithm:Join_eval.Sort_merge db q)));
+    query_engine ~name:"yannakakis" ~mode:Exact
+      ~guard:(fun q -> acyclic q && no_constraints q)
+      (fun db q -> Rows (canon (Yannakakis.evaluate db q)));
+    query_engine ~name:"yannakakis-sat" ~mode:Exact
+      ~guard:(fun q -> acyclic q && no_constraints q)
+      (fun db q -> Sat (Yannakakis.is_satisfiable db q));
+    query_engine ~name:"fpt" ~mode:Exact ~guard:acyclic_neq (fun db q ->
+        Rows (canon (Engine.evaluate ~family:sweep db q)));
+    query_engine ~name:"fpt-sat" ~mode:Exact ~guard:acyclic_neq (fun db q ->
+        Sat (Engine.is_satisfiable ~family:sweep db q));
+    query_engine ~name:"fpt-random" ~mode:Subset ~guard:acyclic_neq
+      (fun db q ->
+        Rows (canon (Engine.evaluate ~family:(random_family q 0x0dd5) db q)));
+    query_engine ~name:"comparisons" ~mode:Exact (fun db q ->
+        Rows (canon (Comparisons.evaluate db q)));
+    query_engine ~name:"datalog" ~mode:Exact
+      ~guard:(fun q -> no_constraints q && q.Cq.body <> [])
+      (fun db q ->
+        let rule = Rule.make (Atom.make datalog_goal q.Cq.head) q.Cq.body in
+        let program = Program.make [ rule ] ~goal:datalog_goal in
+        Rows (canon (Datalog.evaluate db program)));
+    query_engine ~name:"fo-sat" ~mode:Exact ~guard:Cq.neq_only (fun db q ->
+        let boolean =
+          Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:[]
+            q.Cq.body
+        in
+        Sat (Fo_naive.sentence_holds db (Fo.of_boolean_cq boolean)));
+    sentence_engine ~name:"positive-cqs" (fun db f ->
+        Sat
+          (List.exists
+             (fun cq -> Cq_naive.is_satisfiable db cq)
+             (Fo.positive_to_cqs f)));
+  ]
+  @
+  match serve with
+  | None -> []
+  | Some live ->
+      [
+        query_engine ~name:"serve" ~mode:Exact (fun db q ->
+            match Serve.eval live db q with
+            | Ok rows -> Rows rows
+            | Error e -> Engine_error e);
+      ]
+
+(* Every engine name the CLI accepts; "serve" is only instantiated when
+   a live server is wired in. *)
+let names = List.map (fun e -> e.name) (all ()) @ [ "serve" ]
+
+let outcome_to_string = function
+  | Rows rows ->
+      let shown = List.filteri (fun i _ -> i < 8) rows in
+      Printf.sprintf "rows=%d [%s%s]" (List.length rows)
+        (String.concat "; " shown)
+        (if List.length rows > 8 then "; ..." else "")
+  | Sat b -> Printf.sprintf "sat=%b" b
+  | Not_applicable -> "n/a"
+  | Engine_error e -> "error: " ^ e

@@ -1,0 +1,42 @@
+(** The engine registry of the differential oracle: every evaluation
+    path in the repo, wrapped behind one interface with an applicability
+    guard and a comparison contract.
+
+    Contracts: [Exact] engines must reproduce the reference answer set
+    (or satisfiability bit) bit-for-bit; [Subset] engines are allowed to
+    miss answers but never to invent them — the contract of the
+    Monte-Carlo [Random_trials] coloring family, whose error is
+    one-sided. *)
+
+type mode = Exact | Subset
+
+type outcome =
+  | Rows of string list  (** canonical sorted tuple strings *)
+  | Sat of bool
+  | Not_applicable  (** instance outside the engine's guard — skipped *)
+  | Engine_error of string  (** raised past the guard — a finding *)
+
+type t = {
+  name : string;
+  mode : mode;
+  run : Gen.instance -> outcome;
+}
+
+(** The reference path: naive backtracking CQ evaluation
+    ({!Paradb_eval.Cq_naive}) for queries, active-domain FO evaluation
+    for sentences. *)
+val reference : Gen.instance -> outcome
+
+(** [agrees ~mode ~reference got] — does [got] honor its contract
+    against the reference?  [Not_applicable] always agrees;
+    [Engine_error] never does. *)
+val agrees : mode:mode -> reference:outcome -> outcome -> bool
+
+(** All registered engines; the live-server round-trip engine is
+    included only when [serve] is given. *)
+val all : ?serve:Serve.t -> unit -> t list
+
+(** Every acceptable engine name, including ["serve"]. *)
+val names : string list
+
+val outcome_to_string : outcome -> string

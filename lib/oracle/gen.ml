@@ -1,0 +1,124 @@
+module Database = Paradb_relational.Database
+module Generators = Paradb_workload.Generators
+open Paradb_query
+
+type shape = Query of Cq.t | Sentence of Fo.t
+
+type instance = {
+  seed : int;
+  index : int;
+  label : string;
+  db : Database.t;
+  shape : shape;
+}
+
+let classes =
+  [
+    "acyclic";
+    "acyclic-neq";
+    "chain-neq";
+    "cyclic";
+    "acyclic-cmp";
+    "acyclic-mixed";
+    "sentence";
+    "boolean-neq";
+  ]
+
+(* Per-case RNG: independent of every other case, reproducible from
+   (seed, index) alone.  The leading literal keeps the stream disjoint
+   from other [Random.State.make [| seed |]] users. *)
+let case_rng ~seed ~index = Random.State.make [| 0x5eed; seed; index |]
+
+let booleanize q =
+  Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:[] q.Cq.body
+
+(* Chain query with far-apart [<>] pairs — the I1-rich instances the
+   Theorem-2 engine's color separation actually works for. *)
+let chain_instance rng ~max_tuples =
+  let length = 2 + Random.State.int rng 3 in
+  let candidates = [ (0, length); (1, length); (0, length - 1) ] in
+  let neq =
+    List.filter
+      (fun (i, j) -> i < j && Random.State.bool rng)
+      candidates
+  in
+  let neq = if neq = [] then [ (0, length) ] else neq in
+  let nodes = 2 + Random.State.int rng 5 in
+  let edges = 1 + Random.State.int rng max_tuples in
+  let db = Generators.edge_database rng ~nodes ~edges in
+  (db, Generators.chain_query ~length ~neq)
+
+let instance ~seed ~index ~max_vars ~max_tuples =
+  let rng = case_rng ~seed ~index in
+  let label = List.nth classes (index mod List.length classes) in
+  let max_atoms = max 1 (min 4 (max_vars / 2)) in
+  let domain_size = 2 + Random.State.int rng 6 in
+  let tuples = 1 + Random.State.int rng (max 1 max_tuples) in
+  let tree ?(cmp_tries = 0) ~neq_tries () =
+    let q =
+      Generators.random_tree_cq ~cmp_tries rng ~max_atoms ~max_arity:3
+        ~neq_tries ~domain_size
+    in
+    let db =
+      Generators.tree_cq_database rng ~max_arity:3 ~domain_size ~tuples
+    in
+    (db, q)
+  in
+  let db, shape =
+    match label with
+    | "acyclic" ->
+        let db, q = tree ~neq_tries:0 () in
+        (db, Query q)
+    | "acyclic-neq" ->
+        let db, q = tree ~neq_tries:3 () in
+        (db, Query q)
+    | "chain-neq" ->
+        let db, q = chain_instance rng ~max_tuples in
+        (db, Query q)
+    | "cyclic" ->
+        let nodes = 2 + Random.State.int rng 5 in
+        let db = Generators.edge_database rng ~nodes ~edges:tuples in
+        let q =
+          Generators.random_cyclic_cq rng
+            ~cycle:(3 + Random.State.int rng 2)
+            ~neq:(Random.State.bool rng)
+        in
+        (db, Query q)
+    | "acyclic-cmp" ->
+        let db, q = tree ~cmp_tries:2 ~neq_tries:0 () in
+        (db, Query q)
+    | "acyclic-mixed" ->
+        let db, q = tree ~cmp_tries:2 ~neq_tries:2 () in
+        (db, Query q)
+    | "sentence" ->
+        let db =
+          Generators.tree_cq_database rng ~max_arity:2 ~domain_size ~tuples
+        in
+        let f =
+          Generators.random_positive_sentence rng
+            ~relations:[ ("r1", 1); ("r2", 2) ]
+            ~domain_size
+            ~depth:(2 + Random.State.int rng 2)
+        in
+        (db, Sentence f)
+    | _ ->
+        (* boolean-neq *)
+        let db, q = tree ~neq_tries:3 () in
+        (db, Query (booleanize q))
+  in
+  { seed; index; label; db; shape }
+
+let pp_shape ppf = function
+  | Query q -> Cq.pp ppf q
+  | Sentence f -> Fo.pp ppf f
+
+let shape_to_string = function
+  | Query q -> Cq.to_string q
+  | Sentence f -> Fo.to_string f
+
+(* Size of an instance, in the units of the shrink targets. *)
+let atoms = function
+  | Query q -> List.length q.Cq.body
+  | Sentence _ -> 0
+
+let tuple_count inst = Database.size inst.db

@@ -1,0 +1,163 @@
+module Metrics = Paradb_telemetry.Metrics
+module Mutate = Paradb_telemetry.Mutate
+
+let m_cases = Metrics.counter "oracle.cases"
+let m_comparisons = Metrics.counter "oracle.comparisons"
+let m_divergences = Metrics.counter "oracle.divergences"
+
+type config = {
+  seed : int;
+  cases : int;
+  max_vars : int;
+  max_tuples : int;
+  engines : string list option;
+  out_dir : string option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    cases = 500;
+    max_vars = 8;
+    max_tuples = 16;
+    engines = None;
+    out_dir = None;
+  }
+
+type divergence = {
+  engine : string;
+  index : int;
+  label : string;
+  expected : Engines.outcome;
+  got : Engines.outcome;
+  shrunk : Gen.instance;
+  shrink_steps : int;
+  case_path : string option;
+}
+
+type report = {
+  cases_run : int;
+  comparisons : int;
+  divergences : divergence list;
+  shrink_steps : int;
+}
+
+let validate_engine_names names =
+  List.iter
+    (fun n ->
+      if not (List.mem n Engines.names) then
+        invalid_arg
+          (Printf.sprintf "unknown engine %S (known: %s)" n
+             (String.concat ", " Engines.names)))
+    names
+
+(* Per-query trial fan-out is pure overhead on thousands of tiny
+   instances; keep the engine sequential unless the caller insists. *)
+let pin_domains () =
+  if Sys.getenv_opt "PARADB_DOMAINS" = None then Unix.putenv "PARADB_DOMAINS" "1"
+
+let wanted cfg name =
+  match cfg.engines with None -> true | Some names -> List.mem name names
+
+(* Rerun one engine against the reference on a candidate instance — the
+   shrinker's divergence predicate.  Outcomes that move out of the
+   engine's applicability (a merge making the query cyclic, say) read as
+   agreement, so shrinking never wanders outside the engine's domain. *)
+let check_one (engine : Engines.t) inst =
+  let reference = Engines.reference inst in
+  let got = engine.run inst in
+  (reference, got, Engines.agrees ~mode:engine.mode ~reference got)
+
+let run ?(progress = fun _ -> ()) cfg =
+  Option.iter validate_engine_names cfg.engines;
+  Mutate.validate ();
+  pin_domains ();
+  let with_serve = wanted cfg "serve" in
+  let serve = if with_serve then Some (Serve.start ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Serve.stop serve) @@ fun () ->
+  let engines =
+    List.filter (fun (e : Engines.t) -> wanted cfg e.name)
+      (Engines.all ?serve ())
+  in
+  let divergences = ref [] in
+  let comparisons = ref 0 in
+  let shrink_total = ref 0 in
+  for index = 0 to cfg.cases - 1 do
+    progress index;
+    Metrics.incr m_cases;
+    let inst =
+      Gen.instance ~seed:cfg.seed ~index ~max_vars:cfg.max_vars
+        ~max_tuples:cfg.max_tuples
+    in
+    let reference = Engines.reference inst in
+    List.iter
+      (fun (engine : Engines.t) ->
+        let got = engine.run inst in
+        if got <> Engines.Not_applicable then begin
+          incr comparisons;
+          Metrics.incr m_comparisons;
+          if not (Engines.agrees ~mode:engine.mode ~reference got) then begin
+            Metrics.incr m_divergences;
+            let diverges cand =
+              let _, _, ok = check_one engine cand in
+              not ok
+            in
+            let shrunk, steps = Shrink.minimize ~diverges inst in
+            shrink_total := !shrink_total + steps;
+            let expected, got =
+              let reference, got, _ = check_one engine shrunk in
+              (reference, got)
+            in
+            let case_path =
+              Option.map
+                (fun dir ->
+                  Case_file.write ~dir ~engine:engine.name
+                    ~expected:(Engines.outcome_to_string expected)
+                    ~got:(Engines.outcome_to_string got) shrunk)
+                cfg.out_dir
+            in
+            divergences :=
+              {
+                engine = engine.name;
+                index;
+                label = inst.Gen.label;
+                expected;
+                got;
+                shrunk;
+                shrink_steps = steps;
+                case_path;
+              }
+              :: !divergences
+          end
+        end)
+      engines
+  done;
+  {
+    cases_run = cfg.cases;
+    comparisons = !comparisons;
+    divergences = List.rev !divergences;
+    shrink_steps = !shrink_total;
+  }
+
+(* Replay a [.case] file: rebuild the instance, rerun its engine (and,
+   for "serve", a fresh in-process server) against the reference. *)
+let replay path =
+  Mutate.validate ();
+  pin_domains ();
+  let case = Case_file.read path in
+  let inst = Case_file.to_instance case in
+  let with_serve = case.Case_file.engine = "serve" in
+  let serve = if with_serve then Some (Serve.start ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Serve.stop serve) @@ fun () ->
+  match
+    List.find_opt
+      (fun (e : Engines.t) -> e.name = case.Case_file.engine)
+      (Engines.all ?serve ())
+  with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "case file names unknown engine %S"
+           case.Case_file.engine)
+  | Some engine ->
+      let reference, got, ok = check_one engine inst in
+      (inst, engine.name, reference, got, ok)

@@ -1,0 +1,42 @@
+module Server = Paradb_server.Server
+module Client = Paradb_server.Client
+module Protocol = Paradb_server.Protocol
+module Fact_format = Paradb_query.Fact_format
+
+type t = {
+  server : Server.t;
+  client : Client.t;
+  facts_path : string;
+}
+
+(* The round-trip is strictly synchronous — one LOAD, one EVAL, one
+   response each — so the oracle's main loop never races the worker
+   domains on the dictionary (interning happens on the server side of
+   the wire). *)
+let start () =
+  let server = Server.start ~port:0 ~workers:2 ~cache_capacity:64 () in
+  let client =
+    Client.connect ~timeout:30.0 ~retries:3 ~port:(Server.port server) ()
+  in
+  let facts_path = Filename.temp_file "paradb_fuzz" ".facts" in
+  { server; client; facts_path }
+
+let stop t =
+  (try Client.close t.client with _ -> ());
+  (try Server.stop t.server with _ -> ());
+  try Sys.remove t.facts_path with _ -> ()
+
+let eval t db q =
+  Out_channel.with_open_text t.facts_path (fun oc ->
+      Fact_format.print oc db);
+  match
+    Client.request_line t.client (Printf.sprintf "LOAD fz %s" t.facts_path)
+  with
+  | Protocol.Err e -> Error ("LOAD: " ^ e)
+  | Protocol.Ok_ _ -> (
+      match
+        Client.request_line t.client
+          ("EVAL fz auto " ^ Paradb_query.Cq.to_string q)
+      with
+      | Protocol.Err e -> Error ("EVAL: " ^ e)
+      | Protocol.Ok_ { payload; _ } -> Ok payload)

@@ -1,0 +1,17 @@
+(** A live [paradb serve] instance as an oracle engine: every case is
+    round-tripped over the wire protocol (LOAD of a fact file, then an
+    EVAL with the [auto] engine) and the framed payload — already the
+    canonical sorted answer set — is compared against the reference. *)
+
+type t
+
+(** Start an in-process server on an ephemeral port and connect. *)
+val start : unit -> t
+
+val stop : t -> unit
+
+(** [eval t db q] — sorted answer rows, or [Error] carrying the server's
+    [ERR] reply. *)
+val eval :
+  t -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  (string list, string) result

@@ -1,0 +1,158 @@
+module Cq = Paradb_query.Cq
+module Term = Paradb_query.Term
+module Constr = Paradb_query.Constr
+module Atom = Paradb_query.Atom
+module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
+module Value = Paradb_relational.Value
+module Metrics = Paradb_telemetry.Metrics
+
+let m_steps = Metrics.counter "oracle.shrink_steps"
+
+(* Rebuild a database applying [f] to every cell. *)
+let map_db f db =
+  Database.of_relations
+    (List.map
+       (fun r ->
+         Relation.create ~name:(Relation.name r)
+           ~schema:(Relation.schema_list r)
+           (List.map (Array.map f) (Relation.tuples r)))
+       (Database.relations db))
+
+(* Candidate moves.  Every move must keep the instance well-formed:
+   [Cq.make] re-validates safety (head and constraint variables bound in
+   the body), so moves that would break it are simply skipped; relations
+   are never emptied (a fact file cannot express an empty relation, so a
+   replayed [.case] must not need one). *)
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+let rebuild q ?(head = q.Cq.head) ?(constraints = q.Cq.constraints)
+    ?(body = q.Cq.body) () =
+  match Cq.make ~name:q.Cq.name ~constraints ~head body with
+  | q' -> Some q'
+  | exception Invalid_argument _ -> None
+
+let drop_constraints q =
+  List.mapi
+    (fun i _ -> rebuild q ~constraints:(remove_nth i q.Cq.constraints) ())
+    q.Cq.constraints
+  |> List.filter_map Fun.id
+
+let drop_atoms q =
+  if List.length q.Cq.body <= 1 then []
+  else
+    List.mapi (fun i _ -> rebuild q ~body:(remove_nth i q.Cq.body) ()) q.Cq.body
+    |> List.filter_map Fun.id
+
+let merge_vars q =
+  let vars = Cq.vars q in
+  List.concat_map
+    (fun x ->
+      List.filter_map
+        (fun y ->
+          if x = y then None
+          else
+            match Cq.rename (fun v -> if v = x then y else v) q with
+            | q' -> Some q'
+            | exception Invalid_argument _ -> None)
+        vars)
+    vars
+
+let query_moves inst q =
+  List.map
+    (fun q' -> { inst with Gen.shape = Gen.Query q' })
+    (drop_constraints q @ drop_atoms q @ merge_vars q)
+
+let drop_tuples inst =
+  let db = inst.Gen.db in
+  List.concat_map
+    (fun r ->
+      let tuples = Relation.tuples r in
+      if List.length tuples <= 1 then []
+      else
+        List.mapi
+          (fun i _ ->
+            let r' =
+              Relation.create ~name:(Relation.name r)
+                ~schema:(Relation.schema_list r)
+                (remove_nth i tuples)
+            in
+            let db' =
+              Database.of_relations
+                (List.map
+                   (fun s ->
+                     if Relation.name s = Relation.name r then r' else s)
+                   (Database.relations db))
+            in
+            { inst with Gen.db = db' })
+          tuples)
+    (Database.relations db)
+
+(* Collapse the value domain: try rewriting each non-minimal value to
+   the minimum, consistently across the database and the query's
+   constants. *)
+let merge_values inst =
+  let values = Value.Set.elements (Database.domain inst.Gen.db) in
+  match values with
+  | [] | [ _ ] -> []
+  | lo :: rest ->
+      List.filter_map
+        (fun v ->
+          let subst c = if Value.equal c v then lo else c in
+          let db' = map_db subst inst.Gen.db in
+          let map_term = function
+            | Term.Const c -> Term.Const (subst c)
+            | t -> t
+          in
+          let shape' =
+            match inst.Gen.shape with
+            | Gen.Query q -> (
+                let body =
+                  List.map
+                    (fun a ->
+                      Atom.make a.Atom.rel (List.map map_term a.Atom.args))
+                    q.Cq.body
+                and head = List.map map_term q.Cq.head
+                and constraints =
+                  List.map
+                    (fun c ->
+                      {
+                        Constr.op = c.Constr.op;
+                        lhs = map_term c.Constr.lhs;
+                        rhs = map_term c.Constr.rhs;
+                      })
+                    q.Cq.constraints
+                in
+                match Cq.make ~name:q.Cq.name ~constraints ~head body with
+                | q' -> Some (Gen.Query q')
+                | exception Invalid_argument _ -> None)
+            | Gen.Sentence _ as s -> Some s
+          in
+          Option.map
+            (fun shape' -> { inst with Gen.db = db'; Gen.shape = shape' })
+            shape')
+        rest
+
+let candidates inst =
+  let shape_moves =
+    match inst.Gen.shape with
+    | Gen.Query q -> query_moves inst q
+    | Gen.Sentence _ -> []
+  in
+  shape_moves @ drop_tuples inst @ merge_values inst
+
+(* Greedy first-improvement descent to a fixpoint: any candidate that
+   still diverges becomes the new instance.  [max_steps] is a backstop,
+   not a tuning knob — instances are a handful of atoms and tuples. *)
+let minimize ?(max_steps = 1_000) ~diverges inst =
+  let rec go inst steps =
+    if steps >= max_steps then (inst, steps)
+    else
+      match List.find_opt diverges (candidates inst) with
+      | None -> (inst, steps)
+      | Some smaller ->
+          Metrics.incr m_steps;
+          go smaller (steps + 1)
+  in
+  go inst 0

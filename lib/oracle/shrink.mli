@@ -1,0 +1,17 @@
+(** Counterexample shrinking: greedy first-improvement descent over the
+    classic reduction moves — drop a constraint, drop an atom, merge two
+    variables, drop a tuple, collapse a domain value into the minimum —
+    accepting any candidate on which [diverges] still holds, until no
+    move applies.
+
+    Moves preserve well-formedness: [Cq.make] re-validates safety and
+    relations are never emptied (fact files cannot express empty
+    relations, so replayed cases must not need them). *)
+
+val minimize :
+  ?max_steps:int ->
+  diverges:(Gen.instance -> bool) ->
+  Gen.instance ->
+  Gen.instance * int
+(** Returns the shrunk instance and the number of accepted shrink steps
+    (also counted on the [oracle.shrink_steps] telemetry counter). *)

@@ -276,13 +276,13 @@ let rec pp ppf = function
       Format.fprintf ppf "(%a)"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
-           pp)
+           pp_operand)
         fs
   | Or fs ->
       Format.fprintf ppf "(%a)"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
-           pp)
+           pp_operand)
         fs
   | Exists (xs, f) ->
       Format.fprintf ppf "exists %s. %a" (String.concat " " xs) pp f
@@ -293,5 +293,13 @@ and pp_delimited ppf f =
   match f with
   | True | False | Rel _ | Not _ -> pp ppf f
   | _ -> Format.fprintf ppf "(%a)" pp f
+
+(* A quantifier printed bare inside an [&]/[|] list would re-parse with
+   its scope extended over the rest of the list (the parser takes the
+   longest body); parenthesize so [to_string] round-trips exactly. *)
+and pp_operand ppf f =
+  match f with
+  | Exists _ | Forall _ -> Format.fprintf ppf "(%a)" pp f
+  | _ -> pp ppf f
 
 let to_string f = Format.asprintf "%a" pp f

@@ -38,6 +38,12 @@ let retriable = function
       true
   | _ -> false
 
+(* Private RNG for backoff jitter: the global [Random] state is left
+   untouched so library users (and the deterministic generators in
+   [Paradb_workload]) never see their random streams perturbed by a
+   reconnect. *)
+let jitter_rng = lazy (Random.State.make_self_init ())
+
 let connect ?host ?timeout ?(retries = 0) ?(backoff = 0.05) ~port () =
   let rec go attempt =
     match connect_once ?host ?timeout ~port () with
@@ -45,7 +51,7 @@ let connect ?host ?timeout ?(retries = 0) ?(backoff = 0.05) ~port () =
     | exception e when retriable e && attempt < retries ->
         (* exponential backoff with jitter in [0.5, 1.5) so synchronized
            clients don't re-stampede a recovering server *)
-        let jitter = 0.5 +. Random.float 1.0 in
+        let jitter = 0.5 +. Random.State.float (Lazy.force jitter_rng) 1.0 in
         Unix.sleepf (backoff *. (2.0 ** float_of_int attempt) *. jitter);
         go (attempt + 1)
   in

@@ -86,6 +86,12 @@ let write_response oc r =
     (response_to_lines r);
   flush oc
 
+(* A defensive ceiling on OK-n frames: a hostile or corrupted peer must
+   not be able to park the client in a [List.init n] read loop with an
+   absurd count.  Far above any legitimate result (the server truncates
+   at --max-rows), far below overflow territory. *)
+let max_payload_lines = 10_000_000
+
 let read_response ic =
   match In_channel.input_line ic with
   | None -> None
@@ -97,6 +103,13 @@ let read_response ic =
           let count, summary = split_word rest in
           match int_of_string_opt count with
           | None -> failwith ("malformed response line: " ^ line)
+          | Some n when n < 0 ->
+              failwith ("negative payload count in response: " ^ line)
+          | Some n when n > max_payload_lines ->
+              failwith
+                (Printf.sprintf
+                   "oversized payload count in response (%d > %d): %s" n
+                   max_payload_lines line)
           | Some n ->
               let payload =
                 List.init n (fun _ ->

@@ -54,8 +54,15 @@ val request_to_line : request -> string
     flushing at the end. *)
 val write_response : out_channel -> response -> unit
 
+(** Defensive ceiling on the [OK <n>] payload count accepted by
+    {!read_response} — far above any legitimate result, far below what
+    would let a hostile peer park a client in the read loop. *)
+val max_payload_lines : int
+
 (** [read_response ic] reads one framed response; [None] on EOF.
-    Raises [Failure] on a malformed framing line. *)
+    Raises [Failure] on a malformed framing line — including a negative
+    or implausibly large ([> 10^7]) [OK-n] payload count — and on a
+    mid-frame EOF (fewer than [n] payload lines before disconnect). *)
 val read_response : in_channel -> response option
 
 val response_to_lines : response -> string list

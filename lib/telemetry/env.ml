@@ -43,6 +43,16 @@ let faults () =
       in
       Some (List.map parse_pair (String.split_on_char ',' raw))
 
+let mutation () =
+  (* Re-read on every call (no caching): the mutation-smoke tests toggle
+     the variable with [Unix.putenv] inside one process, and the hook
+     sites run once per pass/per trial, not per tuple. *)
+  match Sys.getenv_opt "PARADB_MUTATE" with
+  | None -> None
+  | Some raw ->
+      let name = String.trim raw in
+      if name = "" then None else Some name
+
 let trace_file () =
   match Sys.getenv_opt "PARADB_TRACE" with
   | None -> None

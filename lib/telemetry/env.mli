@@ -14,7 +14,10 @@
     - [PARADB_FAULTS] — comma-separated [key:value] fault-injection
       spec, e.g. ["short_read:0.1,disconnect:0.05,seed:42"]; semantics
       (the admissible keys and probability ranges) are owned by
-      [Paradb_server.Fault]. *)
+      [Paradb_server.Fault].
+    - [PARADB_MUTATE] — name of a single-point bug to inject (the
+      differential oracle's mutation-smoke hook); the admissible names
+      are owned by {!Mutate}. *)
 
 val positive_int : name:string -> default:(unit -> int) -> int
 (** Read variable [name] as a positive integer; [default] when unset.
@@ -31,3 +34,7 @@ val faults : unit -> (string * float) list option
 
 val trace_file : unit -> string option
 (** [PARADB_TRACE]; raises [Invalid_argument] when set but blank. *)
+
+val mutation : unit -> string option
+(** [PARADB_MUTATE]; [None] when unset or blank.  Re-read on every call
+    so tests can toggle mutants in-process. *)

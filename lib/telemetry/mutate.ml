@@ -1,0 +1,24 @@
+let known =
+  [
+    ("semijoin_off_by_one",
+     "skip the first semijoin of the Yannakakis bottom-up pass");
+    ("drop_neq",
+     "drop the first fused <> check (the F selection of Algorithm 1)");
+    ("color_count",
+     "under-count the hash range k (separation parameter) by one");
+  ]
+
+let known_names = List.map fst known
+
+let enabled name = Env.mutation () = Some name
+
+let active = Env.mutation
+
+let validate () =
+  match Env.mutation () with
+  | None -> ()
+  | Some name when List.mem_assoc name known -> ()
+  | Some name ->
+      invalid_arg
+        (Printf.sprintf "PARADB_MUTATE: unknown mutant %S (known: %s)" name
+           (String.concat ", " known_names))

@@ -1,0 +1,27 @@
+(** Seeded single-point bug injection for the differential oracle's
+    mutation-smoke suite (see DESIGN.md §12).
+
+    Setting [PARADB_MUTATE=<name>] arms exactly one known mutant; the
+    engines poll {!enabled} at their hook sites and flip a single
+    decision.  The point is not to model realistic bugs but to prove the
+    oracle in [lib/oracle] has teeth: CI asserts every mutant is caught
+    and shrunk within a bounded number of fuzz cases.  With the variable
+    unset every hook is inert and costs one [getenv] per engine pass. *)
+
+val known : (string * string) list
+(** Mutant name → one-line description of the injected bug. *)
+
+val known_names : string list
+
+val enabled : string -> bool
+(** [enabled name] — is mutant [name] armed via [PARADB_MUTATE]?  The
+    environment is re-read on every call so tests can toggle mutants
+    in-process with [Unix.putenv]. *)
+
+val active : unit -> string option
+(** The armed mutant, if any (not validated against {!known}). *)
+
+val validate : unit -> unit
+(** Raises [Invalid_argument] if [PARADB_MUTATE] names an unknown
+    mutant — called once by [paradb fuzz] so typos fail loudly instead
+    of fuzzing an unmutated binary. *)

@@ -38,12 +38,165 @@ let two_cycle_database ~pairs =
     [ Relation.create ~name:"e" ~schema:[ "a"; "b" ] rows ]
 
 let chain_query ~length ~neq =
-  let var i = Term.var (Printf.sprintf "x%d" i) in
+  let var i = Term.var (Printf.sprintf "X%d" i) in
   let body =
     List.init length (fun i -> Atom.make "e" [ var i; var (i + 1) ])
   in
   let constraints = List.map (fun (i, j) -> Constr.neq (var i) (var j)) neq in
   Cq.make ~constraints ~head:[ var 0; var length ] body
+
+(* A random acyclic conjunctive query, acyclic by construction: each new
+   atom shares exactly one variable with the variables introduced so far
+   (so the atom hypergraph is a tree of "ears").  Relations are named by
+   arity: r1, r2, r3.  [neq_tries] / [cmp_tries] attempt that many
+   random [<>] / [<], [<=] constraints (some attempts are no-ops, so the
+   counts are upper bounds). *)
+let random_tree_cq ?(cmp_tries = 0) rng ~max_atoms ~max_arity ~neq_tries
+    ~domain_size =
+  let n_atoms = 1 + Random.State.int rng max_atoms in
+  let fresh = ref 0 in
+  let new_var () =
+    incr fresh;
+    Printf.sprintf "V%d" (!fresh - 1)
+  in
+  let all_vars = ref [] in
+  let atoms = ref [] in
+  for i = 0 to n_atoms - 1 do
+    let arity = 1 + Random.State.int rng max_arity in
+    let shared =
+      if i = 0 then new_var ()
+      else List.nth !all_vars (Random.State.int rng (List.length !all_vars))
+    in
+    let rest =
+      List.init (arity - 1) (fun _ ->
+          (* occasionally a constant or a repeated variable *)
+          match Random.State.int rng 6 with
+          | 0 -> Term.int (Random.State.int rng domain_size)
+          | 1 when !all_vars <> [] -> Term.var shared
+          | _ -> Term.var (new_var ()))
+    in
+    let args = Term.var shared :: rest in
+    let name = Printf.sprintf "r%d" arity in
+    atoms := Atom.make name args :: !atoms;
+    List.iter
+      (fun v -> if not (List.mem v !all_vars) then all_vars := v :: !all_vars)
+      (Term.vars args)
+  done;
+  let vars = Array.of_list !all_vars in
+  let nv = Array.length vars in
+  let constraints = ref [] in
+  for _ = 1 to neq_tries do
+    match Random.State.int rng 3 with
+    | 0 when nv >= 2 ->
+        let a = Random.State.int rng nv and b = Random.State.int rng nv in
+        if a <> b then
+          constraints :=
+            Constr.neq (Term.var vars.(a)) (Term.var vars.(b)) :: !constraints
+    | 1 ->
+        let a = Random.State.int rng nv in
+        constraints :=
+          Constr.neq (Term.var vars.(a))
+            (Term.int (Random.State.int rng domain_size))
+          :: !constraints
+    | _ -> ()
+  done;
+  for _ = 1 to cmp_tries do
+    let op = if Random.State.bool rng then Constr.lt else Constr.le in
+    match Random.State.int rng 3 with
+    | 0 when nv >= 2 ->
+        let a = Random.State.int rng nv and b = Random.State.int rng nv in
+        if a <> b then
+          constraints :=
+            op (Term.var vars.(a)) (Term.var vars.(b)) :: !constraints
+    | 1 ->
+        let a = Random.State.int rng nv in
+        let c = Term.int (Random.State.int rng domain_size) in
+        let v = Term.var vars.(a) in
+        constraints :=
+          (if Random.State.bool rng then op v c else op c v) :: !constraints
+    | _ -> ()
+  done;
+  let head_vars =
+    List.filteri (fun i _ -> i mod 2 = 0) (Array.to_list vars)
+  in
+  Cq.make ~constraints:!constraints
+    ~head:(List.map Term.var head_vars)
+    !atoms
+
+(* Database matching the r1/r2/r3 schema of [random_tree_cq]; every
+   relation gets an independent random cardinality in [1, tuples]. *)
+let tree_cq_database rng ~max_arity ~domain_size ~tuples =
+  let relation i =
+    let name = Printf.sprintf "r%d" (i + 1) and arity = i + 1 in
+    let rows =
+      List.init
+        (1 + Random.State.int rng tuples)
+        (fun _ ->
+          Array.init arity (fun _ ->
+              Value.Int (Random.State.int rng domain_size)))
+    in
+    Relation.create ~name
+      ~schema:(List.init arity (Printf.sprintf "a%d"))
+      rows
+  in
+  Database.of_relations (List.init max_arity relation)
+
+(* A cyclic query over the binary ["e"] relation: a k-cycle of edge
+   atoms (its hypergraph has no ears, so GYO rejects it), plus an
+   optional random [<>]. *)
+let random_cyclic_cq rng ~cycle ~neq =
+  let cycle = max 3 cycle in
+  let var i = Term.var (Printf.sprintf "C%d" i) in
+  let body =
+    List.init cycle (fun i -> Atom.make "e" [ var i; var ((i + 1) mod cycle) ])
+  in
+  let constraints =
+    if neq then
+      let a = Random.State.int rng cycle in
+      let b = (a + 1 + Random.State.int rng (cycle - 1)) mod cycle in
+      [ Constr.neq (var a) (var b) ]
+    else []
+  in
+  Cq.make ~constraints ~head:[ var 0 ] body
+
+(* Random positive FO sentence over the given [(name, arity)] relations:
+   closed by construction (every variable is generated under its
+   quantifier). *)
+let random_positive_sentence rng ~relations ~domain_size ~depth =
+  let rels = Array.of_list relations in
+  let bound = ref [] in
+  let fresh = ref 0 in
+  let rec go depth =
+    if depth = 0 || (Random.State.int rng 3 = 0 && !bound <> []) then begin
+      let name, arity = rels.(Random.State.int rng (Array.length rels)) in
+      let args =
+        List.init arity (fun _ ->
+            if !bound <> [] && Random.State.bool rng then
+              Term.var
+                (List.nth !bound (Random.State.int rng (List.length !bound)))
+            else Term.int (Random.State.int rng domain_size))
+      in
+      Fo.atom name args
+    end
+    else
+      match Random.State.int rng 3 with
+      | 0 ->
+          let width = 2 + Random.State.int rng 2 in
+          Fo.conj (List.init width (fun _ -> go (depth - 1)))
+      | 1 ->
+          let width = 2 + Random.State.int rng 2 in
+          Fo.disj (List.init width (fun _ -> go (depth - 1)))
+      | _ ->
+          let x =
+            incr fresh;
+            Printf.sprintf "Q%d" !fresh
+          in
+          bound := x :: !bound;
+          let body = go (depth - 1) in
+          bound := List.tl !bound;
+          Fo.exists [ x ] body
+  in
+  go depth
 
 let employees_multi_project rng ~employees ~projects ~assignments =
   let rows =

@@ -25,6 +25,40 @@ val chain_query :
     experiment. *)
 val two_cycle_database : pairs:int -> Paradb_relational.Database.t
 
+(** {1 Random query generators}
+
+    Shared by the test suites' [Qgen] and the differential oracle
+    ([lib/oracle]).  Everything takes an explicit [Random.State.t]: a
+    fixed seed reproduces the same instance on any domain, in any
+    process. *)
+
+(** A random acyclic CQ over relations [r1 .. r{max_arity}] (named by
+    arity), acyclic by ear construction.  [neq_tries] / [cmp_tries]
+    (default 0) are upper bounds on random [<>] / [<], [<=]
+    constraints. *)
+val random_tree_cq :
+  ?cmp_tries:int ->
+  Random.State.t -> max_atoms:int -> max_arity:int -> neq_tries:int ->
+  domain_size:int -> Paradb_query.Cq.t
+
+(** A database matching {!random_tree_cq}'s [r1 .. r{max_arity}]
+    schema. *)
+val tree_cq_database :
+  Random.State.t -> max_arity:int -> domain_size:int -> tuples:int ->
+  Paradb_relational.Database.t
+
+(** A [cycle]-cycle of ["e"] atoms ([cycle] clamped to >= 3; the
+    hypergraph is cyclic, so GYO rejects it), optionally with one random
+    [<>] between cycle variables. *)
+val random_cyclic_cq :
+  Random.State.t -> cycle:int -> neq:bool -> Paradb_query.Cq.t
+
+(** A random closed positive FO sentence over the given [(name, arity)]
+    relations. *)
+val random_positive_sentence :
+  Random.State.t -> relations:(string * int) list -> domain_size:int ->
+  depth:int -> Paradb_query.Fo.t
+
 (** {1 The paper's example scenarios} *)
 
 (** "Find the employees that work on more than one project":

@@ -43,11 +43,19 @@ let atom_relations ?budget ?(filter = fun _ -> true) db q =
 let semijoin_bottom_up ?budget tree rels =
   Trace.with_span "yannakakis.semijoin_bottom_up" @@ fun () ->
   let rels = Array.copy rels in
+  (* Mutation hook: skip the first semijoin of the pass, leaving the
+     reduction one edge short — [join_nonempty] then trusts a root that
+     was never filtered against that subtree. *)
+  let skip =
+    ref (if Paradb_telemetry.Mutate.enabled "semijoin_off_by_one" then 1 else 0)
+  in
   Array.iter
     (fun j ->
       Budget.poll budget;
       let u = tree.Join_tree.parent.(j) in
-      if u >= 0 then rels.(u) <- Relation.semijoin rels.(u) rels.(j))
+      if u >= 0 then
+        if !skip > 0 then decr skip
+        else rels.(u) <- Relation.semijoin rels.(u) rels.(j))
     tree.Join_tree.bottom_up;
   rels
 

@@ -1,12 +1,14 @@
 (* Random instance generators shared by the test suites.  All take an
-   explicit [Random.State.t] so failures are reproducible from the seed. *)
+   explicit [Random.State.t] so failures are reproducible from the seed.
 
-module Database = Paradb_relational.Database
+   The query/database generators live in [Paradb_workload.Generators]
+   (shared with the differential oracle); only the circuit generator and
+   the QCheck seed adapter are test-specific. *)
+
+module Generators = Paradb_workload.Generators
 module Relation = Paradb_relational.Relation
 module Value = Paradb_relational.Value
-module Graph = Paradb_graph.Graph
 module Circuit = Paradb_wsat.Circuit
-open Paradb_query
 
 let random_relation rng ~name ~arity ~domain_size ~tuples =
   let rows =
@@ -16,77 +18,21 @@ let random_relation rng ~name ~arity ~domain_size ~tuples =
   Relation.create ~name ~schema:(List.init arity (Printf.sprintf "a%d")) rows
 
 let random_database rng ~schema ~domain_size ~tuples =
-  Database.of_relations
+  Paradb_relational.Database.of_relations
     (List.map
        (fun (name, arity) ->
          random_relation rng ~name ~arity ~domain_size
            ~tuples:(1 + Random.State.int rng tuples))
        schema)
 
-(* A random acyclic conjunctive query, acyclic by construction: each new
-   atom shares exactly one variable with the variables introduced so far
-   (so the atom hypergraph is a tree of "ears").  Relations are named by
-   arity: r1, r2, r3. *)
 let random_tree_cq rng ~max_atoms ~max_arity ~neq_tries ~domain_size =
-  let n_atoms = 1 + Random.State.int rng max_atoms in
-  let fresh = ref 0 in
-  let new_var () =
-    incr fresh;
-    Printf.sprintf "v%d" (!fresh - 1)
-  in
-  let all_vars = ref [] in
-  let atoms = ref [] in
-  for i = 0 to n_atoms - 1 do
-    let arity = 1 + Random.State.int rng max_arity in
-    let shared =
-      if i = 0 then new_var ()
-      else List.nth !all_vars (Random.State.int rng (List.length !all_vars))
-    in
-    let rest =
-      List.init (arity - 1) (fun _ ->
-          (* occasionally a constant or a repeated variable *)
-          match Random.State.int rng 6 with
-          | 0 -> Term.int (Random.State.int rng domain_size)
-          | 1 when !all_vars <> [] -> Term.var shared
-          | _ -> Term.var (new_var ()))
-    in
-    let args = Term.var shared :: rest in
-    let name = Printf.sprintf "r%d" arity in
-    atoms := Atom.make name args :: !atoms;
-    List.iter
-      (fun v -> if not (List.mem v !all_vars) then all_vars := v :: !all_vars)
-      (Term.vars args)
-  done;
-  let vars = Array.of_list !all_vars in
-  let nv = Array.length vars in
-  let constraints = ref [] in
-  for _ = 1 to neq_tries do
-    match Random.State.int rng 3 with
-    | 0 when nv >= 2 ->
-        let a = Random.State.int rng nv and b = Random.State.int rng nv in
-        if a <> b then
-          constraints :=
-            Constr.neq (Term.var vars.(a)) (Term.var vars.(b)) :: !constraints
-    | 1 ->
-        let a = Random.State.int rng nv in
-        constraints :=
-          Constr.neq (Term.var vars.(a))
-            (Term.int (Random.State.int rng domain_size))
-          :: !constraints
-    | _ -> ()
-  done;
-  let head_vars =
-    List.filteri (fun i _ -> i mod 2 = 0) (Array.to_list vars)
-  in
-  Cq.make ~constraints:!constraints
-    ~head:(List.map Term.var head_vars)
-    !atoms
+  Generators.random_tree_cq rng ~max_atoms ~max_arity ~neq_tries ~domain_size
 
-(* Database matching the r1/r2/r3 schema of [random_tree_cq]. *)
 let tree_cq_database rng ~max_arity ~domain_size ~tuples =
-  random_database rng
-    ~schema:(List.init max_arity (fun i -> (Printf.sprintf "r%d" (i + 1), i + 1)))
-    ~domain_size ~tuples
+  Generators.tree_cq_database rng ~max_arity ~domain_size ~tuples
+
+let random_positive_sentence rng ~relations ~domain_size ~depth =
+  Generators.random_positive_sentence rng ~relations ~domain_size ~depth
 
 (* Random monotone circuit built bottom-up over a growing gate pool. *)
 let random_monotone_circuit rng ~n_inputs ~n_gates =
@@ -115,45 +61,6 @@ let random_monotone_circuit rng ~n_inputs ~n_gates =
   Circuit.make ~n_inputs
     (Array.of_list (List.rev !gates))
     ~output:(List.hd !pool)
-
-(* Random positive FO sentence over the relations of a random database. *)
-let random_positive_sentence rng ~relations ~domain_size ~depth =
-  let rels = Array.of_list relations in
-  let bound = ref [] in
-  let fresh = ref 0 in
-  let rec go depth =
-    if depth = 0 || (Random.State.int rng 3 = 0 && !bound <> []) then begin
-      let name, arity = rels.(Random.State.int rng (Array.length rels)) in
-      let args =
-        List.init arity (fun _ ->
-            if !bound <> [] && Random.State.bool rng then
-              Term.var
-                (List.nth !bound (Random.State.int rng (List.length !bound)))
-            else Term.int (Random.State.int rng domain_size))
-      in
-      Fo.atom name args
-    end
-    else
-      match Random.State.int rng 3 with
-      | 0 ->
-          let width = 2 + Random.State.int rng 2 in
-          Fo.conj (List.init width (fun _ -> go (depth - 1)))
-      | 1 ->
-          let width = 2 + Random.State.int rng 2 in
-          Fo.disj (List.init width (fun _ -> go (depth - 1)))
-      | _ ->
-          let x =
-            incr fresh;
-            Printf.sprintf "q%d" !fresh
-          in
-          bound := x :: !bound;
-          let body = go (depth - 1) in
-          bound := List.tl !bound;
-          Fo.exists [ x ] body
-  in
-  (* Close the formula: any stray free variable would make it open; we
-     only generate variables from [bound], so the result is closed. *)
-  go depth
 
 (* Wrap a deterministic seeded property as a QCheck test over seeds. *)
 let seeded_property ~name ~count f =

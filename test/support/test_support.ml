@@ -1,0 +1,34 @@
+(* Helpers every [test_*.ml] suite used to carry its own copy of:
+   substring checks on error messages and summaries, temp fact files,
+   canonical answer-set serialization, database pretty-printing, and
+   seeded RNG setup. *)
+
+module Relation = Paradb_relational.Relation
+module Tuple = Paradb_relational.Tuple
+
+(* Substring check without a string-library dependency. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* Write [text] to a fresh temp file; the caller removes it (usually via
+   [Fun.protect]). *)
+let write_temp_facts ?(prefix = "paradb_facts") text =
+  let path = Filename.temp_file prefix ".facts" in
+  Out_channel.with_open_text path (fun oc -> output_string oc text);
+  path
+
+(* Canonical answer set: sorted tuple strings, the cross-engine
+   comparison currency (same serialization as the server's EVAL
+   payload). *)
+let sorted_rows rel =
+  List.map Tuple.to_string (List.sort Tuple.compare (Relation.tuples rel))
+
+(* A database as re-parseable fact syntax, for failure messages. *)
+let db_to_string db = Paradb_query.Fact_format.to_string db
+
+(* Seeded RNG; 17 is the suites' traditional default. *)
+let rng ?(seed = 17) () = Random.State.make [| seed |]

@@ -20,15 +20,8 @@ module Client = Paradb_server.Client
 module Engine = Paradb_core.Engine
 open Paradb_query
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  go 0
-
-let write_temp_facts text =
-  let path = Filename.temp_file "paradb_gov" ".facts" in
-  Out_channel.with_open_text path (fun oc -> output_string oc text);
-  path
+let contains = Test_support.contains
+let write_temp_facts text = Test_support.write_temp_facts ~prefix:"paradb_gov" text
 
 let edge_db ~seed ~nodes ~edges =
   Paradb_workload.Generators.edge_database

@@ -2,14 +2,8 @@ module Value = Paradb_relational.Value
 module Tuple = Paradb_relational.Tuple
 open Paradb_query
 
-(* tiny substring check to avoid a string-library dependency *)
 module Astring_free = struct
-  let contains haystack needle =
-    let nh = String.length haystack and nn = String.length needle in
-    let rec go i =
-      i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
-    in
-    go 0
+  let contains = Test_support.contains
 end
 
 let x = Term.var "x"
@@ -381,6 +375,42 @@ let test_parse_errors () =
          with Parser.Parse_error _ | Invalid_argument _ -> true))
     [ "ans(X)"; "ans(X) :- e(X,"; "ans(X) :- e(X, Y) e"; "ans(X) :- X != " ]
 
+let test_parse_malformed_atoms () =
+  (* syntactically broken atoms must raise [Parse_error], never produce
+     a silently different query *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("malformed " ^ s) true
+        (try ignore (Parser.parse_cq s); false
+         with Parser.Parse_error _ -> true))
+    [
+      "ans(X) :- e(X Y).";        (* missing comma *)
+      "ans(X) :- e(X,, Y).";      (* doubled comma *)
+      "ans(X) :- e(X, Y)), e(Y, Z)."; (* stray close paren *)
+      "ans(X) :- (X, Y).";        (* atom with no relation name *)
+      "ans(X) :- e(X, Y), .";     (* trailing comma before period *)
+      "ans(X) :- e(X, !Y).";      (* bad token inside an atom *)
+    ]
+
+let test_parse_unbound_head_vars () =
+  (* Safety violations surface as [Invalid_argument] from [Cq.make]:
+     every head and constraint variable must occur in a relational
+     atom. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("unsafe " ^ s) true
+        (try ignore (Parser.parse_cq s); false
+         with Invalid_argument _ -> true))
+    [
+      "ans(Z) :- e(X, Y).";             (* head var not in body *)
+      "ans(X, Z) :- e(X, Y).";          (* one bound, one not *)
+      "ans(X) :- e(X, Y), X != Z.";     (* constraint var unbound *)
+      "ans(X) :- e(X, Y), Z < 3.";      (* comparison var unbound *)
+    ];
+  (* and the same names are fine once the body binds them *)
+  let q = Parser.parse_cq "ans(Z) :- e(X, Y), e(Y, Z), X != Z." in
+  Alcotest.(check int) "three vars" 3 (Cq.num_vars q)
+
 (* ------------------------------------------------------------------ *)
 (* Fact format *)
 
@@ -540,6 +570,9 @@ let () =
           Alcotest.test_case "facts" `Quick test_parse_facts;
           Alcotest.test_case "programs" `Quick test_parse_program;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "malformed atoms" `Quick test_parse_malformed_atoms;
+          Alcotest.test_case "unbound head vars" `Quick
+            test_parse_unbound_head_vars;
           Alcotest.test_case "error positions" `Quick test_parse_error_positions;
         ] );
       ("fact format", [ Alcotest.test_case "roundtrip" `Quick test_fact_format ]);

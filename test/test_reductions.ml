@@ -545,6 +545,42 @@ let qcheck_tests =
         let q, db = Hamiltonian_to_neq.reduce g in
         Paradb_core.Engine.is_satisfiable db q
         = (Graph.hamiltonian_path g <> None));
+    (* Source ≡ target *round trips*: the reduced instance answered by
+       the engine the theorem targets, checked against the graph-side
+       ground truth AND the naive reference — both directions of the
+       reduction exercised on every random graph. *)
+    Qgen.seeded_property ~name:"clique->comparisons round trip" ~count:15
+      (fun rng ->
+        let n = 4 + Random.State.int rng 2 in
+        let g = Graph.gnp rng n 0.6 in
+        let k = 2 + Random.State.int rng 2 in
+        let q, db = Clique_to_comparisons.reduce g ~k in
+        let truth = Graph.has_clique g k in
+        Paradb_core.Comparisons.is_satisfiable db q = truth
+        && Cq_naive.is_satisfiable db q = truth);
+    Qgen.seeded_property ~name:"hamiltonian->neq round trip" ~count:20
+      (fun rng ->
+        let n = 3 + Random.State.int rng 3 in
+        let g = Graph.gnp rng n 0.5 in
+        let q, db = Hamiltonian_to_neq.reduce g in
+        let truth = Graph.hamiltonian_path g <> None in
+        (* deterministic sweep and naive must both hit the truth; the
+           Monte-Carlo family has one-sided error, so only its positive
+           answers are binding *)
+        let randomized =
+          let k = Cq.num_vars q in
+          Paradb_core.Engine.is_satisfiable
+            ~family:
+              (Paradb_core.Hashing.Random_trials
+                 {
+                   trials = Paradb_core.Hashing.default_trials ~c:3.0 ~k;
+                   seed = 0xace;
+                 })
+            db q
+        in
+        Cq_naive.is_satisfiable db q = truth
+        && Paradb_core.Engine.is_satisfiable db q = truth
+        && (not randomized || truth));
   ]
 
 let () =

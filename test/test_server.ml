@@ -80,6 +80,39 @@ let test_response_roundtrip () =
   (* payload lines that *look* like framing must survive (count wins) *)
   roundtrip (Protocol.Ok_ { summary = "tricky"; payload = [ "OK 0 fake"; "ERR fake" ] })
 
+(* A hostile or corrupted peer must never park [read_response] in an
+   unbounded read loop or let it mis-frame: negative counts, absurd
+   counts, and mid-frame disconnects all raise [Failure] with a message
+   naming the problem. *)
+let read_raw_response text =
+  let path = Test_support.write_temp_facts ~prefix:"paradb_proto" text in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> In_channel.with_open_text path Protocol.read_response)
+
+let test_response_framing_abuse () =
+  let fails needle text =
+    match read_raw_response text with
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S names %S" text needle)
+          true
+          (Test_support.contains msg needle)
+    | _ -> Alcotest.failf "accepted %S" text
+  in
+  fails "negative" "OK -1 summary\n";
+  fails "oversized" (Printf.sprintf "OK %d summary\n" (Protocol.max_payload_lines + 1));
+  (* mid-frame disconnect: fewer payload lines than the count promises *)
+  fails "truncated" "OK 3 summary\nrow 1\nrow 2\n";
+  fails "malformed" "OK not_a_number summary\n";
+  fails "malformed" "WAT 0\n";
+  (* the ceiling itself is inclusive: a count of exactly
+     [max_payload_lines] is only rejected for being oversized, not
+     accepted — it then fails as truncated since we supply no payload *)
+  fails "truncated" (Printf.sprintf "OK %d summary\n" 1);
+  (* and EOF before any framing line is a clean [None] *)
+  Alcotest.(check bool) "eof is None" true (read_raw_response "" = None)
+
 (* ------------------------------------------------------------------ *)
 (* Plan cache *)
 
@@ -138,10 +171,7 @@ let test_plan_dispatch () =
 (* ------------------------------------------------------------------ *)
 (* Session dispatch (no sockets) *)
 
-let write_temp_facts text =
-  let path = Filename.temp_file "paradb_facts" ".facts" in
-  Out_channel.with_open_text path (fun oc -> output_string oc text);
-  path
+let write_temp_facts text = Test_support.write_temp_facts text
 
 let summary_of = function
   | Protocol.Ok_ { summary; _ } -> summary
@@ -151,10 +181,7 @@ let payload_of = function
   | Protocol.Ok_ { payload; _ } -> payload
   | Protocol.Err e -> Alcotest.failf "unexpected ERR %s" e
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  go 0
+let contains = Test_support.contains
 
 let test_session_dispatch () =
   let shared = Session.make_shared ~cache_capacity:8 () in
@@ -353,6 +380,7 @@ let () =
           Alcotest.test_case "parse requests" `Quick test_parse_request;
           Alcotest.test_case "request line roundtrip" `Quick
             test_request_line_roundtrip;
+          Alcotest.test_case "framing abuse" `Quick test_response_framing_abuse;
           Alcotest.test_case "response framing roundtrip" `Quick
             test_response_roundtrip;
         ] );

@@ -6,7 +6,7 @@ module Vardi = Paradb_workload.Vardi
 module Bench_util = Paradb_workload.Bench_util
 open Paradb_query
 
-let rng () = Random.State.make [| 17 |]
+let rng () = Test_support.rng ()
 
 let test_random_database () =
   let db =
