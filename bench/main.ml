@@ -1368,6 +1368,100 @@ let server_throughput () =
      bounded reader."
 
 (* ------------------------------------------------------------------ *)
+(* E-COMPILED: the compiled push-based pipeline vs the interpreters *)
+
+let compiled_vs_interpreted () =
+  header
+    "E-COMPILED — compiled push-based pipeline vs the interpreted engines \
+     (warm path: plan + compile amortized, as under a plan-cache hit)";
+  let module Planner = Paradb_planner.Planner in
+  let module Compile = Paradb_eval.Compile in
+  let db = Generators.edge_database (rng 21) ~nodes:600 ~edges:2400 in
+  let runs = 9 in
+  let cases =
+    [
+      ( "acyclic chain",
+        Generators.chain_query ~length:3 ~neq:[],
+        `Yannakakis );
+      ( "acyclic chain + !=",
+        Generators.chain_query ~length:3 ~neq:[ (0, 3) ],
+        `Fpt );
+      ( "comparison",
+        Parser.parse_cq "ans(X, Y) :- e(X, Z), e(Z, Y), X < Y.",
+        `Comparisons );
+      ( "cyclic triangle",
+        Parser.parse_cq "ans(X) :- e(X, Y), e(Y, Z), e(Z, X).",
+        `Naive );
+    ]
+  in
+  let rows = ref [] in
+  let all_agree = ref true in
+  List.iter
+    (fun (label, q, base) ->
+      (* the interpreter the old auto dispatch picked for this class *)
+      let engine_name, interp =
+        match base with
+        | `Yannakakis ->
+            ( "yannakakis",
+              fun () -> Paradb_yannakakis.Yannakakis.evaluate db q )
+        | `Fpt ->
+            ( "fpt (sweep)",
+              fun () ->
+                Engine.evaluate ~family:Hashing.Multiplicative_sweep db q )
+        | `Comparisons ->
+            ("comparisons", fun () -> Paradb_core.Comparisons.evaluate db q)
+        | `Naive -> ("naive", fun () -> Cq_naive.evaluate db q)
+      in
+      let r_interp, t_interp = B.time_median ~runs interp in
+      let pplan = Planner.plan q in
+      let exec, t_compile =
+        B.time_median ~runs:3 (fun () -> Compile.compile pplan db)
+      in
+      let r_comp, t_warm = B.time_median ~runs (fun () -> Compile.run exec) in
+      let agree = Relation.set_equal r_comp r_interp in
+      all_agree := !all_agree && agree;
+      let speedup = t_interp /. t_warm in
+      B.record
+        [
+          ("name", B.J_string "compiled-vs-interpreted");
+          ("query", B.J_string label);
+          ("class", B.J_string (Planner.classification_name
+                                  pplan.Planner.classification));
+          ("baseline_engine", B.J_string engine_name);
+          ("n", B.J_int (Database.size db));
+          ("rows", B.J_int (Relation.cardinality r_comp));
+          ("interpreted_ns", B.J_int (int_of_float (t_interp *. 1e9)));
+          ("median_ns", B.J_int (int_of_float (t_warm *. 1e9)));
+          ("compile_ns", B.J_int (int_of_float (t_compile *. 1e9)));
+          ("speedup", B.J_float speedup);
+          ("agree", B.J_bool agree);
+        ];
+      rows :=
+        [
+          label;
+          engine_name;
+          string_of_int (Relation.cardinality r_comp);
+          B.pretty_seconds t_interp;
+          B.pretty_seconds t_warm;
+          B.pretty_seconds t_compile;
+          Printf.sprintf "%.1fx" speedup;
+          string_of_bool agree;
+        ]
+        :: !rows)
+    cases;
+  B.print_table
+    ~header:
+      [ "query"; "interpreter"; "rows"; "interpreted"; "compiled (warm)";
+        "compile once"; "speedup"; "agree" ]
+    (List.rev !rows);
+  print_endline
+    "\nThe compiled pipeline pays planning, per-atom materialization and\n\
+     semijoin reduction once at compile time; each warm run is fused\n\
+     scan/probe closures over int-code registers — no Value.t decoding,\n\
+     no binding allocation, no per-tuple variant dispatch.";
+  Printf.printf "all classes agree with their interpreter: %b\n" !all_agree
+
+(* ------------------------------------------------------------------ *)
 (* registry + drivers *)
 
 let experiments =
@@ -1395,6 +1489,7 @@ let experiments =
     ("ablation-prereduce", ablation_prereduce);
     ("ablation-i2", ablation_i2_placement);
     ("ablation-datalog", ablation_seminaive);
+    ("compiled-vs-interpreted", compiled_vs_interpreted);
     ("server-throughput", server_throughput);
   ]
 

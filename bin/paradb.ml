@@ -61,16 +61,18 @@ type engine_kind =
   | E_naive
   | E_yannakakis
   | E_fpt
+  | E_compiled
 
 let engine_arg =
   let kinds =
     [ ("auto", E_auto); ("naive", E_naive); ("yannakakis", E_yannakakis);
-      ("fpt", E_fpt) ]
+      ("fpt", E_fpt); ("compiled", E_compiled) ]
   in
   let doc =
-    "Evaluation engine: auto (dispatch on the query class), naive \
+    "Evaluation engine: auto (the compiled planner pipeline), naive \
      (backtracking), yannakakis (acyclic, no constraints), fpt (the \
-     Theorem-2 engine for acyclic queries with !=)."
+     Theorem-2 engine for acyclic queries with !=), compiled (the \
+     structure-aware plan lowered to fused push-based operators)."
   in
   Arg.(value & opt (enum kinds) E_auto & info [ "e"; "engine" ] ~doc)
 
@@ -126,6 +128,7 @@ let plan_kind = function
   | E_naive -> Plan.Naive
   | E_yannakakis -> Plan.Yannakakis
   | E_fpt -> Plan.Fpt
+  | E_compiled -> Plan.Compiled
 
 let choose_engine kind q =
   match (Plan.analyze (plan_kind kind) q).Plan.engine with
@@ -133,6 +136,7 @@ let choose_engine kind q =
   | Plan.E_yannakakis -> `Yannakakis
   | Plan.E_comparisons -> `Comparisons
   | Plan.E_fpt -> `Fpt
+  | Plan.E_compiled -> `Compiled
 
 let run_eval db_path query_text engine family seed stats trace =
   with_trace trace @@ fun () ->
@@ -161,6 +165,15 @@ let run_eval db_path query_text engine family seed stats trace =
                 Printf.printf "%% fpt colorings: %d tried, %d nonempty\n"
                   s.Engine.trials s.Engine.successes;
               (r, "fpt")
+          | `Compiled ->
+              let pplan = Paradb_planner.Planner.plan q in
+              if stats then
+                Printf.printf "%% plan class: %s, width %d\n"
+                  (Paradb_planner.Planner.classification_name
+                     pplan.Paradb_planner.Planner.classification)
+                  pplan.Paradb_planner.Planner.width;
+              (Paradb_eval.Compile.run (Paradb_eval.Compile.compile pplan db),
+               "compiled")
         in
         Printf.printf "%% engine: %s\n" engine_name;
         Format.printf "%a@." Relation.pp result;
@@ -216,10 +229,20 @@ let run_check query_text dot =
           Format.printf "%a@." Join_tree.pp tree;
           if dot then print_string (Join_tree.to_dot tree)
       | None -> Format.printf "no join tree (cyclic or empty body)@.");
+      let pplan = Paradb_planner.Planner.plan q in
+      Format.printf "plan class: %s, width %d@."
+        (Paradb_planner.Planner.classification_name
+           pplan.Paradb_planner.Planner.classification)
+        pplan.Paradb_planner.Planner.width;
+      List.iter
+        (Format.printf "  %s@.")
+        (Paradb_planner.Planner.explain pplan);
       (match choose_engine E_auto q with
       | `Naive -> Format.printf "recommended engine: naive@."
       | `Yannakakis -> Format.printf "recommended engine: yannakakis@."
       | `Fpt -> Format.printf "recommended engine: fpt (Theorem 2)@."
+      | `Compiled ->
+          Format.printf "recommended engine: compiled (planner pipeline)@."
       | `Comparisons ->
           Format.printf
             "recommended engine: comparisons preprocessing + naive (Theorem 3 \
@@ -479,7 +502,8 @@ let serve_cmd =
       `P
         "Serves the line protocol: $(b,LOAD) $(i,DB) $(i,PATH), $(b,FACT) \
          $(i,DB) $(i,FACT), $(b,EVAL) $(i,DB) $(i,ENGINE) $(i,QUERY), \
-         $(b,CHECK) $(i,QUERY), $(b,STATS), $(b,METRICS) and $(b,QUIT).  \
+         $(b,CHECK) $(i,QUERY), $(b,EXPLAIN) $(i,QUERY), $(b,STATS), \
+         $(b,METRICS) and $(b,QUIT).  \
          Responses are framed as $(b,OK) $(i,N) $(i,SUMMARY) followed by \
          $(i,N) payload lines, or a single $(b,ERR) $(i,MESSAGE) line.  See \
          DESIGN.md, section \"Server protocol\".";
@@ -801,7 +825,7 @@ let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.5.0" ~doc ~exits)
+  Cmd.group (Cmd.info "paradb" ~version:"1.6.0" ~doc ~exits)
     [
       eval_cmd; check_cmd; datalog_cmd; generate_cmd; serve_cmd; client_cmd;
       stats_cmd; fuzz_cmd;

@@ -1,0 +1,40 @@
+(** Compiled push-based evaluation of planner plans.
+
+    [compile] lowers a {!Paradb_planner.Planner.t} against one database
+    snapshot into a pipeline of fused OCaml closures over the
+    dictionary-encoded code rows: per-atom selections and projections are
+    materialized once, acyclic plans are fully semijoin-reduced (the
+    Yannakakis guarantee: enumeration from the root never dead-ends), and
+    each plan step becomes a scan / hash-probe / membership closure
+    writing variable codes into a flat register file.  Running the
+    compiled pipeline does no planning, no [Value.t] decoding on the join
+    path, no binding allocation and no per-tuple variant dispatch — the
+    warm-path contract the server's plan cache relies on.
+
+    The compiled value is bound to the snapshot it was compiled against;
+    the server keys its cache on the catalog generation so a stale
+    pipeline is never reused after LOAD/FACT.
+
+    Budget discipline matches the interpreted engines: [compile] polls
+    while materializing and reducing, and the pipeline polls at a strided
+    checkpoint ({!Paradb_telemetry.Budget.Exhausted} propagates). *)
+
+type exec
+
+(** [compile plan db] materializes and reduces the per-atom relations and
+    fuses the pipeline.  Raises [Invalid_argument] if the database lacks
+    a relation named in the query (the interpreters' behaviour). *)
+val compile :
+  ?budget:Paradb_telemetry.Budget.t ->
+  Paradb_planner.Planner.t -> Paradb_relational.Database.t -> exec
+
+(** [run exec] executes the pipeline and returns the result relation
+    (head schema [a0..an], name = query name), deduplicated.  Safe to
+    call concurrently from several domains: all per-run state is local. *)
+val run : ?budget:Paradb_telemetry.Budget.t -> exec -> Paradb_relational.Relation.t
+
+(** [evaluate db q] = plan, compile, run — the one-shot convenience used
+    by the CLI and the differential oracle. *)
+val evaluate :
+  ?budget:Paradb_telemetry.Budget.t ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> Paradb_relational.Relation.t

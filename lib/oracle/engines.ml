@@ -122,6 +122,11 @@ let all ?serve () =
         Rows (canon (Engine.evaluate ~family:(random_family q 0x0dd5) db q)));
     query_engine ~name:"comparisons" ~mode:Exact (fun db q ->
         Rows (canon (Comparisons.evaluate db q)));
+    (* The compiled planner pipeline: no guard — it must take every
+       query class (acyclic, cyclic, constraints, comparisons) and agree
+       exactly with the naive reference. *)
+    query_engine ~name:"compiled" ~mode:Exact (fun db q ->
+        Rows (canon (Paradb_eval.Compile.evaluate db q)));
     query_engine ~name:"datalog" ~mode:Exact
       ~guard:(fun q -> no_constraints q && q.Cq.body <> [])
       (fun db q ->

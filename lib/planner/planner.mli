@@ -1,0 +1,80 @@
+(** Structure-aware physical planning for conjunctive queries.
+
+    The paper's dichotomy is structural: acyclic queries (and their
+    bounded-width relatives) are tractable, everything else is not.  The
+    planner makes that structure explicit {e before} any engine runs: it
+    classifies the query — acyclic via the GYO {!Paradb_hypergraph.Join_tree},
+    low-width cyclic via a greedy hypertree-decomposition heuristic, or
+    genuinely cyclic — and produces a physical plan value (join order,
+    semijoin program, per-atom selections, constraint placement,
+    projection) that {!Paradb_eval} can lower to a compiled pipeline and
+    the server can render through [EXPLAIN].
+
+    Plans are database-independent: they mention atom indexes and
+    variable names, never relation contents.  Classification counts are
+    recorded under the [planner.class.*] telemetry counters. *)
+
+module Cq = Paradb_query.Cq
+module Constr = Paradb_query.Constr
+module Join_tree = Paradb_hypergraph.Join_tree
+
+type classification =
+  | Acyclic  (** GYO succeeds; width 1 by convention *)
+  | Low_width of int
+      (** cyclic, but the greedy decomposition found generalized
+          hypertree width [<= low_width_threshold] *)
+  | Cyclic of int  (** genuinely cyclic; payload is the width estimate *)
+
+(** Width bound separating [Low_width] from [Cyclic]. *)
+val low_width_threshold : int
+
+(** Database-independent description of one atom scan: which argument
+    positions are pinned to constants, which positions must carry equal
+    values (repeated variables), and the distinct variables produced, in
+    first-occurrence order. *)
+type scan = {
+  rel : string;  (** relation name of the atom *)
+  selections : (int * Paradb_relational.Value.t) list;
+      (** argument position [->] required constant *)
+  equalities : (int * int) list;
+      (** (first occurrence, later occurrence) of a repeated variable *)
+  vars : string list;  (** distinct variables, first-occurrence order *)
+}
+
+(** One node of the push-based pipeline.  [atom] indexes the query body
+    (and {!scans}).  [key] lists the atom's variables already bound by
+    earlier steps — the hash-probe key; [bind] the variables this step
+    binds for the first time. *)
+type step =
+  | Scan of { atom : int }  (** first step: full scan, binds all vars *)
+  | Probe of { atom : int; key : string list; bind : string list }
+  | Exists of { atom : int; key : string list }
+      (** all variables already bound: a pure membership check *)
+
+type t = {
+  query : Cq.t;  (** alpha-normalized *)
+  classification : classification;
+  width : int;  (** 1 for acyclic (0 for an empty body); the estimate otherwise *)
+  tree : Join_tree.t option;  (** present iff acyclic with a nonempty body *)
+  scans : scan array;  (** one per body atom, in body order *)
+  steps : step list;
+      (** join order: join-tree preorder when acyclic, greedy
+          bound-variable order otherwise *)
+  reduce : (int * int) list;
+      (** Yannakakis semijoin program as (target, filter) atom pairs:
+          bottom-up pass then top-down pass; empty when cyclic *)
+  filters : (int * Constr.t) list;
+      (** constraint [c] runs immediately after step index [i] — the
+          earliest step at which all its variables are bound *)
+  ground : Constr.t list;  (** variable-free constraints *)
+}
+
+(** [plan q] classifies and orders [q] (alpha-normalizing it first) and
+    bumps the matching [planner.class.*] counter. *)
+val plan : Cq.t -> t
+
+val classification_name : classification -> string
+
+(** Human-readable plan rendering, one line per element — the payload of
+    the server's [EXPLAIN] verb. *)
+val explain : t -> string list

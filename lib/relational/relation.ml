@@ -189,6 +189,21 @@ let probe_mem owner idx row (key : int array) =
   in
   go idx.ktable.(slot)
 
+type hash_index = key_index
+
+let hash_index = key_index
+
+let of_codes ?(name = "") ?(dict = Dictionary.global) ~schema rows =
+  let schema = Array.of_list schema in
+  let arity = Array.length schema in
+  let store = Row_set.create 16 in
+  Seq.iter
+    (fun row ->
+      check_arity name arity row;
+      Row_set.add store (Array.copy row))
+    rows;
+  make ~name ~schema_array:schema ~dict store
+
 let project attrs r =
   let pos = positions r attrs in
   let rows = Row_set.create (cardinality r) in

@@ -132,5 +132,35 @@ val decode_value : t -> int -> Value.t
 
 val code_of_value : t -> Value.t -> int option
 
+(** [of_codes ~schema rows] builds a relation directly from code rows.
+    Every cell must already be a code of [dict] (defaults to
+    {!Dictionary.global}); no encoding or validation beyond arity is
+    performed.  Duplicate rows are merged.  The rows are copied into a
+    fresh store, so the sequence may reuse buffers. *)
+val of_codes :
+  ?name:string -> ?dict:Dictionary.t -> schema:string list -> Code_row.t Seq.t -> t
+
+(** {2 Probe API}
+
+    Direct access to the memoized per-relation key indexes, for compiled
+    pipelines that probe the same relation many times.  A [hash_index] is
+    built (or fetched from the memo table) once per key-position vector
+    and is valid for the relation's lifetime — relations are immutable. *)
+
+type hash_index
+
+(** [hash_index r positions] is the hash index of [r] keyed on the column
+    [positions].  The positions array is captured; do not mutate it. *)
+val hash_index : t -> int array -> hash_index
+
+(** [probe_iter r idx probe key f] calls [f row] for every row of [r]
+    whose cells at the index's key columns equal, positionally, [probe]'s
+    cells at [key].  [probe] can be any code row over [dict r] — e.g. a
+    register file — and is read, never retained. *)
+val probe_iter : t -> hash_index -> Code_row.t -> int array -> (Code_row.t -> unit) -> unit
+
+(** [probe_mem r idx probe key] — does any row of [r] match? *)
+val probe_mem : t -> hash_index -> Code_row.t -> int array -> bool
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

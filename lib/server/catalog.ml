@@ -1,15 +1,34 @@
 module Database = Paradb_relational.Database
 module Source = Paradb_query.Source
 
-type t = { table : (string, Database.t) Hashtbl.t; lock : Mutex.t }
+type entry = { db : Database.t; generation : int }
 
-let create () = { table = Hashtbl.create 16; lock = Mutex.create () }
+type t = {
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable next_generation : int;
+}
+
+let create () = { table = Hashtbl.create 16; lock = Mutex.create (); next_generation = 0 }
+
+(* Every mutation gets a fresh generation from a catalog-wide counter, so
+   a (name, generation) pair identifies one immutable snapshot for the
+   catalog's lifetime — the token the plan cache keys compiled pipelines
+   on. *)
+let fresh_generation cat =
+  let g = cat.next_generation in
+  cat.next_generation <- g + 1;
+  g
 
 let set cat name db =
-  Mutex.protect cat.lock (fun () -> Hashtbl.replace cat.table name db)
+  Mutex.protect cat.lock (fun () ->
+      Hashtbl.replace cat.table name { db; generation = fresh_generation cat })
 
 let find cat name =
-  Mutex.protect cat.lock (fun () -> Hashtbl.find_opt cat.table name)
+  Mutex.protect cat.lock (fun () ->
+      Option.map
+        (fun e -> (e.db, e.generation))
+        (Hashtbl.find_opt cat.table name))
 
 let add_fact cat name fact =
   (* parse_facts accepts any fact-file fragment, so one ill-formed or
@@ -20,7 +39,9 @@ let add_fact cat name fact =
       try
       Mutex.protect cat.lock (fun () ->
           let base =
-            Option.value (Hashtbl.find_opt cat.table name) ~default:Database.empty
+            match Hashtbl.find_opt cat.table name with
+            | Some e -> e.db
+            | None -> Database.empty
           in
           let merged =
             List.fold_left
@@ -31,7 +52,8 @@ let add_fact cat name fact =
                     Database.add (Paradb_relational.Relation.union existing r) db)
               base (Database.relations additions)
           in
-          Hashtbl.replace cat.table name merged;
+          Hashtbl.replace cat.table name
+            { db = merged; generation = fresh_generation cat };
           Ok merged)
       with Invalid_argument msg ->
         (* e.g. an arity clash with the relation already in the entry *)
@@ -39,5 +61,7 @@ let add_fact cat name fact =
 
 let entries cat =
   Mutex.protect cat.lock (fun () ->
-      Hashtbl.fold (fun name db acc -> (name, Database.size db) :: acc) cat.table [])
+      Hashtbl.fold
+        (fun name e acc -> (name, Database.size e.db) :: acc)
+        cat.table [])
   |> List.sort compare

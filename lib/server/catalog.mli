@@ -5,7 +5,13 @@
     Mutations ([LOAD], [FACT]) replace the binding; an evaluation that
     already fetched a snapshot keeps running on the database it saw —
     readers never block writers and answers are always computed against
-    one consistent database value. *)
+    one consistent database value.
+
+    Every snapshot carries a {e generation}: a catalog-wide counter
+    bumped on each [set]/[add_fact].  A (name, generation) pair denotes
+    one immutable snapshot, which is what the server's plan cache keys
+    compiled pipelines on — a reload can never be served a pipeline
+    compiled against superseded data. *)
 
 module Database = Paradb_relational.Database
 
@@ -13,10 +19,12 @@ type t
 
 val create : unit -> t
 
-(** [set cat name db] binds (or replaces) a catalog entry. *)
+(** [set cat name db] binds (or replaces) a catalog entry under a fresh
+    generation. *)
 val set : t -> string -> Database.t -> unit
 
-val find : t -> string -> Database.t option
+(** [find cat name] — the current snapshot and its generation. *)
+val find : t -> string -> (Database.t * int) option
 
 (** [add_fact cat name atom] parses one ground fact (e.g. ["edge(1, 2)."])
     and adds it to the named database, creating the entry if absent.

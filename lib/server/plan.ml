@@ -10,10 +10,14 @@ module Hypergraph = Paradb_hypergraph.Hypergraph
 module Join_tree = Paradb_hypergraph.Join_tree
 module Engine = Paradb_core.Engine
 module Ineq = Paradb_core.Ineq
+module Planner = Paradb_planner.Planner
+module Compile = Paradb_eval.Compile
+module Metrics = Paradb_telemetry.Metrics
+module Clock = Paradb_telemetry.Clock
 
-type engine_kind = Auto | Naive | Yannakakis | Fpt
+type engine_kind = Auto | Naive | Yannakakis | Fpt | Compiled
 
-type engine = E_naive | E_yannakakis | E_comparisons | E_fpt
+type engine = E_naive | E_yannakakis | E_comparisons | E_fpt | E_compiled
 
 type t = {
   query : Cq.t;
@@ -23,7 +27,12 @@ type t = {
   acyclic : bool;
   neq_k : int;
   tree : Join_tree.t option;
+  pplan : Planner.t;
+  exec : Compile.exec option;
+  generation : int;
 }
+
+let m_compile_ns = Metrics.histogram "planner.compile_ns"
 
 let engine_kind_of_string s =
   match String.lowercase_ascii s with
@@ -31,6 +40,7 @@ let engine_kind_of_string s =
   | "naive" -> Some Naive
   | "yannakakis" -> Some Yannakakis
   | "fpt" -> Some Fpt
+  | "compiled" -> Some Compiled
   | _ -> None
 
 let engine_kind_name = function
@@ -38,15 +48,25 @@ let engine_kind_name = function
   | Naive -> "naive"
   | Yannakakis -> "yannakakis"
   | Fpt -> "fpt"
+  | Compiled -> "compiled"
 
 let engine_name = function
   | E_naive -> "naive"
   | E_yannakakis -> "yannakakis"
   | E_comparisons -> "comparisons"
   | E_fpt -> "fpt"
+  | E_compiled -> "compiled"
 
 let cache_key kind q =
   engine_kind_name kind ^ "|" ^ Cq.cache_key q
+
+(* Compiled pipelines are bound to one catalog snapshot, so their cache
+   entries must be too: scope the key by database name and snapshot
+   generation.  Interpreted plans would be reusable across snapshots, but
+   one keying discipline for every entry keeps the invalidation story
+   trivially auditable. *)
+let scoped_key ~db ~generation kind q =
+  Printf.sprintf "%s#%d|%s" db generation (cache_key kind q)
 
 let constants q =
   List.concat_map Atom.constants q.Cq.body
@@ -57,17 +77,15 @@ let constants q =
 
 let analyze requested q =
   let nq = Cq.alpha_normalize q in
-  let acyclic = Hypergraph.is_acyclic (Hypergraph.of_cq nq) in
+  let pplan = Planner.plan nq in
+  let acyclic = pplan.Planner.classification = Planner.Acyclic in
   let engine =
     match requested with
     | Naive -> E_naive
     | Yannakakis -> E_yannakakis
     | Fpt -> E_fpt
-    | Auto ->
-        if not acyclic then E_naive
-        else if Cq.has_constraints nq then
-          if Cq.neq_only nq then E_fpt else E_comparisons
-        else E_yannakakis
+    | Compiled -> E_compiled
+    | Auto -> E_compiled
   in
   let neq_k =
     if engine = E_fpt && Cq.neq_only nq then (Ineq.partition nq).Ineq.k else 0
@@ -83,8 +101,24 @@ let analyze requested q =
     engine;
     acyclic;
     neq_k;
-    tree = Join_tree.of_cq nq;
+    tree = pplan.Planner.tree;
+    pplan;
+    exec = None;
+    generation = -1;
   }
+
+(* [prepare plan db ~generation] binds an [E_compiled] plan to a snapshot
+   by compiling the pipeline now (other engines pass through).  The
+   server calls this inside the cache-build closure, so a warm hit skips
+   planning and compilation entirely. *)
+let prepare ?budget plan db ~generation =
+  match plan.engine with
+  | E_compiled ->
+      let t0 = Clock.now_ns () in
+      let exec = Compile.compile ?budget plan.pplan db in
+      Metrics.observe m_compile_ns (Clock.now_ns () - t0);
+      { plan with exec = Some exec; generation }
+  | _ -> plan
 
 let evaluate ?budget ?family plan db q =
   match plan.engine with
@@ -92,6 +126,13 @@ let evaluate ?budget ?family plan db q =
   | E_yannakakis -> Paradb_yannakakis.Yannakakis.evaluate ?budget db q
   | E_comparisons -> Paradb_core.Comparisons.evaluate ?budget db q
   | E_fpt -> Engine.evaluate ?budget ?family db q
+  | E_compiled -> (
+      match plan.exec with
+      | Some exec -> Compile.run ?budget exec
+      | None ->
+          (* Unprepared plan (one-shot CLI, tests): compile on the fly
+             against the database at hand. *)
+          Compile.run ?budget (Compile.compile ?budget plan.pplan db))
 
 let sorted_tuples r =
   List.map Tuple.to_string (List.sort Tuple.compare (Relation.tuples r))

@@ -1,19 +1,23 @@
-(** Query plans: the parameter-dependent, database-independent part of
-    evaluation (PAPER.md, Theorem 2's f(k) preprocessing), computed once
-    per normalized query and cached by {!Plan_cache}.
+(** Query plans: the parameter-dependent part of evaluation (PAPER.md,
+    Theorem 2's f(k) preprocessing), computed once per normalized query
+    and cached by {!Plan_cache}.
 
-    A plan fixes the engine dispatch decision, the acyclicity verdict,
-    the I1/I2 inequality partition's hash range [k], and the join tree —
-    everything {!evaluate} needs besides the database and the (alpha-
-    equivalent) parsed query itself. *)
+    A plan fixes the engine dispatch decision, the structural
+    classification ({!Paradb_planner.Planner.t}: class, width, join
+    order, semijoin program), the I1/I2 inequality partition's hash range
+    [k] — and, for the compiled engine, the fused pipeline itself.
+    {!analyze} is database-independent; {!prepare} binds an [E_compiled]
+    plan to one catalog snapshot by compiling the pipeline, which is why
+    the server keys cache entries on the snapshot generation
+    ({!scoped_key}). *)
 
 module Cq = Paradb_query.Cq
 module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 
-type engine_kind = Auto | Naive | Yannakakis | Fpt
+type engine_kind = Auto | Naive | Yannakakis | Fpt | Compiled
 
-type engine = E_naive | E_yannakakis | E_comparisons | E_fpt
+type engine = E_naive | E_yannakakis | E_comparisons | E_fpt | E_compiled
 
 type t = {
   query : Cq.t;  (** the alpha-normalized query the plan was built from *)
@@ -23,30 +27,53 @@ type t = {
   acyclic : bool;
   neq_k : int;  (** [|V1|] of the Ineq partition; 0 unless [E_fpt] *)
   tree : Paradb_hypergraph.Join_tree.t option;
+  pplan : Paradb_planner.Planner.t;  (** physical plan and classification *)
+  exec : Paradb_eval.Compile.exec option;
+      (** compiled pipeline; [Some] only after {!prepare} *)
+  generation : int;
+      (** catalog generation [exec] was compiled against; [-1] when
+          unprepared *)
 }
 
 val engine_kind_of_string : string -> engine_kind option
+val engine_kind_name : engine_kind -> string
 val engine_name : engine -> string
 
-(** [cache_key kind q] — the plan-cache key: the requested engine's name
-    and [Cq.cache_key q]. *)
+(** [cache_key kind q] — the database-independent part of the plan-cache
+    key: the requested engine's name and [Cq.cache_key q]. *)
 val cache_key : engine_kind -> Cq.t -> string
 
-(** [analyze kind q] resolves the dispatch (for [Auto]: cyclic queries go
-    to the naive engine, acyclic constraint-free ones to Yannakakis,
-    [!=]-only ones to the Theorem-2 engine, comparison queries to the
-    Theorem-3 preprocessing) and precomputes the cacheable analysis.  All
+(** [scoped_key ~db ~generation kind q] — the full plan-cache key the
+    server uses: {!cache_key} scoped by database name and catalog
+    snapshot generation, so no cache entry (in particular no compiled
+    pipeline) survives a snapshot swap. *)
+val scoped_key : db:string -> generation:int -> engine_kind -> Cq.t -> string
+
+(** [analyze kind q] resolves the dispatch ([Auto] and [Compiled] go to
+    the compiled pipeline engine; the named interpreters are forced by
+    name) and precomputes the cacheable, database-independent analysis,
+    including the {!Paradb_planner.Planner} classification.  All
     constants of [q] are interned into the global dictionary here, per
     the {!Paradb_relational.Dictionary} concurrency contract. *)
 val analyze : engine_kind -> Cq.t -> t
 
+(** [prepare plan db ~generation] compiles an [E_compiled] plan against
+    the snapshot [db], recording the compile time in the
+    [planner.compile_ns] histogram; other engines pass through
+    unchanged.  Raises [Not_found] if [db] lacks a relation the query
+    names, and {!Paradb_telemetry.Budget.Exhausted} if [budget] expires
+    mid-compile. *)
+val prepare :
+  ?budget:Paradb_telemetry.Budget.t -> t -> Database.t -> generation:int -> t
+
 (** [evaluate plan db q] runs the plan's engine on [q] — which must be
     alpha-equivalent to [plan.query]; the fresh parse is used directly so
-    head attribute names are preserved.  [family], when given, overrides
-    the deterministic sweep family of the fpt engine.  [budget] is
-    threaded into whichever engine runs; expiry raises
-    {!Paradb_telemetry.Budget.Exhausted}.  Raises the engines'
-    exceptions ([Cyclic_query], [Invalid_argument]) unchanged. *)
+    head attribute names are preserved.  [E_compiled] plans run their
+    prepared pipeline (compiling on the fly against [db] when
+    unprepared).  [family], when given, overrides the deterministic sweep
+    family of the fpt engine.  [budget] is threaded into whichever engine
+    runs; expiry raises {!Paradb_telemetry.Budget.Exhausted}.  Raises the
+    engines' exceptions ([Cyclic_query], [Invalid_argument]) unchanged. *)
 val evaluate :
   ?budget:Paradb_telemetry.Budget.t ->
   ?family:Paradb_core.Hashing.family -> t -> Database.t -> Cq.t -> Relation.t

@@ -1,9 +1,12 @@
 (** A mutex-protected LRU cache of query {!Plan.t}s, shared by every
     server session.
 
-    Keys are {!Plan.cache_key} strings (requested engine + the
-    alpha-normalized query text), so queries differing only in variable
-    names — or whitespace — hit the same entry.  Capacity is a hard
+    Keys are {!Plan.scoped_key} strings (database name, catalog snapshot
+    generation, requested engine, alpha-normalized query text), so
+    queries differing only in variable names — or whitespace — hit the
+    same entry, while any snapshot swap strands the old entries (in
+    particular, a compiled pipeline can never run against data it was
+    not compiled for).  Capacity is a hard
     bound: inserting into a full cache evicts the least recently used
     plan.  Hit/miss/eviction counters feed the [STATS] report and the
     server-throughput bench. *)

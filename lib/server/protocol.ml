@@ -3,6 +3,7 @@ type request =
   | Fact of { db : string; fact : string }
   | Eval of { db : string; engine : string; query : string }
   | Check of string
+  | Explain of string
   | Stats
   | Metrics
   | Quit
@@ -16,6 +17,7 @@ let verb_name = function
   | Fact _ -> "fact"
   | Eval _ -> "eval"
   | Check _ -> "check"
+  | Explain _ -> "explain"
   | Stats -> "stats"
   | Metrics -> "metrics"
   | Quit -> "quit"
@@ -59,6 +61,8 @@ let parse_request line =
           | _ -> need "query" "EVAL"))
   | "CHECK" ->
       if trim rest = "" then need "query" "CHECK" else Ok (Check (trim rest))
+  | "EXPLAIN" ->
+      if trim rest = "" then need "query" "EXPLAIN" else Ok (Explain (trim rest))
   | "STATS" -> Ok Stats
   | "METRICS" -> Ok Metrics
   | "QUIT" -> Ok Quit
@@ -69,6 +73,7 @@ let request_to_line = function
   | Fact { db; fact } -> Printf.sprintf "FACT %s %s" db fact
   | Eval { db; engine; query } -> Printf.sprintf "EVAL %s %s %s" db engine query
   | Check query -> "CHECK " ^ query
+  | Explain query -> "EXPLAIN " ^ query
   | Stats -> "STATS"
   | Metrics -> "METRICS"
   | Quit -> "QUIT"

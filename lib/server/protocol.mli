@@ -7,8 +7,10 @@
       LOAD <db> <path>            load a fact file into catalog entry <db>
       FACT <db> <fact>            add one ground fact, e.g. edge(1, 2).
       EVAL <db> <engine> <query>  evaluate; engine is auto | naive |
-                                  yannakakis | fpt
+                                  yannakakis | fpt | compiled
       CHECK <query>               static analysis (no database touched)
+      EXPLAIN <query>             physical plan: class, width, join order
+                                  (no database touched)
       STATS                       session and server counters
       METRICS                     process telemetry snapshot as one JSON line
       QUIT                        close the session
@@ -30,6 +32,7 @@ type request =
   | Fact of { db : string; fact : string }
   | Eval of { db : string; engine : string; query : string }
   | Check of string
+  | Explain of string
   | Stats
   | Metrics
   | Quit

@@ -4,6 +4,7 @@ module Database = Paradb_relational.Database
 module Relation = Paradb_relational.Relation
 module Hypergraph = Paradb_hypergraph.Hypergraph
 module Join_tree = Paradb_hypergraph.Join_tree
+module Planner = Paradb_planner.Planner
 module Metrics = Paradb_telemetry.Metrics
 module Trace = Paradb_telemetry.Trace
 module Export = Paradb_telemetry.Export
@@ -12,12 +13,20 @@ module Budget = Paradb_telemetry.Budget
 
 let m_deadline = Metrics.counter "server.deadline_exceeded"
 
+(* Warm-path accounting: how often an EVAL ran a cached compiled
+   pipeline, vs. how often it fell back to an interpreted engine. *)
+let m_compiled_hits = Metrics.counter "planner.compiled.cache_hits"
+let m_interp_fallback = Metrics.counter "planner.fallback.interpreter"
+
 (* Per-verb latency histograms, prebuilt so the hot path is one assoc
    lookup over a short fixed list.  "invalid" times unparseable lines. *)
 let verb_hist =
   List.map
     (fun v -> (v, Metrics.histogram (Printf.sprintf "server.verb.%s.ns" v)))
-    [ "load"; "fact"; "eval"; "check"; "stats"; "metrics"; "quit"; "invalid" ]
+    [
+      "load"; "fact"; "eval"; "check"; "explain"; "stats"; "metrics"; "quit";
+      "invalid";
+    ]
 
 let observe_verb verb ns =
   match List.assoc_opt verb verb_hist with
@@ -85,12 +94,12 @@ let do_eval s ~db ~engine ~query =
       | Ok q -> (
           match Catalog.find s.shared.catalog db with
           | None -> err s (Printf.sprintf "no database %s (use LOAD or FACT)" db)
-          | Some database -> (
-              let key = Plan.cache_key kind q in
-              let plan, outcome =
-                Plan_cache.find_or_build s.shared.cache ~key (fun () ->
-                    Plan.analyze kind q)
-              in
+          | Some (database, generation) -> (
+              (* Scoped by snapshot generation: a LOAD/FACT that swapped
+                 the snapshot makes every older entry unreachable, so a
+                 compiled pipeline is never reused against data it was
+                 not compiled for. *)
+              let key = Plan.scoped_key ~db ~generation kind q in
               let budget =
                 Option.map
                   (fun deadline_ns -> Budget.start ~deadline_ns)
@@ -98,20 +107,38 @@ let do_eval s ~db ~engine ~query =
               in
               let t0 = now_ns () in
               match
-                Plan.evaluate ?budget ?family:s.shared.family plan database q
+                (* The budget covers the whole request: planning and
+                   pipeline compilation on a miss, then evaluation. *)
+                let plan, outcome =
+                  Plan_cache.find_or_build s.shared.cache ~key (fun () ->
+                      Plan.prepare ?budget (Plan.analyze kind q) database
+                        ~generation)
+                in
+                ( plan,
+                  outcome,
+                  Plan.evaluate ?budget ?family:s.shared.family plan database q
+                )
               with
               | exception
                   ( Paradb_yannakakis.Yannakakis.Cyclic_query
                   | Paradb_core.Engine.Cyclic_query ) ->
                   err s "the query hypergraph is cyclic; use engine naive"
               | exception Invalid_argument msg -> err s msg
+              | exception Not_found ->
+                  err s
+                    (Printf.sprintf "query names a relation missing from %s"
+                       db)
               | exception Budget.Exhausted { elapsed_ns; _ } ->
                   Metrics.incr m_deadline;
                   err s
                     (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
-              | result ->
+              | plan, outcome, result ->
                   let ns = now_ns () - t0 in
                   let hit = outcome = `Hit in
+                  (if plan.Plan.engine = Plan.E_compiled then begin
+                     if hit then Metrics.incr m_compiled_hits
+                   end
+                   else Metrics.incr m_interp_fallback);
                   Stats.record s.shared.stats
                     ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
                   Stats.record s.stats
@@ -136,11 +163,15 @@ let do_check s query =
   | Error e -> err s e
   | Ok q ->
       let plan = Plan.analyze Plan.Auto q in
+      let pplan = plan.Plan.pplan in
       let payload =
         [
           Printf.sprintf "query: %s" (Cq.to_string q);
           Printf.sprintf "size %d vars %d" (Cq.size q) (Cq.num_vars q);
           Printf.sprintf "acyclic: %b" plan.Plan.acyclic;
+          Printf.sprintf "class: %s"
+            (Planner.classification_name pplan.Planner.classification);
+          Printf.sprintf "width: %d" pplan.Planner.width;
           Printf.sprintf "join_tree: %s"
             (match plan.Plan.tree with
             | Some t -> Printf.sprintf "%d nodes" (Join_tree.n_nodes t)
@@ -151,6 +182,18 @@ let do_check s query =
         ]
       in
       ok ~payload (Printf.sprintf "checked size=%d" (Cq.size q))
+
+let do_explain s query =
+  match Source.parse_query query with
+  | Error e -> err s e
+  | Ok q ->
+      let pplan = Planner.plan q in
+      ok
+        ~payload:(Planner.explain pplan)
+        (Printf.sprintf "plan class=%s width=%d steps=%d"
+           (Planner.classification_name pplan.Planner.classification)
+           pplan.Planner.width
+           (List.length pplan.Planner.steps))
 
 let do_stats s =
   let cache = Plan_cache.counters s.shared.cache in
@@ -180,6 +223,7 @@ let dispatch s req =
   | Protocol.Eval { db; engine; query } ->
       (do_eval s ~db ~engine ~query, `Continue)
   | Protocol.Check query -> (do_check s query, `Continue)
+  | Protocol.Explain query -> (do_explain s query, `Continue)
   | Protocol.Stats -> (do_stats s, `Continue)
   | Protocol.Metrics -> (do_metrics (), `Continue)
   | Protocol.Quit -> (ok "bye", `Quit)

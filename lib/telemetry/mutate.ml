@@ -6,6 +6,8 @@ let known =
      "drop the first fused <> check (the F selection of Algorithm 1)");
     ("color_count",
      "under-count the hash range k (separation parameter) by one");
+    ("probe_key_swap",
+     "compiled probe binds its first output column from the probe key column");
   ]
 
 let known_names = List.map fst known

@@ -234,6 +234,9 @@ let test_mutant_drop_neq () =
 let test_mutant_color_count () =
   check_mutant_caught ~mutant:"color_count" ~engines:[ "fpt"; "fpt-sat" ]
 
+let test_mutant_probe_key_swap () =
+  check_mutant_caught ~mutant:"probe_key_swap" ~engines:[ "compiled" ]
+
 let test_unknown_mutant_rejected () =
   with_mutation "not_a_mutant" @@ fun () ->
   Alcotest.(check bool) "raises" true
@@ -272,6 +275,8 @@ let () =
           Alcotest.test_case "semijoin off by one" `Quick test_mutant_semijoin;
           Alcotest.test_case "drop neq" `Quick test_mutant_drop_neq;
           Alcotest.test_case "color count" `Quick test_mutant_color_count;
+          Alcotest.test_case "probe key swap" `Quick
+            test_mutant_probe_key_swap;
           Alcotest.test_case "unknown mutant" `Quick
             test_unknown_mutant_rejected;
         ] );

@@ -1,0 +1,235 @@
+(* The structure-aware planner and the compiled push-based pipeline:
+   classification (GYO acyclic / low-width / cyclic), plan shape, the
+   compiled engine's exact agreement with the interpreters on random
+   acyclic and cyclic instances, and Budget cancellation inside compiled
+   pipelines. *)
+
+module Planner = Paradb_planner.Planner
+module Compile = Paradb_eval.Compile
+module Cq_naive = Paradb_eval.Cq_naive
+module Join_eval = Paradb_eval.Join_eval
+module Yannakakis = Paradb_yannakakis.Yannakakis
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Value = Paradb_relational.Value
+module Budget = Paradb_telemetry.Budget
+module Generators = Paradb_workload.Generators
+open Paradb_query
+
+let plan text = Planner.plan (Parser.parse_cq text)
+
+let edge rows =
+  Database.of_relations
+    [
+      Relation.create ~name:"e" ~schema:[ "a"; "b" ]
+        (List.map
+           (fun (a, b) -> [| Value.Int a; Value.Int b |])
+           rows);
+    ]
+
+let triangle_db = edge [ (1, 2); (2, 3); (3, 1); (2, 2); (4, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Classification *)
+
+let test_classification () =
+  let p = plan "ans(X, Z) :- e(X, Y), e(Y, Z)." in
+  Alcotest.(check bool) "chain acyclic" true
+    (p.Planner.classification = Planner.Acyclic);
+  Alcotest.(check int) "chain width 1" 1 p.Planner.width;
+  Alcotest.(check bool) "chain has a join tree" true (p.Planner.tree <> None);
+  Alcotest.(check bool) "chain has a semijoin program" true
+    (p.Planner.reduce <> []);
+  let t = plan "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." in
+  Alcotest.(check bool) "triangle low-width" true
+    (t.Planner.classification = Planner.Low_width 2);
+  Alcotest.(check int) "triangle width 2" 2 t.Planner.width;
+  Alcotest.(check bool) "triangle has no tree" true (t.Planner.tree = None);
+  Alcotest.(check bool) "triangle has no semijoin program" true
+    (t.Planner.reduce = []);
+  (* 5-clique: 10 binary atoms, every elimination bag is the whole
+     vertex set, greedy edge cover needs 3 atoms > threshold 2 *)
+  let clique =
+    let atoms = ref [] in
+    for i = 0 to 4 do
+      for j = i + 1 to 4 do
+        atoms :=
+          Printf.sprintf "e(X%d, X%d)" i j :: !atoms
+      done
+    done;
+    Printf.sprintf "ans(X0) :- %s." (String.concat ", " (List.rev !atoms))
+  in
+  let c = plan clique in
+  (match c.Planner.classification with
+  | Planner.Cyclic w ->
+      Alcotest.(check bool) "5-clique width estimate >= 3" true (w >= 3)
+  | _ -> Alcotest.fail "5-clique should be classified cyclic");
+  Alcotest.(check bool) "threshold separates the classes" true
+    (Planner.low_width_threshold = 2)
+
+let test_plan_shape () =
+  let p = plan "ans(X, Z) :- e(X, Y), e(Y, Z), X != Z." in
+  (match p.Planner.steps with
+  | Planner.Scan _ :: rest ->
+      Alcotest.(check bool) "later steps probe or exists" true
+        (List.for_all
+           (function Planner.Scan _ -> false | _ -> true)
+           rest)
+  | _ -> Alcotest.fail "plan must open with a scan");
+  Alcotest.(check int) "one filter placed" 1 (List.length p.Planner.filters);
+  (* constants and repeated variables become scan-level selections *)
+  let s = plan "ans(X) :- e(1, X), e(X, X)." in
+  Alcotest.(check int) "constant pinned" 1
+    (List.length s.Planner.scans.(0).Planner.selections);
+  Alcotest.(check int) "repeated var equality" 1
+    (List.length s.Planner.scans.(1).Planner.equalities);
+  (* explain renders every structural element *)
+  let lines = Planner.explain p in
+  let has needle = List.exists (fun l -> Test_support.contains l needle) lines in
+  Alcotest.(check bool) "explain: class line" true (has "class: acyclic");
+  Alcotest.(check bool) "explain: width line" true (has "width: 1");
+  Alcotest.(check bool) "explain: scan step" true (has "scan e");
+  Alcotest.(check bool) "explain: probe step" true (has "probe e")
+
+(* ------------------------------------------------------------------ *)
+(* Compiled pipeline: hand-picked edge cases *)
+
+let rows rel = Test_support.sorted_rows rel
+
+let same text db =
+  let q = Parser.parse_cq text in
+  Alcotest.(check (list string)) text
+    (rows (Cq_naive.evaluate db q))
+    (rows (Compile.evaluate db q))
+
+let test_compiled_edge_cases () =
+  same "ans(X, Y) :- e(X, Y)." triangle_db;
+  same "ans(X) :- e(X, X)." triangle_db;
+  same "ans(X) :- e(1, X)." triangle_db;
+  same "ans(Y, X) :- e(X, Y), X != Y." triangle_db;
+  same "ans(X, Z) :- e(X, Y), e(Y, Z), X < Z." triangle_db;
+  same "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." triangle_db;
+  (* constants in the head *)
+  same "ans(X, 7) :- e(X, 2)." triangle_db;
+  (* boolean (empty head) and empty body, built directly *)
+  let boolean = Cq.make ~name:"q" ~head:[] [ Atom.make "e" [ Term.var "X"; Term.var "Y" ] ] in
+  Alcotest.(check (list string)) "boolean head"
+    (rows (Cq_naive.evaluate triangle_db boolean))
+    (rows (Compile.evaluate triangle_db boolean));
+  let empty_body = Cq.make ~name:"q" ~head:[ Term.Const (Value.Int 3) ] [] in
+  Alcotest.(check (list string)) "empty body, const head"
+    (rows (Cq_naive.evaluate triangle_db empty_body))
+    (rows (Compile.evaluate triangle_db empty_body));
+  (* a relation missing from the db raises like the interpreters *)
+  (try
+     ignore (Compile.evaluate triangle_db (Parser.parse_cq "ans(X) :- r9(X)."));
+     Alcotest.fail "missing relation should raise"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "error names the relation" true
+       (Test_support.contains msg "r9"))
+
+(* ------------------------------------------------------------------ *)
+(* Budget cancellation in compiled pipelines *)
+
+let test_budget_cancellation () =
+  let q = Parser.parse_cq "ans(X, Z) :- e(X, Y), e(Y, Z)." in
+  let p = Planner.plan q in
+  (* a cancelled budget stops compilation at its entry checkpoint *)
+  let b = Budget.start ~deadline_ns:max_int in
+  Budget.cancel b;
+  (try
+     ignore (Compile.compile ~budget:b p triangle_db);
+     Alcotest.fail "compile under a cancelled budget should raise"
+   with Budget.Exhausted _ -> ());
+  (* compiling without a budget, then running with a cancelled one:
+     the pipeline's strided checkpoint must fire *)
+  let exec = Compile.compile p triangle_db in
+  (try
+     ignore (Compile.run ~budget:b exec);
+     Alcotest.fail "run under a cancelled budget should raise"
+   with Budget.Exhausted _ -> ());
+  (* an expired deadline on a large scan trips the strided poll even
+     without an explicit cancel *)
+  let rng = Test_support.rng ~seed:23 () in
+  let big = Generators.edge_database rng ~nodes:200 ~edges:8000 in
+  let tiny = Budget.start ~deadline_ns:1 in
+  while Budget.remaining_ns tiny > 0 do
+    ignore (Sys.opaque_identity (Budget.elapsed_ns tiny))
+  done;
+  (try
+     ignore
+       (Compile.evaluate ~budget:tiny big
+          (Parser.parse_cq "ans(X, W) :- e(X, Y), e(Y, Z), e(Z, W)."));
+     Alcotest.fail "expired deadline should raise in the pipeline"
+   with Budget.Exhausted _ -> ());
+  (* and an untouched generous budget changes nothing *)
+  let roomy = Budget.start ~deadline_ns:(30 * 1_000_000_000) in
+  let q3 = Parser.parse_cq "ans(X, Z) :- e(X, Y), e(Y, Z)." in
+  Alcotest.(check (list string)) "budgeted = unbudgeted"
+    (rows (Compile.evaluate triangle_db q3))
+    (rows (Compile.evaluate ~budget:roomy triangle_db q3))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: compiled agrees exactly with the interpreters *)
+
+let qcheck_tests =
+  [
+    Qgen.seeded_property ~name:"compiled = naive on random acyclic CQs"
+      ~count:150 (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:10 in
+        let q =
+          Generators.random_tree_cq rng ~cmp_tries:2 ~max_atoms:4 ~max_arity:3
+            ~neq_tries:3 ~domain_size:4
+        in
+        rows (Compile.evaluate db q) = rows (Cq_naive.evaluate db q));
+    Qgen.seeded_property ~name:"compiled = hash join on acyclic CQs" ~count:100
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:10 in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:3 ~neq_tries:2
+            ~domain_size:4
+        in
+        rows (Compile.evaluate db q)
+        = rows (Join_eval.evaluate ~algorithm:Join_eval.Hash_join db q));
+    Qgen.seeded_property
+      ~name:"compiled = yannakakis on acyclic constraint-free CQs" ~count:100
+      (fun rng ->
+        let db = Qgen.tree_cq_database rng ~max_arity:3 ~domain_size:4 ~tuples:10 in
+        let q =
+          Qgen.random_tree_cq rng ~max_atoms:4 ~max_arity:3 ~neq_tries:0
+            ~domain_size:4
+        in
+        rows (Compile.evaluate db q) = rows (Yannakakis.evaluate db q));
+    Qgen.seeded_property ~name:"compiled = naive on random cyclic CQs"
+      ~count:80 (fun rng ->
+        let db =
+          Generators.edge_database rng ~nodes:8
+            ~edges:(12 + Random.State.int rng 20)
+        in
+        let q =
+          Generators.random_cyclic_cq rng
+            ~cycle:(3 + Random.State.int rng 2)
+            ~neq:(Random.State.bool rng)
+        in
+        rows (Compile.evaluate db q) = rows (Cq_naive.evaluate db q));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "planner"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "plan shape and explain" `Quick test_plan_shape;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "edge cases = naive" `Quick
+            test_compiled_edge_cases;
+          Alcotest.test_case "budget cancellation" `Quick
+            test_budget_cancellation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

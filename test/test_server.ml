@@ -155,18 +155,39 @@ let test_lru_discipline () =
   Alcotest.(check int) "lru order" 2 (List.length (Plan_cache.keys cache))
 
 let test_plan_dispatch () =
+  (* auto always lowers to the compiled push-based pipeline; the
+     interpreter engines remain reachable by explicit request *)
   let engine text = (plan_for text).Plan.engine in
-  Alcotest.(check bool) "acyclic, no constraints -> yannakakis" true
-    (engine "ans(X) :- e(X, Y)." = Plan.E_yannakakis);
-  Alcotest.(check bool) "acyclic + != -> fpt" true
-    (engine "ans(X) :- e(X, Y), X != Y." = Plan.E_fpt);
-  Alcotest.(check bool) "acyclic + < -> comparisons" true
-    (engine "ans(X) :- e(X, Y), X < Y." = Plan.E_comparisons);
-  Alcotest.(check bool) "cyclic -> naive" true
-    (engine "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." = Plan.E_naive);
-  let p = plan_for "ans(X) :- e(X, Y), e(Y, Z), X != Z, X != Y." in
+  Alcotest.(check bool) "acyclic, no constraints -> compiled" true
+    (engine "ans(X) :- e(X, Y)." = Plan.E_compiled);
+  Alcotest.(check bool) "acyclic + != -> compiled" true
+    (engine "ans(X) :- e(X, Y), X != Y." = Plan.E_compiled);
+  Alcotest.(check bool) "acyclic + < -> compiled" true
+    (engine "ans(X) :- e(X, Y), X < Y." = Plan.E_compiled);
+  Alcotest.(check bool) "cyclic -> compiled" true
+    (engine "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." = Plan.E_compiled);
+  let explicit kind text =
+    (Plan.analyze kind (Parser.parse_cq text)).Plan.engine
+  in
+  Alcotest.(check bool) "explicit naive honoured" true
+    (explicit Plan.Naive "ans(X) :- e(X, Y)." = Plan.E_naive);
+  Alcotest.(check bool) "explicit yannakakis honoured" true
+    (explicit Plan.Yannakakis "ans(X) :- e(X, Y)." = Plan.E_yannakakis);
+  Alcotest.(check bool) "explicit fpt honoured" true
+    (explicit Plan.Fpt "ans(X) :- e(X, Y), X != Y." = Plan.E_fpt);
+  let p =
+    Plan.analyze Plan.Fpt
+      (Parser.parse_cq "ans(X) :- e(X, Y), e(Y, Z), X != Z, X != Y.")
+  in
   Alcotest.(check bool) "fpt partition k > 0" true (p.Plan.neq_k > 0);
-  Alcotest.(check bool) "join tree cached" true (p.Plan.tree <> None)
+  Alcotest.(check bool) "join tree cached" true (p.Plan.tree <> None);
+  (* every plan carries the planner classification *)
+  let cls text = (plan_for text).Plan.pplan.Paradb_planner.Planner.classification in
+  Alcotest.(check bool) "chain classified acyclic" true
+    (cls "ans(X) :- e(X, Y), e(Y, Z)." = Paradb_planner.Planner.Acyclic);
+  Alcotest.(check bool) "triangle classified low-width" true
+    (cls "ans(X) :- e(X, Y), e(Y, Z), e(Z, X)."
+    = Paradb_planner.Planner.Low_width 2)
 
 (* ------------------------------------------------------------------ *)
 (* Session dispatch (no sockets) *)
@@ -206,7 +227,10 @@ let test_session_dispatch () =
     (contains (summary_of renamed) "cache=hit");
   Alcotest.(check (list string)) "hit payload identical" (answers "fpt")
     (payload_of renamed);
-  (* FACT appends and invalidates nothing (plans are db-independent) *)
+  (* FACT bumps the catalog generation: cached plans for the old
+     snapshot are stranded and the next EVAL rebuilds against the new
+     data (a compiled closure must never see a snapshot it was not
+     compiled for) *)
   Alcotest.(check bool) "fact ok" true
     (contains (summary_of (run "FACT g e(9, 1).")) "tuples=5");
   Alcotest.(check int) "new row visible" 4 (List.length (answers "naive"));
@@ -216,7 +240,11 @@ let test_session_dispatch () =
   (* CHECK *)
   let check_payload = payload_of (run "CHECK ans(X) :- e(X, Y), X != Y.") in
   Alcotest.(check bool) "check reports engine" true
-    (List.exists (fun l -> contains l "recommended_engine: fpt") check_payload);
+    (List.exists
+       (fun l -> contains l "recommended_engine: compiled")
+       check_payload);
+  Alcotest.(check bool) "check reports class" true
+    (List.exists (fun l -> contains l "class: acyclic") check_payload);
   (* STATS *)
   let field_of stats name =
     match
@@ -231,8 +259,11 @@ let test_session_dispatch () =
     | None -> Alcotest.failf "STATS lacks %s" name
   in
   let field name = field_of (payload_of (run "STATS")) name in
-  Alcotest.(check int) "cache hits counted" 3 (field "server.cache_hits");
-  Alcotest.(check int) "cache misses counted" 2 (field "server.cache_misses");
+  (* hits: renamed query + repeated fpt eval before the FACT; misses:
+     naive cold, fpt cold, and naive again after FACT bumped the
+     generation (generation-scoped keys strand the old entry) *)
+  Alcotest.(check int) "cache hits counted" 2 (field "server.cache_hits");
+  Alcotest.(check int) "cache misses counted" 3 (field "server.cache_misses");
   Alcotest.(check int) "catalog sizes" 5 (field "db.g");
   (* METRICS: a single JSON line carrying quantile fields, and STATS
      carries the same snapshot as telemetry.* table lines *)
@@ -264,6 +295,71 @@ let test_session_dispatch () =
   match Session.handle_line session "QUIT" with
   | _, `Quit -> ()
   | _, `Continue -> Alcotest.fail "QUIT should end the session"
+
+(* Regression: the plan cache must never serve a compiled closure built
+   against a superseded catalog snapshot.  Both mutation paths — FACT
+   (append) and LOAD (replace) — bump the generation, so a warm auto
+   (compiled) plan is re-prepared and the answers reflect the new data. *)
+let test_compiled_cache_staleness () =
+  let shared = Session.make_shared ~cache_capacity:8 () in
+  let session = Session.create shared in
+  let run line = fst (Session.handle_line session line) in
+  let path1 = write_temp_facts "e(1, 2). e(2, 3).\n" in
+  let path2 = write_temp_facts "e(7, 8).\n" in
+  Fun.protect ~finally:(fun () ->
+      Sys.remove path1;
+      Sys.remove path2)
+  @@ fun () ->
+  (match run (Printf.sprintf "LOAD g %s" path1) with
+  | Protocol.Ok_ _ -> ()
+  | Protocol.Err e -> Alcotest.failf "LOAD failed: %s" e);
+  let eval () = payload_of (run "EVAL g auto ans(X, Y) :- e(X, Y).") in
+  Alcotest.(check int) "compiled sees the initial snapshot" 2
+    (List.length (eval ()));
+  (* warm the cache, then append: the second eval must not replay the
+     closure compiled over the 2-tuple snapshot *)
+  Alcotest.(check bool) "warm eval is a cache hit" true
+    (contains (summary_of (run "EVAL g auto ans(X, Y) :- e(X, Y)."))
+       "cache=hit");
+  (match run "FACT g e(5, 5)." with
+  | Protocol.Ok_ _ -> ()
+  | Protocol.Err e -> Alcotest.failf "FACT failed: %s" e);
+  Alcotest.(check int) "compiled sees the appended fact" 3
+    (List.length (eval ()));
+  (* full replacement via LOAD: same key text, different snapshot *)
+  (match run (Printf.sprintf "LOAD g %s" path2) with
+  | Protocol.Ok_ _ -> ()
+  | Protocol.Err e -> Alcotest.failf "reLOAD failed: %s" e);
+  let rows = eval () in
+  Alcotest.(check int) "compiled sees the replacement db" 1
+    (List.length rows);
+  Alcotest.(check bool) "replacement rows, not stale ones" true
+    (List.exists (fun r -> contains r "7") rows)
+
+(* EXPLAIN renders the planner's physical plan without touching any
+   database *)
+let test_explain_verb () =
+  let shared = Session.make_shared ~cache_capacity:4 () in
+  let session = Session.create shared in
+  let run line = fst (Session.handle_line session line) in
+  (match run "EXPLAIN ans(X, Z) :- e(X, Y), e(Y, Z)." with
+  | Protocol.Ok_ { summary; payload } ->
+      Alcotest.(check bool) "summary names the class" true
+        (contains summary "class=acyclic");
+      let has s = List.exists (fun l -> contains l s) payload in
+      Alcotest.(check bool) "payload shows classification" true
+        (has "class: acyclic");
+      Alcotest.(check bool) "payload shows a scan step" true (has "scan");
+      Alcotest.(check bool) "payload shows a probe step" true (has "probe")
+  | Protocol.Err e -> Alcotest.failf "EXPLAIN failed: %s" e);
+  (match run "EXPLAIN ans(X) :- e(X, Y), e(Y, Z), e(Z, X)." with
+  | Protocol.Ok_ { summary; _ } ->
+      Alcotest.(check bool) "cyclic query classified" true
+        (contains summary "class=low-width")
+  | Protocol.Err e -> Alcotest.failf "EXPLAIN (cyclic) failed: %s" e);
+  match run "EXPLAIN ans(X) :- " with
+  | Protocol.Err _ -> ()
+  | Protocol.Ok_ _ -> Alcotest.fail "EXPLAIN on a parse error should ERR"
 
 (* ------------------------------------------------------------------ *)
 (* Concurrency: 8 parallel connections, answers bit-identical to
@@ -390,7 +486,13 @@ let () =
           Alcotest.test_case "lru discipline" `Quick test_lru_discipline;
           Alcotest.test_case "dispatch decisions" `Quick test_plan_dispatch;
         ] );
-      ("session", [ Alcotest.test_case "dispatch" `Quick test_session_dispatch ]);
+      ( "session",
+        [
+          Alcotest.test_case "dispatch" `Quick test_session_dispatch;
+          Alcotest.test_case "compiled cache never serves a stale snapshot"
+            `Quick test_compiled_cache_staleness;
+          Alcotest.test_case "explain verb" `Quick test_explain_verb;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "8 parallel connections, bit-identical answers"
