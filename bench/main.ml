@@ -37,6 +37,31 @@ let rng seed = Random.State.make [| seed; 0xBEEF |]
 let header title =
   Printf.printf "\n### %s\n\n" title
 
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* Order-insensitive, process-independent database digest for the
+   cold-load experiment: hashes tuple *values*, not dictionary codes,
+   so a fresh process (whose dictionary interns in segment order)
+   computes the same digest as the process that parsed the text. *)
+let store_digest db =
+  List.fold_left
+    (fun acc r ->
+      let rx =
+        Relation.fold
+          (fun tup x -> x lxor Paradb_relational.Tuple.hash tup)
+          r 0
+      in
+      acc lxor Hashtbl.hash (Relation.name r, Relation.cardinality r, rx))
+    0 (Database.relations db)
+
 (* Empirical exponent between two measurements: log(y2/y1)/log(x2/x1). *)
 let exponent (x1, y1) (x2, y2) =
   if y1 <= 0.0 || y2 <= 0.0 then nan
@@ -1281,6 +1306,59 @@ let server_throughput () =
   (* the per-pair ratio is robust to drift across the run; the medians of
      each column are reported alongside for absolute scale *)
   let governance_overhead = pair_ratio -. 1.0 in
+  (* A third server that persists its catalog.  --data-dir must not
+     touch the warm path: EVAL reads the same immutable in-memory
+     snapshot, and segments are consulted only at LOAD, FACT, and
+     attach time.  Also timed: a cold restart whose startup re-attaches
+     the segment store the LOAD below wrote. *)
+  let dd_dir = Filename.temp_file "paradb_bench" ".data" in
+  Sys.remove dd_dir;
+  Unix.mkdir dd_dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dd_dir) @@ fun () ->
+  let det_q =
+    let x i = Printf.sprintf "X%d" i in
+    let atoms =
+      List.init len (fun i -> Printf.sprintf "e(%s, %s)" (x i) (x (i + 1)))
+    in
+    Printf.sprintf "ans(%s, %s) :- %s." (x 0) (x len)
+      (String.concat ", " atoms)
+  in
+  let datadir_warm, datadir_ratio =
+    let dd =
+      Server.start ~data_dir:dd_dir ~port:0 ~workers:4 ~cache_capacity:128 ()
+    in
+    Fun.protect ~finally:(fun () -> Server.stop dd) @@ fun () ->
+    Client.with_connection ~port:(Server.port dd) (fun cd ->
+        expect cd (Printf.sprintf "LOAD g %s" path);
+        (* interleaved pairs against the plain server, as in the
+           governance comparison: back-to-back blocks drift by more
+           than any real warm-path difference *)
+        Client.with_connection ~port (fun c ->
+            ignore (time_eval cd det_q);
+            ignore (time_eval c det_q);
+            let pairs =
+              List.init (5 * samples) (fun i ->
+                  if i mod 2 = 0 then
+                    let w = time_eval c det_q in
+                    let d = time_eval cd det_q in
+                    (w, d)
+                  else
+                    let d = time_eval cd det_q in
+                    let w = time_eval c det_q in
+                    (w, d))
+            in
+            ( median (List.map snd pairs),
+              median (List.map (fun (w, d) -> d /. w) pairs) )))
+  in
+  let attach_s =
+    let t0 = Unix.gettimeofday () in
+    let dd =
+      Server.start ~data_dir:dd_dir ~port:0 ~workers:4 ~cache_capacity:128 ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Server.stop dd;
+    dt
+  in
   (* concurrent throughput over a warm cache *)
   let clients = 4 and requests = 200 in
   let mixed =
@@ -1337,6 +1415,9 @@ let server_throughput () =
         B.J_int (int_of_float (governance_baseline *. 1e9)) );
       ("governed_warm_ns", B.J_int (int_of_float (governed_warm *. 1e9)));
       ("governance_overhead", B.J_float governance_overhead);
+      ("datadir_warm_ns", B.J_int (int_of_float (datadir_warm *. 1e9)));
+      ("datadir_overhead", B.J_float (datadir_ratio -. 1.0));
+      ("attach_ns", B.J_int (int_of_float (attach_s *. 1e9)));
     ];
   B.print_table
     ~header:[ "metric"; "value" ]
@@ -1358,6 +1439,13 @@ let server_throughput () =
         B.pretty_seconds governed_warm ];
       [ "governance overhead (warm path)";
         Printf.sprintf "%+.2f%%" (governance_overhead *. 100.0) ];
+      [ Printf.sprintf "--data-dir warm EVAL, deterministic (median of %d)"
+          (5 * samples);
+        B.pretty_seconds datadir_warm ];
+      [ "--data-dir overhead (warm path)";
+        Printf.sprintf "%+.2f%%" ((datadir_ratio -. 1.0) *. 100.0) ];
+      [ "restart + segment attach (startup wall)";
+        B.pretty_seconds attach_s ];
     ];
   print_endline
     "\nA hit skips the per-query analysis (acyclicity test, join tree,\n\
@@ -1365,7 +1453,10 @@ let server_throughput () =
      and the four workers drive one shared, mutex-protected cache.\n\
      With deadlines, row caps, and idle timeouts all armed but never\n\
      tripped, the warm path pays only strided budget polls and the\n\
-     bounded reader."
+     bounded reader.  A --data-dir catalog persists every LOAD and FACT\n\
+     as checksummed segments but leaves the warm path untouched: EVAL\n\
+     reads the same immutable in-memory snapshot either way, and a\n\
+     restart re-attaches the store by mmap before accepting clients."
 
 (* ------------------------------------------------------------------ *)
 (* E-COMPILED: the compiled push-based pipeline vs the interpreters *)
@@ -1462,6 +1553,125 @@ let compiled_vs_interpreted () =
   Printf.printf "all classes agree with their interpreter: %b\n" !all_agree
 
 (* ------------------------------------------------------------------ *)
+(* E-COLD-LOAD: text parse vs checksummed mmap segments *)
+
+let cold_load () =
+  header
+    "E-COLD-LOAD — cold start: streaming text parse vs compact + mmap open";
+  let module Store = Paradb_storage.Store in
+  let sizes = [ 10_000; 100_000; 1_000_000; 10_000_000 ] in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let st = rng n in
+      (* write the text form directly: materializing a 10M-tuple
+         database first would measure the generator, not the loader *)
+      let path = Filename.temp_file "paradb_cold" ".facts" in
+      let nodes = max 64 (n / 50) in
+      Out_channel.with_open_text path (fun oc ->
+          for _ = 1 to n do
+            Printf.fprintf oc "e(%d, %d).\n" (Random.State.int st nodes)
+              (Random.State.int st nodes)
+          done);
+      let dir = Filename.temp_file "paradb_cold" ".seg" in
+      Sys.remove dir;
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove path;
+          remove_tree dir)
+        (fun () ->
+          let parsed, t_parse =
+            B.time (fun () ->
+                match Source.load_database path with
+                | Ok db -> db
+                | Error e -> failwith e)
+          in
+          let seg_bytes, t_compact =
+            B.time (fun () -> Store.compact ~dir parsed)
+          in
+          (* An order-insensitive digest stands in for the parsed
+             database during the timed open: keeping 10M live tuples
+             around would bill their GC marking to the open, which a
+             real cold start (fresh process) never pays.  Both sides
+             intern into the global dictionary, so code-row hashes are
+             comparable. *)
+          let parsed_digest = store_digest parsed in
+          let parsed_size = Database.size parsed in
+          (* drop the parsed copy before spawning: parent and child
+             should not both hold a 10M-tuple database in RAM *)
+          let parsed = () in
+          ignore parsed;
+          Gc.compact ();
+          (* The open is timed in a re-exec'd child (--cold-open): an
+             operational cold start is a fresh process, and timing the
+             decode inside the long-lived bench process would bill it
+             for the bench's own heap history.  Median of three child
+             runs — single draws swing with background load. *)
+          let cold_open () =
+            let rd, wr = Unix.pipe () in
+            let pid =
+              Unix.create_process Sys.executable_name
+                [| Sys.executable_name; "--cold-open"; dir |]
+                Unix.stdin wr Unix.stderr
+            in
+            Unix.close wr;
+            let ic = Unix.in_channel_of_descr rd in
+            let line = In_channel.input_all ic in
+            close_in ic;
+            ignore (Unix.waitpid [] pid);
+            Scanf.sscanf line " %f %d %d" (fun t s d -> (t, s, d))
+          in
+          let opens = List.init 3 (fun _ -> cold_open ()) in
+          let t_open =
+            match List.sort compare (List.map (fun (t, _, _) -> t) opens) with
+            | [ _; m; _ ] -> m
+            | _ -> assert false
+          in
+          let agree =
+            List.for_all
+              (fun (_, s, d) -> s = parsed_size && d = parsed_digest)
+              opens
+          in
+          let text_bytes = (Unix.stat path).Unix.st_size in
+          B.record
+            [
+              ("name", B.J_string "cold-load");
+              ("n", B.J_int n);
+              ("rows", B.J_int parsed_size);
+              ("text_bytes", B.J_int text_bytes);
+              ("segment_bytes", B.J_int seg_bytes);
+              ("parse_ns", B.J_int (int_of_float (t_parse *. 1e9)));
+              ("compact_ns", B.J_int (int_of_float (t_compact *. 1e9)));
+              ("median_ns", B.J_int (int_of_float (t_open *. 1e9)));
+              ("open_speedup", B.J_float (t_parse /. t_open));
+              ("agree", B.J_bool agree);
+            ];
+          rows :=
+            [
+              string_of_int n;
+              string_of_int parsed_size;
+              Printf.sprintf "%.1f MB" (float_of_int text_bytes /. 1e6);
+              Printf.sprintf "%.1f MB" (float_of_int seg_bytes /. 1e6);
+              B.pretty_seconds t_parse;
+              B.pretty_seconds t_compact;
+              B.pretty_seconds t_open;
+              B.ratio_string t_open t_parse;
+              string_of_bool agree;
+            ]
+            :: !rows))
+    sizes;
+  B.print_table
+    ~header:
+      [ "tuples"; "distinct"; "text"; "segments"; "text parse"; "compact";
+        "mmap open"; "open speedup"; "agree" ]
+    (List.rev !rows);
+  print_endline
+    "\nThe text path re-lexes every byte on every start; the segment path\n\
+     pays parsing once at compact time, and a cold open is mmap +\n\
+     CRC-validate + column decode into the dictionary-coded row store —\n\
+     no tokenization, no per-value boxing, rows presized exactly."
+
+(* ------------------------------------------------------------------ *)
 (* registry + drivers *)
 
 let experiments =
@@ -1491,6 +1701,7 @@ let experiments =
     ("ablation-datalog", ablation_seminaive);
     ("compiled-vs-interpreted", compiled_vs_interpreted);
     ("server-throughput", server_throughput);
+    ("cold-load", cold_load);
   ]
 
 (* Bechamel micro-benchmarks: one Test.make per table/figure, small
@@ -1609,6 +1820,19 @@ let usage () =
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments
 
 let () =
+  (* child mode for the cold-load experiment: open a segment store in
+     a genuinely fresh process and report {open time, size, digest} on
+     stdout.  See cold_load. *)
+  (match Sys.argv with
+  | [| _; "--cold-open"; dir |] ->
+      (try
+         let db, t =
+           B.time (fun () -> Paradb_storage.Store.open_dir dir)
+         in
+         Printf.printf "%f %d %d\n" t (Database.size db) (store_digest db)
+       with e -> Printf.printf "ERR %s\n" (Printexc.to_string e));
+      exit 0
+  | _ -> ());
   let only = ref None and json = ref None and mode = ref `Run in
   let rec parse = function
     | [] -> ()

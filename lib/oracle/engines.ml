@@ -99,6 +99,27 @@ let random_family q seed =
    generated EDB names (r1/r2/r3, e). *)
 let datalog_goal = "fz_goal"
 
+(* Scratch directories for the storage round-trip path: one per call,
+   removed afterwards even when the engine raises. *)
+let segment_counter = Atomic.make 0
+
+let with_scratch_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "paradb-oracle-seg-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add segment_counter 1))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
 let all ?serve () =
   [
     query_engine ~name:"naive-unordered" ~mode:Exact (fun db q ->
@@ -127,6 +148,15 @@ let all ?serve () =
        exactly with the naive reference. *)
     query_engine ~name:"compiled" ~mode:Exact (fun db q ->
         Rows (canon (Paradb_eval.Compile.evaluate db q)));
+    (* The storage round-trip: compact the database to a scratch segment
+       directory, reopen it by mmap, evaluate with the naive engine.
+       Both sides run the same evaluator, so any divergence (or raised
+       [Corrupt]) isolates a storage bug — writer, checksum, mmap decode
+       or manifest — never an engine bug. *)
+    query_engine ~name:"segment" ~mode:Exact (fun db q ->
+        with_scratch_dir (fun dir ->
+            ignore (Paradb_storage.Store.compact ~dir db);
+            Rows (canon (Cq_naive.evaluate (Paradb_storage.Store.open_dir dir) q))));
     query_engine ~name:"datalog" ~mode:Exact
       ~guard:(fun q -> no_constraints q && q.Cq.body <> [])
       (fun db q ->

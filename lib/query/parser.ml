@@ -405,22 +405,34 @@ let parse_fo s =
 (* ------------------------------------------------------------------ *)
 (* Fact files *)
 
+(* Shared with the streaming path ([parse_ground_fact]): one clause's
+   worth of the fact-file checks, so both loaders reject the same
+   inputs with the same messages. *)
+let ground_row_of_clause (name, args, atoms, constraints) =
+  if atoms <> [] || constraints <> [] then
+    fail "parse_facts: rule bodies not allowed in fact files";
+  let row =
+    Array.of_list
+      (List.map
+         (function
+           | Term.Const v -> v
+           | Term.Var x -> fail "parse_facts: variable %s in a fact" x)
+         args)
+  in
+  (name, row)
+
+let parse_ground_fact s =
+  let st = stream_of s in
+  let name, args, atoms, constraints = parse_clause st in
+  finish st;
+  ground_row_of_clause (name, args, atoms, constraints)
+
 let parse_facts s =
   let st = stream_of s in
   let table : (string, Tuple.t list ref) Hashtbl.t = Hashtbl.create 16 in
   let rec go () =
     if peek st <> T_eof then begin
-      let name, args, atoms, constraints = parse_clause st in
-      if atoms <> [] || constraints <> [] then
-        fail "parse_facts: rule bodies not allowed in fact files";
-      let row =
-        Array.of_list
-          (List.map
-             (function
-               | Term.Const v -> v
-               | Term.Var x -> fail "parse_facts: variable %s in a fact" x)
-             args)
-      in
+      let name, row = ground_row_of_clause (parse_clause st) in
       let bucket =
         match Hashtbl.find_opt table name with
         | Some b -> b

@@ -33,3 +33,9 @@ val parse_fo : string -> Fo.t
     database (relation schemas get positional attribute names
     ["a0", "a1", ...]).  ['%' ...] comments run to end of line. *)
 val parse_facts : string -> Paradb_relational.Database.t
+
+(** [parse_ground_fact s] — exactly one ground fact [r(c, ...).]; the
+    per-clause unit of the streaming fact loader ({!Source}).  Rejects
+    rule bodies and variables with the same messages as
+    {!parse_facts}. *)
+val parse_ground_fact : string -> string * Paradb_relational.Tuple.t

@@ -1,3 +1,6 @@
+module Dictionary = Paradb_relational.Dictionary
+module Relation = Paradb_relational.Relation
+
 let read_file path =
   if path = "-" then In_channel.input_all In_channel.stdin
   else In_channel.with_open_text path In_channel.input_all
@@ -7,10 +10,109 @@ let parse_facts text =
   | Parser.Parse_error msg -> Error ("database: " ^ msg)
   | Invalid_argument msg -> Error ("database: " ^ msg)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming fact ingest.
+
+   A fact file is a sequence of '.'-terminated ground clauses, so it can
+   be split into clauses with a three-state scanner (normal / inside a
+   quoted string / inside a '%' comment) without tokenizing the whole
+   file — the loader below holds one clause of text plus the encoded
+   rows in memory, never the file.  Comment bytes are dropped (a comment
+   may sit mid-clause); the newline ending a comment is kept so it still
+   separates tokens. *)
+
+(* A clause longer than this is a parse error, not an OOM: the cap turns
+   a lost terminating dot (or an unterminated quote swallowing the rest
+   of a gigabyte file) into a clean failure. *)
+let max_clause_bytes = 1 lsl 20
+
+let iter_fact_clauses ic f =
+  let chunk = Bytes.create 65536 in
+  let buf = Buffer.create 256 in
+  let state = ref `Normal in
+  let blank = ref true in
+  let emit () =
+    if not !blank then f (Buffer.contents buf);
+    Buffer.clear buf;
+    blank := true
+  in
+  let put c =
+    if Buffer.length buf >= max_clause_bytes then
+      raise
+        (Parser.Parse_error
+           (Printf.sprintf "parse_facts: clause exceeds %d bytes (missing '.'?)"
+              max_clause_bytes));
+    Buffer.add_char buf c;
+    (match c with ' ' | '\t' | '\n' | '\r' -> () | _ -> blank := false)
+  in
+  let rec refill () =
+    let n = In_channel.input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        let c = Bytes.unsafe_get chunk i in
+        match !state with
+        | `Comment -> if c = '\n' then (state := `Normal; put '\n')
+        | `String ->
+            put c;
+            if c = '"' then state := `Normal
+        | `Normal -> (
+            match c with
+            | '%' -> state := `Comment
+            | '"' ->
+                state := `String;
+                put c
+            | '.' ->
+                put '.';
+                emit ()
+            | c -> put c)
+      done;
+      refill ()
+    end
+  in
+  refill ();
+  if !state = `String then
+    raise (Parser.Parse_error "lexer: unterminated string");
+  (* a final clause without its dot parses like it does in parse_facts *)
+  emit ()
+
+(* One relation under construction: rows are interned to code rows as
+   they arrive, so a large ingest holds int arrays, not boxed values or
+   source text. *)
+type building = { arity : int; mutable rev_rows : Paradb_relational.Code_row.t list }
+
+let load_database_channel ic =
+  let table : (string, building) Hashtbl.t = Hashtbl.create 16 in
+  iter_fact_clauses ic (fun clause ->
+      let name, row = Parser.parse_ground_fact clause in
+      let codes = Array.map (Dictionary.intern Dictionary.global) row in
+      match Hashtbl.find_opt table name with
+      | None ->
+          Hashtbl.add table name
+            { arity = Array.length row; rev_rows = [ codes ] }
+      | Some b ->
+          if Array.length row <> b.arity then
+            raise
+              (Parser.Parse_error
+                 (Printf.sprintf
+                    "parse_facts: relation %s used with mixed arities" name));
+          b.rev_rows <- codes :: b.rev_rows);
+  Hashtbl.fold
+    (fun name b db ->
+      let schema = List.init b.arity (Printf.sprintf "a%d") in
+      Paradb_relational.Database.add
+        (Relation.of_codes ~name ~schema (List.to_seq (List.rev b.rev_rows)))
+        db)
+    table Paradb_relational.Database.empty
+
 let load_database path =
-  match read_file path with
+  match
+    if path = "-" then load_database_channel In_channel.stdin
+    else In_channel.with_open_bin path load_database_channel
+  with
+  | db -> Ok db
   | exception Sys_error msg -> Error msg
-  | text -> parse_facts text
+  | exception Parser.Parse_error msg -> Error ("database: " ^ msg)
+  | exception Invalid_argument msg -> Error ("database: " ^ msg)
 
 let parse_query text =
   try Ok (Parser.parse_cq text) with

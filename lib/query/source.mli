@@ -9,10 +9,19 @@
 val read_file : string -> string
 
 (** [load_database path] parses the fact file at [path] ('-' for stdin).
-    Errors are prefixed with ["database: "] (parse) or are the raw
-    [Sys_error] message (I/O). *)
+    The file is streamed clause by clause — peak memory is the encoded
+    database plus one clause of text, never the whole file — so ingest
+    handles fact files larger than RAM's worth of source text.  Errors
+    are prefixed with ["database: "] (parse) or are the raw [Sys_error]
+    message (I/O). *)
 val load_database :
   string -> (Paradb_relational.Database.t, string) result
+
+(** [iter_fact_clauses ic f] splits the channel into '.'-terminated
+    clauses (respecting quoted strings; ['%'] comments are dropped) and
+    calls [f] on each clause's text.  Raises {!Parser.Parse_error} on an
+    unterminated string or a clause longer than 1 MiB. *)
+val iter_fact_clauses : In_channel.t -> (string -> unit) -> unit
 
 (** [parse_facts text] — like {!load_database} on an in-memory string. *)
 val parse_facts : string -> (Paradb_relational.Database.t, string) result

@@ -193,16 +193,23 @@ type hash_index = key_index
 
 let hash_index = key_index
 
-let of_codes ?(name = "") ?(dict = Dictionary.global) ~schema rows =
+let of_codes ?(name = "") ?(dict = Dictionary.global) ?(size_hint = 16) ~schema rows =
   let schema = Array.of_list schema in
   let arity = Array.length schema in
-  let store = Row_set.create 16 in
+  let store = Row_set.create (max 16 size_hint) in
   Seq.iter
     (fun row ->
       check_arity name arity row;
       Row_set.add store (Array.copy row))
     rows;
   make ~name ~schema_array:schema ~dict store
+
+let of_unique_codes ?(name = "") ?(dict = Dictionary.global) ~schema rows =
+  let schema = Array.of_list schema in
+  let arity = Array.length schema in
+  Array.iter (check_arity name arity) rows;
+  make ~name ~schema_array:schema ~dict
+    (Row_set.of_unique_array rows (Array.length rows))
 
 let project attrs r =
   let pos = positions r attrs in

@@ -136,9 +136,23 @@ val code_of_value : t -> Value.t -> int option
     Every cell must already be a code of [dict] (defaults to
     {!Dictionary.global}); no encoding or validation beyond arity is
     performed.  Duplicate rows are merged.  The rows are copied into a
-    fresh store, so the sequence may reuse buffers. *)
+    fresh store, so the sequence may reuse buffers.  [size_hint]
+    presizes the store (bulk loaders pass the known row count to skip
+    growth doublings). *)
 val of_codes :
-  ?name:string -> ?dict:Dictionary.t -> schema:string list -> Code_row.t Seq.t -> t
+  ?name:string -> ?dict:Dictionary.t -> ?size_hint:int ->
+  schema:string list -> Code_row.t Seq.t -> t
+
+(** [of_unique_codes ~schema rows] — the trusted bulk constructor.
+    Takes ownership of [rows], whose entries must be pairwise-distinct
+    code rows over [dict]; no dedup hashing happens here, and the row
+    store's probe table is built lazily on first [mem]/[add].  This is
+    the segment store's cold-open path: a mmap'd segment decodes
+    straight into the relation at memory speed, because the writer
+    already guaranteed set semantics. *)
+val of_unique_codes :
+  ?name:string -> ?dict:Dictionary.t -> schema:string list ->
+  Code_row.t array -> t
 
 (** {2 Probe API}
 

@@ -2,14 +2,21 @@
    holds indexes into [rows] (-1 = empty slot); linear probing; row
    hashes are cached in [hashes] so resizing never rehashes a row.  Rows
    are kept in insertion order, which gives O(1) [get] and cheap dense
-   iteration. *)
+   iteration.
+
+   A set built by [of_unique_array] starts SEALED: [mask = -1] and the
+   table/hash arrays empty.  Dense reads work as usual; the first
+   operation that needs the probe table ([add]/[mem]) builds it then.
+   The cold-open path of the segment store depends on this — decoding a
+   10M-row segment must not pay a hash insert per row that evaluation
+   will never look at. *)
 
 type t = {
   mutable rows : Code_row.t array;
   mutable hashes : int array;
   mutable size : int;
   mutable table : int array;
-  mutable mask : int;
+  mutable mask : int; (* -1: probe table not built yet *)
 }
 
 let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
@@ -23,6 +30,29 @@ let create n =
     table = Array.make cap (-1);
     mask = cap - 1;
   }
+
+let of_unique_array rows size =
+  { rows; hashes = [||]; size; table = [||]; mask = -1 }
+
+let ensure_table s =
+  if s.mask < 0 then begin
+    let cap = pow2 (2 * max 8 s.size) 16 in
+    let table = Array.make cap (-1) in
+    let mask = cap - 1 in
+    let hashes = Array.make (max 8 (Array.length s.rows)) 0 in
+    for i = 0 to s.size - 1 do
+      let h = Code_row.hash s.rows.(i) in
+      hashes.(i) <- h;
+      let j = ref (h land mask) in
+      while table.(!j) >= 0 do
+        j := (!j + 1) land mask
+      done;
+      table.(!j) <- i
+    done;
+    s.hashes <- hashes;
+    s.table <- table;
+    s.mask <- mask
+  end
 
 let cardinal s = s.size
 let is_empty s = s.size = 0
@@ -51,6 +81,7 @@ let resize_table s =
   s.mask <- mask
 
 let add s row =
+  ensure_table s;
   let h = Code_row.hash row in
   let j = ref (h land s.mask) in
   let i = ref s.table.(!j) in
@@ -73,6 +104,7 @@ let add s row =
   end
 
 let mem s row =
+  ensure_table s;
   let h = Code_row.hash row in
   let j = ref (h land s.mask) in
   let i = ref s.table.(!j) in

@@ -11,6 +11,16 @@ type t
 
 val create : int -> t
 
+(** [of_unique_array rows size] takes ownership of [rows] (whose first
+    [size] entries must be pairwise-distinct code rows) and wraps it as
+    a set WITHOUT building the probe table: the table and cached hashes
+    are materialized lazily on the first [add]/[mem]/[equal].  Dense
+    iteration ([get]/[iter]/[fold]) never needs them, so a bulk loader
+    whose consumers only scan pays nothing beyond the array itself.
+    The uniqueness precondition is the caller's to uphold — the segment
+    reader derives it from the writer's set semantics. *)
+val of_unique_array : Code_row.t array -> int -> t
+
 (** [get s i] is the [i]th row in insertion order, [0 <= i < cardinal s].
     Do not mutate the returned array. *)
 val get : t -> int -> Code_row.t

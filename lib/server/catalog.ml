@@ -1,5 +1,8 @@
 module Database = Paradb_relational.Database
+module Relation = Paradb_relational.Relation
 module Source = Paradb_query.Source
+module Store = Paradb_storage.Store
+module Segment = Paradb_storage.Segment
 
 type entry = { db : Database.t; generation : int }
 
@@ -7,9 +10,26 @@ type t = {
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   mutable next_generation : int;
+  data_dir : string option;
 }
 
-let create () = { table = Hashtbl.create 16; lock = Mutex.create (); next_generation = 0 }
+let create ?data_dir () =
+  {
+    table = Hashtbl.create 16;
+    lock = Mutex.create ();
+    next_generation = 0;
+    data_dir;
+  }
+
+let data_dir cat = cat.data_dir
+
+(* Directory names come from protocol tokens; keep them from escaping
+   the data dir (or colliding) by the same sanitization segment files
+   use. *)
+let dir_for cat name =
+  Option.map
+    (fun d -> Filename.concat d (Store.sanitize_name name))
+    cat.data_dir
 
 (* Every mutation gets a fresh generation from a catalog-wide counter, so
    a (name, generation) pair identifies one immutable snapshot for the
@@ -30,6 +50,60 @@ let find cat name =
         (fun e -> (e.db, e.generation))
         (Hashtbl.find_opt cat.table name))
 
+let merge base additions =
+  List.fold_left
+    (fun db r ->
+      match Database.find_opt db (Relation.name r) with
+      | None -> Database.add r db
+      | Some existing -> Database.add (Relation.union existing r) db)
+    base (Database.relations additions)
+
+(* Persistence failures surface as [Error "storage: ..."]; the entry is
+   left as it was, so a failed write never publishes a snapshot the disk
+   does not hold. *)
+let wrap_storage f =
+  match f () with
+  | v -> Ok v
+  | exception Segment.Corrupt msg -> Error ("storage: " ^ msg)
+  | exception Sys_error msg -> Error ("storage: " ^ msg)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("storage: " ^ Unix.error_message e)
+
+(* Persist [additions] under the entry's segment directory: the first
+   write compacts a fresh store, every later one appends delta
+   segments.  Runs under the catalog lock — manifest read-modify-write
+   must not interleave. *)
+let persist ~dir additions =
+  if Store.is_store dir then
+    List.iter (fun r -> Store.append ~dir r) (Database.relations additions)
+  else ignore (Store.compact ~dir additions)
+
+let load cat name additions =
+  match dir_for cat name with
+  | None ->
+      set cat name additions;
+      Ok (additions, `Replaced)
+  | Some dir ->
+      Mutex.protect cat.lock (fun () ->
+          let base, mode =
+            match Hashtbl.find_opt cat.table name with
+            | Some e -> (e.db, `Appended)
+            | None -> (Database.empty, `Created)
+          in
+          (* merge first: an arity clash must not leave segments behind *)
+          match
+            try Ok (merge base additions)
+            with Invalid_argument msg -> Error msg
+          with
+          | Error _ as e -> e
+          | Ok merged -> (
+              match wrap_storage (fun () -> persist ~dir additions) with
+              | Error _ as e -> e
+              | Ok () ->
+                  Hashtbl.replace cat.table name
+                    { db = merged; generation = fresh_generation cat };
+                  Ok (merged, mode)))
+
 let add_fact cat name fact =
   (* parse_facts accepts any fact-file fragment, so one ill-formed or
      non-ground "fact" fails here rather than corrupting the entry *)
@@ -37,27 +111,42 @@ let add_fact cat name fact =
   | Error e -> Error e
   | Ok additions -> (
       try
-      Mutex.protect cat.lock (fun () ->
-          let base =
-            match Hashtbl.find_opt cat.table name with
-            | Some e -> e.db
-            | None -> Database.empty
-          in
-          let merged =
-            List.fold_left
-              (fun db r ->
-                match Database.find_opt db (Paradb_relational.Relation.name r) with
-                | None -> Database.add r db
-                | Some existing ->
-                    Database.add (Paradb_relational.Relation.union existing r) db)
-              base (Database.relations additions)
-          in
-          Hashtbl.replace cat.table name
-            { db = merged; generation = fresh_generation cat };
-          Ok merged)
+        Mutex.protect cat.lock (fun () ->
+            let base =
+              match Hashtbl.find_opt cat.table name with
+              | Some e -> e.db
+              | None -> Database.empty
+            in
+            let merged = merge base additions in
+            match
+              match dir_for cat name with
+              | None -> Ok ()
+              | Some dir -> wrap_storage (fun () -> persist ~dir additions)
+            with
+            | Error _ as e -> e
+            | Ok () ->
+                Hashtbl.replace cat.table name
+                  { db = merged; generation = fresh_generation cat };
+                Ok merged)
       with Invalid_argument msg ->
         (* e.g. an arity clash with the relation already in the entry *)
         Error msg)
+
+let attach cat =
+  match cat.data_dir with
+  | None -> []
+  | Some root ->
+      if not (Sys.file_exists root && Sys.is_directory root) then []
+      else
+        Sys.readdir root |> Array.to_list |> List.sort compare
+        |> List.filter_map (fun name ->
+               let dir = Filename.concat root name in
+               if Store.is_store dir then begin
+                 let db = Store.open_dir dir in
+                 set cat name db;
+                 Some (name, Database.size db)
+               end
+               else None)
 
 let entries cat =
   Mutex.protect cat.lock (fun () ->

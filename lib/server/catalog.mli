@@ -1,4 +1,5 @@
-(** The catalog: named in-memory databases shared by every session.
+(** The catalog: named databases shared by every session, optionally
+    backed by on-disk segment stores.
 
     {!Paradb_relational.Database.t} values are immutable, so the catalog
     is just a mutex-protected table from names to the current snapshot.
@@ -8,30 +9,59 @@
     one consistent database value.
 
     Every snapshot carries a {e generation}: a catalog-wide counter
-    bumped on each [set]/[add_fact].  A (name, generation) pair denotes
-    one immutable snapshot, which is what the server's plan cache keys
+    bumped on each mutation.  A (name, generation) pair denotes one
+    immutable snapshot, which is what the server's plan cache keys
     compiled pipelines on — a reload can never be served a pipeline
-    compiled against superseded data. *)
+    compiled against superseded data.
+
+    With a [data_dir], each entry also owns the segment directory
+    [data_dir/<name>]: a mutation first persists the delta as immutable
+    segment files (the first [LOAD] compacts a fresh store, later ones
+    append delta segments), then swaps the in-memory snapshot under a
+    fresh generation.  A failed persist leaves both the entry and the
+    old generation untouched — memory never claims more than the disk
+    holds. *)
 
 module Database = Paradb_relational.Database
 
 type t
 
-val create : unit -> t
+(** [create ?data_dir ()] — with [data_dir], entries persist to segment
+    stores under it (see {!attach} for opening existing ones). *)
+val create : ?data_dir:string -> unit -> t
+
+val data_dir : t -> string option
 
 (** [set cat name db] binds (or replaces) a catalog entry under a fresh
-    generation. *)
+    generation.  In-memory only — persistence goes through {!load} and
+    {!add_fact}. *)
 val set : t -> string -> Database.t -> unit
 
 (** [find cat name] — the current snapshot and its generation. *)
 val find : t -> string -> (Database.t * int) option
 
+(** [load cat name db] — the [LOAD] verb.  Without a data dir this
+    replaces the entry.  With one, [db] is persisted as delta segments
+    (the incremental-load path) and unioned with the existing snapshot;
+    the returned tag says which happened.  Storage failures return
+    [Error "storage: ..."] and leave the entry unchanged. *)
+val load :
+  t -> string -> Database.t ->
+  (Database.t * [ `Replaced | `Appended | `Created ], string) result
+
 (** [add_fact cat name atom] parses one ground fact (e.g. ["edge(1, 2)."])
     and adds it to the named database, creating the entry if absent.
     Returns the new snapshot, or an error message for unparsable input.
     The parse-and-replace runs under the catalog lock, so concurrent
-    [FACT]s to one entry never lose updates. *)
+    [FACT]s to one entry never lose updates.  With a data dir the fact
+    is persisted as a delta segment before the snapshot swaps. *)
 val add_fact : t -> string -> string -> (Database.t, string) result
+
+(** [attach cat] scans the data dir and opens every segment store found
+    as a catalog entry, returning [(name, tuples)] per database loaded.
+    Raises {!Paradb_storage.Segment.Corrupt} if any store fails
+    validation — callers treat that as a fatal startup error. *)
+val attach : t -> (string * int) list
 
 (** Entry names with their tuple counts, sorted by name. *)
 val entries : t -> (string * int) list

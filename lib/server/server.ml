@@ -127,8 +127,8 @@ let worker_loop stopping shared conns conns_lock listen_fd () =
   in
   loop 0
 
-let start ?(host = "127.0.0.1") ?family ?limits ~port ~workers ~cache_capacity
-    () =
+let start ?(host = "127.0.0.1") ?family ?limits ?data_dir ~port ~workers
+    ~cache_capacity () =
   if workers < 1 then invalid_arg "Server.start: need at least one worker";
   (* a peer that disconnects mid-response must surface as EPIPE, not
      kill the process *)
@@ -148,7 +148,14 @@ let start ?(host = "127.0.0.1") ?family ?limits ~port ~workers ~cache_capacity
     | ADDR_INET (_, p) -> p
     | ADDR_UNIX _ -> assert false
   in
-  let shared = Session.make_shared ?family ?limits ~cache_capacity () in
+  let shared = Session.make_shared ?family ?limits ?data_dir ~cache_capacity () in
+  (* attach before accepting: a corrupt store must fail startup, not the
+     first query.  [Segment.Corrupt] propagates after the socket closes. *)
+  (match Catalog.attach shared.Session.catalog with
+  | _ -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
   let stopping = Atomic.make false in
   let conns = Hashtbl.create 64 in
   let conns_lock = Mutex.create () in

@@ -25,14 +25,19 @@
 
 type t
 
-(** [start ?host ?family ?limits ~port ~workers ~cache_capacity ()]
+(** [start ?host ?family ?limits ?data_dir ~port ~workers ~cache_capacity ()]
     binds and listens (port [0] picks an ephemeral port — see {!port})
     and spawns the worker pool.  [host] defaults to ["127.0.0.1"];
-    [limits] to {!Guard.default_limits}. *)
+    [limits] to {!Guard.default_limits}.  With [data_dir], every segment
+    store under it is attached as a catalog entry before the first
+    connection is accepted, and mutations persist (see {!Catalog}); a
+    corrupt store raises {!Paradb_storage.Segment.Corrupt} out of
+    [start] — the server never comes up over bad data. *)
 val start :
   ?host:string ->
   ?family:Paradb_core.Hashing.family ->
   ?limits:Guard.limits ->
+  ?data_dir:string ->
   port:int ->
   workers:int ->
   cache_capacity:int ->

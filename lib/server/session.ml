@@ -41,9 +41,10 @@ type shared = {
   limits : Guard.limits;
 }
 
-let make_shared ?family ?(limits = Guard.default_limits) ~cache_capacity () =
+let make_shared ?family ?(limits = Guard.default_limits) ?data_dir
+    ~cache_capacity () =
   {
-    catalog = Catalog.create ();
+    catalog = Catalog.create ?data_dir ();
     cache = Plan_cache.create ~capacity:cache_capacity ();
     stats = Stats.create ();
     family;
@@ -69,15 +70,23 @@ let now_ns = Clock.now_ns
 
 (* ------------------------------------------------------------------ *)
 
+(* [Store.load_database] accepts both text fact files and segment
+   directories; the catalog persists deltas when it owns a data dir. *)
 let do_load s ~db ~path =
-  match Source.load_database path with
+  match Paradb_storage.Store.load_database path with
   | Error e -> err s e
-  | Ok database ->
-      Catalog.set s.shared.catalog db database;
-      ok
-        (Printf.sprintf "loaded %s relations=%d tuples=%d" db
-           (List.length (Database.relations database))
-           (Database.size database))
+  | Ok database -> (
+      match Catalog.load s.shared.catalog db database with
+      | Error e -> err s e
+      | Ok (merged, mode) ->
+          ok
+            (Printf.sprintf "loaded %s mode=%s relations=%d tuples=%d" db
+               (match mode with
+               | `Replaced -> "replace"
+               | `Appended -> "append"
+               | `Created -> "create")
+               (List.length (Database.relations merged))
+               (Database.size merged)))
 
 let do_fact s ~db ~fact =
   match Catalog.add_fact s.shared.catalog db fact with

@@ -17,10 +17,14 @@ type shared = {
           server loop applies the line and idle limits) *)
 }
 
-(** [limits] defaults to {!Guard.default_limits} (governance off). *)
+(** [limits] defaults to {!Guard.default_limits} (governance off).
+    [data_dir] makes the catalog persist every [LOAD]/[FACT] to segment
+    stores under it (see {!Catalog}); existing stores are attached by
+    {!Server.start}, or explicitly via {!Catalog.attach}. *)
 val make_shared :
   ?family:Paradb_core.Hashing.family ->
-  ?limits:Guard.limits -> cache_capacity:int -> unit -> shared
+  ?limits:Guard.limits ->
+  ?data_dir:string -> cache_capacity:int -> unit -> shared
 
 type t
 

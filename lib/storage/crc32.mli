@@ -1,0 +1,28 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the per-section
+    checksum of the segment format.
+
+    Checksums are returned as non-negative OCaml ints in
+    [0 .. 0xFFFFFFFF].  The incremental API threads a running state so a
+    section can be checksummed as it is written; [finish] applies the
+    final complement. *)
+
+type state
+
+val init : state
+
+(** Feed a slice of bytes into the running checksum. *)
+val feed_bytes : state -> Bytes.t -> int -> int -> state
+
+val feed_string : state -> string -> state
+val feed_byte : state -> int -> state
+
+(** The checksum of everything fed so far. *)
+val finish : state -> int
+
+(** One-shot checksum of [len] bytes of [b] starting at [pos]. *)
+val of_bytes : Bytes.t -> int -> int -> int
+
+(** One-shot checksum over a mapped file region. *)
+val of_bigarray :
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int -> int -> int

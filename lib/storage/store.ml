@@ -1,0 +1,180 @@
+module Dictionary = Paradb_relational.Dictionary
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+
+type entry = { file : string; relation : string; rows : int }
+
+let manifest_file = "MANIFEST"
+let manifest_magic = "paradb-segments 1"
+
+let corrupt path fmt =
+  Format.kasprintf
+    (fun s -> raise (Segment.Corrupt (Printf.sprintf "manifest %s: %s" path s)))
+    fmt
+
+let is_store path =
+  Sys.file_exists path
+  && Sys.is_directory path
+  && Sys.file_exists (Filename.concat path manifest_file)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest *)
+
+let entries dir =
+  let path = Filename.concat dir manifest_file in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  match String.split_on_char '\n' text with
+  | [] -> corrupt path "empty manifest"
+  | first :: rest ->
+      if String.trim first <> manifest_magic then
+        corrupt path "bad first line %S (expected %S)" first manifest_magic;
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" then None
+          else
+            match String.split_on_char ' ' line with
+            | [ "segment"; file; relation; rows ] -> (
+                match int_of_string_opt rows with
+                | Some rows when rows >= 0 -> Some { file; relation; rows }
+                | _ -> corrupt path "bad row count in line %S" line)
+            | _ -> corrupt path "unparsable line %S" line)
+        rest
+
+let write_manifest dir es =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf manifest_magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "segment %s %s %d\n" e.file e.relation e.rows))
+    es;
+  let tmp = Filename.concat dir (manifest_file ^ ".tmp") in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Sys.rename tmp (Filename.concat dir manifest_file)
+
+(* Relation names are parser identifiers, but keep file names safe
+   against anything unexpected. *)
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> c
+      | _ -> '_')
+    name
+
+let seq_of_file file =
+  try Scanf.sscanf file "seg-%d-" (fun n -> n) with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0
+
+let next_seq es = 1 + List.fold_left (fun acc e -> max acc (seq_of_file e.file)) 0 es
+
+let segment_file seq name =
+  Printf.sprintf "seg-%06d-%s.seg" seq (sanitize_name name)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let write_segment dir seq r =
+  let file = segment_file seq (Relation.name r) in
+  let bytes = Segment.write ~path:(Filename.concat dir file) r in
+  ({ file; relation = Relation.name r; rows = Relation.cardinality r }, bytes)
+
+let compact ~dir db =
+  mkdir_p dir;
+  let _, entries, total =
+    List.fold_left
+      (fun (seq, es, total) r ->
+        let e, bytes = write_segment dir seq r in
+        (seq + 1, e :: es, total + bytes))
+      (1, [], 0) (Database.relations db)
+  in
+  write_manifest dir (List.rev entries);
+  total
+
+let append ~dir r =
+  let es = entries dir in
+  let e, _bytes = write_segment dir (next_seq es) r in
+  write_manifest dir (es @ [ e ])
+
+(* ------------------------------------------------------------------ *)
+(* Opening *)
+
+let open_entry ~dir e =
+  let path = Filename.concat dir e.file in
+  let seg = Segment.openf path in
+  if Segment.name seg <> e.relation then
+    corrupt
+      (Filename.concat dir manifest_file)
+      "segment %s holds relation %S, manifest says %S" e.file
+      (Segment.name seg) e.relation;
+  if Segment.rows seg <> e.rows then
+    corrupt
+      (Filename.concat dir manifest_file)
+      "segment %s holds %d rows, manifest says %d" e.file (Segment.rows seg)
+      e.rows;
+  seg
+
+(* Union of one relation's segments in manifest order.  A single
+   segment (the common case: every relation right after a compact)
+   takes the trusted bulk-decode path — no dedup, lazy probe table.
+   Multi-segment relations may repeat rows across deltas, so they go
+   through [of_codes]'s set semantics. *)
+let relation_of_segments ~dict = function
+  | [] -> assert false
+  | [ seg ] -> Segment.to_relation ~dict seg
+  | first :: rest as segs ->
+      let schema = Segment.schema first in
+      List.iter
+        (fun s ->
+          if Segment.schema s <> schema then
+            raise
+              (Segment.Corrupt
+                 (Printf.sprintf
+                    "relation %s: segments disagree on schema (arity %d vs %d)"
+                    (Segment.name first) (Segment.arity first)
+                    (Segment.arity s))))
+        rest;
+      let total = List.fold_left (fun acc s -> acc + Segment.rows s) 0 segs in
+      let rows =
+        Seq.concat_map (fun seg -> Segment.rows_seq seg ~dict) (List.to_seq segs)
+      in
+      Relation.of_codes ~name:(Segment.name first) ~dict ~size_hint:total
+        ~schema rows
+
+let open_dir ?(dict = Dictionary.global) dir =
+  let es = entries dir in
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let seg = open_entry ~dir e in
+      match Hashtbl.find_opt tbl e.relation with
+      | Some segs -> segs := seg :: !segs
+      | None ->
+          Hashtbl.add tbl e.relation (ref [ seg ]);
+          order := e.relation :: !order)
+    es;
+  List.fold_left
+    (fun db name ->
+      let segs = List.rev !(Hashtbl.find tbl name) in
+      Database.add (relation_of_segments ~dict segs) db)
+    Database.empty (List.rev !order)
+
+let load_database path =
+  if is_store path then
+    match open_dir path with
+    | db -> Ok db
+    | exception Segment.Corrupt msg -> Error ("storage: " ^ msg)
+    | exception Sys_error msg -> Error msg
+  else if Sys.file_exists path && Sys.is_directory path && path <> "-" then
+    Error (Printf.sprintf "storage: %s is a directory with no %s" path manifest_file)
+  else Paradb_query.Source.load_database path

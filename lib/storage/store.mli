@@ -1,0 +1,54 @@
+(** A segment directory: one database as a set of immutable segment
+    files plus a [MANIFEST] naming the live ones.
+
+    The manifest is a text file — [paradb-segments 1] on the first line,
+    then one [segment <file> <relation> <rows>] line per live segment in
+    load order.  Updates write [MANIFEST.tmp] and [Sys.rename] it over
+    the old manifest, so a reader always sees a complete segment set:
+    either the old one or the new one, never a half-written list.
+    Segment files themselves are never rewritten; incremental [LOAD]
+    appends delta segments, and a relation's rows are the set union of
+    its segments in manifest order.  Orphaned segment files (from a
+    crash between segment write and manifest swap) are ignored. *)
+
+type entry = { file : string; relation : string; rows : int }
+
+val manifest_file : string
+
+(** [sanitize_name s] maps a relation or database name to a filesystem-
+    safe token (anything outside [[A-Za-z0-9_-]] becomes ['_']). *)
+val sanitize_name : string -> string
+
+(** [is_store path] — does [path] look like a segment directory (a
+    directory containing a manifest)? *)
+val is_store : string -> bool
+
+(** [entries dir] parses the manifest.  Raises {!Segment.Corrupt} on a
+    malformed manifest and [Sys_error] if it cannot be read. *)
+val entries : string -> entry list
+
+(** [compact ~dir db] writes one segment per relation of [db] into
+    [dir] (created if missing) and swaps in a manifest listing exactly
+    those segments.  Returns the total byte size written.  Compacting
+    over an existing store replaces its manifest; superseded segment
+    files are left behind as orphans. *)
+val compact : dir:string -> Paradb_relational.Database.t -> int
+
+(** [append ~dir r] writes [r] as a delta segment and atomically extends
+    the manifest.  The relation's visible rows become the union of all
+    its segments. *)
+val append : dir:string -> Paradb_relational.Relation.t -> unit
+
+(** [open_dir dir] opens and validates every live segment and builds the
+    database (multi-segment relations are unioned with set semantics).
+    Raises {!Segment.Corrupt} on any validation failure — including a
+    manifest/segment disagreement on name or row count. *)
+val open_dir :
+  ?dict:Paradb_relational.Dictionary.t -> string -> Paradb_relational.Database.t
+
+(** [load_database path] — the one entry point front ends use: a
+    directory is opened as a segment store, anything else is streamed as
+    a text fact file via {!Paradb_query.Source.load_database}.  Storage
+    failures come back as [Error ("storage: ...")], never exceptions. *)
+val load_database :
+  string -> (Paradb_relational.Database.t, string) result
