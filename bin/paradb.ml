@@ -8,6 +8,7 @@
      generate  emit a sample workload as a fact file
      compact   convert a fact file into an mmap-able segment directory
      serve     resident TCP query server (catalog + plan cache)
+     coordinator  sharded scatter-gather front end over shard servers
      client    line-protocol client for a running server
      stats     telemetry snapshot of a running server
      fuzz      differential cross-engine equivalence fuzzing *)
@@ -363,25 +364,46 @@ let generate_cmd =
 (* compact *)
 
 let out_dir_arg =
-  let doc = "Output segment directory (created if missing)." in
-  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  let doc =
+    "Output segment directory (created if missing).  May be omitted when \
+     the input is itself a segment store: the store is then folded in \
+     place."
+  in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
 
 let run_compact db_path out =
-  match load_database db_path with
-  | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      1
-  | Ok db -> (
-      match Store.compact ~dir:out db with
+  match out with
+  | None when Store.is_store db_path -> (
+      match Store.fold_in_place ~dir:db_path with
       | exception Sys_error msg | exception Segment.Corrupt msg ->
           Printf.eprintf "error: storage: %s\n" msg;
           1
-      | bytes ->
-          Printf.printf "compacted %s: relations=%d tuples=%d bytes=%d -> %s\n"
-            db_path
-            (List.length (Database.relations db))
-            (Database.size db) bytes out;
+      | before, after, bytes ->
+          Printf.printf "folded %s in place: segments %d -> %d bytes=%d\n"
+            db_path before after bytes;
           0)
+  | None ->
+      Printf.eprintf
+        "error: %s is not a segment store; name an output directory with \
+         --out\n"
+        db_path;
+      1
+  | Some out -> (
+      match load_database db_path with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+      | Ok db -> (
+          match Store.compact ~dir:out db with
+          | exception Sys_error msg | exception Segment.Corrupt msg ->
+              Printf.eprintf "error: storage: %s\n" msg;
+              1
+          | bytes ->
+              Printf.printf
+                "compacted %s: relations=%d tuples=%d bytes=%d -> %s\n" db_path
+                (List.length (Database.relations db))
+                (Database.size db) bytes out;
+              0))
 
 let compact_cmd =
   let doc = "Compact a fact file (or segment store) into a segment directory." in
@@ -395,6 +417,14 @@ let compact_cmd =
          --data-dir) skip text parsing entirely.  Compacting an existing \
          store rewrites it as one segment per relation (squashing \
          accumulated delta segments).";
+      `P
+        "When $(b,--db) names a segment store and $(b,--out) is omitted, \
+         the store is folded in place: delta segments accumulated by a \
+         server's $(b,LOAD)/$(b,FACT) are unioned into one fresh segment \
+         per relation, the MANIFEST is swapped atomically, and the old \
+         segment files are removed.  A server must re-attach (restart) to \
+         see the folded layout; until then it keeps serving its immutable \
+         mmap snapshots safely.";
       `P
         "Every section of a segment file carries a CRC-32: a flipped byte \
          anywhere fails validation with a clean error naming the file, \
@@ -614,6 +644,174 @@ let serve_cmd =
       $ idle_timeout_arg $ grace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* coordinator *)
+
+module Coordinator = Paradb_cluster.Coordinator
+
+let shards_list_arg =
+  let doc =
+    "Comma-separated $(i,HOST:PORT) list of shard servers (a bare port \
+     means 127.0.0.1).  List position is the shard id: keep the order \
+     stable across restarts or data placement will not line up."
+  in
+  Arg.(required & opt (some string) None
+       & info [ "shards" ] ~docv:"LIST" ~doc)
+
+let replicas_arg =
+  let doc =
+    "Copies of each slice, including the primary.  Replica $(i,r) of \
+     slice $(i,s) lives on shard $(i,s+r) (mod shards) under the entry \
+     name $(i,db@r)$(i,r); reads fail over to it when the primary is \
+     unreachable."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc)
+
+let vnodes_arg =
+  let doc = "Virtual nodes per shard on the consistent-hashing ring." in
+  Arg.(value & opt int Paradb_cluster.Ring.default_vnodes
+       & info [ "vnodes" ] ~docv:"N" ~doc)
+
+let shard_timeout_arg =
+  let doc =
+    "Seconds to wait for each shard sub-request (also bounds shard \
+     connects).  A request deadline, when set, shrinks this further per \
+     sub-request."
+  in
+  Arg.(value & opt (some float) (Some 30.0)
+       & info [ "shard-timeout" ] ~docv:"SECONDS" ~doc)
+
+let shard_retries_arg =
+  let doc = "Connect retries per shard dial, with jittered backoff." in
+  Arg.(value & opt int 2 & info [ "shard-retries" ] ~docv:"N" ~doc)
+
+let max_inflight_arg =
+  let doc =
+    "Admission cap: concurrent $(b,EVAL)/$(b,GATHER) requests beyond \
+     $(docv) are answered $(b,ERR admission-limited) instead of queueing \
+     behind the shards.  Unlimited when absent."
+  in
+  Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let run_coordinator host port workers shards replicas vnodes shard_timeout
+    shard_retries max_inflight deadline_ms max_line max_rows idle_timeout
+    grace trace =
+  if workers < 1 then begin
+    Printf.eprintf "error: --workers must be positive\n";
+    1
+  end
+  else
+    with_trace trace @@ fun () ->
+    match Fault.init_from_env () with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | () -> (
+        match Client.parse_addrs shards with
+        | Error e ->
+            Printf.eprintf "error: --shards: %s\n" e;
+            1
+        | Ok addrs -> (
+            let limits =
+              {
+                Guard.deadline_ns =
+                  Option.map (fun ms -> ms * 1_000_000) deadline_ms;
+                max_line;
+                max_rows;
+                idle_timeout;
+              }
+            in
+            let config =
+              {
+                Coordinator.addrs = Array.of_list addrs;
+                replicas;
+                vnodes;
+                timeout = shard_timeout;
+                retries = shard_retries;
+                limits;
+                max_inflight;
+              }
+            in
+            match
+              let coord = Coordinator.create config in
+              Coordinator.serve ~host coord ~port ~workers
+            with
+            | exception Invalid_argument msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1
+            | exception Unix.Unix_error (e, _, _) ->
+                Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+                  (Unix.error_message e);
+                1
+            | server ->
+                let stop_requested = Atomic.make false in
+                let install sg =
+                  try
+                    Sys.set_signal sg
+                      (Sys.Signal_handle
+                         (fun _ -> Atomic.set stop_requested true))
+                  with Invalid_argument _ | Sys_error _ -> ()
+                in
+                install Sys.sigint;
+                install Sys.sigterm;
+                Printf.printf
+                  "paradb: coordinating %d shards on %s:%d (%d workers, %d \
+                   replicas)\n\
+                   %!"
+                  (List.length addrs) host (Server.port server) workers
+                  replicas;
+                (if Fault.active () then
+                   Printf.printf
+                     "paradb: fault injection enabled (PARADB_FAULTS)\n%!");
+                let rec wait_for_stop () =
+                  if Atomic.get stop_requested then begin
+                    Printf.printf "paradb: shutting down (grace %.1fs)\n%!"
+                      grace;
+                    Server.stop ~grace server
+                  end
+                  else begin
+                    (try Unix.sleepf 0.1
+                     with Unix.Unix_error (EINTR, _, _) -> ());
+                    wait_for_stop ()
+                  end
+                in
+                wait_for_stop ();
+                0))
+
+let coordinator_cmd =
+  let doc = "Run a scatter-gather coordinator over shard servers." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Speaks the same line protocol as $(b,paradb serve) but owns no \
+         data: $(b,LOAD) hash-partitions every relation on its first \
+         column over a consistent-hashing ring and ships one slice per \
+         shard (plus replicas) as $(b,BULK) frames; $(b,EVAL) runs as \
+         scatter-gather rounds — co-partitioned queries evaluate \
+         shard-side in one round, general queries exchange per-atom \
+         reducer relations (semijoin-reduced shard-side) and join at the \
+         coordinator.  Answers are bit-for-bit identical to a single \
+         server's.";
+      `P
+        "Failure handling: pooled shard connections redial once, reads \
+         fail over along the replica ranks, and a request that exhausts \
+         its replicas answers a clean $(b,ERR) naming the dead shard.  \
+         $(b,--deadline-ms) is enforced at the coordinator and propagated \
+         to every shard sub-request as a shrinking socket timeout; \
+         $(b,--max-inflight) admission-limits concurrent evaluation on \
+         top.  $(b,STATS) surfaces per-round and per-shard latency \
+         histograms ($(b,telemetry.cluster.*)) — straggler p99 included.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "coordinator" ~doc ~man ~exits)
+    Term.(
+      const run_coordinator $ host_arg $ port_arg ~default:7410 $ workers_arg
+      $ shards_list_arg $ replicas_arg $ vnodes_arg $ shard_timeout_arg
+      $ shard_retries_arg $ max_inflight_arg $ deadline_arg $ max_line_arg
+      $ max_rows_arg $ idle_timeout_arg $ grace_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* client *)
 
 let command_args =
@@ -637,7 +835,45 @@ let retries_arg =
   in
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
 
-let run_client host port timeout retries commands =
+let addr_arg =
+  let doc =
+    "Comma-separated $(i,HOST:PORT) failover list (a bare port means \
+     127.0.0.1).  Overrides $(b,--host)/$(b,--port); connect attempts \
+     rotate through the list with jittered exponential backoff, so a \
+     dead server is skipped instead of failing the client."
+  in
+  Arg.(value & opt (some string) None & info [ "addr" ] ~docv:"LIST" ~doc)
+
+(* Resolve --addr against --host/--port and run [f] over the resulting
+   failover connection.  The error paths mirror the single-address
+   client's. *)
+let with_any_connection ~host ~port ~timeout ~retries ~addr f =
+  let addrs =
+    match addr with
+    | None -> Ok [ (host, port) ]
+    | Some list -> Client.parse_addrs ~default_host:host list
+  in
+  match addrs with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      Error 1
+  | Ok addrs -> (
+      match
+        let conn = Client.connect_any ?timeout ~retries addrs () in
+        Fun.protect ~finally:(fun () -> Client.close conn) (fun () -> f conn)
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot connect to %s: %s\n"
+            (String.concat ","
+               (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) addrs))
+            (Unix.error_message e);
+          Error 1
+      | exception Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          Error 1
+      | v -> Ok v)
+
+let run_client host port timeout retries addr commands =
   let commands =
     if commands <> [] then commands
     else
@@ -645,7 +881,7 @@ let run_client host port timeout retries commands =
       |> List.filter (fun l -> String.trim l <> "")
   in
   match
-    Client.with_connection ~host ?timeout ~retries ~port (fun conn ->
+    with_any_connection ~host ~port ~timeout ~retries ~addr (fun conn ->
         List.fold_left
           (fun failed line ->
             let response = Client.request_line conn line in
@@ -653,14 +889,8 @@ let run_client host port timeout retries commands =
             failed || match response with Protocol.Err _ -> true | _ -> false)
           false commands)
   with
-  | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
-        (Unix.error_message e);
-      1
-  | exception Failure msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | failed -> if failed then 1 else 0
+  | Error code -> code
+  | Ok failed -> if failed then 1 else 0
 
 let client_cmd =
   let doc = "Send protocol commands to a running server." in
@@ -677,7 +907,7 @@ let client_cmd =
     (Cmd.info "client" ~doc ~man ~exits)
     Term.(
       const run_client $ host_arg $ port_arg ~default:7411 $ timeout_arg
-      $ retries_arg $ command_args)
+      $ retries_arg $ addr_arg $ command_args)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -689,23 +919,17 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let run_stats host port timeout retries json =
+let run_stats host port timeout retries addr json =
   let request = if json then "METRICS" else "STATS" in
   match
-    Client.with_connection ~host ?timeout ~retries ~port (fun conn ->
+    with_any_connection ~host ~port ~timeout ~retries ~addr (fun conn ->
         Client.request_line conn request)
   with
-  | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
-        (Unix.error_message e);
-      1
-  | exception Failure msg ->
+  | Error code -> code
+  | Ok (Protocol.Err msg) ->
       Printf.eprintf "error: %s\n" msg;
       1
-  | Protocol.Err msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | Protocol.Ok_ { payload; _ } ->
+  | Ok (Protocol.Ok_ { payload; _ }) ->
       List.iter print_endline payload;
       0
 
@@ -726,7 +950,7 @@ let stats_cmd =
     (Cmd.info "stats" ~doc ~man ~exits)
     Term.(
       const run_stats $ host_arg $ port_arg ~default:7411 $ timeout_arg
-      $ retries_arg $ json_arg)
+      $ retries_arg $ addr_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -828,6 +1052,14 @@ let run_replay path =
 
 let run_fuzz seed cases max_vars max_tuples engines out replay trace =
   with_trace trace @@ fun () ->
+  (* Honor PARADB_FAULTS in the fuzz harness too: the serve and cluster
+     engines then run with shard loss / stragglers / short reads
+     injected, and the oracle checks answers stay bit-for-bit anyway. *)
+  match Fault.init_from_env () with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | () -> (
   match replay with
   | Some path -> run_replay path
   | None ->
@@ -868,7 +1100,7 @@ let run_fuzz seed cases max_vars max_tuples engines out replay trace =
               (List.length report.Oracle.divergences)
               report.Oracle.shrink_steps;
             if report.Oracle.divergences = [] then 0 else 2
-      end
+      end)
 
 let fuzz_cmd =
   let doc = "Differential fuzzing: cross-engine equivalence on random instances." in
@@ -908,10 +1140,10 @@ let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.7.0" ~doc ~exits)
+  Cmd.group (Cmd.info "paradb" ~version:"1.8.0" ~doc ~exits)
     [
       eval_cmd; check_cmd; datalog_cmd; generate_cmd; compact_cmd; serve_cmd;
-      client_cmd; stats_cmd; fuzz_cmd;
+      coordinator_cmd; client_cmd; stats_cmd; fuzz_cmd;
     ]
 
 let () =

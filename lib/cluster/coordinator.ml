@@ -1,0 +1,828 @@
+module Value = Paradb_relational.Value
+module Tuple = Paradb_relational.Tuple
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Source = Paradb_query.Source
+module Cq = Paradb_query.Cq
+module Atom = Paradb_query.Atom
+module Term = Paradb_query.Term
+module Constr = Paradb_query.Constr
+module Fact_format = Paradb_query.Fact_format
+module Planner = Paradb_planner.Planner
+module Protocol = Paradb_server.Protocol
+module Client = Paradb_server.Client
+module Server = Paradb_server.Server
+module Guard = Paradb_server.Guard
+module Plan = Paradb_server.Plan
+module Fault = Paradb_server.Fault
+module Metrics = Paradb_telemetry.Metrics
+module Export = Paradb_telemetry.Export
+module Budget = Paradb_telemetry.Budget
+module Clock = Paradb_telemetry.Clock
+
+(* Cluster telemetry.  Counters are cumulative over the process;
+   [cluster.inflight] is a high-watermark gauge (see Metrics.set_max).
+   Straggler visibility comes from the per-shard round histograms
+   [cluster.shard<i>.round.ns] — their p99 against [cluster.round.ns]'s
+   is the straggler signal STATS surfaces. *)
+let m_rounds = Metrics.counter "cluster.rounds"
+let m_bytes_out = Metrics.counter "cluster.bytes_out"
+let m_bytes_in = Metrics.counter "cluster.bytes_in"
+let m_scatter = Metrics.counter "cluster.eval.scatter"
+let m_exchange = Metrics.counter "cluster.eval.exchange"
+let m_failover = Metrics.counter "cluster.failover"
+let m_redial = Metrics.counter "cluster.redial"
+let m_admission = Metrics.counter "cluster.admission.rejected"
+let m_deadline = Metrics.counter "cluster.deadline_exceeded"
+let h_round = Metrics.histogram "cluster.round.ns"
+let g_inflight = Metrics.gauge "cluster.inflight"
+
+type config = {
+  addrs : (string * int) array;
+  replicas : int;
+  vnodes : int;
+  timeout : float option;
+  retries : int;
+  limits : Guard.limits;
+  max_inflight : int option;
+}
+
+let default_config addrs =
+  {
+    addrs = Array.of_list addrs;
+    replicas = 1;
+    vnodes = Ring.default_vnodes;
+    timeout = Some 30.0;
+    retries = 2;
+    limits = Guard.default_limits;
+    max_inflight = None;
+  }
+
+module StringSet = Set.Make (String)
+
+(* What the coordinator remembers about a distributed database: the
+   full relation-name set (shards drop empty slices, so only the
+   coordinator can distinguish "relation exists but this slice is
+   empty" from "no such relation") and the total tuple count. *)
+type db_info = { rels : StringSet.t; tuples : int }
+
+type t = {
+  config : config;
+  ring : Ring.t;
+  dbs : (string, db_info) Hashtbl.t;
+  mu : Mutex.t;
+  inflight : int Atomic.t;
+  shard_hist : Metrics.histogram array;
+}
+
+let create config =
+  let n = Array.length config.addrs in
+  if n < 1 then invalid_arg "Coordinator.create: need at least one shard";
+  if config.replicas < 1 || config.replicas > n then
+    invalid_arg "Coordinator.create: replicas must be in [1, shards]";
+  {
+    config;
+    ring = Ring.create ~vnodes:config.vnodes ~shards:n ();
+    dbs = Hashtbl.create 8;
+    mu = Mutex.create ();
+    inflight = Atomic.make 0;
+    shard_hist =
+      Array.init n (fun i ->
+          Metrics.histogram (Printf.sprintf "cluster.shard%d.round.ns" i));
+  }
+
+let shards t = Array.length t.config.addrs
+
+let find_db t db =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.dbs db in
+  Mutex.unlock t.mu;
+  r
+
+let set_db t db info =
+  Mutex.lock t.mu;
+  Hashtbl.replace t.dbs db info;
+  Mutex.unlock t.mu
+
+(* Early exit from deep inside a fan-out with a ready-made response. *)
+exception Reply of Protocol.response
+
+(* Raised when a shard cannot be reached even after a redial; carries
+   the shard index so the final error names the dead server. *)
+exception Shard_down of int
+
+let shard_down_msg t s =
+  let host, port = t.config.addrs.(s) in
+  Printf.sprintf "shard %d (%s:%d) unreachable" s host port
+
+(* Replica [rank] of database [db]'s slice [s] lives on shard
+   [(s + rank) mod n] under the name [db@r<rank>]; rank 0 is the
+   primary under the plain name.  Shard j can hold [db@r1] for exactly
+   one slice (j - 1 mod n), so the name is unambiguous per shard. *)
+let replica_name db ~rank =
+  if rank = 0 then db else Printf.sprintf "%s@r%d" db rank
+
+let resp_bytes = function
+  | Protocol.Ok_ { summary; payload } ->
+      List.fold_left
+        (fun a l -> a + String.length l + 1)
+        (String.length summary + 6)
+        payload
+  | Protocol.Err e -> String.length e + 5
+
+(* One sub-request to one shard over this connection's pooled client.
+   A transport failure on a pooled connection redials once (the shard
+   may just have restarted); a failure on a fresh connection means the
+   shard is down.  The injected faults ride here: [shard_loss] drops
+   the pooled socket first (forcing the redial, and the failover above
+   us if the shard really is gone), [straggler_delay] stalls the
+   sub-request. *)
+let raw_call t conns budget shard ~bytes (f : Client.t -> Protocol.response) =
+  Fault.straggler_sleep ();
+  if Fault.shard_loss_now () then (
+    match conns.(shard) with
+    | Some c ->
+        (try Client.close c with _ -> ());
+        conns.(shard) <- None
+    | None -> ());
+  let arm c =
+    match budget with
+    | None -> ()
+    | Some b ->
+        let remaining = Budget.remaining_ns b in
+        if remaining <= 0 then
+          raise
+            (Budget.Exhausted
+               {
+                 budget_ns = Budget.budget_ns b;
+                 elapsed_ns = Budget.elapsed_ns b;
+               });
+        let secs = float_of_int remaining /. 1e9 in
+        Client.set_timeout c
+          (match t.config.timeout with
+          | Some tmo -> Float.min secs tmo
+          | None -> secs)
+  in
+  let dial () =
+    let host, port = t.config.addrs.(shard) in
+    match
+      Client.connect ~host ?timeout:t.config.timeout ~retries:t.config.retries
+        ~port ()
+    with
+    | c ->
+        conns.(shard) <- Some c;
+        c
+    | exception (Unix.Unix_error _ | Failure _ | Sys_error _) ->
+        raise (Shard_down shard)
+  in
+  let attempt c =
+    arm c;
+    match f c with
+    | r -> r
+    | exception ((Failure _ | Unix.Unix_error _ | Sys_error _ | End_of_file) as e)
+      ->
+        (try Client.close c with _ -> ());
+        conns.(shard) <- None;
+        raise e
+  in
+  let t0 = Clock.now_ns () in
+  let resp =
+    match conns.(shard) with
+    | Some c -> (
+        match attempt c with
+        | r -> r
+        | exception (Failure _ | Unix.Unix_error _ | Sys_error _ | End_of_file)
+          ->
+            (* stale pooled connection; redial once *)
+            Metrics.incr m_redial;
+            let c = dial () in
+            (try attempt c
+             with Failure _ | Unix.Unix_error _ | Sys_error _ | End_of_file ->
+               raise (Shard_down shard)))
+    | None -> (
+        let c = dial () in
+        try attempt c
+        with Failure _ | Unix.Unix_error _ | Sys_error _ | End_of_file ->
+          raise (Shard_down shard))
+  in
+  Metrics.observe t.shard_hist.(shard) (Clock.now_ns () - t0);
+  Metrics.incr ~by:bytes m_bytes_out;
+  Metrics.incr ~by:(resp_bytes resp) m_bytes_in;
+  resp
+
+(* A data request addressed to slice [shard] of [db]: try the primary,
+   then walk the replica ranks.  Each rank is a different server AND a
+   different entry name, so a half-loaded replica never shadows the
+   primary silently. *)
+let rec data_call t conns budget ~shard ~rank ~db mk =
+  let target = Ring.replica_shard t.ring ~shard ~rank in
+  let line = mk (replica_name db ~rank) in
+  match
+    raw_call t conns budget target ~bytes:(String.length line + 1) (fun c ->
+        Client.request_line c line)
+  with
+  | r -> r
+  | exception (Shard_down _ as e) ->
+      if rank + 1 >= t.config.replicas then raise e
+      else begin
+        Metrics.incr m_failover;
+        data_call t conns budget ~shard ~rank:(rank + 1) ~db mk
+      end
+
+(* One scatter-gather round: a wave of sub-requests whose wall time is
+   the straggler's. *)
+let round f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  Metrics.incr m_rounds;
+  Metrics.observe h_round (Clock.now_ns () - t0);
+  r
+
+(* Fact-file serialization of one slice, one [name(v1, v2).] line per
+   tuple — the exact format [Source.parse_facts] reads back on the
+   shard.  Empty relations vanish here; the coordinator's [db_info]
+   keeps the full schema so queries over empty slices still resolve. *)
+let fact_line name tuple =
+  Printf.sprintf "%s(%s)." name
+    (String.concat ", "
+       (List.map Fact_format.value_to_syntax (Tuple.to_list tuple)))
+
+let slice_lines db =
+  List.concat_map
+    (fun r ->
+      let name = Relation.name r in
+      List.map (fact_line name) (Relation.tuples r))
+    (Database.relations db)
+
+(* Partition [database] and ship every slice to its owner shard and
+   each replica rank as one BULK frame per (shard, entry).  Loading
+   cannot fail over — a slice must land on its owner — so any dead
+   shard fails the LOAD with its name. *)
+let distribute t conns ~db database =
+  let slices = Partition.split t.ring database in
+  round (fun () ->
+      Array.iteri
+        (fun s slice ->
+          let lines = slice_lines slice in
+          for rank = 0 to t.config.replicas - 1 do
+            let target = Ring.replica_shard t.ring ~shard:s ~rank in
+            let header =
+              Printf.sprintf "BULK %s %d" (replica_name db ~rank)
+                (List.length lines)
+            in
+            let bytes =
+              List.fold_left
+                (fun a l -> a + String.length l + 1)
+                (String.length header + 1)
+                lines
+            in
+            match
+              raw_call t conns None target ~bytes (fun c ->
+                  Client.request_bulk c ~header lines)
+            with
+            | Protocol.Ok_ _ -> ()
+            | Protocol.Err e ->
+                raise
+                  (Reply
+                     (Protocol.Err (Printf.sprintf "shard %d: %s" target e)))
+          done)
+        slices);
+  let rels =
+    List.fold_left
+      (fun acc r -> StringSet.add (Relation.name r) acc)
+      StringSet.empty (Database.relations database)
+  in
+  set_db t db { rels; tuples = Database.size database };
+  Protocol.Ok_
+    {
+      summary =
+        Printf.sprintf "%s shards=%d replicas=%d relations=%d tuples=%d" db
+          (shards t) t.config.replicas
+          (StringSet.cardinal rels)
+          (Database.size database);
+      payload = [];
+    }
+
+let do_load t conns ~db ~path =
+  match Source.load_database path with
+  | Error e -> Protocol.Err e
+  | Ok database -> distribute t conns ~db database
+
+let do_bulk_text t conns ~db text =
+  match Source.parse_facts text with
+  | Error e -> Protocol.Err e
+  | Ok database -> distribute t conns ~db database
+
+(* FACT routes the one tuple to its owner (and the owner's replica
+   entries).  Writes do not fail over: a replica that cannot be
+   reached fails the write loudly rather than silently diverging from
+   its primary. *)
+let do_fact t conns ~db ~fact =
+  match Source.parse_facts fact with
+  | Error e -> Protocol.Err e
+  | Ok parsed -> (
+      match Database.relations parsed with
+      | [ r ] when Relation.cardinality r = 1 ->
+          let tup = List.hd (Relation.tuples r) in
+          let owner =
+            if Tuple.arity tup = 0 then 0
+            else Ring.owner_of_value t.ring tup.(0)
+          in
+          (try
+             round (fun () ->
+                 for rank = 0 to t.config.replicas - 1 do
+                   let target = Ring.replica_shard t.ring ~shard:owner ~rank in
+                   let line =
+                     Printf.sprintf "FACT %s %s" (replica_name db ~rank) fact
+                   in
+                   match
+                     raw_call t conns None target
+                       ~bytes:(String.length line + 1) (fun c ->
+                         Client.request_line c line)
+                   with
+                   | Protocol.Ok_ _ -> ()
+                   | Protocol.Err e ->
+                       raise
+                         (Reply
+                            (Protocol.Err
+                               (Printf.sprintf "shard %d: %s" target e)))
+                 done);
+             let info =
+               match find_db t db with
+               | Some i -> i
+               | None -> { rels = StringSet.empty; tuples = 0 }
+             in
+             set_db t db
+               {
+                 rels = StringSet.add (Relation.name r) info.rels;
+                 tuples = info.tuples + 1;
+               };
+             Protocol.Ok_
+               {
+                 summary = Printf.sprintf "%s shard=%d" db owner;
+                 payload = [];
+               }
+           with
+          | Reply r -> r
+          | Shard_down s -> Protocol.Err (shard_down_msg t s))
+      | _ -> Protocol.Err "FACT: expected exactly one ground fact")
+
+(* --- EVAL ------------------------------------------------------- *)
+
+let positional_schema m = List.init m (fun i -> Printf.sprintf "a%d" i)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A shard that never received a slice of some relation (its slice was
+   empty, so BULK carried no line for it) answers a missing-relation
+   error — "query names a relation missing from ..." out of the plan
+   path, "Database.find: no relation ..." out of an engine.  A shard
+   that never received any fact of the database at all (the FACT path
+   creates shard-side catalog entries lazily, on the owning replicas
+   only) answers "no database ...".  After the coordinator's own
+   precheck (the database and every body relation provably exist
+   cluster-wide), any of the three can only mean an empty
+   contribution. *)
+let is_missing_relation e =
+  starts_with ~prefix:"query names a relation" e
+  || starts_with ~prefix:"Database.find: no relation" e
+  || starts_with ~prefix:"no database " e
+
+(* Gather the answer of [query_text] (a GATHER-able query whose head
+   relation is [head_name]) from every shard and union the parsed fact
+   payloads.  Each (slice, rank-failover) response contributes its
+   rows; set semantics of [parse_facts] dedups. *)
+let gather_all t conns budget ~db ~head_name ~arity query_text =
+  let chunks =
+    List.init (shards t) (fun s ->
+        match
+          data_call t conns budget ~shard:s ~rank:0 ~db (fun name ->
+              Printf.sprintf "GATHER %s %s" name query_text)
+        with
+        | Protocol.Ok_ { summary; payload } ->
+            if contains_sub summary "truncated=true" then
+              raise
+                (Reply
+                   (Protocol.Err
+                      (Printf.sprintf
+                         "shard %d truncated its answer; raise max-rows on \
+                          the shards"
+                         s)))
+            else payload
+        | Protocol.Err e when is_missing_relation e -> []
+        | Protocol.Err e ->
+            raise (Reply (Protocol.Err (Printf.sprintf "shard %d: %s" s e))))
+  in
+  let text = String.concat "\n" (List.concat chunks) ^ "\n" in
+  match Source.parse_facts text with
+  | Error e ->
+      raise
+        (Reply (Protocol.Err (Printf.sprintf "shard payload invalid: %s" e)))
+  | Ok gdb -> (
+      match Database.find_opt gdb head_name with
+      | Some r -> r
+      | None ->
+          Relation.create ~name:head_name ~schema:(positional_schema arity) [])
+
+(* Scatter fast path: every atom's first argument is the same variable,
+   so the whole query is co-partitioned — each answer is witnessed
+   entirely on the shard owning that variable's value.  One round:
+   evaluate the original query on every shard, union. *)
+let scatter_eval t conns budget ~db ~query q =
+  round (fun () ->
+      gather_all t conns budget ~db ~head_name:q.Cq.name
+        ~arity:(List.length q.Cq.head) query)
+
+(* --- reducer exchange ------------------------------------------- *)
+
+let term_to_source = function
+  | Term.Var v -> v
+  | Term.Const c -> Fact_format.value_to_syntax c
+
+let atom_to_source a =
+  Printf.sprintf "%s(%s)" a.Atom.rel
+    (String.concat ", " (List.map term_to_source a.Atom.args))
+
+let op_to_source = function
+  | Constr.Neq -> "!="
+  | Constr.Lt -> "<"
+  | Constr.Le -> "<="
+
+let constr_to_source c =
+  Printf.sprintf "%s %s %s"
+    (term_to_source c.Constr.lhs)
+    (op_to_source c.Constr.op)
+    (term_to_source c.Constr.rhs)
+
+let first_var a =
+  match a.Atom.args with Term.Var v :: _ -> Some v | _ -> None
+
+(* The reducer for body atom [i]: its matching tuples, semijoin-reduced
+   against whatever of the rest of the query is provably co-located.
+   An atom [j] whose first argument is the same variable is
+   co-partitioned with atom [i] (any joint witness puts both tuples on
+   the owner of that variable's value), so it can prune shard-side;
+   constraints whose variables all occur in the included atoms prune
+   too.  The head repeats the atom's arguments verbatim — constants
+   and repeated variables included — so the gathered relation is
+   exactly a reduced copy of the atom's relation, and the coordinator
+   can re-join by renaming the atom to [gx<i>]. *)
+let reducer_source q i =
+  let atom = List.nth q.Cq.body i in
+  let partners =
+    match first_var atom with
+    | None -> []
+    | Some v ->
+        List.filteri
+          (fun j a -> j <> i && first_var a = Some v)
+          q.Cq.body
+  in
+  let body = atom :: partners in
+  let bound =
+    List.fold_left
+      (fun acc a -> StringSet.union acc (StringSet.of_list (Atom.vars a)))
+      StringSet.empty body
+  in
+  let constraints =
+    List.filter
+      (fun c ->
+        List.for_all (fun v -> StringSet.mem v bound) (Constr.vars c))
+      q.Cq.constraints
+  in
+  Printf.sprintf "gx%d(%s) :- %s." i
+    (String.concat ", " (List.map term_to_source atom.Atom.args))
+    (String.concat ", "
+       (List.map atom_to_source body
+       @ List.map constr_to_source constraints))
+
+(* A query with no relational atoms is ground: by safety its head and
+   constraints are all constants, so it touches no shard at all. *)
+let eval_ground q =
+  let holds =
+    List.for_all
+      (fun c ->
+        match (c.Constr.lhs, c.Constr.rhs) with
+        | Term.Const a, Term.Const b -> Constr.eval_op c.Constr.op a b
+        | _ -> false)
+      q.Cq.constraints
+  in
+  let consts =
+    List.filter_map
+      (function Term.Const v -> Some v | Term.Var _ -> None)
+      q.Cq.head
+  in
+  let schema = positional_schema (List.length q.Cq.head) in
+  Relation.create ~name:q.Cq.name ~schema
+    (if holds && List.length consts = List.length q.Cq.head then
+       [ Array.of_list consts ]
+     else [])
+
+(* General path, two rounds.  Round 1 gathers one reducer relation per
+   body atom from every shard; round 2 joins them at the coordinator
+   under the original head and constraints, with every atom renamed to
+   its reducer.  Linear-time class is preserved: the reducers are
+   selections/semijoins (linear shard-side), the exchange moves only
+   reduced relations, and the final join runs the same planner the
+   single node would. *)
+let exchange_eval t conns budget ~db q =
+  if q.Cq.body = [] then eval_ground q
+  else begin
+    let gname i = Printf.sprintf "gx%d" i in
+    let gathered =
+      round (fun () ->
+          List.mapi
+            (fun i atom ->
+              let arity = List.length atom.Atom.args in
+              (i, arity, reducer_source q i))
+            q.Cq.body
+          |> List.map (fun (i, arity, src) ->
+                 ( i,
+                   gather_all t conns budget ~db ~head_name:(gname i) ~arity
+                     src )))
+    in
+    let scratch =
+      List.fold_left
+        (fun acc (_, r) -> Database.add r acc)
+        Database.empty gathered
+    in
+    let rewritten =
+      Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:q.Cq.head
+        (List.mapi
+           (fun i atom -> Atom.make (gname i) atom.Atom.args)
+           q.Cq.body)
+    in
+    round (fun () ->
+        let plan = Plan.analyze Plan.Auto rewritten in
+        Plan.evaluate ?budget plan scratch rewritten)
+  end
+
+let truncate_rows t lines rows =
+  match t.config.limits.Guard.max_rows with
+  | Some m when rows > m -> (List.filteri (fun i _ -> i < m) lines, true)
+  | _ -> (lines, false)
+
+(* Shared EVAL/GATHER core: parse, precheck the relation names against
+   the coordinator's recorded schema, arm the deadline, pick the
+   distribution strategy, fan out.  [render] turns the result relation
+   into the verb's payload and summary. *)
+let guarded_eval t conns ~db ~engine ~query render =
+  match Plan.engine_kind_of_string engine with
+  | None -> Protocol.Err (Printf.sprintf "unknown engine %s" engine)
+  | Some _kind -> (
+      (* The engine token is validated for wire compatibility but the
+         cluster always dispatches auto: shard-side engines are a
+         shard-local concern, and every engine computes the same
+         answer set (the differential oracle's invariant). *)
+      match Source.parse_query query with
+      | Error e -> Protocol.Err e
+      | Ok q -> (
+          match find_db t db with
+          | None ->
+              Protocol.Err
+                (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+          | Some info ->
+              if
+                List.exists
+                  (fun a -> not (StringSet.mem a.Atom.rel info.rels))
+                  q.Cq.body
+              then
+                Protocol.Err
+                  (Printf.sprintf "query names a relation missing from %s" db)
+              else begin
+                let budget =
+                  Option.map
+                    (fun deadline_ns -> Budget.start ~deadline_ns)
+                    t.config.limits.Guard.deadline_ns
+                in
+                let t0 = Clock.now_ns () in
+                try
+                  let mode, result =
+                    match
+                      Planner.shard_choice (Plan.analyze Plan.Auto q).Plan.pplan
+                    with
+                    | Planner.Copartitioned _ when q.Cq.body <> [] ->
+                        Metrics.incr m_scatter;
+                        ("scatter", scatter_eval t conns budget ~db ~query q)
+                    | _ ->
+                        Metrics.incr m_exchange;
+                        ("exchange", exchange_eval t conns budget ~db q)
+                  in
+                  render ~mode ~ns:(Clock.now_ns () - t0) result
+                with
+                | Reply r -> r
+                | Shard_down s -> Protocol.Err (shard_down_msg t s)
+                | Budget.Exhausted { elapsed_ns; _ } ->
+                    Metrics.incr m_deadline;
+                    Protocol.Err
+                      (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
+                | Invalid_argument msg -> Protocol.Err msg
+              end))
+
+let render_eval t ~mode ~ns result =
+  let rows = Relation.cardinality result in
+  let lines = Plan.sorted_tuples result in
+  let payload, truncated = truncate_rows t lines rows in
+  Protocol.Ok_
+    {
+      summary =
+        Printf.sprintf "engine=cluster mode=%s shards=%d rows=%d ns=%d%s" mode
+          (shards t) rows ns
+          (if truncated then " truncated=true" else "");
+      payload;
+    }
+
+(* GATHER at the coordinator answers fact lines exactly like a shard
+   would, so coordinators can themselves be gathered from (tiered
+   topologies). *)
+let render_gather t ~mode:_ ~ns result =
+  let rows = Relation.cardinality result in
+  let name = Relation.name result in
+  let lines =
+    List.map (fact_line name)
+      (List.sort Tuple.compare (Relation.tuples result))
+  in
+  let payload, truncated = truncate_rows t lines rows in
+  Protocol.Ok_
+    {
+      summary =
+        Printf.sprintf "gathered %s cache=miss rows=%d ns=%d%s" name rows ns
+          (if truncated then " truncated=true" else "");
+      payload;
+    }
+
+(* Admission control: the inflight count is tracked (and its
+   high-watermark published) unconditionally; the limit only rejects
+   when configured.  Layered on the Guard limits rather than replacing
+   them — deadline and row caps still apply to admitted requests. *)
+let admitted t f =
+  let cur = Atomic.fetch_and_add t.inflight 1 + 1 in
+  Metrics.set_max g_inflight cur;
+  Fun.protect
+    ~finally:(fun () -> ignore (Atomic.fetch_and_add t.inflight (-1)))
+    (fun () ->
+      match t.config.max_inflight with
+      | Some cap when cur > cap ->
+          Metrics.incr m_admission;
+          Protocol.Err
+            (Printf.sprintf "admission-limited: %d requests in flight (max %d)"
+               cur cap)
+      | _ -> f ())
+
+let do_eval t conns ~db ~engine ~query =
+  admitted t (fun () -> guarded_eval t conns ~db ~engine ~query (render_eval t))
+
+let do_gather t conns ~db ~query =
+  admitted t (fun () ->
+      guarded_eval t conns ~db ~engine:"auto" ~query (render_gather t))
+
+(* CHECK and EXPLAIN are static analysis; the coordinator answers them
+   locally (same code path as a single node, including the planner's
+   shard-key line in EXPLAIN). *)
+let do_check query =
+  match Source.parse_query query with
+  | Error e -> Protocol.Err e
+  | Ok q ->
+      let plan = Plan.analyze Plan.Auto q in
+      let pplan = plan.Plan.pplan in
+      Protocol.Ok_
+        {
+          summary = Printf.sprintf "checked size=%d" (Cq.size q);
+          payload =
+            [
+              Printf.sprintf "query: %s" (Cq.to_string q);
+              Printf.sprintf "size %d vars %d" (Cq.size q) (Cq.num_vars q);
+              Printf.sprintf "acyclic: %b" plan.Plan.acyclic;
+              Printf.sprintf "class: %s"
+                (Planner.classification_name pplan.Planner.classification);
+              Printf.sprintf "width: %d" pplan.Planner.width;
+              Printf.sprintf "join_tree: %s"
+                (match plan.Plan.tree with
+                | Some tr ->
+                    Printf.sprintf "%d nodes"
+                      (Paradb_hypergraph.Join_tree.n_nodes tr)
+                | None -> "none");
+              Printf.sprintf "neq_partition_k: %d" plan.Plan.neq_k;
+              Printf.sprintf "recommended_engine: %s"
+                (Plan.engine_name plan.Plan.engine);
+            ];
+        }
+
+let do_explain query =
+  match Source.parse_query query with
+  | Error e -> Protocol.Err e
+  | Ok q ->
+      let pplan = Planner.plan q in
+      Protocol.Ok_
+        {
+          summary =
+            Printf.sprintf "plan class=%s width=%d steps=%d"
+              (Planner.classification_name pplan.Planner.classification)
+              pplan.Planner.width
+              (List.length pplan.Planner.steps);
+          payload = Planner.explain pplan;
+        }
+
+let do_stats t =
+  let dbs =
+    Mutex.lock t.mu;
+    let l =
+      Hashtbl.fold (fun name info acc -> (name, info) :: acc) t.dbs []
+    in
+    Mutex.unlock t.mu;
+    List.sort compare l
+  in
+  Protocol.Ok_
+    {
+      summary = "stats";
+      payload =
+        [
+          Printf.sprintf "cluster.shards %d" (shards t);
+          Printf.sprintf "cluster.replicas %d" t.config.replicas;
+          Printf.sprintf "cluster.vnodes %d" t.config.vnodes;
+        ]
+        @ List.concat_map
+            (fun (name, info) ->
+              [
+                Printf.sprintf "db.%s %d" name info.tuples;
+                Printf.sprintf "db.%s.relations %d" name
+                  (StringSet.cardinal info.rels);
+              ])
+            dbs
+        @ Export.to_table ~prefix:"telemetry." (Metrics.snapshot ());
+    }
+
+let do_metrics () =
+  Protocol.Ok_
+    { summary = "metrics"; payload = [ Export.to_json (Metrics.snapshot ()) ] }
+
+(* --- the per-connection front end ------------------------------- *)
+
+type bulk = { bulk_db : string; mutable remaining : int; buf : Buffer.t }
+
+let handler t () =
+  let conns = Array.make (shards t) None in
+  let bulk = ref None in
+  let dispatch req =
+    match req with
+    | Protocol.Load { db; path } ->
+        (Some (do_load t conns ~db ~path), `Continue)
+    | Protocol.Fact { db; fact } ->
+        (Some (do_fact t conns ~db ~fact), `Continue)
+    | Protocol.Bulk { db; count } ->
+        if count = 0 then (Some (do_bulk_text t conns ~db ""), `Continue)
+        else begin
+          bulk :=
+            Some { bulk_db = db; remaining = count; buf = Buffer.create 256 };
+          (None, `Continue)
+        end
+    | Protocol.Eval { db; engine; query } ->
+        (Some (do_eval t conns ~db ~engine ~query), `Continue)
+    | Protocol.Gather { db; query } ->
+        (Some (do_gather t conns ~db ~query), `Continue)
+    | Protocol.Check query -> (Some (do_check query), `Continue)
+    | Protocol.Explain query -> (Some (do_explain query), `Continue)
+    | Protocol.Stats -> (Some (do_stats t), `Continue)
+    | Protocol.Metrics -> (Some (do_metrics ()), `Continue)
+    | Protocol.Quit ->
+        (Some (Protocol.Ok_ { summary = "bye"; payload = [] }), `Quit)
+  in
+  let on_line line =
+    match !bulk with
+    | Some b ->
+        Buffer.add_string b.buf line;
+        Buffer.add_char b.buf '\n';
+        b.remaining <- b.remaining - 1;
+        if b.remaining = 0 then begin
+          bulk := None;
+          ( Some (do_bulk_text t conns ~db:b.bulk_db (Buffer.contents b.buf)),
+            `Continue )
+        end
+        else (None, `Continue)
+    | None -> (
+        match Protocol.parse_request line with
+        | Error e -> (Some (Protocol.Err e), `Continue)
+        | Ok req -> dispatch req)
+  in
+  let on_close () =
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Some c ->
+            (try Client.close c with _ -> ());
+            conns.(i) <- None
+        | None -> ())
+      conns
+  in
+  { Server.on_line; on_close }
+
+(* Convenience: a coordinator listening on its own port. *)
+let serve ?host t ~port ~workers =
+  Server.start_handler ?host ~limits:t.config.limits ~port ~workers
+    ~handler:(handler t) ()

@@ -1,0 +1,86 @@
+(** The cluster coordinator: scatter-gather evaluation over [N] shard
+    servers, each an ordinary [paradb serve] speaking the line
+    protocol.
+
+    {2 Data placement}
+
+    [LOAD] parses the fact file locally, hash-partitions every
+    relation on its first column over the consistent-hashing {!Ring},
+    and ships slice [s] to shard [s] as one [BULK] frame per entry —
+    plus one copy per replica rank [r] to shard [(s + r) mod N] under
+    the entry name [db@r<r>].  Shards hold opaque slices; only the
+    coordinator knows the full relation-name set, which is why it
+    prechecks every query against its own catalog and treats a
+    shard-side "missing relation" (an empty slice was never shipped —
+    [BULK] carries no lines for an empty relation) as an empty
+    contribution.
+
+    {2 Evaluation}
+
+    [EVAL]/[GATHER] pick a strategy from
+    {!Paradb_planner.Planner.shard_choice}:
+
+    - {e scatter} (co-partitioned: every atom starts with the same
+      variable) — one round; each shard evaluates the original query
+      over its slice via [GATHER] and the coordinator unions the fact
+      payloads.  Correct because every answer's witness tuples all
+      carry the same first value, hence live on one shard.
+    - {e exchange} (general) — two rounds.  Round 1 gathers per-atom
+      {e reducer relations} [gx<i>]: the atom's matching tuples,
+      semijoin-reduced shard-side against co-partitioned partner atoms
+      and locally-decidable constraints.  Round 2 joins the reducers at
+      the coordinator with every atom renamed to its reducer, under the
+      original head and constraints.  Reducers are selections and
+      semijoins, so the paper's linear-time class survives
+      distribution.
+
+    Results are rendered with the same canonical serialization as a
+    single node ([Plan.sorted_tuples] / fact lines), so answers are
+    bit-for-bit identical — the property the differential oracle's
+    "cluster" engine fuzzes.
+
+    {2 Failure semantics}
+
+    Per-connection shard sockets are pooled; a transport error redials
+    once (counted in [cluster.redial]), then walks the replica ranks
+    (counted in [cluster.failover]); with no replica left the request
+    answers a clean [ERR] naming the dead shard.  Writes ([LOAD],
+    [FACT]) never fail over.  The Guard deadline is owned by the
+    coordinator and re-armed as a socket timeout on every sub-request
+    with whatever budget remains; [max_inflight] admission-limits
+    concurrent [EVAL]s on top.  [PARADB_FAULTS] [shard_loss] /
+    [straggler_delay] inject pooled-connection loss and sub-request
+    stalls here. *)
+
+type config = {
+  addrs : (string * int) array;  (** shard servers, index = shard id *)
+  replicas : int;  (** copies per slice, in [[1, shards]] *)
+  vnodes : int;  (** ring points per shard *)
+  timeout : float option;  (** per-sub-request socket timeout, seconds *)
+  retries : int;  (** connect retries per dial *)
+  limits : Paradb_server.Guard.limits;
+      (** coordinator-side limits: deadline, row cap, line cap, idle *)
+  max_inflight : int option;  (** admission cap on concurrent EVALs *)
+}
+
+(** 1 replica, default vnodes, 30s timeout, 2 retries, default Guard
+    limits, no admission cap. *)
+val default_config : (string * int) list -> config
+
+type t
+
+(** Raises [Invalid_argument] on zero shards or a replica count outside
+    [[1, shards]]. *)
+val create : config -> t
+
+val shards : t -> int
+
+(** One accepted client connection's request processor; give this to
+    {!Paradb_server.Server.start_handler}.  Each connection owns its
+    own pool of shard sockets, released by [on_close]. *)
+val handler : t -> unit -> Paradb_server.Server.handler
+
+(** [serve ?host t ~port ~workers] — a listening front end wired to
+    {!handler} via {!Paradb_server.Server.start_handler}. *)
+val serve :
+  ?host:string -> t -> port:int -> workers:int -> Paradb_server.Server.t

@@ -1,0 +1,42 @@
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Tuple = Paradb_relational.Tuple
+
+(* Hash-partition one relation on the value at column [key].  Every row
+   lands on exactly one shard (pairwise-disjoint slices whose union is
+   the original relation — the qcheck property in test_cluster), with
+   one convention: rows too short to carry the key column — in practice
+   only the 0-ary relation's empty tuple — go to shard 0. *)
+let split_relation ring ~key r =
+  let n = Ring.shards ring in
+  if key < 0 then invalid_arg "Partition.split_relation: negative key";
+  let buckets = Array.make n [] in
+  Relation.iter
+    (fun tup ->
+      let shard =
+        if key >= Tuple.arity tup then 0
+        else Ring.owner_of_value ring tup.(key)
+      in
+      buckets.(shard) <- tup :: buckets.(shard))
+    r;
+  Array.map
+    (fun rows ->
+      Relation.create ~name:(Relation.name r)
+        ~schema:(Relation.schema_list r) rows)
+    buckets
+
+(* Partition a whole database on each relation's first column — the
+   convention the planner's {!Paradb_planner.Planner.shard_choice}
+   assumes.  Every slice keeps every relation (possibly empty), so a
+   slice is a self-contained database over the full schema. *)
+let split ring db =
+  let n = Ring.shards ring in
+  let slices = Array.make n Database.empty in
+  List.iter
+    (fun r ->
+      let parts = split_relation ring ~key:0 r in
+      Array.iteri
+        (fun s part -> slices.(s) <- Database.add part slices.(s))
+        parts)
+    (Database.relations db);
+  slices

@@ -1,0 +1,16 @@
+(** Hash partitioning of relations across a {!Ring}. *)
+
+(** [split_relation ring ~key r] buckets each row by the hash of its
+    value at column [key].  The slices are pairwise disjoint and their
+    union is [r]; rows whose arity is [<= key] (the 0-ary empty tuple)
+    go to shard 0.  Raises [Invalid_argument] on a negative [key]. *)
+val split_relation :
+  Ring.t -> key:int -> Paradb_relational.Relation.t ->
+  Paradb_relational.Relation.t array
+
+(** [split ring db] partitions every relation on its first column (the
+    cluster's placement convention).  Every slice contains every
+    relation of [db], empty where no rows hash to that shard. *)
+val split :
+  Ring.t -> Paradb_relational.Database.t ->
+  Paradb_relational.Database.t array

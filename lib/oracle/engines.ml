@@ -120,7 +120,7 @@ let with_scratch_dir f =
       end)
     (fun () -> f dir)
 
-let all ?serve () =
+let all ?serve ?cluster () =
   [
     query_engine ~name:"naive-unordered" ~mode:Exact (fun db q ->
         Rows (canon (Cq_naive.evaluate ~order_atoms:false db q)));
@@ -175,20 +175,33 @@ let all ?serve () =
              (fun cq -> Cq_naive.is_satisfiable db cq)
              (Fo.positive_to_cqs f)));
   ]
+  @ (match serve with
+    | None -> []
+    | Some live ->
+        [
+          query_engine ~name:"serve" ~mode:Exact (fun db q ->
+              match Serve.eval live db q with
+              | Ok rows -> Rows rows
+              | Error e -> Engine_error e);
+        ])
   @
-  match serve with
+  (* The sharded path: hash-partition, scatter-gather, merge — must be
+     bit-for-bit with the single node, including under injected shard
+     loss and stragglers (the coordinator's failover machinery has to
+     hide them, not merely survive them). *)
+  match cluster with
   | None -> []
   | Some live ->
       [
-        query_engine ~name:"serve" ~mode:Exact (fun db q ->
-            match Serve.eval live db q with
+        query_engine ~name:"cluster" ~mode:Exact (fun db q ->
+            match Serve.eval_cluster live db q with
             | Ok rows -> Rows rows
             | Error e -> Engine_error e);
       ]
 
-(* Every engine name the CLI accepts; "serve" is only instantiated when
-   a live server is wired in. *)
-let names = List.map (fun e -> e.name) (all ()) @ [ "serve" ]
+(* Every engine name the CLI accepts; "serve" and "cluster" are only
+   instantiated when the live servers are wired in. *)
+let names = List.map (fun e -> e.name) (all ()) @ [ "serve"; "cluster" ]
 
 let outcome_to_string = function
   | Rows rows ->

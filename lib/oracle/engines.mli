@@ -33,10 +33,11 @@ val reference : Gen.instance -> outcome
 val agrees : mode:mode -> reference:outcome -> outcome -> bool
 
 (** All registered engines; the live-server round-trip engine is
-    included only when [serve] is given. *)
-val all : ?serve:Serve.t -> unit -> t list
+    included only when [serve] is given, the sharded-cluster engine
+    only when [cluster] is. *)
+val all : ?serve:Serve.t -> ?cluster:Serve.cluster -> unit -> t list
 
-(** Every acceptable engine name, including ["serve"]. *)
+(** Every acceptable engine name, including ["serve"] and ["cluster"]. *)
 val names : string list
 
 val outcome_to_string : outcome -> string

@@ -74,10 +74,15 @@ let run ?(progress = fun _ -> ()) cfg =
   pin_domains ();
   let with_serve = wanted cfg "serve" in
   let serve = if with_serve then Some (Serve.start ()) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Serve.stop serve) @@ fun () ->
+  let with_cluster = wanted cfg "cluster" in
+  let cluster = if with_cluster then Some (Serve.start_cluster ()) else None in
+  Fun.protect ~finally:(fun () ->
+      Option.iter Serve.stop serve;
+      Option.iter Serve.stop_cluster cluster)
+  @@ fun () ->
   let engines =
     List.filter (fun (e : Engines.t) -> wanted cfg e.name)
-      (Engines.all ?serve ())
+      (Engines.all ?serve ?cluster ())
   in
   let divergences = ref [] in
   let comparisons = ref 0 in
@@ -148,11 +153,16 @@ let replay path =
   let inst = Case_file.to_instance case in
   let with_serve = case.Case_file.engine = "serve" in
   let serve = if with_serve then Some (Serve.start ()) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Serve.stop serve) @@ fun () ->
+  let with_cluster = case.Case_file.engine = "cluster" in
+  let cluster = if with_cluster then Some (Serve.start_cluster ()) else None in
+  Fun.protect ~finally:(fun () ->
+      Option.iter Serve.stop serve;
+      Option.iter Serve.stop_cluster cluster)
+  @@ fun () ->
   match
     List.find_opt
       (fun (e : Engines.t) -> e.name = case.Case_file.engine)
-      (Engines.all ?serve ())
+      (Engines.all ?serve ?cluster ())
   with
   | None ->
       invalid_arg

@@ -40,3 +40,61 @@ let eval t db q =
       with
       | Protocol.Err e -> Error ("EVAL: " ^ e)
       | Protocol.Ok_ { payload; _ } -> Ok payload)
+
+(* --- sharded cluster -------------------------------------------- *)
+
+module Coordinator = Paradb_cluster.Coordinator
+
+(* A whole cluster in one process: [shards] ordinary servers, a
+   coordinator front end over them, one client into the coordinator.
+   Every component gets one worker — the oracle drives the cluster
+   strictly synchronously, so extra domains would only add GC overhead
+   to the fuzz loop. *)
+type cluster = {
+  shard_servers : Server.t array;
+  front : Server.t;
+  cluster_client : Client.t;
+  cluster_facts : string;
+}
+
+let start_cluster ?(shards = 3) ?(replicas = 2) () =
+  let shard_servers =
+    Array.init shards (fun _ ->
+        Server.start ~port:0 ~workers:1 ~cache_capacity:64 ())
+  in
+  let addrs =
+    Array.to_list
+      (Array.map (fun s -> ("127.0.0.1", Server.port s)) shard_servers)
+  in
+  let coord =
+    Coordinator.create
+      { (Coordinator.default_config addrs) with replicas; retries = 3 }
+  in
+  let front = Coordinator.serve coord ~port:0 ~workers:1 in
+  let cluster_client =
+    Client.connect ~timeout:30.0 ~retries:3 ~port:(Server.port front) ()
+  in
+  let cluster_facts = Filename.temp_file "paradb_fuzz_cluster" ".facts" in
+  { shard_servers; front; cluster_client; cluster_facts }
+
+let stop_cluster t =
+  (try Client.close t.cluster_client with _ -> ());
+  (try Server.stop t.front with _ -> ());
+  Array.iter (fun s -> try Server.stop s with _ -> ()) t.shard_servers;
+  try Sys.remove t.cluster_facts with _ -> ()
+
+let eval_cluster t db q =
+  Out_channel.with_open_text t.cluster_facts (fun oc ->
+      Fact_format.print oc db);
+  match
+    Client.request_line t.cluster_client
+      (Printf.sprintf "LOAD fz %s" t.cluster_facts)
+  with
+  | Protocol.Err e -> Error ("LOAD: " ^ e)
+  | Protocol.Ok_ _ -> (
+      match
+        Client.request_line t.cluster_client
+          ("EVAL fz auto " ^ Paradb_query.Cq.to_string q)
+      with
+      | Protocol.Err e -> Error ("EVAL: " ^ e)
+      | Protocol.Ok_ { payload; _ } -> Ok payload)

@@ -15,3 +15,20 @@ val stop : t -> unit
 val eval :
   t -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   (string list, string) result
+
+(** A live sharded cluster as an oracle engine: [shards] in-process
+    servers behind a {!Paradb_cluster.Coordinator} front end, driven
+    through the same LOAD/EVAL round-trip as {!eval}.  Every case
+    exercises partitioning, the BULK exchange, scatter/exchange
+    strategy choice and the gather merge; under [PARADB_FAULTS]
+    [shard_loss]/[straggler_delay] it additionally exercises redial and
+    replica failover — in every case the payload must stay bit-for-bit
+    equal to the single-node reference. *)
+type cluster
+
+val start_cluster : ?shards:int -> ?replicas:int -> unit -> cluster
+val stop_cluster : cluster -> unit
+
+val eval_cluster :
+  cluster -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  (string list, string) result

@@ -87,6 +87,14 @@ module Server = struct
   module Client = Paradb_server.Client
 end
 
+(** {2 Sharded execution ([paradb coordinator])} *)
+
+module Cluster = struct
+  module Ring = Paradb_cluster.Ring
+  module Partition = Paradb_cluster.Partition
+  module Coordinator = Paradb_cluster.Coordinator
+end
+
 (** {2 Chandra–Merlin containment} *)
 
 module Containment = Paradb_containment.Containment

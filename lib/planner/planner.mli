@@ -75,6 +75,19 @@ val plan : Cq.t -> t
 
 val classification_name : classification -> string
 
+(** How a cluster should distribute this plan, given relations
+    hash-partitioned on their first column.  [Copartitioned v]: every
+    body atom carries variable [v] in argument position 0, so each
+    satisfying assignment is witnessed entirely on the shard owning
+    [v]'s value — the plan can run shard-locally (scatter) and the
+    answers unioned.  [Rekey k] requires a reducer exchange; [k] is the
+    variable occurring in the most atoms (first-occurrence order breaks
+    ties; [None] for a variable-free body), the attribute a
+    repartitioning pass would key on. *)
+type shard_choice = Copartitioned of string | Rekey of string option
+
+val shard_choice : t -> shard_choice
+
 (** Human-readable plan rendering, one line per element — the payload of
     the server's [EXPLAIN] verb. *)
 val explain : t -> string list

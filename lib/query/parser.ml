@@ -183,11 +183,18 @@ let next st =
   t
 
 let expect st t =
-  let loc = where st in
+  (* [where] rescans the source to compute line/column, so it must only
+     run on the failure path — an eager call here turns fact-file
+     parsing quadratic in the file size. *)
+  let at = st.pos in
   let got = next st in
-  if got <> t then
+  if got <> t then begin
+    st.pos <- at;
+    let loc = where st in
+    st.pos <- at + 1;
     fail "parser: expected %s, got %s at %s" (token_to_string t)
       (token_to_string got) loc
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Terms and atoms *)

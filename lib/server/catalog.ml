@@ -132,6 +132,18 @@ let add_fact cat name fact =
         (* e.g. an arity clash with the relation already in the entry *)
         Error msg)
 
+(* The cluster exchange framing: replace entry [name] with a parsed
+   fact-file fragment in one generation bump.  Deliberately in-memory
+   only — a BULK carries one shard's slice of a snapshot the
+   coordinator already holds durably; shard-local persistence of
+   exchange traffic would just duplicate it. *)
+let bulk_set cat name text =
+  match Source.parse_facts text with
+  | Error e -> Error e
+  | Ok db ->
+      set cat name db;
+      Ok db
+
 let attach cat =
   match cat.data_dir with
   | None -> []
@@ -154,3 +166,41 @@ let entries cat =
         (fun name e acc -> (name, Database.size e.db) :: acc)
         cat.table [])
   |> List.sort compare
+
+type entry_stats = {
+  name : string;
+  tuples : int;
+  generation : int;
+  segments : int option;
+}
+
+let m_segments name =
+  Paradb_telemetry.Metrics.gauge (Printf.sprintf "store.%s.segments" name)
+
+(* Per-entry operator view: snapshot generation always, on-disk segment
+   count when the entry owns a store directory (the delta-accumulation
+   signal `paradb compact` folds away).  Counting re-reads the manifest,
+   which is a few lines — STATS is not a hot path.  Each count is also
+   published as a [store.<name>.segments] high-watermark gauge so
+   METRICS scrapes see delta growth between STATS calls. *)
+let entries_stats cat =
+  let snap =
+    Mutex.protect cat.lock (fun () ->
+        Hashtbl.fold
+          (fun name e acc -> (name, Database.size e.db, e.generation) :: acc)
+          cat.table [])
+  in
+  List.sort compare snap
+  |> List.map (fun (name, tuples, generation) ->
+         let segments =
+           match dir_for cat name with
+           | Some dir when Store.is_store dir -> (
+               match Store.entries dir with
+               | es -> Some (List.length es)
+               | exception Segment.Corrupt _ -> None)
+           | _ -> None
+         in
+         Option.iter
+           (fun n -> Paradb_telemetry.Metrics.set_max (m_segments name) n)
+           segments;
+         { name; tuples; generation; segments })

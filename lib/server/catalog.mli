@@ -57,6 +57,14 @@ val load :
     is persisted as a delta segment before the snapshot swaps. *)
 val add_fact : t -> string -> string -> (Database.t, string) result
 
+(** [bulk_set cat name text] — the [BULK] verb: parse [text] as a fact
+    file fragment and {e replace} entry [name] with it under a fresh
+    generation.  In-memory only, even with a data dir: a bulk batch is
+    one shard's slice of a snapshot the cluster coordinator already
+    holds durably, not an independent mutation.  Errors are parse
+    errors. *)
+val bulk_set : t -> string -> string -> (Database.t, string) result
+
 (** [attach cat] scans the data dir and opens every segment store found
     as a catalog entry, returning [(name, tuples)] per database loaded.
     Raises {!Paradb_storage.Segment.Corrupt} if any store fails
@@ -65,3 +73,19 @@ val attach : t -> (string * int) list
 
 (** Entry names with their tuple counts, sorted by name. *)
 val entries : t -> (string * int) list
+
+type entry_stats = {
+  name : string;
+  tuples : int;
+  generation : int;  (** the snapshot generation the plan cache keys on *)
+  segments : int option;
+      (** live segment-file count of the entry's store — [None] without
+          a data dir (or when the manifest cannot be read) *)
+}
+
+(** Per-entry operator stats, sorted by name — the payload behind the
+    [db.<name>.generation] / [db.<name>.segments] STATS lines.  Each
+    segment count observed is also published to the
+    [store.<name>.segments] high-watermark gauge, so METRICS scrapes
+    see delta accumulation between STATS calls. *)
+val entries_stats : t -> entry_stats list

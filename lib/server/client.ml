@@ -44,18 +44,81 @@ let retriable = function
    reconnect. *)
 let jitter_rng = lazy (Random.State.make_self_init ())
 
+let backoff_sleep ~backoff attempt =
+  (* exponential backoff with jitter in [0.5, 1.5) so synchronized
+     clients don't re-stampede a recovering server *)
+  let jitter = 0.5 +. Random.State.float (Lazy.force jitter_rng) 1.0 in
+  Unix.sleepf (backoff *. (2.0 ** float_of_int attempt) *. jitter)
+
 let connect ?host ?timeout ?(retries = 0) ?(backoff = 0.05) ~port () =
   let rec go attempt =
     match connect_once ?host ?timeout ~port () with
     | t -> t
     | exception e when retriable e && attempt < retries ->
-        (* exponential backoff with jitter in [0.5, 1.5) so synchronized
-           clients don't re-stampede a recovering server *)
-        let jitter = 0.5 +. Random.State.float (Lazy.force jitter_rng) 1.0 in
-        Unix.sleepf (backoff *. (2.0 ** float_of_int attempt) *. jitter);
+        backoff_sleep ~backoff attempt;
         go (attempt + 1)
   in
   go 0
+
+(* Failover connect: walk the address list in order inside the same
+   jittered-backoff retry loop — attempt [i] dials address [i mod n], so
+   one dead server costs a connect failure, not the whole client.  The
+   backoff exponent grows per full cycle through the list (every address
+   down is the "recovering server" case; a mere failover shouldn't
+   stall). *)
+let connect_any ?timeout ?(retries = 0) ?(backoff = 0.05) addrs () =
+  match addrs with
+  | [] -> invalid_arg "Client.connect_any: empty address list"
+  | addrs ->
+      let n = List.length addrs in
+      let rec go attempt =
+        let host, port = List.nth addrs (attempt mod n) in
+        match connect_once ~host ?timeout ~port () with
+        | t -> t
+        | exception e when retriable e && attempt < retries ->
+            if (attempt + 1) mod n = 0 then backoff_sleep ~backoff (attempt / n);
+            go (attempt + 1)
+      in
+      go 0
+
+(* "host:port,host:port,..." (bare ports mean 127.0.0.1). *)
+let parse_addrs ?(default_host = "127.0.0.1") s =
+  let parse_one tok =
+    match String.rindex_opt tok ':' with
+    | None -> (
+        match int_of_string_opt tok with
+        | Some p when p > 0 && p < 65536 -> Ok (default_host, p)
+        | _ -> Error (Printf.sprintf "bad address %S (expected host:port)" tok))
+    | Some i -> (
+        let host = String.sub tok 0 i in
+        let port = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ -> Error (Printf.sprintf "bad address %S (expected host:port)" tok))
+  in
+  let toks =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  if toks = [] then Error "empty address list"
+  else
+    List.fold_left
+      (fun acc tok ->
+        match (acc, parse_one tok) with
+        | Error _, _ -> acc
+        | _, (Error _ as e) -> e
+        | Ok addrs, Ok a -> Ok (addrs @ [ a ]))
+      (Ok []) toks
+
+(* Tighten (or relax) the per-request budget on a live connection —
+   the coordinator propagates its remaining deadline to each shard
+   sub-request this way. *)
+let set_timeout t seconds =
+  let seconds = Float.max 0.001 seconds in
+  try
+    Unix.setsockopt_float t.fd SO_RCVTIMEO seconds;
+    Unix.setsockopt_float t.fd SO_SNDTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
 
 let send_line t line =
   output_string t.oc line;
@@ -63,18 +126,42 @@ let send_line t line =
   flush t.oc
 
 let request_line t line =
-  send_line t line;
-  (* with SO_RCVTIMEO set, a stalled server surfaces as Sys_error
-     (EAGAIN under the channel); report it as a timeout, not a crash *)
-  match Protocol.read_response t.ic with
+  (* with SO_RCVTIMEO/SO_SNDTIMEO set, a stalled server surfaces as
+     Sys_error or Sys_blocked_io (EAGAIN under the channel); report
+     either as a timeout, not a crash *)
+  match
+    send_line t line;
+    Protocol.read_response t.ic
+  with
   | Some r -> r
   | None -> failwith "connection closed by server"
   | exception Sys_error msg -> failwith ("request failed: " ^ msg)
+  | exception Sys_blocked_io -> failwith "request failed: timed out"
 
 let request t req = request_line t (Protocol.request_to_line req)
 
+(* The BULK framing: header plus payload written in one buffered burst
+   (a fact line is tiny; per-line flushes would syscall-storm the slice
+   transfer), then a single framed response. *)
+let request_bulk t ~header lines =
+  match
+    output_string t.oc header;
+    output_char t.oc '\n';
+    List.iter
+      (fun line ->
+        output_string t.oc line;
+        output_char t.oc '\n')
+      lines;
+    flush t.oc;
+    Protocol.read_response t.ic
+  with
+  | Some r -> r
+  | None -> failwith "connection closed by server"
+  | exception Sys_error msg -> failwith ("request failed: " ^ msg)
+  | exception Sys_blocked_io -> failwith "request failed: timed out"
+
 let close t =
-  (try send_line t "QUIT" with Sys_error _ -> ());
+  (try send_line t "QUIT" with Sys_error _ | Sys_blocked_io -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let with_connection ?host ?timeout ?retries ?backoff ~port f =

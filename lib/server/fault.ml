@@ -13,12 +13,14 @@ type config = {
   write_delay : float;
   disconnect : float;
   raise_eval : float;
+  shard_loss : float;
+  straggler_delay : float;
   seed : int;
 }
 
 let default =
   { short_read = 0.0; write_delay = 0.0; disconnect = 0.0; raise_eval = 0.0;
-    seed = 0 }
+    shard_loss = 0.0; straggler_delay = 0.0; seed = 0 }
 
 let enabled = Atomic.make false
 let current = Atomic.make default
@@ -57,12 +59,15 @@ let parse kvs =
       | "write_delay" -> { c with write_delay = prob k v }
       | "disconnect" -> { c with disconnect = prob k v }
       | "raise_eval" -> { c with raise_eval = prob k v }
+      | "shard_loss" -> { c with shard_loss = prob k v }
+      | "straggler_delay" -> { c with straggler_delay = prob k v }
       | "seed" -> { c with seed = int_of_float v }
       | _ ->
           invalid_arg
             (Printf.sprintf
                "PARADB_FAULTS: unknown fault %S (expected short_read, \
-                write_delay, disconnect, raise_eval or seed)"
+                write_delay, disconnect, raise_eval, shard_loss, \
+                straggler_delay or seed)"
                k))
     default kvs
 
@@ -95,6 +100,24 @@ let disconnect_now () =
   &&
   (Metrics.incr m_injected;
    true)
+
+(* Cluster faults: [shard_loss_now] tells the coordinator to drop its
+   pooled shard connection before a round (forcing a redial, and a
+   replica failover if the redial fails); [straggler_sleep] delays one
+   sub-request by 10-50ms so the per-shard latency histograms grow a
+   visible tail. *)
+let shard_loss_now () =
+  Atomic.get enabled
+  && roll (Atomic.get current).shard_loss
+  &&
+  (Metrics.incr m_injected;
+   true)
+
+let straggler_sleep () =
+  if Atomic.get enabled && roll (Atomic.get current).straggler_delay then begin
+    Metrics.incr m_injected;
+    Unix.sleepf (0.01 +. Random.State.float (rng ()) 0.04)
+  end
 
 let injected_raise () =
   if Atomic.get enabled && roll (Atomic.get current).raise_eval then begin

@@ -15,6 +15,10 @@ type config = {
   write_delay : float;  (** P(sleep 1–5ms before a response write) *)
   disconnect : float;  (** P(shut the socket down instead of responding) *)
   raise_eval : float;  (** P(raise {!Injected} from request dispatch) *)
+  shard_loss : float;
+      (** P(the coordinator drops a pooled shard connection before a
+          scatter round — exercising redial and replica failover) *)
+  straggler_delay : float;  (** P(sleep 10-50ms before a shard sub-request) *)
   seed : int;  (** RNG seed (per-domain states derive from it) *)
 }
 
@@ -48,3 +52,11 @@ val disconnect_now : unit -> bool
 
 (** Maybe raise {!Injected} (raise_eval fault). *)
 val injected_raise : unit -> unit
+
+(** Should the coordinator drop its pooled connection to the next shard
+    it talks to (shard_loss fault)?  The shard process itself stays up,
+    so the forced redial succeeds and answers stay bit-for-bit. *)
+val shard_loss_now : unit -> bool
+
+(** Maybe sleep 10-50ms before a shard sub-request (straggler fault). *)
+val straggler_sleep : unit -> unit

@@ -1,7 +1,9 @@
 type request =
   | Load of { db : string; path : string }
   | Fact of { db : string; fact : string }
+  | Bulk of { db : string; count : int }
   | Eval of { db : string; engine : string; query : string }
+  | Gather of { db : string; query : string }
   | Check of string
   | Explain of string
   | Stats
@@ -15,7 +17,9 @@ type response =
 let verb_name = function
   | Load _ -> "load"
   | Fact _ -> "fact"
+  | Bulk _ -> "bulk"
   | Eval _ -> "eval"
+  | Gather _ -> "gather"
   | Check _ -> "check"
   | Explain _ -> "explain"
   | Stats -> "stats"
@@ -35,6 +39,13 @@ let split_word s =
   let rec skip i = if i < n && is_blank s.[i] then skip (i + 1) else i in
   (String.sub s 0 cut, String.sub s (skip cut) (n - skip cut))
 
+(* A defensive ceiling on OK-n frames and BULK-n headers: a hostile or
+   corrupted peer must not be able to park the reader in a
+   [List.init n] loop (or the server in a fact-collection loop) with an
+   absurd count.  Far above any legitimate result (the server truncates
+   at --max-rows), far below overflow territory. *)
+let max_payload_lines = 10_000_000
+
 let parse_request line =
   let keyword, rest = split_word line in
   let need what tok = Error (Printf.sprintf "%s: missing %s" tok what) in
@@ -50,6 +61,15 @@ let parse_request line =
       | "", _ -> need "database name" "FACT"
       | db, fact when trim fact <> "" -> Ok (Fact { db; fact = trim fact })
       | _ -> need "fact" "FACT")
+  | "BULK" -> (
+      match split_word rest with
+      | "", _ -> need "database name" "BULK"
+      | db, count -> (
+          match int_of_string_opt (trim count) with
+          | Some n when n >= 0 && n <= max_payload_lines ->
+              Ok (Bulk { db; count = n })
+          | Some _ -> Error "BULK: fact count out of range"
+          | None -> need "fact count" "BULK"))
   | "EVAL" -> (
       match split_word rest with
       | "", _ -> need "database name" "EVAL"
@@ -59,6 +79,11 @@ let parse_request line =
           | engine, query when trim query <> "" ->
               Ok (Eval { db; engine; query = trim query })
           | _ -> need "query" "EVAL"))
+  | "GATHER" -> (
+      match split_word rest with
+      | "", _ -> need "database name" "GATHER"
+      | db, query when trim query <> "" -> Ok (Gather { db; query = trim query })
+      | _ -> need "query" "GATHER")
   | "CHECK" ->
       if trim rest = "" then need "query" "CHECK" else Ok (Check (trim rest))
   | "EXPLAIN" ->
@@ -71,7 +96,9 @@ let parse_request line =
 let request_to_line = function
   | Load { db; path } -> Printf.sprintf "LOAD %s %s" db path
   | Fact { db; fact } -> Printf.sprintf "FACT %s %s" db fact
+  | Bulk { db; count } -> Printf.sprintf "BULK %s %d" db count
   | Eval { db; engine; query } -> Printf.sprintf "EVAL %s %s %s" db engine query
+  | Gather { db; query } -> Printf.sprintf "GATHER %s %s" db query
   | Check query -> "CHECK " ^ query
   | Explain query -> "EXPLAIN " ^ query
   | Stats -> "STATS"
@@ -90,12 +117,6 @@ let write_response oc r =
       output_char oc '\n')
     (response_to_lines r);
   flush oc
-
-(* A defensive ceiling on OK-n frames: a hostile or corrupted peer must
-   not be able to park the client in a [List.init n] read loop with an
-   absurd count.  Far above any legitimate result (the server truncates
-   at --max-rows), far below overflow territory. *)
-let max_payload_lines = 10_000_000
 
 let read_response ic =
   match In_channel.input_line ic with

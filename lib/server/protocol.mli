@@ -6,8 +6,12 @@
     {v
       LOAD <db> <path>            load a fact file into catalog entry <db>
       FACT <db> <fact>            add one ground fact, e.g. edge(1, 2).
+      BULK <db> <n>               cluster exchange framing: the next <n>
+                                  lines are fact lines replacing entry <db>
       EVAL <db> <engine> <query>  evaluate; engine is auto | naive |
                                   yannakakis | fpt | compiled
+      GATHER <db> <query>         evaluate and answer the result as fact
+                                  lines (the cluster reducer exchange)
       CHECK <query>               static analysis (no database touched)
       EXPLAIN <query>             physical plan: class, width, join order
                                   (no database touched)
@@ -15,6 +19,13 @@
       METRICS                     process telemetry snapshot as one JSON line
       QUIT                        close the session
     v}
+
+    [BULK] is the only multi-line request: after the header line the
+    session consumes exactly [n] fact lines (responses are withheld
+    while collecting), then answers once for the whole batch.  The
+    count is capped at {!max_payload_lines}.  [GATHER] payload lines
+    are [name(v1, v2).] facts (see {!Paradb_query.Fact_format}), so
+    values survive the round-trip that bare tuple lines would not.
 
     Responses are framed so a client never guesses where a reply ends:
 
@@ -30,7 +41,9 @@
 type request =
   | Load of { db : string; path : string }
   | Fact of { db : string; fact : string }
+  | Bulk of { db : string; count : int }
   | Eval of { db : string; engine : string; query : string }
+  | Gather of { db : string; query : string }
   | Check of string
   | Explain of string
   | Stats
@@ -58,8 +71,9 @@ val request_to_line : request -> string
 val write_response : out_channel -> response -> unit
 
 (** Defensive ceiling on the [OK <n>] payload count accepted by
-    {!read_response} — far above any legitimate result, far below what
-    would let a hostile peer park a client in the read loop. *)
+    {!read_response} and on the [BULK <n>] fact count accepted by
+    {!parse_request} — far above any legitimate result, far below what
+    would let a hostile peer park either side in a counted loop. *)
 val max_payload_lines : int
 
 (** [read_response ic] reads one framed response; [None] on EOF.

@@ -9,10 +9,24 @@ let m_accept_retries = Metrics.counter "server.accept.retries"
 let m_drained = Metrics.counter "server.shutdown.drained"
 let m_aborted = Metrics.counter "server.shutdown.aborted"
 
+type handler = {
+  on_line : string -> Protocol.response option * [ `Continue | `Quit ];
+  on_close : unit -> unit;
+}
+
+(* What a freshly accepted connection talks to: a catalog-backed
+   [Session] (the classic server) or an arbitrary per-connection
+   handler (the cluster coordinator front end).  Both inherit the same
+   loop below — bounded reader, idle reaping, catch-all, drain. *)
+type source =
+  | Session_source of Session.shared
+  | Handler_source of (unit -> handler)
+
 type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
-  shared : Session.shared;
+  source : source;
+  limits : Guard.limits;
   workers : unit Domain.t array;
   stopping : bool Atomic.t;
   conns : (Unix.file_descr, unit) Hashtbl.t; (* in-flight connections *)
@@ -22,7 +36,19 @@ type t = {
 }
 
 let port t = t.bound_port
-let shared t = t.shared
+
+let shared t =
+  match t.source with
+  | Session_source s -> s
+  | Handler_source _ ->
+      invalid_arg "Server.shared: handler-based server owns no session state"
+
+let handler_of_source = function
+  | Session_source shared ->
+      fun () ->
+        let session = Session.create shared in
+        { on_line = Session.handle_line session; on_close = ignore }
+  | Handler_source make -> make
 
 let send oc response =
   Metrics.incr
@@ -40,8 +66,7 @@ let send oc response =
    [idle_timeout]; a catch-all around the dispatcher turns any escaped
    exception into [ERR internal] instead of a dead worker.  Socket-level
    write failures (peer gone) end the loop. *)
-let serve_connection shared stopping fd =
-  let limits = shared.Session.limits in
+let serve_connection ~limits make_handler stopping fd =
   (* request/response is strictly ping-pong, so Nagle only adds delayed-ACK
      stalls on the response's final partial segment *)
   (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
@@ -52,7 +77,7 @@ let serve_connection shared stopping fd =
   | None -> ());
   let oc = Unix.out_channel_of_descr fd in
   let reader = Guard.reader ~max_line:limits.Guard.max_line fd in
-  let session = Session.create shared in
+  let handler = make_handler () in
   let rec loop () =
     match Guard.read_line reader with
     | Guard.Closed -> ()
@@ -69,7 +94,7 @@ let serve_connection shared stopping fd =
     | Guard.Line line when String.trim line = "" -> loop ()
     | Guard.Line line -> (
         Metrics.incr ~by:(String.length line + 1) m_bytes_in;
-        match Session.handle_line session line with
+        match handler.on_line line with
         | exception e ->
             (* the dispatcher answers [Err] itself for every expected
                failure; anything arriving here is a server bug (or an
@@ -77,7 +102,10 @@ let serve_connection shared stopping fd =
             Metrics.incr m_internal;
             send oc (Protocol.Err ("internal: " ^ Printexc.to_string e));
             continue ()
-        | response, verdict ->
+        | None, _ ->
+            (* a response is withheld only mid-BULK; keep reading *)
+            loop ()
+        | Some response, verdict ->
             if Fault.disconnect_now () then (
               try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
             else begin
@@ -88,9 +116,11 @@ let serve_connection shared stopping fd =
     (* graceful shutdown: finish the request in flight, then close *)
     if Atomic.get stopping then Metrics.incr m_drained else loop ()
   in
-  try loop () with Sys_error _ | End_of_file -> ()
+  Fun.protect
+    ~finally:(fun () -> try handler.on_close () with _ -> ())
+    (fun () -> try loop () with Sys_error _ | End_of_file -> ())
 
-let worker_loop stopping shared conns conns_lock listen_fd () =
+let worker_loop stopping ~limits make_handler conns conns_lock listen_fd () =
   let register fd =
     Mutex.protect conns_lock (fun () -> Hashtbl.replace conns fd ())
   in
@@ -121,14 +151,14 @@ let worker_loop stopping shared conns conns_lock listen_fd () =
               try Unix.close fd with Unix.Unix_error _ -> ())
             (fun () ->
               (* belt and braces: nothing may kill the worker domain *)
-              try serve_connection shared stopping fd with _ -> ());
+              try serve_connection ~limits make_handler stopping fd
+              with _ -> ());
           loop 0
     end
   in
   loop 0
 
-let start ?(host = "127.0.0.1") ?family ?limits ?data_dir ~port ~workers
-    ~cache_capacity () =
+let start_common ~host ~limits ~port ~workers source =
   if workers < 1 then invalid_arg "Server.start: need at least one worker";
   (* a peer that disconnects mid-response must surface as EPIPE, not
      kill the process *)
@@ -148,25 +178,31 @@ let start ?(host = "127.0.0.1") ?family ?limits ?data_dir ~port ~workers
     | ADDR_INET (_, p) -> p
     | ADDR_UNIX _ -> assert false
   in
-  let shared = Session.make_shared ?family ?limits ?data_dir ~cache_capacity () in
-  (* attach before accepting: a corrupt store must fail startup, not the
-     first query.  [Segment.Corrupt] propagates after the socket closes. *)
-  (match Catalog.attach shared.Session.catalog with
-  | _ -> ()
-  | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e);
+  (* for a session server: attach before accepting — a corrupt store
+     must fail startup, not the first query.  [Segment.Corrupt]
+     propagates after the socket closes. *)
+  (match source with
+  | Handler_source _ -> ()
+  | Session_source shared -> (
+      match Catalog.attach shared.Session.catalog with
+      | _ -> ()
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e));
   let stopping = Atomic.make false in
   let conns = Hashtbl.create 64 in
   let conns_lock = Mutex.create () in
+  let make_handler = handler_of_source source in
   let pool =
     Array.init workers (fun _ ->
-        Domain.spawn (worker_loop stopping shared conns conns_lock fd))
+        Domain.spawn
+          (worker_loop stopping ~limits make_handler conns conns_lock fd))
   in
   {
     listen_fd = fd;
     bound_port;
-    shared;
+    source;
+    limits;
     workers = pool;
     stopping;
     conns;
@@ -174,6 +210,18 @@ let start ?(host = "127.0.0.1") ?family ?limits ?data_dir ~port ~workers
     stopped = Mutex.create ();
     joined = false;
   }
+
+let start ?(host = "127.0.0.1") ?family ?limits ?data_dir ~port ~workers
+    ~cache_capacity () =
+  let shared =
+    Session.make_shared ?family ?limits ?data_dir ~cache_capacity ()
+  in
+  start_common ~host ~limits:shared.Session.limits ~port ~workers
+    (Session_source shared)
+
+let start_handler ?(host = "127.0.0.1") ?(limits = Guard.default_limits) ~port
+    ~workers ~handler () =
+  start_common ~host ~limits ~port ~workers (Handler_source handler)
 
 let join_all t =
   Mutex.protect t.stopped (fun () ->

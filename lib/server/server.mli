@@ -44,9 +44,41 @@ val start :
   unit ->
   t
 
+(** One accepted connection's request processor, for {!start_handler}
+    servers.  [on_line] receives each non-blank request line and
+    returns the response to frame ([None] withholds the response — the
+    mid-[BULK] convention, see {!Session.handle_line}) plus the
+    keep/close verdict; [on_close] runs exactly once when the
+    connection ends (any path: QUIT, EOF, idle, error), so handlers
+    owning upstream sockets — the cluster coordinator's shard pool —
+    can release them. *)
+type handler = {
+  on_line : string -> Protocol.response option * [ `Continue | `Quit ];
+  on_close : unit -> unit;
+}
+
+(** [start_handler ?host ?limits ~port ~workers ~handler ()] — the same
+    accept loop, bounded reader, idle reaping, catch-all and graceful
+    drain as {!start}, but each accepted connection talks to
+    [handler ()] (called once per connection) instead of a catalog
+    session.  This is how the cluster coordinator front end reuses the
+    server's robustness machinery.  Such a server owns no
+    {!Session.shared}; calling {!shared} on it raises
+    [Invalid_argument]. *)
+val start_handler :
+  ?host:string ->
+  ?limits:Guard.limits ->
+  port:int ->
+  workers:int ->
+  handler:(unit -> handler) ->
+  unit ->
+  t
+
 (** The actual bound port (useful after [~port:0]). *)
 val port : t -> int
 
+(** The session state of a {!start} server.  Raises [Invalid_argument]
+    for {!start_handler} servers. *)
 val shared : t -> Session.shared
 
 (** Connections currently being served (tests, shutdown progress). *)

@@ -24,8 +24,8 @@ let verb_hist =
   List.map
     (fun v -> (v, Metrics.histogram (Printf.sprintf "server.verb.%s.ns" v)))
     [
-      "load"; "fact"; "eval"; "check"; "explain"; "stats"; "metrics"; "quit";
-      "invalid";
+      "load"; "fact"; "bulk"; "eval"; "gather"; "check"; "explain"; "stats";
+      "metrics"; "quit"; "invalid";
     ]
 
 let observe_verb verb ns =
@@ -51,13 +51,22 @@ let make_shared ?family ?(limits = Guard.default_limits) ?data_dir
     limits;
   }
 
-type t = { shared : shared; stats : Stats.t (* this session only *) }
+(* In-flight BULK framing: after a [BULK db n] header the next [n]
+   lines are fact lines, collected here and applied as one batch (one
+   generation bump) when the count runs out. *)
+type bulk = { bulk_db : string; mutable remaining : int; buf : Buffer.t }
+
+type t = {
+  shared : shared;
+  stats : Stats.t; (* this session only *)
+  mutable bulk : bulk option;
+}
 
 let create (shared : shared) =
   Stats.incr_connections shared.stats;
   let stats = Stats.create () in
   Stats.incr_connections stats;
-  { shared; stats }
+  { shared; stats; bulk = None }
 
 let err s msg =
   Stats.incr_errors s.shared.stats;
@@ -94,6 +103,63 @@ let do_fact s ~db ~fact =
   | Ok database ->
       ok (Printf.sprintf "%s tuples=%d" db (Database.size database))
 
+(* Shared EVAL/GATHER core: resolve the snapshot, arm the budget, hit
+   the plan cache, evaluate, record stats.  Only the payload rendering
+   differs between the two verbs. *)
+let run_eval s ~db ~kind q =
+  match Catalog.find s.shared.catalog db with
+  | None -> Error (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+  | Some (database, generation) -> (
+      (* Scoped by snapshot generation: a LOAD/FACT that swapped
+         the snapshot makes every older entry unreachable, so a
+         compiled pipeline is never reused against data it was
+         not compiled for. *)
+      let key = Plan.scoped_key ~db ~generation kind q in
+      let budget =
+        Option.map
+          (fun deadline_ns -> Budget.start ~deadline_ns)
+          s.shared.limits.Guard.deadline_ns
+      in
+      let t0 = now_ns () in
+      match
+        (* The budget covers the whole request: planning and
+           pipeline compilation on a miss, then evaluation. *)
+        let plan, outcome =
+          Plan_cache.find_or_build s.shared.cache ~key (fun () ->
+              Plan.prepare ?budget (Plan.analyze kind q) database ~generation)
+        in
+        ( plan,
+          outcome,
+          Plan.evaluate ?budget ?family:s.shared.family plan database q )
+      with
+      | exception
+          ( Paradb_yannakakis.Yannakakis.Cyclic_query
+          | Paradb_core.Engine.Cyclic_query ) ->
+          Error "the query hypergraph is cyclic; use engine naive"
+      | exception Invalid_argument msg -> Error msg
+      | exception Not_found ->
+          Error (Printf.sprintf "query names a relation missing from %s" db)
+      | exception Budget.Exhausted { elapsed_ns; _ } ->
+          Metrics.incr m_deadline;
+          Error (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
+      | plan, outcome, result ->
+          let ns = now_ns () - t0 in
+          let hit = outcome = `Hit in
+          (if plan.Plan.engine = Plan.E_compiled then begin
+             if hit then Metrics.incr m_compiled_hits
+           end
+           else Metrics.incr m_interp_fallback);
+          Stats.record s.shared.stats
+            ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
+          Stats.record s.stats
+            ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
+          Ok (plan, hit, result, ns))
+
+let truncate_rows s lines rows =
+  match s.shared.limits.Guard.max_rows with
+  | Some m when rows > m -> (List.filteri (fun i _ -> i < m) lines, true)
+  | _ -> (lines, false)
+
 let do_eval s ~db ~engine ~query =
   match Plan.engine_kind_of_string engine with
   | None -> err s (Printf.sprintf "unknown engine %s" engine)
@@ -101,71 +167,77 @@ let do_eval s ~db ~engine ~query =
       match Source.parse_query query with
       | Error e -> err s e
       | Ok q -> (
-          match Catalog.find s.shared.catalog db with
-          | None -> err s (Printf.sprintf "no database %s (use LOAD or FACT)" db)
-          | Some (database, generation) -> (
-              (* Scoped by snapshot generation: a LOAD/FACT that swapped
-                 the snapshot makes every older entry unreachable, so a
-                 compiled pipeline is never reused against data it was
-                 not compiled for. *)
-              let key = Plan.scoped_key ~db ~generation kind q in
-              let budget =
-                Option.map
-                  (fun deadline_ns -> Budget.start ~deadline_ns)
-                  s.shared.limits.Guard.deadline_ns
-              in
-              let t0 = now_ns () in
-              match
-                (* The budget covers the whole request: planning and
-                   pipeline compilation on a miss, then evaluation. *)
-                let plan, outcome =
-                  Plan_cache.find_or_build s.shared.cache ~key (fun () ->
-                      Plan.prepare ?budget (Plan.analyze kind q) database
-                        ~generation)
-                in
-                ( plan,
-                  outcome,
-                  Plan.evaluate ?budget ?family:s.shared.family plan database q
-                )
-              with
-              | exception
-                  ( Paradb_yannakakis.Yannakakis.Cyclic_query
-                  | Paradb_core.Engine.Cyclic_query ) ->
-                  err s "the query hypergraph is cyclic; use engine naive"
-              | exception Invalid_argument msg -> err s msg
-              | exception Not_found ->
-                  err s
-                    (Printf.sprintf "query names a relation missing from %s"
-                       db)
-              | exception Budget.Exhausted { elapsed_ns; _ } ->
-                  Metrics.incr m_deadline;
-                  err s
-                    (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
-              | plan, outcome, result ->
-                  let ns = now_ns () - t0 in
-                  let hit = outcome = `Hit in
-                  (if plan.Plan.engine = Plan.E_compiled then begin
-                     if hit then Metrics.incr m_compiled_hits
-                   end
-                   else Metrics.incr m_interp_fallback);
-                  Stats.record s.shared.stats
-                    ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
-                  Stats.record s.stats
-                    ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
-                  let rows = Relation.cardinality result in
-                  let lines = Plan.sorted_tuples result in
-                  let payload, truncated =
-                    match s.shared.limits.Guard.max_rows with
-                    | Some m when rows > m ->
-                        (List.filteri (fun i _ -> i < m) lines, true)
-                    | _ -> (lines, false)
-                  in
-                  ok ~payload
-                    (Printf.sprintf "engine=%s cache=%s rows=%d ns=%d%s"
-                       (Plan.engine_name plan.Plan.engine)
-                       (if hit then "hit" else "miss")
-                       rows ns
-                       (if truncated then " truncated=true" else "")))))
+          match run_eval s ~db ~kind q with
+          | Error e -> err s e
+          | Ok (plan, hit, result, ns) ->
+              let rows = Relation.cardinality result in
+              let lines = Plan.sorted_tuples result in
+              let payload, truncated = truncate_rows s lines rows in
+              ok ~payload
+                (Printf.sprintf "engine=%s cache=%s rows=%d ns=%d%s"
+                   (Plan.engine_name plan.Plan.engine)
+                   (if hit then "hit" else "miss")
+                   rows ns
+                   (if truncated then " truncated=true" else ""))))
+
+(* GATHER: evaluate like EVAL (engine auto) but answer the rows as fact
+   lines [head(v1, v2).] — the only line format whose values survive a
+   round-trip through [Source.parse_facts], which is what the
+   coordinator feeds the payload to.  A truncated reducer would be
+   silently wrong at the coordinator, so truncation keeps EVAL's
+   explicit [truncated=true] marker for the coordinator to reject. *)
+let fact_line name tuple =
+  Printf.sprintf "%s(%s)." name
+    (String.concat ", "
+       (List.map Paradb_query.Fact_format.value_to_syntax
+          (Paradb_relational.Tuple.to_list tuple)))
+
+let do_gather s ~db ~query =
+  match Source.parse_query query with
+  | Error e -> err s e
+  | Ok q -> (
+      match run_eval s ~db ~kind:Plan.Auto q with
+      | Error e -> err s e
+      | Ok (_plan, hit, result, ns) ->
+          let rows = Relation.cardinality result in
+          let name = Relation.name result in
+          let lines =
+            List.map (fact_line name)
+              (List.sort Paradb_relational.Tuple.compare
+                 (Relation.tuples result))
+          in
+          let payload, truncated = truncate_rows s lines rows in
+          ok ~payload
+            (Printf.sprintf "gathered %s cache=%s rows=%d ns=%d%s" name
+               (if hit then "hit" else "miss")
+               rows ns
+               (if truncated then " truncated=true" else "")))
+
+let finish_bulk s b =
+  match Catalog.bulk_set s.shared.catalog b.bulk_db (Buffer.contents b.buf) with
+  | Error e -> err s e
+  | Ok db ->
+      ok
+        (Printf.sprintf "bulk %s relations=%d tuples=%d" b.bulk_db
+           (List.length (Database.relations db))
+           (Database.size db))
+
+let do_bulk s ~db ~count =
+  if count = 0 then (Some (finish_bulk s { bulk_db = db; remaining = 0; buf = Buffer.create 0 }), `Continue)
+  else begin
+    s.bulk <- Some { bulk_db = db; remaining = count; buf = Buffer.create (count * 16) };
+    (None, `Continue)
+  end
+
+let bulk_line s b line =
+  Buffer.add_string b.buf line;
+  Buffer.add_char b.buf '\n';
+  b.remaining <- b.remaining - 1;
+  if b.remaining = 0 then begin
+    s.bulk <- None;
+    (Some (finish_bulk s b), `Continue)
+  end
+  else (None, `Continue)
 
 let do_check s query =
   match Source.parse_query query with
@@ -215,9 +287,16 @@ let do_stats s =
           (Plan_cache.capacity s.shared.cache);
         Printf.sprintf "server.cache.evictions %d" cache.Plan_cache.evictions;
       ]
-    @ List.map
-        (fun (name, tuples) -> Printf.sprintf "db.%s %d" name tuples)
-        (Catalog.entries s.shared.catalog)
+    @ List.concat_map
+        (fun e ->
+          Printf.sprintf "db.%s %d" e.Catalog.name e.Catalog.tuples
+          :: Printf.sprintf "db.%s.generation %d" e.Catalog.name
+               e.Catalog.generation
+          ::
+          (match e.Catalog.segments with
+          | Some k -> [ Printf.sprintf "db.%s.segments %d" e.Catalog.name k ]
+          | None -> []))
+        (Catalog.entries_stats s.shared.catalog)
     @ Export.to_table ~prefix:"telemetry." (Metrics.snapshot ())
   in
   ok ~payload "stats"
@@ -227,15 +306,17 @@ let do_metrics () =
 
 let dispatch s req =
   match req with
-  | Protocol.Load { db; path } -> (do_load s ~db ~path, `Continue)
-  | Protocol.Fact { db; fact } -> (do_fact s ~db ~fact, `Continue)
+  | Protocol.Load { db; path } -> (Some (do_load s ~db ~path), `Continue)
+  | Protocol.Fact { db; fact } -> (Some (do_fact s ~db ~fact), `Continue)
+  | Protocol.Bulk { db; count } -> do_bulk s ~db ~count
   | Protocol.Eval { db; engine; query } ->
-      (do_eval s ~db ~engine ~query, `Continue)
-  | Protocol.Check query -> (do_check s query, `Continue)
-  | Protocol.Explain query -> (do_explain s query, `Continue)
-  | Protocol.Stats -> (do_stats s, `Continue)
-  | Protocol.Metrics -> (do_metrics (), `Continue)
-  | Protocol.Quit -> (ok "bye", `Quit)
+      (Some (do_eval s ~db ~engine ~query), `Continue)
+  | Protocol.Gather { db; query } -> (Some (do_gather s ~db ~query), `Continue)
+  | Protocol.Check query -> (Some (do_check s query), `Continue)
+  | Protocol.Explain query -> (Some (do_explain s query), `Continue)
+  | Protocol.Stats -> (Some (do_stats s), `Continue)
+  | Protocol.Metrics -> (Some (do_metrics ()), `Continue)
+  | Protocol.Quit -> (Some (ok "bye"), `Quit)
 
 let handle s req =
   let verb = Protocol.verb_name req in
@@ -250,9 +331,16 @@ let handle s req =
 
 let handle_line s line =
   let t0 = now_ns () in
-  match Protocol.parse_request line with
-  | Error e ->
-      let r = (err s e, `Continue) in
-      observe_verb "invalid" (now_ns () - t0);
+  match s.bulk with
+  | Some b ->
+      (* mid-BULK: the raw line is a fact line, not a request *)
+      let r = bulk_line s b line in
+      observe_verb "bulk" (now_ns () - t0);
       r
-  | Ok req -> handle s req
+  | None -> (
+      match Protocol.parse_request line with
+      | Error e ->
+          let r = (Some (err s e), `Continue) in
+          observe_verb "invalid" (now_ns () - t0);
+          r
+      | Ok req -> handle s req)

@@ -35,13 +35,20 @@ val create : shared -> t
     for [QUIT] (after its farewell response); every error is an [Err]
     response, never an exception — except for deliberately injected
     {!Fault.Injected} faults, which propagate so the server loop's
-    catch-all can be exercised.  An [EVAL] that outlives
+    catch-all can be exercised.  An [EVAL]/[GATHER] that outlives
     [limits.deadline_ns] answers [ERR deadline-exceeded after <ns>ns]
     and bumps [server.deadline_exceeded]; a result wider than
     [limits.max_rows] is truncated, marked by [truncated=true] in the
-    summary (the [rows=] field keeps the full cardinality). *)
-val handle : t -> Protocol.request -> Protocol.response * [ `Continue | `Quit ]
+    summary (the [rows=] field keeps the full cardinality).
+
+    The response is [None] exactly while a [BULK] frame is open: a
+    [BULK db n] header with [n > 0] arms fact-collection mode and the
+    batch is answered once, on its [n]-th fact line. *)
+val handle :
+  t -> Protocol.request -> Protocol.response option * [ `Continue | `Quit ]
 
 (** Convenience for tests and the server loop: parse a raw line and
-    dispatch it ([Err] on parse failure). *)
-val handle_line : t -> string -> Protocol.response * [ `Continue | `Quit ]
+    dispatch it ([Err] on parse failure).  Mid-[BULK] the line is
+    consumed as a fact line instead of being parsed as a request. *)
+val handle_line :
+  t -> string -> Protocol.response option * [ `Continue | `Quit ]

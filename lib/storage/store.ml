@@ -105,6 +105,7 @@ let append ~dir r =
   let e, _bytes = write_segment dir (next_seq es) r in
   write_manifest dir (es @ [ e ])
 
+
 (* ------------------------------------------------------------------ *)
 (* Opening *)
 
@@ -168,6 +169,31 @@ let open_dir ?(dict = Dictionary.global) dir =
       let segs = List.rev !(Hashtbl.find tbl name) in
       Database.add (relation_of_segments ~dict segs) db)
     Database.empty (List.rev !order)
+
+(* In-place fold of an existing store: union every relation's delta
+   segments, write one fresh segment per relation (under sequence
+   numbers above every live one), swap the manifest, then delete the
+   superseded files.  Crash-safe at every step: until the manifest
+   rename the old segment set is live and the new files are orphans;
+   after it the old files are orphans and removal is best-effort
+   cleanup.  Returns (segments before, segments after, bytes
+   written). *)
+let fold_in_place ~dir =
+  let old_entries = entries dir in
+  let db = open_dir dir in
+  let seq0 = next_seq old_entries in
+  let _, fresh, bytes =
+    List.fold_left
+      (fun (seq, es, total) r ->
+        let e, b = write_segment dir seq r in
+        (seq + 1, e :: es, total + b))
+      (seq0, [], 0) (Database.relations db)
+  in
+  write_manifest dir (List.rev fresh);
+  List.iter
+    (fun e -> try Sys.remove (Filename.concat dir e.file) with Sys_error _ -> ())
+    old_entries;
+  (List.length old_entries, List.length fresh, bytes)
 
 let load_database path =
   if is_store path then

@@ -39,6 +39,14 @@ val compact : dir:string -> Paradb_relational.Database.t -> int
     its segments. *)
 val append : dir:string -> Paradb_relational.Relation.t -> unit
 
+(** [fold_in_place ~dir] compacts an existing store in place: unions
+    each relation's delta segments, writes one fresh segment per
+    relation, atomically swaps the manifest, and removes the superseded
+    files.  Crash-safe: a reader sees either the old segment set or the
+    new one.  Returns (segments before, segments after, bytes written).
+    Raises {!Segment.Corrupt} / [Sys_error] like {!open_dir}. *)
+val fold_in_place : dir:string -> int * int * int
+
 (** [open_dir dir] opens and validates every live segment and builds the
     database (multi-segment relations are unioned with set semantics).
     Raises {!Segment.Corrupt} on any validation failure — including a

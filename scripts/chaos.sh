@@ -87,4 +87,53 @@ wait $SERVE_PID || true
 test -s chaos-trace.jsonl
 grep -q '"name":"server.eval"' chaos-trace.jsonl
 
+# ── Cluster storm ────────────────────────────────────────────────────
+# A coordinator over two clean shards, with shard-loss and straggler
+# faults injected into the coordinator's own shard calls: every dropped
+# pooled connection must redial (or fail over — replicas=2 keeps every
+# slice reachable), every answer must stay bit-identical to the
+# one-shot evaluator, and a real shard death must be absorbed too.
+unset PARADB_FAULTS
+$PARADB serve --port 0 > chaos-cshard0.log 2>&1 &
+CS0=$!
+$PARADB serve --port 0 > chaos-cshard1.log 2>&1 &
+CS1=$!
+trap 'kill $SERVE_PID $CS0 $CS1 $COORD 2>/dev/null || true' EXIT
+for f in chaos-cshard0.log chaos-cshard1.log; do
+  for i in $(seq 1 50); do grep -q listening "$f" && break; sleep 0.2; done
+done
+P0=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' chaos-cshard0.log)
+P1=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' chaos-cshard1.log)
+PARADB_FAULTS="shard_loss:0.2,straggler_delay:0.2,seed:42" \
+  $PARADB coordinator --port 0 --shards "$P0,$P1" --replicas 2 \
+  --shard-retries 5 > chaos-coord.log 2>&1 &
+COORD=$!
+for i in $(seq 1 50); do grep -q coordinating chaos-coord.log && break; sleep 0.2; done
+CPORT=$(sed -n 's/.*on 127\.0\.0\.1:\([0-9]*\).*/\1/p' chaos-coord.log)
+creq() { $PARADB client --port "$CPORT" --timeout 10 --retries 5 -c "$1"; }
+creq "LOAD g chaos.facts"
+CQ='ans(Y) :- e(1, Z), e(Z, Y).'
+$PARADB eval --db chaos.facts "$CQ" \
+  | sed -n 's/^  \((.*)\)$/\1/p' | sort > chaos-cluster-oneshot.out
+for i in $(seq 1 15); do
+  creq "EVAL g auto $CQ" | tail -n +2 | sort > chaos-cluster.out
+  diff chaos-cluster.out chaos-cluster-oneshot.out
+done
+# kill one shard outright: replicas keep answering, bit-identical
+kill $CS1; wait $CS1 || true
+creq "EVAL g auto $CQ" | tail -n +2 | sort > chaos-cluster.out
+diff chaos-cluster.out chaos-cluster-oneshot.out
+# the storm is accounted for: rounds ran, faults fired, the dead shard
+# registered as a failover, and the per-shard histograms answer
+$PARADB stats --port "$CPORT" | tee chaos-cluster-stats.out
+ROUNDS=$(awk '$1 == "telemetry.cluster.rounds" { print $2 }' chaos-cluster-stats.out)
+test "${ROUNDS:-0}" -ge 16
+CFAULTS=$(awk '$1 == "telemetry.server.faults.injected" { print $2 }' chaos-cluster-stats.out)
+test "${CFAULTS:-0}" -ge 1
+FAILOVERS=$(awk '$1 == "telemetry.cluster.failover" { print $2 }' chaos-cluster-stats.out)
+test "${FAILOVERS:-0}" -ge 1
+$PARADB stats --port "$CPORT" --json | grep -q '"cluster.round.ns"'
+kill -TERM $COORD; wait $COORD || true
+kill $CS0; wait $CS0 || true
+
 echo "chaos smoke passed"

@@ -1,0 +1,485 @@
+(* The lib/cluster subsystem: consistent-hashing ring, hash
+   partitioning, BULK framing, and the coordinator end-to-end — every
+   answer compared bit-for-bit against a single-node server over the
+   same facts, plus the failure paths (replica failover, clean ERR with
+   no replica, admission control). *)
+
+module Ring = Paradb_cluster.Ring
+module Partition = Paradb_cluster.Partition
+module Coordinator = Paradb_cluster.Coordinator
+module Server = Paradb_server.Server
+module Client = Paradb_server.Client
+module Protocol = Paradb_server.Protocol
+module Session = Paradb_server.Session
+module Metrics = Paradb_telemetry.Metrics
+module Relation = Paradb_relational.Relation
+module Database = Paradb_relational.Database
+module Tuple = Paradb_relational.Tuple
+module Value = Paradb_relational.Value
+module Source = Paradb_query.Source
+module TSet = Paradb_relational.Tuple.Set
+
+let contains hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i = i + ns <= nh && (String.sub hay i ns = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_owner_range () =
+  List.iter
+    (fun shards ->
+      let ring = Ring.create ~shards () in
+      for i = 0 to 999 do
+        let s = Ring.owner_of_value ring (Value.int (i * 7919)) in
+        if s < 0 || s >= shards then
+          Alcotest.failf "owner %d out of range for %d shards" s shards
+      done)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_ring_deterministic () =
+  let a = Ring.create ~shards:4 () in
+  let b = Ring.create ~shards:4 () in
+  for i = 0 to 999 do
+    List.iter
+      (fun v ->
+        Alcotest.(check int)
+          "same owner across ring instances"
+          (Ring.owner_of_value a v) (Ring.owner_of_value b v))
+      [ Value.int i; Value.str (string_of_int i) ]
+  done
+
+let test_ring_balance () =
+  let shards = 4 in
+  let ring = Ring.create ~shards () in
+  let counts = Array.make shards 0 in
+  let n = 8000 in
+  for i = 0 to n - 1 do
+    let s = Ring.owner_of_value ring (Value.int i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      if c = 0 then Alcotest.failf "shard %d owns nothing" s;
+      if c > n * 6 / 10 then
+        Alcotest.failf "shard %d owns %d of %d values — no smoothing" s c n)
+    counts
+
+let test_ring_replica_placement () =
+  let ring = Ring.create ~shards:3 () in
+  Alcotest.(check int) "rank 0 is the shard itself" 1
+    (Ring.replica_shard ring ~shard:1 ~rank:0);
+  Alcotest.(check int) "rank 1 is the successor" 2
+    (Ring.replica_shard ring ~shard:1 ~rank:1);
+  Alcotest.(check int) "ranks wrap around" 0
+    (Ring.replica_shard ring ~shard:2 ~rank:1)
+
+let test_ring_value_tagging () =
+  (* Int 1 and Str "1" must not alias: the hash tags the value kind. *)
+  Alcotest.(check bool)
+    "Int and Str never alias" false
+    (Ring.hash_value (Value.int 1) = Ring.hash_value (Value.str "1"))
+
+let test_ring_validation () =
+  let rejects f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  rejects (fun () -> Ring.create ~shards:0 ());
+  rejects (fun () -> Ring.create ~vnodes:0 ~shards:2 ())
+
+(* ------------------------------------------------------------------ *)
+(* Partition: the satellite property — for every arity and key
+   position, the slices are pairwise disjoint and their union
+   round-trips the relation. *)
+
+let tuple_set r =
+  List.fold_left
+    (fun acc t -> TSet.add t acc)
+    TSet.empty (Relation.tuples r)
+
+let qcheck_partition_roundtrip =
+  let open QCheck in
+  let value_gen =
+    Gen.oneof
+      [
+        Gen.map Value.int (Gen.int_range (-50) 50);
+        Gen.map
+          (fun i -> Value.str (Printf.sprintf "v%d" i))
+          (Gen.int_range 0 20);
+      ]
+  in
+  let case_gen =
+    let open Gen in
+    int_range 1 4 >>= fun arity ->
+    int_range 0 (arity - 1) >>= fun key ->
+    int_range 1 5 >>= fun shards ->
+    list_size (int_range 0 40) (array_size (return arity) value_gen)
+    >>= fun rows -> return (arity, key, shards, rows)
+  in
+  let print (arity, key, shards, rows) =
+    Printf.sprintf "arity=%d key=%d shards=%d rows=[%s]" arity key shards
+      (String.concat "; " (List.map Paradb_relational.Tuple.to_string rows))
+  in
+  Test.make ~count:200
+    ~name:"split_relation: slices disjoint, union round-trips"
+    (make ~print case_gen)
+    (fun (arity, key, shards, rows) ->
+      let schema = List.init arity (fun i -> Printf.sprintf "c%d" i) in
+      let r = Relation.create ~name:"r" ~schema rows in
+      let ring = Ring.create ~shards () in
+      let slices = Partition.split_relation ring ~key r in
+      if Array.length slices <> shards then
+        Test.fail_reportf "expected %d slices, got %d" shards
+          (Array.length slices);
+      (* Pairwise disjoint. *)
+      Array.iteri
+        (fun i si ->
+          Array.iteri
+            (fun j sj ->
+              if i < j then
+                let inter = TSet.inter (tuple_set si) (tuple_set sj) in
+                if not (TSet.is_empty inter) then
+                  Test.fail_reportf "slices %d and %d overlap" i j)
+            slices)
+        slices;
+      (* Union round-trips. *)
+      let union =
+        Array.fold_left
+          (fun acc s -> TSet.union acc (tuple_set s))
+          TSet.empty slices
+      in
+      if not (TSet.equal union (tuple_set r)) then
+        Test.fail_reportf "union of slices differs from the relation";
+      (* Placement follows the ring. *)
+      Array.iteri
+        (fun s slice ->
+          Relation.iter
+            (fun t ->
+              if Ring.owner_of_value ring t.(key) <> s then
+                Test.fail_reportf "row on shard %d but ring disagrees" s)
+            slice)
+        slices;
+      true)
+
+let test_partition_split_keeps_all_relations () =
+  let db =
+    Database.empty
+    |> Database.add
+         (Relation.create ~name:"e" ~schema:[ "a"; "b" ]
+            (List.map Tuple.of_ints [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]))
+    |> Database.add
+         (Relation.create ~name:"lonely" ~schema:[ "a" ]
+            [ Tuple.of_ints [ 7 ] ])
+  in
+  let ring = Ring.create ~shards:3 () in
+  let slices = Partition.split ring db in
+  Array.iter
+    (fun slice ->
+      (* Every slice names every relation, empty or not — the
+         coordinator relies on this to treat missing-on-shard as an
+         empty contribution. *)
+      List.iter
+        (fun name ->
+          match Database.find_opt slice name with
+          | Some _ -> ()
+          | None -> Alcotest.failf "slice lost relation %s" name)
+        [ "e"; "lonely" ])
+    slices;
+  let total =
+    Array.fold_left
+      (fun acc slice ->
+        acc
+        + Relation.cardinality (Option.get (Database.find_opt slice "e")))
+      0 slices
+  in
+  Alcotest.(check int) "e rows conserved" 3 total
+
+(* ------------------------------------------------------------------ *)
+(* BULK framing through the session state machine *)
+
+let test_bulk_framing () =
+  let shared = Session.make_shared ~cache_capacity:4 () in
+  let s = Session.create shared in
+  let expect_silent line =
+    match Session.handle_line s line with
+    | None, `Continue -> ()
+    | Some _, _ -> Alcotest.failf "%s: expected no response mid-BULK" line
+    | None, `Quit -> Alcotest.failf "%s: unexpected quit" line
+  in
+  let expect_ok line =
+    match Session.handle_line s line with
+    | Some (Protocol.Ok_ { summary; _ }), `Continue -> summary
+    | Some (Protocol.Err e), _ -> Alcotest.failf "%s: ERR %s" line e
+    | _ -> Alcotest.failf "%s: expected a response" line
+  in
+  expect_silent "BULK g 3";
+  expect_silent "e(1, 2).";
+  expect_silent "e(2, 3).";
+  let summary = expect_ok "e(1, 2)." in
+  Alcotest.(check bool)
+    ("batch summary: " ^ summary)
+    true
+    (String.length summary >= 4 && String.sub summary 0 4 = "bulk");
+  (* Duplicate fact merged under set semantics: 2 tuples, queryable. *)
+  (match Session.handle_line s "EVAL g auto ans(X, Y) :- e(X, Y)." with
+  | Some (Protocol.Ok_ { payload; _ }), `Continue ->
+      Alcotest.(check int) "rows after BULK" 2 (List.length payload)
+  | _ -> Alcotest.fail "EVAL after BULK failed");
+  (* A zero-count frame answers immediately. *)
+  let summary = expect_ok "BULK g 0" in
+  Alcotest.(check bool) "zero-count immediate" true
+    (String.length summary >= 4 && String.sub summary 0 4 = "bulk")
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator end-to-end *)
+
+let with_servers n f =
+  let servers =
+    Array.init n (fun _ -> Server.start ~port:0 ~workers:1 ~cache_capacity:16 ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun s -> try Server.stop s with _ -> ()) servers)
+    (fun () -> f servers)
+
+let with_cluster ?(shards = 2) ?(replicas = 1) ?(tweak = fun c -> c) f =
+  with_servers shards @@ fun shard_servers ->
+  let addrs =
+    Array.to_list
+      (Array.map (fun s -> ("127.0.0.1", Server.port s)) shard_servers)
+  in
+  let coord =
+    Coordinator.create (tweak { (Coordinator.default_config addrs) with replicas })
+  in
+  let front = Coordinator.serve coord ~port:0 ~workers:1 in
+  Fun.protect ~finally:(fun () -> try Server.stop front with _ -> ())
+  @@ fun () ->
+  Client.with_connection ~timeout:30.0 ~retries:3 ~port:(Server.port front)
+    (fun client -> f ~shard_servers ~client)
+
+let facts =
+  [
+    "FACT g e(1, 2).";
+    "FACT g e(1, 3).";
+    "FACT g e(2, 3).";
+    "FACT g e(3, 1).";
+    "FACT g f(2, 10).";
+    "FACT g f(3, 30).";
+    "FACT g f(3, 31).";
+  ]
+
+let load_facts client =
+  List.iter
+    (fun line ->
+      match Client.request_line client line with
+      | Protocol.Ok_ _ -> ()
+      | Protocol.Err e -> Alcotest.failf "%s: ERR %s" line e)
+    facts
+
+let queries =
+  [
+    (* scatter: every atom starts with X — co-partitioned *)
+    "ans(X, Y) :- e(X, Y), e(X, Z), Y != Z.";
+    (* exchange: join variable sits in different positions *)
+    "ans(X, Z) :- e(X, Y), f(Y, Z).";
+    (* constants and constraints *)
+    "ans(Y) :- e(1, Y), Y < 3.";
+    (* boolean *)
+    "ans() :- e(X, Y), f(Y, Z).";
+    (* empty answer *)
+    "ans(X, Y) :- e(X, Y), X < Y, Y < X.";
+    (* single atom, full scan *)
+    "ans(A, B) :- f(A, B).";
+  ]
+
+let eval_on client q =
+  match Client.request_line client ("EVAL g auto " ^ q) with
+  | Protocol.Ok_ { payload; _ } -> Ok payload
+  | Protocol.Err e -> Error e
+
+let test_cluster_matches_single_node () =
+  with_servers 1 @@ fun single ->
+  Client.with_connection ~timeout:30.0 ~port:(Server.port single.(0))
+  @@ fun single_client ->
+  load_facts single_client;
+  with_cluster ~shards:3 ~replicas:1 @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  List.iter
+    (fun q ->
+      match (eval_on single_client q, eval_on client q) with
+      | Ok expected, Ok got ->
+          Alcotest.(check (list string)) ("payload: " ^ q) expected got
+      | Error e, _ -> Alcotest.failf "%s: single-node ERR %s" q e
+      | _, Error e -> Alcotest.failf "%s: cluster ERR %s" q e)
+    queries
+
+let test_cluster_load_file_matches_single_node () =
+  let path = Filename.temp_file "paradb_test_cluster" ".facts" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "e(1, 2). e(2, 3). e(3, 4). e(4, 1).\n";
+      output_string oc "f(2, 20). f(4, 40). g(20).\n");
+  let load client =
+    match Client.request_line client ("LOAD g " ^ path) with
+    | Protocol.Ok_ { summary; _ } -> summary
+    | Protocol.Err e -> Alcotest.failf "LOAD: %s" e
+  in
+  with_servers 1 @@ fun single ->
+  Client.with_connection ~timeout:30.0 ~port:(Server.port single.(0))
+  @@ fun single_client ->
+  ignore (load single_client);
+  with_cluster ~shards:2 ~replicas:2 @@ fun ~shard_servers:_ ~client ->
+  let summary = load client in
+  Alcotest.(check bool)
+    ("LOAD summary names shards: " ^ summary)
+    true (contains summary "shards=2");
+  List.iter
+    (fun q ->
+      match (eval_on single_client q, eval_on client q) with
+      | Ok expected, Ok got ->
+          Alcotest.(check (list string)) ("payload: " ^ q) expected got
+      | Error e, _ -> Alcotest.failf "%s: single-node ERR %s" q e
+      | _, Error e -> Alcotest.failf "%s: cluster ERR %s" q e)
+    [
+      "ans(X, Z) :- e(X, Y), e(Y, Z).";
+      "ans(X, W) :- e(X, Y), f(Y, Z), g(Z), e(W, X).";
+    ]
+
+let test_cluster_gather_payload_parses () =
+  with_cluster ~shards:2 @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  match Client.request_line client "GATHER g ans(X, Y) :- e(X, Y)." with
+  | Protocol.Err e -> Alcotest.failf "GATHER: %s" e
+  | Protocol.Ok_ { payload; _ } -> (
+      Alcotest.(check int) "gathered rows" 4 (List.length payload);
+      match Source.parse_facts (String.concat "\n" payload) with
+      | Error e -> Alcotest.failf "payload is not fact syntax: %s" e
+      | Ok db -> (
+          match Database.find_opt db "ans" with
+          | Some r -> Alcotest.(check int) "parsed rows" 4 (Relation.cardinality r)
+          | None -> Alcotest.fail "payload lost the head relation"))
+
+let test_cluster_errors () =
+  with_cluster ~shards:2 @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  let expect_err line sub =
+    match Client.request_line client line with
+    | Protocol.Ok_ _ -> Alcotest.failf "%s: expected ERR" line
+    | Protocol.Err e ->
+        if not (contains e sub) then
+          Alcotest.failf "%s: ERR %S lacks %S" line e sub
+  in
+  expect_err "EVAL nope auto ans(X) :- e(X, Y)." "no database";
+  expect_err "EVAL g auto ans(X) :- r(X, Y)." "missing";
+  expect_err "EVAL g frobnicate ans(X) :- e(X, Y)." "unknown engine";
+  expect_err "EVAL g auto ans(X) :- e(X Y)." "parse"
+
+let test_cluster_stats () =
+  with_cluster ~shards:2 @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  match Client.request_line client "STATS" with
+  | Protocol.Err e -> Alcotest.failf "STATS: %s" e
+  | Protocol.Ok_ { payload; _ } ->
+      let has sub =
+        if not (List.exists (fun l -> contains l sub) payload)
+        then Alcotest.failf "STATS payload lacks %S" sub
+      in
+      has "cluster.shards 2";
+      has "db.g 7";
+      has "db.g.relations 2"
+
+let test_cluster_admission_limit () =
+  with_cluster ~shards:2 ~tweak:(fun c -> { c with max_inflight = Some 0 })
+  @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  match eval_on client "ans(X, Y) :- e(X, Y)." with
+  | Ok _ -> Alcotest.fail "expected admission rejection"
+  | Error e ->
+      Alcotest.(check bool) ("admission error: " ^ e) true
+        (contains e "admission-limited")
+
+let test_cluster_failover () =
+  let m_failover = Metrics.counter "cluster.failover" in
+  with_cluster ~shards:2 ~replicas:2 @@ fun ~shard_servers ~client ->
+  load_facts client;
+  let q = "ans(X, Z) :- e(X, Y), f(Y, Z)." in
+  let before =
+    match eval_on client q with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "pre-failure EVAL: %s" e
+  in
+  let failovers = Metrics.counter_value m_failover in
+  Server.stop shard_servers.(1);
+  (match eval_on client q with
+  | Ok after ->
+      Alcotest.(check (list string)) "answers survive a shard loss" before
+        after
+  | Error e -> Alcotest.failf "post-failure EVAL: %s" e);
+  Alcotest.(check bool) "failover counted" true
+    (Metrics.counter_value m_failover > failovers)
+
+let test_cluster_shard_loss_without_replica () =
+  with_cluster ~shards:2 ~replicas:1 @@ fun ~shard_servers ~client ->
+  load_facts client;
+  Server.stop shard_servers.(1);
+  match eval_on client "ans(X, Y) :- e(X, Y)." with
+  | Ok _ -> Alcotest.fail "expected a clean ERR with no replica left"
+  | Error e ->
+      Alcotest.(check bool) ("shard-down error: " ^ e) true
+        (contains e "shard 1"
+        && contains e "unreachable")
+
+let test_coordinator_validation () =
+  let rejects config =
+    match Coordinator.create config with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  rejects (Coordinator.default_config []);
+  rejects
+    { (Coordinator.default_config [ ("127.0.0.1", 1) ]) with replicas = 2 };
+  rejects
+    { (Coordinator.default_config [ ("127.0.0.1", 1) ]) with replicas = 0 }
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "owner in range" `Quick test_ring_owner_range;
+          Alcotest.test_case "deterministic" `Quick test_ring_deterministic;
+          Alcotest.test_case "balanced" `Quick test_ring_balance;
+          Alcotest.test_case "replica placement" `Quick
+            test_ring_replica_placement;
+          Alcotest.test_case "value tagging" `Quick test_ring_value_tagging;
+          Alcotest.test_case "validation" `Quick test_ring_validation;
+        ] );
+      ( "partition",
+        Alcotest.test_case "split keeps all relations" `Quick
+          test_partition_split_keeps_all_relations
+        :: List.map QCheck_alcotest.to_alcotest [ qcheck_partition_roundtrip ]
+      );
+      ("bulk", [ Alcotest.test_case "framing" `Quick test_bulk_framing ]);
+      ( "coordinator",
+        [
+          Alcotest.test_case "matches single node (FACT)" `Quick
+            test_cluster_matches_single_node;
+          Alcotest.test_case "matches single node (LOAD)" `Quick
+            test_cluster_load_file_matches_single_node;
+          Alcotest.test_case "GATHER payload parses" `Quick
+            test_cluster_gather_payload_parses;
+          Alcotest.test_case "clean errors" `Quick test_cluster_errors;
+          Alcotest.test_case "stats" `Quick test_cluster_stats;
+          Alcotest.test_case "admission limit" `Quick
+            test_cluster_admission_limit;
+          Alcotest.test_case "replica failover" `Quick test_cluster_failover;
+          Alcotest.test_case "shard loss without replica" `Quick
+            test_cluster_shard_loss_without_replica;
+          Alcotest.test_case "config validation" `Quick
+            test_coordinator_validation;
+        ] );
+    ]

@@ -258,11 +258,12 @@ let test_session_deadline () =
   let path = write_temp_facts (Fact_format.to_string db) in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   let before = Metrics.counter_value (Metrics.counter "server.deadline_exceeded") in
-  (match fst (Session.handle_line session (Printf.sprintf "LOAD g %s" path)) with
+  (match Option.get (fst (Session.handle_line session (Printf.sprintf "LOAD g %s" path))) with
   | Protocol.Ok_ _ -> ()
   | Protocol.Err e -> Alcotest.failf "LOAD: %s" e);
   (match
-     fst (Session.handle_line session (Printf.sprintf "EVAL g naive %s" cycle4))
+     Option.get
+       (fst (Session.handle_line session (Printf.sprintf "EVAL g naive %s" cycle4)))
    with
   | Protocol.Err e ->
       Alcotest.(check bool) "names the deadline" true
@@ -279,7 +280,8 @@ let test_session_truncation () =
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   ignore (Session.handle_line session (Printf.sprintf "LOAD g %s" path));
   (match
-     fst (Session.handle_line session "EVAL g naive ans(X, Y) :- e(X, Y).")
+     Option.get
+       (fst (Session.handle_line session "EVAL g naive ans(X, Y) :- e(X, Y)."))
    with
   | Protocol.Ok_ { summary; payload } ->
       Alcotest.(check int) "payload truncated to max_rows" 2
@@ -290,7 +292,9 @@ let test_session_truncation () =
         (contains summary "truncated=true")
   | Protocol.Err e -> Alcotest.fail e);
   (* a result within the cap is untouched *)
-  match fst (Session.handle_line session "EVAL g naive ans(X) :- e(X, X).") with
+  match
+    Option.get (fst (Session.handle_line session "EVAL g naive ans(X) :- e(X, X)."))
+  with
   | Protocol.Ok_ { summary; payload } ->
       Alcotest.(check bool) "no marker under the cap" false
         (contains summary "truncated");
@@ -332,8 +336,8 @@ let test_protocol_fuzz =
          in
          if not skip then begin
            match Session.handle_line session line with
-           | Protocol.Ok_ _, (`Continue | `Quit)
-           | Protocol.Err _, (`Continue | `Quit) ->
+           | ( (Some (Protocol.Ok_ _) | Some (Protocol.Err _) | None),
+               (`Continue | `Quit) ) ->
                ()
          end;
          true))
@@ -535,6 +539,8 @@ let test_chaos () =
          write_delay = 0.05;
          disconnect = 0.05;
          raise_eval = 0.05;
+         shard_loss = 0.0;
+         straggler_delay = 0.0;
          seed = 11;
        });
   let hostile id () =

@@ -207,7 +207,7 @@ let contains = Test_support.contains
 let test_session_dispatch () =
   let shared = Session.make_shared ~cache_capacity:8 () in
   let session = Session.create shared in
-  let run line = fst (Session.handle_line session line) in
+  let run line = Option.get (fst (Session.handle_line session line)) in
   let path = write_temp_facts "e(1, 2). e(2, 3). e(3, 1). e(2, 2).\n" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   (* LOAD *)
@@ -303,7 +303,7 @@ let test_session_dispatch () =
 let test_compiled_cache_staleness () =
   let shared = Session.make_shared ~cache_capacity:8 () in
   let session = Session.create shared in
-  let run line = fst (Session.handle_line session line) in
+  let run line = Option.get (fst (Session.handle_line session line)) in
   let path1 = write_temp_facts "e(1, 2). e(2, 3).\n" in
   let path2 = write_temp_facts "e(7, 8).\n" in
   Fun.protect ~finally:(fun () ->
@@ -341,7 +341,7 @@ let test_compiled_cache_staleness () =
 let test_explain_verb () =
   let shared = Session.make_shared ~cache_capacity:4 () in
   let session = Session.create shared in
-  let run line = fst (Session.handle_line session line) in
+  let run line = Option.get (fst (Session.handle_line session line)) in
   (match run "EXPLAIN ans(X, Z) :- e(X, Y), e(Y, Z)." with
   | Protocol.Ok_ { summary; payload } ->
       Alcotest.(check bool) "summary names the class" true
