@@ -506,8 +506,50 @@ let data_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
 
+let durability_arg =
+  let doc =
+    "Fsync discipline for store publishes: $(b,full) syncs segment \
+     bytes, manifest and directory in write order before acknowledging \
+     (an acked write survives power loss), $(b,async) queues the same \
+     syncs to a background flusher (kill-safe, small power-loss \
+     window), $(b,off) never syncs.  Overrides $(b,PARADB_DURABILITY); \
+     default $(b,full)."
+  in
+  Arg.(value & opt (some string) None & info [ "durability" ] ~docv:"MODE" ~doc)
+
+let compact_after_arg =
+  let doc =
+    "Background compaction threshold: fold any store that accumulates \
+     $(docv) or more live segments back to one segment per relation, \
+     in a domain off the request path.  $(b,0) disables the sweeper."
+  in
+  Arg.(value & opt int 32 & info [ "compact-after" ] ~docv:"N" ~doc)
+
+let compact_interval_arg =
+  let doc = "Seconds between background compaction scans." in
+  Arg.(value & opt float 10.0 & info [ "compact-interval" ] ~docv:"SECONDS" ~doc)
+
+(* CLI flag wins over PARADB_DURABILITY; both feed the process-global
+   mode the storage layer reads at every publish. *)
+let init_durability flag =
+  match flag with
+  | Some s -> (
+      match Paradb_storage.Durability.of_string s with
+      | Some m ->
+          Paradb_storage.Durability.set m;
+          Ok ()
+      | None ->
+          Error
+            (Printf.sprintf
+               "--durability: expected full, async or off, got %S" s))
+  | None -> (
+      match Paradb_storage.Durability.init_from_env () with
+      | () -> Ok ()
+      | exception Invalid_argument msg -> Error msg)
+
 let run_serve host port workers cache_size trial_domains family seed trace
-    data_dir deadline_ms max_line max_rows idle_timeout grace =
+    data_dir durability compact_after compact_interval deadline_ms max_line
+    max_rows idle_timeout grace =
   if workers < 1 || cache_size < 1 || trial_domains < 1 then begin
     Printf.eprintf "error: --workers, --cache-size and --trial-domains must be positive\n";
     1
@@ -525,16 +567,29 @@ let run_serve host port workers cache_size trial_domains family seed trace
        --max-line at least 1, --grace non-negative\n";
     1
   end
+  else if compact_after < 0 || compact_interval <= 0.0 then begin
+    Printf.eprintf
+      "error: --compact-after must be non-negative, --compact-interval \
+       positive\n";
+    1
+  end
   else
     with_trace trace @@ fun () ->
     begin
     if Sys.getenv_opt "PARADB_DOMAINS" = None then
       Unix.putenv "PARADB_DOMAINS" (string_of_int trial_domains);
-    match Fault.init_from_env () with
-    | exception Invalid_argument msg ->
+    match
+      match init_durability durability with
+      | Error msg -> Error msg
+      | Ok () -> (
+          match Fault.init_from_env () with
+          | exception Invalid_argument msg -> Error msg
+          | () -> Ok ())
+    with
+    | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
-    | () ->
+    | Ok () ->
     let family =
       match family with
       | `Sweep -> None
@@ -585,10 +640,31 @@ let run_serve host port workers cache_size trial_domains family seed trace
                 (Server.shared server).Paradb_server.Session.catalog));
         (if Fault.active () then
            Printf.printf "paradb: fault injection enabled (PARADB_FAULTS)\n%!");
+        let compactor =
+          if compact_after >= 2 && data_dir <> None then begin
+            Printf.printf
+              "paradb: background compaction at %d segments (every %.1fs, \
+               durability %s)\n\
+               %!"
+              compact_after compact_interval
+              (Paradb_storage.Durability.to_string
+                 (Paradb_storage.Durability.mode ()))
+            ;
+            Some
+              (Paradb_server.Compactor.start
+                 ~catalog:(Server.shared server).Paradb_server.Session.catalog
+                 ~min_segments:compact_after ~interval:compact_interval)
+          end
+          else None
+        in
         let rec wait_for_stop () =
           if Atomic.get stop_requested then begin
             Printf.printf "paradb: shutting down (grace %.1fs)\n%!" grace;
-            Server.stop ~grace server
+            Option.iter Paradb_server.Compactor.stop compactor;
+            Server.stop ~grace server;
+            (* Flush any async-mode fsyncs still queued so a clean
+               shutdown leaves nothing owed to the disk. *)
+            Paradb_storage.Durability.drain ()
           end
           else begin
             (try Unix.sleepf 0.1 with Unix.Unix_error (EINTR, _, _) -> ());
@@ -628,7 +704,26 @@ let serve_cmd =
          segments instead of re-ingesting and $(b,FACT) persists each \
          fact, both swapped in atomically under a fresh snapshot \
          generation.  Run $(b,paradb compact) offline to squash a \
-         database's deltas back to one segment per relation.";
+         database's deltas back to one segment per relation, or let the \
+         background sweeper do it: with $(b,--compact-after) $(i,N) (N >= \
+         2) a dedicated domain folds any database that accumulates \
+         $(i,N) live segments, off the request path, publishing the \
+         result with the same atomic-rename protocol as every other \
+         write.";
+      `P
+        "Durability: $(b,--durability) (or $(b,PARADB_DURABILITY)) picks \
+         the fsync discipline.  $(b,full) (the default) syncs segment \
+         bytes, then the manifest, then the directory entry before a \
+         write is acknowledged, so an acked write survives $(b,kill -9) \
+         and power loss.  $(b,async) queues the same syncs to a \
+         background flusher: crash-consistent (recovery never sees a \
+         half-published store) with a small window where an acked write \
+         may be lost to power failure.  $(b,off) never syncs; only the \
+         rename ordering protects you.  On every open the store \
+         quarantines leftover temp files and unreferenced segments to \
+         $(b,orphans/) rather than trusting or deleting them \
+         ($(b,storage.orphans.cleaned) counts them).  See DESIGN.md, \
+         section \"Durability model\".";
       `P
         "Stop the server with SIGINT or SIGTERM: it stops accepting, \
          drains in-flight requests for up to $(b,--grace) seconds, then \
@@ -640,7 +735,8 @@ let serve_cmd =
     Term.(
       const run_serve $ host_arg $ port_arg ~default:7411 $ workers_arg
       $ cache_arg $ trial_domains_arg $ family_arg $ seed_arg $ trace_arg
-      $ data_dir_arg $ deadline_arg $ max_line_arg $ max_rows_arg
+      $ data_dir_arg $ durability_arg $ compact_after_arg
+      $ compact_interval_arg $ deadline_arg $ max_line_arg $ max_rows_arg
       $ idle_timeout_arg $ grace_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -692,20 +788,40 @@ let max_inflight_arg =
   in
   Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
 
+let hints_dir_arg =
+  let doc =
+    "Hinted-handoff journal directory.  A replica write that misses (its \
+     shard is down or answers $(b,ERR)) is appended here as a per-shard \
+     hint frame and replayed, in order, before the next write reaches \
+     that shard.  Without it, missed replica writes are only counted and \
+     logged, and divergence persists until $(b,REPAIR)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "hints-dir" ] ~docv:"DIR" ~doc)
+
 let run_coordinator host port workers shards replicas vnodes shard_timeout
-    shard_retries max_inflight deadline_ms max_line max_rows idle_timeout
-    grace trace =
+    shard_retries max_inflight hints_dir deadline_ms max_line max_rows
+    idle_timeout grace trace =
   if workers < 1 then begin
     Printf.eprintf "error: --workers must be positive\n";
     1
   end
   else
     with_trace trace @@ fun () ->
-    match Fault.init_from_env () with
-    | exception Invalid_argument msg ->
+    match
+      (* Hint-journal appends honor the same fsync discipline as the
+         store, so PARADB_DURABILITY applies here too. *)
+      match init_durability None with
+      | Error msg -> Error msg
+      | Ok () -> (
+          match Fault.init_from_env () with
+          | exception Invalid_argument msg -> Error msg
+          | () -> Ok ())
+    with
+    | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
-    | () -> (
+    | Ok () -> (
         match Client.parse_addrs shards with
         | Error e ->
             Printf.eprintf "error: --shards: %s\n" e;
@@ -729,6 +845,7 @@ let run_coordinator host port workers shards replicas vnodes shard_timeout
                 retries = shard_retries;
                 limits;
                 max_inflight;
+                hints_dir;
               }
             in
             match
@@ -801,6 +918,15 @@ let coordinator_cmd =
          $(b,--max-inflight) admission-limits concurrent evaluation on \
          top.  $(b,STATS) surfaces per-round and per-shard latency \
          histograms ($(b,telemetry.cluster.*)) — straggler p99 included.";
+      `P
+        "Replica self-healing: a write that misses a replica (but not the \
+         primary) is counted on $(b,cluster.write.replica_miss), logged, \
+         and — with $(b,--hints-dir) — journaled and replayed when the \
+         shard returns (hinted handoff).  $(b,DIGEST) $(i,DB) compares \
+         per-slice replica content fingerprints and reports divergence; \
+         $(b,REPAIR) $(i,DB) replays hints and re-ships every divergent \
+         slice with the union of all readable ranks' content.  See \
+         DESIGN.md, section \"Durability model\".";
     ]
   in
   Cmd.v
@@ -808,8 +934,9 @@ let coordinator_cmd =
     Term.(
       const run_coordinator $ host_arg $ port_arg ~default:7410 $ workers_arg
       $ shards_list_arg $ replicas_arg $ vnodes_arg $ shard_timeout_arg
-      $ shard_retries_arg $ max_inflight_arg $ deadline_arg $ max_line_arg
-      $ max_rows_arg $ idle_timeout_arg $ grace_arg $ trace_arg)
+      $ shard_retries_arg $ max_inflight_arg $ hints_dir_arg $ deadline_arg
+      $ max_line_arg $ max_rows_arg $ idle_timeout_arg $ grace_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client *)

@@ -37,6 +37,16 @@ let m_deadline = Metrics.counter "cluster.deadline_exceeded"
 let h_round = Metrics.histogram "cluster.round.ns"
 let g_inflight = Metrics.gauge "cluster.inflight"
 
+(* Replica-health telemetry: a replica write that could not be
+   delivered counts on [cluster.write.replica_miss] (and is journaled
+   for handoff when a hints dir is configured); DIGEST/REPAIR count
+   divergent slices and repair work. *)
+let m_replica_miss = Metrics.counter "cluster.write.replica_miss"
+let m_divergent = Metrics.counter "cluster.replica.divergent"
+let m_repair_runs = Metrics.counter "cluster.repair.runs"
+let m_repair_reshipped = Metrics.counter "cluster.repair.reshipped"
+let m_repair_rows = Metrics.counter "cluster.repair.rows"
+
 type config = {
   addrs : (string * int) array;
   replicas : int;
@@ -45,6 +55,7 @@ type config = {
   retries : int;
   limits : Guard.limits;
   max_inflight : int option;
+  hints_dir : string option;
 }
 
 let default_config addrs =
@@ -56,6 +67,7 @@ let default_config addrs =
     retries = 2;
     limits = Guard.default_limits;
     max_inflight = None;
+    hints_dir = None;
   }
 
 module StringSet = Set.Make (String)
@@ -73,6 +85,7 @@ type t = {
   mu : Mutex.t;
   inflight : int Atomic.t;
   shard_hist : Metrics.histogram array;
+  hints : Hints.t option;
 }
 
 let create config =
@@ -89,6 +102,7 @@ let create config =
     shard_hist =
       Array.init n (fun i ->
           Metrics.histogram (Printf.sprintf "cluster.shard%d.round.ns" i));
+    hints = Option.map Hints.create config.hints_dir;
   }
 
 let shards t = Array.length t.config.addrs
@@ -254,11 +268,80 @@ let slice_lines db =
       List.map (fact_line name) (Relation.tuples r))
     (Database.relations db)
 
+(* A replica write (rank >= 1) that could not be delivered.  The write
+   as a whole still succeeds — the primary has the data — but the miss
+   is never silent: it is counted, logged, and (with a hints dir)
+   journaled as a frame to replay when the replica's shard is back. *)
+let replica_missed t ~target ~rank ~reason frame =
+  Metrics.incr m_replica_miss;
+  let host, port = t.config.addrs.(target) in
+  Printf.eprintf
+    "paradb-cluster: replica write miss: rank %d on shard %d (%s:%d): %s%s\n%!"
+    rank target host port reason
+    (match t.hints with
+    | Some _ -> " (journaled for handoff)"
+    | None -> " (NO hints dir: replica will diverge until REPAIR)");
+  Option.iter (fun h -> Hints.journal h ~shard:target frame) t.hints
+
+(* Deliver one journaled frame to its shard.  [`Delivered] clears it;
+   [`Unreachable] keeps it (and stops the replay — the shard is still
+   down); a shard-side [ERR] means the frame itself is bad (it will
+   never succeed), so it is dropped and counted. *)
+let deliver_frame t conns shard (f : Hints.frame) =
+  let bytes =
+    List.fold_left
+      (fun a l -> a + String.length l + 1)
+      (String.length f.Hints.header + 1)
+      f.Hints.payload
+  in
+  match
+    raw_call t conns None shard ~bytes (fun c ->
+        match f.Hints.payload with
+        | [] -> Client.request_line c f.Hints.header
+        | payload -> Client.request_bulk c ~header:f.Hints.header payload)
+  with
+  | Protocol.Ok_ _ -> `Delivered
+  | Protocol.Err e ->
+      Printf.eprintf "paradb-cluster: dropping bad hint for shard %d: %s\n%!"
+        shard e;
+      `Bad
+  | exception Shard_down _ -> `Unreachable
+
+(* Replay every shard's pending hints, in journal order, stopping at
+   the first shard that is still unreachable.  Runs BEFORE any new
+   write fans out, so a recovered replica applies the missed writes
+   before the new one — order-preserving per shard. *)
+let replay_hints t conns =
+  match t.hints with
+  | None -> ()
+  | Some h ->
+      for shard = 0 to shards t - 1 do
+        if Hints.pending h ~shard then begin
+          let frames = Hints.read_frames h ~shard in
+          let rec go delivered dropped = function
+            | [] -> (delivered, dropped, [])
+            | f :: rest -> (
+                match deliver_frame t conns shard f with
+                | `Delivered -> go (delivered + 1) dropped rest
+                | `Bad -> go delivered (dropped + 1) rest
+                | `Unreachable -> (delivered, dropped, f :: rest))
+          in
+          let delivered, dropped, undelivered = go 0 0 frames in
+          if delivered > 0 then Hints.count_replayed delivered;
+          if dropped > 0 then Hints.count_dropped dropped;
+          if delivered > 0 || dropped > 0 then
+            Hints.rewrite h ~shard undelivered
+        end
+      done
+
 (* Partition [database] and ship every slice to its owner shard and
    each replica rank as one BULK frame per (shard, entry).  Loading
-   cannot fail over — a slice must land on its owner — so any dead
-   shard fails the LOAD with its name. *)
+   cannot fail over — a slice must land on its owner — so a dead owner
+   (rank 0) fails the LOAD with its name.  A dead {e replica} does not:
+   the primary write is acknowledged and the replica copy goes through
+   {!replica_missed} (counted, logged, journaled for handoff). *)
 let distribute t conns ~db database =
+  replay_hints t conns;
   let slices = Partition.split t.ring database in
   round (fun () ->
       Array.iteri
@@ -276,15 +359,20 @@ let distribute t conns ~db database =
                 (String.length header + 1)
                 lines
             in
+            let frame = { Hints.header; payload = lines } in
             match
               raw_call t conns None target ~bytes (fun c ->
                   Client.request_bulk c ~header lines)
             with
             | Protocol.Ok_ _ -> ()
-            | Protocol.Err e ->
+            | Protocol.Err e when rank = 0 ->
                 raise
                   (Reply
                      (Protocol.Err (Printf.sprintf "shard %d: %s" target e)))
+            | Protocol.Err e -> replica_missed t ~target ~rank ~reason:e frame
+            | exception Shard_down s when rank > 0 ->
+                replica_missed t ~target ~rank ~reason:(shard_down_msg t s)
+                  frame
           done)
         slices);
   let rels =
@@ -314,15 +402,17 @@ let do_bulk_text t conns ~db text =
   | Ok database -> distribute t conns ~db database
 
 (* FACT routes the one tuple to its owner (and the owner's replica
-   entries).  Writes do not fail over: a replica that cannot be
-   reached fails the write loudly rather than silently diverging from
-   its primary. *)
+   entries).  Writes do not fail over — a fact must land on its owning
+   replicas — but like LOAD, only a {e primary} (rank 0) failure fails
+   the request; a missed replica copy is counted, logged, and journaled
+   for handoff. *)
 let do_fact t conns ~db ~fact =
   match Source.parse_facts fact with
   | Error e -> Protocol.Err e
   | Ok parsed -> (
       match Database.relations parsed with
       | [ r ] when Relation.cardinality r = 1 ->
+          replay_hints t conns;
           let tup = List.hd (Relation.tuples r) in
           let owner =
             if Tuple.arity tup = 0 then 0
@@ -335,17 +425,23 @@ let do_fact t conns ~db ~fact =
                    let line =
                      Printf.sprintf "FACT %s %s" (replica_name db ~rank) fact
                    in
+                   let frame = { Hints.header = line; payload = [] } in
                    match
                      raw_call t conns None target
                        ~bytes:(String.length line + 1) (fun c ->
                          Client.request_line c line)
                    with
                    | Protocol.Ok_ _ -> ()
-                   | Protocol.Err e ->
+                   | Protocol.Err e when rank = 0 ->
                        raise
                          (Reply
                             (Protocol.Err
                                (Printf.sprintf "shard %d: %s" target e)))
+                   | Protocol.Err e ->
+                       replica_missed t ~target ~rank ~reason:e frame
+                   | exception Shard_down s when rank > 0 ->
+                       replica_missed t ~target ~rank
+                         ~reason:(shard_down_msg t s) frame
                  done);
              let info =
                match find_db t db with
@@ -729,6 +825,221 @@ let do_explain query =
           payload = Planner.explain pplan;
         }
 
+(* --- replica digests and repair --------------------------------- *)
+
+(* The digest of replica [rank] of slice [slice]: the shard's sorted
+   per-relation fingerprint lines.  A replica that never received the
+   entry digests as empty rather than as an error — an empty slice and
+   a missing entry are the same logical content. *)
+let rank_digest t conns ~db ~slice ~rank =
+  let target = Ring.replica_shard t.ring ~shard:slice ~rank in
+  let line = Printf.sprintf "DIGEST %s" (replica_name db ~rank) in
+  match
+    raw_call t conns None target ~bytes:(String.length line + 1) (fun c ->
+        Client.request_line c line)
+  with
+  | Protocol.Ok_ { payload; _ } -> Ok (List.sort compare payload)
+  | Protocol.Err e when is_missing_relation e -> Ok []
+  | Protocol.Err e -> Error e
+  | exception Shard_down s -> Error (shard_down_msg t s)
+
+let slice_digests t conns ~db ~slice =
+  List.init t.config.replicas (fun rank ->
+      (rank, rank_digest t conns ~db ~slice ~rank))
+
+(* Divergent = two readable ranks disagree.  Unreachable ranks are not
+   comparable (and not divergent by themselves — they may come back
+   bit-identical). *)
+let slice_divergent digests =
+  let oks =
+    List.filter_map (function _, Ok d -> Some d | _, Error _ -> None) digests
+  in
+  match oks with
+  | [] | [ _ ] -> false
+  | first :: rest -> List.exists (fun d -> d <> first) rest
+
+let digest_report digests =
+  List.concat_map
+    (fun (rank, d) ->
+      match d with
+      | Ok [] -> [ Printf.sprintf "  rank %d (empty)" rank ]
+      | Ok lines -> List.map (Printf.sprintf "  rank %d %s" rank) lines
+      | Error e -> [ Printf.sprintf "  rank %d unreachable: %s" rank e ])
+    digests
+
+(* [relation <name> <arity> <rows> <crc>] — the session's DIGEST line. *)
+let parse_digest_line l =
+  match String.split_on_char ' ' (String.trim l) with
+  | [ "relation"; name; arity; _rows; _crc ] ->
+      Option.map (fun a -> (name, a)) (int_of_string_opt arity)
+  | _ -> None
+
+let full_scan_query name arity =
+  let vars = List.init arity (Printf.sprintf "V%d") in
+  Printf.sprintf "%s(%s) :- %s(%s)." name
+    (String.concat ", " vars)
+    name (String.concat ", " vars)
+
+(* Repair one divergent slice: take the set union of every readable
+   rank's content and re-ship it to every rank as a fresh BULK.
+
+   Union, not owner-wins: writes here are monotone (LOAD appends, FACT
+   adds), so the true content is a superset of every rank's copy and
+   the union reconstructs it even when the owner itself restarted
+   empty and only a replica still holds older facts.  The trade-off is
+   that a rank holding rows the others never saw (which monotone
+   writes cannot produce, short of a torn BULK) has those rows spread
+   rather than deleted. *)
+let repair_slice t conns ~db ~slice digests =
+  let specs = Hashtbl.create 8 in
+  List.iter
+    (function
+      | _, Ok lines ->
+          List.iter
+            (fun l ->
+              match parse_digest_line l with
+              | Some (name, arity) -> Hashtbl.replace specs name arity
+              | None -> ())
+            lines
+      | _, Error _ -> ())
+    digests;
+  let buf = Buffer.create 1024 in
+  let truncated = ref false in
+  List.iter
+    (fun (rank, d) ->
+      match d with
+      | Error _ -> ()
+      | Ok _ ->
+          let target = Ring.replica_shard t.ring ~shard:slice ~rank in
+          Hashtbl.iter
+            (fun name arity ->
+              if arity >= 1 then
+                let line =
+                  Printf.sprintf "GATHER %s %s" (replica_name db ~rank)
+                    (full_scan_query name arity)
+                in
+                match
+                  raw_call t conns None target ~bytes:(String.length line + 1)
+                    (fun c -> Client.request_line c line)
+                with
+                | Protocol.Ok_ { summary; payload } ->
+                    if contains_sub summary "truncated=true" then
+                      truncated := true
+                    else
+                      List.iter
+                        (fun l ->
+                          Buffer.add_string buf l;
+                          Buffer.add_char buf '\n')
+                        payload
+                | Protocol.Err _ -> ()
+                | exception Shard_down _ -> ())
+            specs)
+    digests;
+  if !truncated then
+    Error "a rank truncated its scan; raise max-rows on the shards"
+  else
+    match Source.parse_facts (Buffer.contents buf) with
+    | Error e -> Error ("union of rank contents failed to parse: " ^ e)
+    | Ok udb ->
+        let lines = slice_lines udb in
+        let rows = Database.size udb in
+        let shipped = ref 0 in
+        for rank = 0 to t.config.replicas - 1 do
+          let target = Ring.replica_shard t.ring ~shard:slice ~rank in
+          let header =
+            Printf.sprintf "BULK %s %d" (replica_name db ~rank)
+              (List.length lines)
+          in
+          let bytes =
+            List.fold_left
+              (fun a l -> a + String.length l + 1)
+              (String.length header + 1)
+              lines
+          in
+          let frame = { Hints.header; payload = lines } in
+          match
+            raw_call t conns None target ~bytes (fun c ->
+                Client.request_bulk c ~header lines)
+          with
+          | Protocol.Ok_ _ ->
+              incr shipped;
+              Metrics.incr m_repair_reshipped
+          | Protocol.Err e -> replica_missed t ~target ~rank ~reason:e frame
+          | exception Shard_down s ->
+              replica_missed t ~target ~rank ~reason:(shard_down_msg t s) frame
+        done;
+        Metrics.incr ~by:rows m_repair_rows;
+        Ok (!shipped, rows)
+
+(* DIGEST at the coordinator: the dry run — compare every slice's
+   replica digests and report divergence without touching anything. *)
+let do_digest t conns ~db =
+  match find_db t db with
+  | None -> Protocol.Err (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+  | Some _ ->
+      round (fun () ->
+          let divergent = ref 0 in
+          let payload =
+            List.concat_map
+              (fun slice ->
+                let digests = slice_digests t conns ~db ~slice in
+                if slice_divergent digests then begin
+                  incr divergent;
+                  Metrics.incr m_divergent;
+                  Printf.sprintf "slice %d divergent" slice
+                  :: digest_report digests
+                end
+                else [])
+              (List.init (shards t) Fun.id)
+          in
+          Protocol.Ok_
+            {
+              summary =
+                Printf.sprintf "digest %s slices=%d replicas=%d divergent=%d"
+                  db (shards t) t.config.replicas !divergent;
+              payload;
+            })
+
+(* REPAIR: replay any pending hints first (handoff may already close
+   the gap), then re-ship every slice whose replicas still disagree. *)
+let do_repair t conns ~db =
+  match find_db t db with
+  | None -> Protocol.Err (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+  | Some _ ->
+      Metrics.incr m_repair_runs;
+      replay_hints t conns;
+      round (fun () ->
+          let divergent = ref 0 and reshipped = ref 0 and rows = ref 0 in
+          let payload =
+            List.concat_map
+              (fun slice ->
+                let digests = slice_digests t conns ~db ~slice in
+                if slice_divergent digests then begin
+                  incr divergent;
+                  Metrics.incr m_divergent;
+                  match repair_slice t conns ~db ~slice digests with
+                  | Ok (shipped, r) ->
+                      reshipped := !reshipped + shipped;
+                      rows := !rows + r;
+                      [
+                        Printf.sprintf "slice %d repaired ranks=%d rows=%d"
+                          slice shipped r;
+                      ]
+                  | Error e ->
+                      [ Printf.sprintf "slice %d repair failed: %s" slice e ]
+                end
+                else [])
+              (List.init (shards t) Fun.id)
+          in
+          Protocol.Ok_
+            {
+              summary =
+                Printf.sprintf
+                  "repaired %s slices=%d divergent=%d reshipped=%d rows=%d" db
+                  (shards t) !divergent !reshipped !rows;
+              payload;
+            })
+
 let do_stats t =
   let dbs =
     Mutex.lock t.mu;
@@ -747,6 +1058,19 @@ let do_stats t =
           Printf.sprintf "cluster.replicas %d" t.config.replicas;
           Printf.sprintf "cluster.vnodes %d" t.config.vnodes;
         ]
+        @ (match t.hints with
+          | None -> []
+          | Some h ->
+              [
+                Printf.sprintf "cluster.hints.pending %d"
+                  (List.fold_left
+                     (fun acc s ->
+                       acc + if Hints.pending h ~shard:s then
+                               Hints.pending_frames h ~shard:s
+                             else 0)
+                     0
+                     (List.init (shards t) Fun.id));
+              ])
         @ List.concat_map
             (fun (name, info) ->
               [
@@ -788,6 +1112,8 @@ let handler t () =
         (Some (do_gather t conns ~db ~query), `Continue)
     | Protocol.Check query -> (Some (do_check query), `Continue)
     | Protocol.Explain query -> (Some (do_explain query), `Continue)
+    | Protocol.Digest db -> (Some (do_digest t conns ~db), `Continue)
+    | Protocol.Repair db -> (Some (do_repair t conns ~db), `Continue)
     | Protocol.Stats -> (Some (do_stats t), `Continue)
     | Protocol.Metrics -> (Some (do_metrics ()), `Continue)
     | Protocol.Quit ->

@@ -52,6 +52,21 @@
     [straggler_delay] inject pooled-connection loss and sub-request
     stalls here. *)
 
+(** {2 Replica self-healing}
+
+    Writes fan out to every replica rank, but only a {e primary}
+    (rank 0) failure fails the request; a missed replica copy counts on
+    [cluster.write.replica_miss], logs a warning, and — with
+    [hints_dir] set — is journaled as a per-target-shard hint frame
+    ({!Hints}) replayed in order before the next write reaches that
+    shard (hinted handoff).  [DIGEST <db>] compares per-slice replica
+    content fingerprints (the shards' DIGEST lines) and reports
+    divergence; [REPAIR <db>] replays hints, then re-ships every
+    still-divergent slice with the set union of all readable ranks'
+    content — correct under monotone writes, see DESIGN.md §16.
+    Divergence and repair work surface as [cluster.replica.divergent]
+    and [cluster.repair.*]. *)
+
 type config = {
   addrs : (string * int) array;  (** shard servers, index = shard id *)
   replicas : int;  (** copies per slice, in [[1, shards]] *)
@@ -61,10 +76,13 @@ type config = {
   limits : Paradb_server.Guard.limits;
       (** coordinator-side limits: deadline, row cap, line cap, idle *)
   max_inflight : int option;  (** admission cap on concurrent EVALs *)
+  hints_dir : string option;
+      (** hinted-handoff journal directory; [None] disables journaling
+          (missed replica writes are still counted and logged) *)
 }
 
 (** 1 replica, default vnodes, 30s timeout, 2 retries, default Guard
-    limits, no admission cap. *)
+    limits, no admission cap, no hints dir. *)
 val default_config : (string * int) list -> config
 
 type t

@@ -1,0 +1,126 @@
+(* Hinted handoff journal.
+
+   When a replica write fails (the replica's shard is down or errored),
+   the coordinator must not just drop it — that is how replicas diverge
+   silently.  The frame that failed is appended to a per-target-shard
+   hint file and replayed, in order, once the shard is reachable again.
+
+   One file per target shard, [shard<k>.hints], holding raw wire frames
+   back to back: a [FACT db@rN fact.] line is one frame; a
+   [BULK db@rN n] header is followed by its [n] fact lines.  The format
+   is exactly what goes on the wire, so replay is just resending.
+
+   Frame order within a file is delivery order.  The coordinator
+   replays a shard's hints BEFORE sending it any new write, so a
+   replica that missed [v1] and then comes back receives [v1] (replay)
+   then [v2] (the new write) — never the reverse, which for a
+   replace-style BULK would resurrect stale data.
+
+   The journal itself is written under the storage durability mode
+   (appends are fsynced under [--durability full]), and a torn tail —
+   the coordinator killed mid-append — is detected at read time: a
+   trailing frame whose BULK header promises more lines than remain is
+   dropped and counted, never half-replayed. *)
+
+module Metrics = Paradb_telemetry.Metrics
+module Durability = Paradb_storage.Durability
+
+let m_journaled = Metrics.counter "cluster.hints.journaled"
+let m_replayed = Metrics.counter "cluster.hints.replayed"
+let m_dropped = Metrics.counter "cluster.hints.dropped"
+
+type t = { dir : string; mu : Mutex.t }
+
+type frame = { header : string; payload : string list }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create dir =
+  mkdir_p dir;
+  { dir; mu = Mutex.create () }
+
+let file t ~shard = Filename.concat t.dir (Printf.sprintf "shard%d.hints" shard)
+
+(* [pending] is the hot-path check (one stat per write round): anything
+   in the file means there are frames to replay. *)
+let pending t ~shard =
+  match (Unix.stat (file t ~shard)).Unix.st_size with
+  | n -> n > 0
+  | exception Unix.Unix_error _ -> false
+
+let journal t ~shard frame =
+  Mutex.protect t.mu (fun () ->
+      let path = file t ~shard in
+      Out_channel.with_open_gen
+        [ Open_append; Open_creat; Open_binary ]
+        0o644 path
+        (fun oc ->
+          Out_channel.output_string oc (frame.header ^ "\n");
+          List.iter
+            (fun l -> Out_channel.output_string oc (l ^ "\n"))
+            frame.payload);
+      Durability.file_sync path;
+      Metrics.incr m_journaled)
+
+(* Parse the journal back into frames.  A frame whose payload was cut
+   short (journal writer killed mid-append) is dropped and counted —
+   half a BULK must never be replayed. *)
+let parse_frames lines =
+  let rec go acc = function
+    | [] -> (List.rev acc, 0)
+    | header :: rest -> (
+        match String.split_on_char ' ' (String.trim header) with
+        | [ "BULK"; _db; count ] -> (
+            match int_of_string_opt count with
+            | Some n when n >= 0 ->
+                if List.length rest < n then (List.rev acc, 1)
+                else
+                  let payload = List.filteri (fun i _ -> i < n) rest in
+                  let rest = List.filteri (fun i _ -> i >= n) rest in
+                  go ({ header; payload } :: acc) rest
+            | _ -> (List.rev acc, 1))
+        | _ when String.trim header = "" -> go acc rest
+        | _ -> go ({ header; payload = [] } :: acc) rest)
+  in
+  go [] lines
+
+let read_frames t ~shard =
+  Mutex.protect t.mu (fun () ->
+      match
+        In_channel.with_open_bin (file t ~shard) In_channel.input_all
+      with
+      | exception Sys_error _ -> []
+      | text ->
+          let frames, torn = parse_frames (String.split_on_char '\n' text) in
+          if torn > 0 then Metrics.incr ~by:torn m_dropped;
+          frames)
+
+(* Rewrite the journal to exactly [frames] — called after a replay pass
+   with whatever could not be delivered (empty list truncates).  Plain
+   truncate-and-rewrite under the lock; the file is small (it only ever
+   holds writes that failed). *)
+let rewrite t ~shard frames =
+  Mutex.protect t.mu (fun () ->
+      let path = file t ~shard in
+      if frames = [] then (try Sys.remove path with Sys_error _ -> ())
+      else begin
+        Out_channel.with_open_bin path (fun oc ->
+            List.iter
+              (fun f ->
+                Out_channel.output_string oc (f.header ^ "\n");
+                List.iter
+                  (fun l -> Out_channel.output_string oc (l ^ "\n"))
+                  f.payload)
+              frames);
+        Durability.file_sync path
+      end)
+
+let count_replayed n = Metrics.incr ~by:n m_replayed
+let count_dropped n = Metrics.incr ~by:n m_dropped
+
+let pending_frames t ~shard = List.length (read_frames t ~shard)

@@ -1,0 +1,37 @@
+(** Hinted-handoff journal: per-target-shard files of wire frames
+    (failed replica writes) replayed in order when the shard is back.
+
+    See DESIGN.md §16 for the file format and the replay-before-write
+    ordering rule.  Counters: [cluster.hints.journaled] /
+    [cluster.hints.replayed] / [cluster.hints.dropped]. *)
+
+type t
+
+(** One journaled wire frame: a request line, plus its payload lines
+    for multi-line requests (BULK). *)
+type frame = { header : string; payload : string list }
+
+(** [create dir] — the journal directory, created if missing. *)
+val create : string -> t
+
+(** Does shard [shard] have undelivered frames?  One [stat]. *)
+val pending : t -> shard:int -> bool
+
+(** Number of parseable frames queued for [shard] (reads the file). *)
+val pending_frames : t -> shard:int -> int
+
+(** Append one frame to [shard]'s journal (fsynced per the storage
+    durability mode). *)
+val journal : t -> shard:int -> frame -> unit
+
+(** All parseable frames queued for [shard], in journal order.  A torn
+    trailing frame (writer killed mid-append) is dropped and counted on
+    [cluster.hints.dropped]. *)
+val read_frames : t -> shard:int -> frame list
+
+(** Replace [shard]'s journal with exactly [frames] (empty removes the
+    file) — the post-replay compaction. *)
+val rewrite : t -> shard:int -> frame list -> unit
+
+val count_replayed : int -> unit
+val count_dropped : int -> unit

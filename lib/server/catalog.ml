@@ -6,9 +6,25 @@ module Segment = Paradb_storage.Segment
 
 type entry = { db : Database.t; generation : int }
 
+(* Two locks with distinct jobs:
+
+   [lock]  protects the in-memory table and generation counter.  Held
+           only for table reads and swaps — microseconds, never across
+           disk IO, so readers are never blocked behind a write.
+
+   [io]    serializes every disk mutation of the data dir (persist on
+           LOAD/FACT, the background compactor's fold).  Manifest
+           read-modify-write must not interleave, and a fold must not
+           race an append.  Always acquired BEFORE [lock] when both are
+           needed.
+
+   Before the background compactor existed one lock covered both; that
+   was fine while the longest hold was a delta append, but a fold of a
+   10M-tuple store runs for seconds and must not stall EVALs. *)
 type t = {
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
+  io : Mutex.t;
   mutable next_generation : int;
   data_dir : string option;
 }
@@ -17,6 +33,7 @@ let create ?data_dir () =
   {
     table = Hashtbl.create 16;
     lock = Mutex.create ();
+    io = Mutex.create ();
     next_generation = 0;
     data_dir;
   }
@@ -68,15 +85,48 @@ let wrap_storage f =
   | exception Sys_error msg -> Error ("storage: " ^ msg)
   | exception Unix.Unix_error (e, _, _) ->
       Error ("storage: " ^ Unix.error_message e)
+  | exception Paradb_storage.Io_fault.Crash msg ->
+      (* an injected crash point fired mid-write: the publish never
+         happened, so the entry stays as it was — exactly the contract a
+         real kill would leave, minus the dead process *)
+      Error ("storage: " ^ msg)
 
 (* Persist [additions] under the entry's segment directory: the first
    write compacts a fresh store, every later one appends delta
-   segments.  Runs under the catalog lock — manifest read-modify-write
-   must not interleave. *)
+   segments.  Runs under the io lock — manifest read-modify-write must
+   not interleave with another write or a compaction fold. *)
 let persist ~dir additions =
   if Store.is_store dir then
     List.iter (fun r -> Store.append ~dir r) (Database.relations additions)
   else ignore (Store.compact ~dir additions)
+
+(* A durable mutation, two-phase: persist under [io] (slow, disk), then
+   merge-and-swap under [lock] (fast, memory).  The merge is validated
+   BEFORE the disk write — an arity clash must not leave segments
+   behind — and revalidated inside the swap, since another writer may
+   have changed the base while we held only [io].  Both writers hold
+   [io] for their whole mutation, so in practice the base cannot change
+   under us; the revalidation is belt and braces. *)
+let durable_mutation cat ~dir ~name ~additions ~mode_of =
+  Mutex.protect cat.io (fun () ->
+      let base0 =
+        Mutex.protect cat.lock (fun () ->
+            Option.map (fun e -> e.db) (Hashtbl.find_opt cat.table name))
+      in
+      let mode = mode_of base0 in
+      let base = Option.value base0 ~default:Database.empty in
+      match
+        try Ok (merge base additions) with Invalid_argument msg -> Error msg
+      with
+      | Error _ as e -> e
+      | Ok merged -> (
+          match wrap_storage (fun () -> persist ~dir additions) with
+          | Error _ as e -> e
+          | Ok () ->
+              Mutex.protect cat.lock (fun () ->
+                  Hashtbl.replace cat.table name
+                    { db = merged; generation = fresh_generation cat });
+              Ok (merged, mode)))
 
 let load cat name additions =
   match dir_for cat name with
@@ -84,25 +134,9 @@ let load cat name additions =
       set cat name additions;
       Ok (additions, `Replaced)
   | Some dir ->
-      Mutex.protect cat.lock (fun () ->
-          let base, mode =
-            match Hashtbl.find_opt cat.table name with
-            | Some e -> (e.db, `Appended)
-            | None -> (Database.empty, `Created)
-          in
-          (* merge first: an arity clash must not leave segments behind *)
-          match
-            try Ok (merge base additions)
-            with Invalid_argument msg -> Error msg
-          with
-          | Error _ as e -> e
-          | Ok merged -> (
-              match wrap_storage (fun () -> persist ~dir additions) with
-              | Error _ as e -> e
-              | Ok () ->
-                  Hashtbl.replace cat.table name
-                    { db = merged; generation = fresh_generation cat };
-                  Ok (merged, mode)))
+      durable_mutation cat ~dir ~name ~additions ~mode_of:(function
+        | Some _ -> `Appended
+        | None -> `Created)
 
 let add_fact cat name fact =
   (* parse_facts accepts any fact-file fragment, so one ill-formed or
@@ -110,27 +144,25 @@ let add_fact cat name fact =
   match Source.parse_facts fact with
   | Error e -> Error e
   | Ok additions -> (
-      try
-        Mutex.protect cat.lock (fun () ->
-            let base =
-              match Hashtbl.find_opt cat.table name with
-              | Some e -> e.db
-              | None -> Database.empty
-            in
-            let merged = merge base additions in
-            match
-              match dir_for cat name with
-              | None -> Ok ()
-              | Some dir -> wrap_storage (fun () -> persist ~dir additions)
-            with
-            | Error _ as e -> e
-            | Ok () ->
+      match dir_for cat name with
+      | Some dir ->
+          Result.map fst
+            (durable_mutation cat ~dir ~name ~additions ~mode_of:(fun _ -> ()))
+      | None -> (
+          try
+            Mutex.protect cat.lock (fun () ->
+                let base =
+                  match Hashtbl.find_opt cat.table name with
+                  | Some e -> e.db
+                  | None -> Database.empty
+                in
+                let merged = merge base additions in
                 Hashtbl.replace cat.table name
                   { db = merged; generation = fresh_generation cat };
                 Ok merged)
-      with Invalid_argument msg ->
-        (* e.g. an arity clash with the relation already in the entry *)
-        Error msg)
+          with Invalid_argument msg ->
+            (* e.g. an arity clash with the relation already in the entry *)
+            Error msg))
 
 (* The cluster exchange framing: replace entry [name] with a parsed
    fact-file fragment in one generation bump.  Deliberately in-memory
@@ -167,6 +199,57 @@ let entries cat =
         cat.table [])
   |> List.sort compare
 
+(* ------------------------------------------------------------------ *)
+(* Background compaction support.  The fold reorganizes the disk layout
+   only — every relation's visible rows are unchanged — so the
+   in-memory snapshot, its generation, and the plan cache all stay
+   valid; nothing under [lock] is touched. *)
+
+let segment_count cat name =
+  match dir_for cat name with
+  | Some dir when Store.is_store dir -> (
+      match Store.entries dir with
+      | es -> Some (List.length es)
+      | exception (Segment.Corrupt _ | Sys_error _) -> None)
+  | _ -> None
+
+(* Entries whose store has accumulated at least [min_segments] segments
+   AND holds more segments than relations, worst first.  The second
+   condition is what lets the sweeper converge: a freshly folded store
+   has exactly one segment per relation, and without it any store with
+   [min_segments] relations would be refolded on every scan. *)
+let compact_candidates cat ~min_segments =
+  let names =
+    Mutex.protect cat.lock (fun () ->
+        Hashtbl.fold (fun name _ acc -> name :: acc) cat.table [])
+  in
+  List.filter_map
+    (fun name ->
+      match dir_for cat name with
+      | Some dir when Store.is_store dir -> (
+          match Store.entries dir with
+          | es ->
+              let n = List.length es in
+              let rels =
+                List.sort_uniq compare
+                  (List.map (fun e -> e.Store.relation) es)
+              in
+              if n >= min_segments && n > List.length rels then Some (name, n)
+              else None
+          | exception (Segment.Corrupt _ | Sys_error _) -> None)
+      | _ -> None)
+    (List.sort compare names)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let compact_entry cat name =
+  match dir_for cat name with
+  | None -> Error "storage: no data dir"
+  | Some dir ->
+      Mutex.protect cat.io (fun () ->
+          if Store.is_store dir then
+            wrap_storage (fun () -> Store.fold_in_place ~dir)
+          else Error (Printf.sprintf "storage: %s is not a store" dir))
+
 type entry_stats = {
   name : string;
   tuples : int;
@@ -192,14 +275,7 @@ let entries_stats cat =
   in
   List.sort compare snap
   |> List.map (fun (name, tuples, generation) ->
-         let segments =
-           match dir_for cat name with
-           | Some dir when Store.is_store dir -> (
-               match Store.entries dir with
-               | es -> Some (List.length es)
-               | exception Segment.Corrupt _ -> None)
-           | _ -> None
-         in
+         let segments = segment_count cat name in
          Option.iter
            (fun n -> Paradb_telemetry.Metrics.set_max (m_segments name) n)
            segments;

@@ -74,6 +74,21 @@ val attach : t -> (string * int) list
 (** Entry names with their tuple counts, sorted by name. *)
 val entries : t -> (string * int) list
 
+(** [compact_candidates cat ~min_segments] — entries whose store holds
+    at least [min_segments] live segment files and more segments than
+    relations (so a freshly folded store is never a candidate and the
+    sweeper converges), most-fragmented first.  What the background
+    {!Compactor} polls. *)
+val compact_candidates : t -> min_segments:int -> (string * int) list
+
+(** [compact_entry cat name] folds the entry's store in place
+    ({!Paradb_storage.Store.fold_in_place}) under the catalog's IO lock,
+    serialized against LOAD/FACT persists but never blocking readers —
+    the fold changes the disk layout, not the visible rows, so the
+    in-memory snapshot and its generation stay untouched.  Returns
+    (segments before, after, bytes written). *)
+val compact_entry : t -> string -> (int * int * int, string) result
+
 type entry_stats = {
   name : string;
   tuples : int;

@@ -1,0 +1,82 @@
+(* Background delta-segment compaction.
+
+   Incremental LOADs and FACTs append delta segments; reads union them
+   with set semantics, so correctness never needs a fold — but every
+   delta adds a segment open, a CRC pass and a dedup hash to the next
+   cold start, and the STATS segment counts grow without bound.  This
+   domain watches the catalog and folds any store that has accumulated
+   [min_segments] live segments, off the session hot path.
+
+   Crash safety is inherited, not implemented here: the fold publishes
+   through the same write-segments → sync → swap-manifest protocol as
+   every other mutation ([Store.fold_in_place]), so a kill -9 at any
+   point leaves either the delta'd store or the folded one, and
+   [Store.recover] quarantines whichever half-written files the death
+   stranded.  The fold holds the catalog's IO lock (it must not
+   interleave with a LOAD's manifest read-modify-write) but never the
+   table lock, so EVALs are not stalled. *)
+
+module Metrics = Paradb_telemetry.Metrics
+module Clock = Paradb_telemetry.Clock
+
+let m_runs = Metrics.counter "storage.compaction.runs"
+let m_folded = Metrics.counter "storage.compaction.folded"
+let m_segments_in = Metrics.counter "storage.compaction.segments_in"
+let m_segments_out = Metrics.counter "storage.compaction.segments_out"
+let m_bytes = Metrics.counter "storage.compaction.bytes_written"
+let m_errors = Metrics.counter "storage.compaction.errors"
+let m_ns = Metrics.histogram "storage.compaction.ns"
+
+type t = {
+  stop : bool Atomic.t;
+  domain : unit Domain.t;
+}
+
+(* One scan: fold every entry at or past the threshold.  Also the
+   synchronous entry point tests and [paradb compact]-style tools use;
+   returns the number of stores folded.  Errors are counted and logged,
+   never raised — one corrupt store must not kill the sweeper. *)
+let run_once ~catalog ~min_segments =
+  Metrics.incr m_runs;
+  List.fold_left
+    (fun folded (name, _segments) ->
+      let t0 = Clock.now_ns () in
+      match Catalog.compact_entry catalog name with
+      | Ok (before, after, bytes) ->
+          Metrics.incr m_folded;
+          Metrics.incr ~by:before m_segments_in;
+          Metrics.incr ~by:after m_segments_out;
+          Metrics.incr ~by:bytes m_bytes;
+          Metrics.observe m_ns (Clock.now_ns () - t0);
+          folded + 1
+      | Error msg ->
+          Metrics.incr m_errors;
+          Printf.eprintf "paradb: compaction of %s failed: %s\n%!" name msg;
+          folded)
+    0
+    (Catalog.compact_candidates catalog ~min_segments)
+
+let start ~catalog ~min_segments ~interval =
+  let stop = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        (* Sleep in short slices so [Compactor.stop] takes effect
+           promptly even under a long interval. *)
+        let rec pause left =
+          if left > 0.0 && not (Atomic.get stop) then begin
+            let slice = Float.min 0.05 left in
+            Unix.sleepf slice;
+            pause (left -. slice)
+          end
+        in
+        while not (Atomic.get stop) do
+          pause interval;
+          if not (Atomic.get stop) then
+            ignore (run_once ~catalog ~min_segments : int)
+        done)
+  in
+  { stop; domain }
+
+let stop t =
+  Atomic.set t.stop true;
+  Domain.join t.domain

@@ -1,0 +1,23 @@
+(** Background delta-segment compaction: a domain that periodically
+    folds any catalog store holding at least [min_segments] live
+    segments ({!Catalog.compact_entry}), off the session hot path.
+
+    Publishes only through the storage layer's atomic-rename + fsync
+    protocol, so it is safe to [kill -9] mid-fold; progress is exposed
+    as [storage.compaction.*] counters and a [storage.compaction.ns]
+    histogram. *)
+
+type t
+
+(** [start ~catalog ~min_segments ~interval] spawns the sweeper domain;
+    it scans every [interval] seconds. *)
+val start : catalog:Catalog.t -> min_segments:int -> interval:float -> t
+
+(** Signal the sweeper and join its domain (any in-flight fold
+    completes first). *)
+val stop : t -> unit
+
+(** One synchronous sweep — fold every store at or past the threshold
+    now, returning how many were folded.  Storage errors are counted on
+    [storage.compaction.errors] and logged, never raised. *)
+val run_once : catalog:Catalog.t -> min_segments:int -> int

@@ -15,12 +15,15 @@ type config = {
   raise_eval : float;
   shard_loss : float;
   straggler_delay : float;
+  torn_write : float;
+  crash_after_write : float;
   seed : int;
 }
 
 let default =
   { short_read = 0.0; write_delay = 0.0; disconnect = 0.0; raise_eval = 0.0;
-    shard_loss = 0.0; straggler_delay = 0.0; seed = 0 }
+    shard_loss = 0.0; straggler_delay = 0.0; torn_write = 0.0;
+    crash_after_write = 0.0; seed = 0 }
 
 let enabled = Atomic.make false
 let current = Atomic.make default
@@ -34,13 +37,29 @@ let rng_key =
       Random.State.make
         [| (Atomic.get current).seed; (Domain.self () :> int); 0x9e3779 |])
 
+(* The storage write-path faults live in [Paradb_storage.Io_fault]
+   (storage cannot depend on this library); this registry owns the
+   PARADB_FAULTS spec and forwards the storage keys there. *)
+let forward_storage c =
+  Paradb_storage.Io_fault.set
+    (if c.torn_write > 0.0 || c.crash_after_write > 0.0 then
+       Some
+         {
+           Paradb_storage.Io_fault.torn_write = c.torn_write;
+           crash_after_write = c.crash_after_write;
+           seed = c.seed;
+         }
+     else None)
+
 let set = function
   | None ->
       Atomic.set enabled false;
-      Atomic.set current default
+      Atomic.set current default;
+      Paradb_storage.Io_fault.set None
   | Some c ->
       Atomic.set current c;
-      Atomic.set enabled true
+      Atomic.set enabled true;
+      forward_storage c
 
 let active () = Atomic.get enabled
 
@@ -61,13 +80,15 @@ let parse kvs =
       | "raise_eval" -> { c with raise_eval = prob k v }
       | "shard_loss" -> { c with shard_loss = prob k v }
       | "straggler_delay" -> { c with straggler_delay = prob k v }
+      | "torn_write" -> { c with torn_write = prob k v }
+      | "crash_after_write" -> { c with crash_after_write = prob k v }
       | "seed" -> { c with seed = int_of_float v }
       | _ ->
           invalid_arg
             (Printf.sprintf
                "PARADB_FAULTS: unknown fault %S (expected short_read, \
                 write_delay, disconnect, raise_eval, shard_loss, \
-                straggler_delay or seed)"
+                straggler_delay, torn_write, crash_after_write or seed)"
                k))
     default kvs
 

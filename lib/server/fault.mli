@@ -19,6 +19,14 @@ type config = {
       (** P(the coordinator drops a pooled shard connection before a
           scatter round — exercising redial and replica failover) *)
   straggler_delay : float;  (** P(sleep 10-50ms before a shard sub-request) *)
+  torn_write : float;
+      (** P(a storage file write is truncated to a random prefix and the
+          writer dies there) — forwarded to
+          {!Paradb_storage.Io_fault}, which raises
+          [Io_fault.Crash] at the injection point *)
+  crash_after_write : float;
+      (** P(the writer dies right after a complete storage file write,
+          before publishing it) — forwarded like [torn_write] *)
   seed : int;  (** RNG seed (per-domain states derive from it) *)
 }
 

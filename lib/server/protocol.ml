@@ -6,6 +6,8 @@ type request =
   | Gather of { db : string; query : string }
   | Check of string
   | Explain of string
+  | Digest of string
+  | Repair of string
   | Stats
   | Metrics
   | Quit
@@ -22,6 +24,8 @@ let verb_name = function
   | Gather _ -> "gather"
   | Check _ -> "check"
   | Explain _ -> "explain"
+  | Digest _ -> "digest"
+  | Repair _ -> "repair"
   | Stats -> "stats"
   | Metrics -> "metrics"
   | Quit -> "quit"
@@ -88,6 +92,12 @@ let parse_request line =
       if trim rest = "" then need "query" "CHECK" else Ok (Check (trim rest))
   | "EXPLAIN" ->
       if trim rest = "" then need "query" "EXPLAIN" else Ok (Explain (trim rest))
+  | "DIGEST" ->
+      if trim rest = "" then need "database name" "DIGEST"
+      else Ok (Digest (trim rest))
+  | "REPAIR" ->
+      if trim rest = "" then need "database name" "REPAIR"
+      else Ok (Repair (trim rest))
   | "STATS" -> Ok Stats
   | "METRICS" -> Ok Metrics
   | "QUIT" -> Ok Quit
@@ -101,6 +111,8 @@ let request_to_line = function
   | Gather { db; query } -> Printf.sprintf "GATHER %s %s" db query
   | Check query -> "CHECK " ^ query
   | Explain query -> "EXPLAIN " ^ query
+  | Digest db -> "DIGEST " ^ db
+  | Repair db -> "REPAIR " ^ db
   | Stats -> "STATS"
   | Metrics -> "METRICS"
   | Quit -> "QUIT"

@@ -15,6 +15,11 @@
       CHECK <query>               static analysis (no database touched)
       EXPLAIN <query>             physical plan: class, width, join order
                                   (no database touched)
+      DIGEST <db>                 per-relation content fingerprint lines
+                                  [relation <name> <arity> <rows> <crc32>]
+                                  (replica comparison / REPAIR)
+      REPAIR <db>                 coordinator-only: compare replica
+                                  digests, re-ship divergent slices
       STATS                       session and server counters
       METRICS                     process telemetry snapshot as one JSON line
       QUIT                        close the session
@@ -46,6 +51,8 @@ type request =
   | Gather of { db : string; query : string }
   | Check of string
   | Explain of string
+  | Digest of string
+  | Repair of string
   | Stats
   | Metrics
   | Quit

@@ -24,8 +24,8 @@ let verb_hist =
   List.map
     (fun v -> (v, Metrics.histogram (Printf.sprintf "server.verb.%s.ns" v)))
     [
-      "load"; "fact"; "bulk"; "eval"; "gather"; "check"; "explain"; "stats";
-      "metrics"; "quit"; "invalid";
+      "load"; "fact"; "bulk"; "eval"; "gather"; "check"; "explain"; "digest";
+      "repair"; "stats"; "metrics"; "quit"; "invalid";
     ]
 
 let observe_verb verb ns =
@@ -239,6 +239,39 @@ let bulk_line s b line =
   end
   else (None, `Continue)
 
+(* DIGEST: a content fingerprint of one catalog entry, built for
+   replica comparison — one [relation <name> <arity> <rows> <crc32hex>]
+   line per relation, sorted by name, with the checksum taken over the
+   relation's fact lines in sorted-tuple order.  Two stores holding the
+   same logical rows answer bit-identically regardless of segment
+   layout, insertion order, or interning history; the arity rides along
+   so a repairer can build the full-scan GATHER that re-ships a
+   divergent relation without knowing the schema. *)
+let do_digest s db =
+  match Catalog.find s.shared.catalog db with
+  | None -> err s (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+  | Some (database, generation) ->
+      let payload =
+        Database.relations database
+        |> List.map (fun r ->
+               let name = Relation.name r in
+               let crc =
+                 List.fold_left
+                   (fun c t ->
+                     Paradb_storage.Crc32.feed_string c (fact_line name t ^ "\n"))
+                   Paradb_storage.Crc32.init
+                   (List.sort Paradb_relational.Tuple.compare
+                      (Relation.tuples r))
+                 |> Paradb_storage.Crc32.finish
+               in
+               Printf.sprintf "relation %s %d %d %08x" name (Relation.arity r)
+                 (Relation.cardinality r) crc)
+        |> List.sort compare
+      in
+      ok ~payload
+        (Printf.sprintf "digest %s generation=%d relations=%d" db generation
+           (List.length payload))
+
 let do_check s query =
   match Source.parse_query query with
   | Error e -> err s e
@@ -314,6 +347,11 @@ let dispatch s req =
   | Protocol.Gather { db; query } -> (Some (do_gather s ~db ~query), `Continue)
   | Protocol.Check query -> (Some (do_check s query), `Continue)
   | Protocol.Explain query -> (Some (do_explain s query), `Continue)
+  | Protocol.Digest db -> (Some (do_digest s db), `Continue)
+  | Protocol.Repair _ ->
+      (* repair compares replicas across shards; only the coordinator
+         has the vantage point to do it *)
+      (Some (err s "REPAIR is a coordinator verb"), `Continue)
   | Protocol.Stats -> (Some (do_stats s), `Continue)
   | Protocol.Metrics -> (Some (do_metrics ()), `Continue)
   | Protocol.Quit -> (Some (ok "bye"), `Quit)

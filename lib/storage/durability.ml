@@ -1,0 +1,151 @@
+(* The fsync discipline.
+
+   A store publishes state by writing immutable files and renaming a
+   fresh MANIFEST over the old one.  Rename gives atomicity against
+   process death (kill -9): a reader sees the old manifest or the new
+   one, never half of either.  It does NOT give durability against
+   power loss — the rename, the manifest bytes and the segment bytes
+   all live in the page cache until the kernel flushes them, and they
+   can reach disk out of order (a manifest naming a segment whose bytes
+   never landed is exactly the torn state the CRCs then refuse).
+
+   Three modes close that window to taste:
+
+     Full   every publish syncs in write order before it is
+            acknowledged: segment file fd, then MANIFEST.tmp fd, then
+            the directory fd after the rename.  An acknowledged write
+            survives power loss.
+     Async  the same sync requests are queued to a background flusher
+            domain and the acknowledgement does not wait.  Process
+            death loses nothing (the rename already happened); power
+            loss can lose the last few acknowledged writes, never
+            tear the store.
+     Off    no syncing at all.  Same crash-atomicity as Async, widest
+            power-loss window; for throwaway stores and benches.
+
+   The mode is process-global (one knob, like the fault registry):
+   storage has many entry points (server catalog, CLI compact, the
+   background compactor) and they must agree. *)
+
+module Metrics = Paradb_telemetry.Metrics
+
+type mode = Full | Async | Off
+
+let to_string = function Full -> "full" | Async -> "async" | Off -> "off"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "full" -> Some Full
+  | "async" -> Some Async
+  | "off" -> Some Off
+  | _ -> None
+
+let current = Atomic.make Full
+
+let mode () = Atomic.get current
+
+let m_fsync = Metrics.counter "storage.fsync.calls"
+let m_async_queued = Metrics.counter "storage.fsync.async_queued"
+
+let env_var = "PARADB_DURABILITY"
+
+let init_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some raw -> (
+      match of_string raw with
+      | Some m -> Atomic.set current m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "%s: expected full, async or off, got %S" env_var
+               raw))
+
+(* ------------------------------------------------------------------ *)
+(* The sync primitive: open read-only, fsync, close.  Path-based on
+   purpose — the writers use buffered channels whose fds are private,
+   and fsync flushes the file's dirty pages whichever fd names it.
+   Directories sync the same way (O_RDONLY on a directory is the one
+   portable way to get a directory fd). *)
+
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> () (* vanished: nothing left to sync *)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Metrics.incr m_fsync;
+          try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Async flusher: one lazily spawned domain draining a queue of paths.
+   The queue deduplicates nothing — fsync on a clean file is cheap and
+   correctness never depends on the flusher at all (it only narrows
+   the power-loss window). *)
+
+type flusher = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  queue : string Queue.t;
+  mutable in_flight : int;
+}
+
+let flusher =
+  lazy
+    (let f =
+       {
+         mu = Mutex.create ();
+         nonempty = Condition.create ();
+         idle = Condition.create ();
+         queue = Queue.create ();
+         in_flight = 0;
+       }
+     in
+     let _domain =
+       Domain.spawn (fun () ->
+           while true do
+             let path =
+               Mutex.protect f.mu (fun () ->
+                   while Queue.is_empty f.queue do
+                     Condition.wait f.nonempty f.mu
+                   done;
+                   f.in_flight <- f.in_flight + 1;
+                   Queue.pop f.queue)
+             in
+             fsync_path path;
+             Mutex.protect f.mu (fun () ->
+                 f.in_flight <- f.in_flight - 1;
+                 if f.in_flight = 0 && Queue.is_empty f.queue then
+                   Condition.broadcast f.idle)
+           done)
+     in
+     f)
+
+let enqueue path =
+  let f = Lazy.force flusher in
+  Metrics.incr m_async_queued;
+  Mutex.protect f.mu (fun () ->
+      Queue.push path f.queue;
+      Condition.signal f.nonempty)
+
+let drain () =
+  if Lazy.is_val flusher then begin
+    let f = Lazy.force flusher in
+    Mutex.protect f.mu (fun () ->
+        while not (Queue.is_empty f.queue && f.in_flight = 0) do
+          Condition.wait f.idle f.mu
+        done)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let file_sync path =
+  match Atomic.get current with
+  | Full -> fsync_path path
+  | Async -> enqueue path
+  | Off -> ()
+
+let dir_sync = file_sync
+
+let set m = Atomic.set current m

@@ -1,0 +1,36 @@
+(** Process-global fsync discipline for store publishes (see DESIGN.md
+    §16 "Durability model").
+
+    [Full] syncs in write order before a publish is acknowledged
+    (segment fd → MANIFEST.tmp fd → directory fd after the rename);
+    [Async] queues the same syncs to a background flusher domain and
+    returns immediately; [Off] never syncs.  All three keep the
+    atomic-rename protocol, so a [kill -9] at any point leaves either
+    the old store or the new one; the modes only differ in the
+    power-loss window. *)
+
+type mode = Full | Async | Off
+
+val to_string : mode -> string
+val of_string : string -> mode option
+
+val mode : unit -> mode
+val set : mode -> unit
+
+(** Reads [PARADB_DURABILITY]; raises [Invalid_argument] on a value
+    outside full/async/off.  Leaves the mode untouched when unset. *)
+val init_from_env : unit -> unit
+
+val env_var : string
+
+(** [file_sync path] — fsync [path] now ([Full]), queue it ([Async]),
+    or skip it ([Off]).  Best-effort: sync errors on a vanished file
+    are swallowed (the file was superseded, nothing left to protect). *)
+val file_sync : string -> unit
+
+(** [dir_sync dir] — same, for a directory (persists the rename). *)
+val dir_sync : string -> unit
+
+(** Block until the async flusher queue is empty (no-op when the
+    flusher never started).  For tests and benches. *)
+val drain : unit -> unit

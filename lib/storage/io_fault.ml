@@ -1,0 +1,70 @@
+(* Write-path fault injection for crash testing the storage engine.
+
+   [Crash] simulates the process dying at an injection point: the write
+   in flight is abandoned exactly as [kill -9] would abandon it — after
+   [maybe_torn_write] the file on disk holds a random prefix of what
+   was written (the torn page a power cut leaves), after
+   [maybe_crash_after_write] the file is complete but nothing that
+   should follow it (manifest swap, directory sync) has happened.
+   Recovery code is then exercised in-process: the caller catches
+   [Crash], reopens the store, and asserts the acknowledged state.
+
+   Configured through the same PARADB_FAULTS variable as the server
+   faults ([Paradb_server.Fault] parses the spec and forwards the
+   storage keys here — this module cannot live there because storage
+   must not depend on the server). *)
+
+module Metrics = Paradb_telemetry.Metrics
+
+exception Crash of string
+
+type config = { torn_write : float; crash_after_write : float; seed : int }
+
+let default = { torn_write = 0.0; crash_after_write = 0.0; seed = 0 }
+let enabled = Atomic.make false
+let current = Atomic.make default
+
+let m_injected = Metrics.counter "storage.faults.injected"
+
+(* Per-domain RNG keyed on the configured seed, mirroring
+   [Paradb_server.Fault]: the background compactor domain and the
+   session workers must not share one state. *)
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      Random.State.make
+        [| (Atomic.get current).seed; (Domain.self () :> int); 0x51ed |])
+
+let set = function
+  | None ->
+      Atomic.set enabled false;
+      Atomic.set current default
+  | Some c ->
+      Atomic.set current c;
+      Atomic.set enabled (c.torn_write > 0.0 || c.crash_after_write > 0.0)
+
+let active () = Atomic.get enabled
+
+let rng () = Domain.DLS.get rng_key
+let roll p = p > 0.0 && Random.State.float (rng ()) 1.0 < p
+
+(* Tear the freshly written [path] to a random proper prefix, then
+   crash.  The prefix can be empty: a create-then-crash leaves a
+   zero-byte file, which recovery must also survive. *)
+let maybe_torn_write path =
+  if Atomic.get enabled && roll (Atomic.get current).torn_write then begin
+    Metrics.incr m_injected;
+    let size =
+      match (Unix.stat path).Unix.st_size with
+      | n -> n
+      | exception Unix.Unix_error _ -> 0
+    in
+    let keep = if size = 0 then 0 else Random.State.int (rng ()) size in
+    (try Unix.truncate path keep with Unix.Unix_error _ -> ());
+    raise (Crash (Printf.sprintf "injected torn write: %s cut to %d bytes" path keep))
+  end
+
+let maybe_crash_after_write path =
+  if Atomic.get enabled && roll (Atomic.get current).crash_after_write then begin
+    Metrics.incr m_injected;
+    raise (Crash ("injected crash after writing " ^ path))
+  end

@@ -1,0 +1,32 @@
+(** Crash-point fault injection for the storage write path.
+
+    Two faults, both raising {!Crash} to simulate the process dying at
+    the injection point: [torn_write] first truncates the file in
+    flight to a random prefix (the torn page a power cut leaves),
+    [crash_after_write] leaves the file complete but abandons whatever
+    publication step should follow.  Callers never catch [Crash] on the
+    write path — it propagates like a real death; tests catch it at the
+    top, reopen the store, and assert recovery.
+
+    Disabled by default (one [Atomic.get] per injection point when
+    off).  [Paradb_server.Fault] forwards the [torn_write:<p>] and
+    [crash_after_write:<p>] keys of PARADB_FAULTS here. *)
+
+exception Crash of string
+
+type config = { torn_write : float; crash_after_write : float; seed : int }
+
+val default : config
+
+(** [set (Some c)] arms the faults; [set None] disarms them. *)
+val set : config option -> unit
+
+val active : unit -> bool
+
+(** [maybe_torn_write path] — with probability [torn_write], truncate
+    [path] to a uniformly random proper prefix and raise {!Crash}. *)
+val maybe_torn_write : string -> unit
+
+(** [maybe_crash_after_write path] — with probability
+    [crash_after_write], raise {!Crash}. *)
+val maybe_crash_after_write : string -> unit

@@ -118,18 +118,22 @@ let write ~path r =
   Bytes.blit schema_bytes 0 header
     (fixed_header_len + String.length name)
     (Bytes.length schema_bytes);
-  Out_channel.with_open_bin path (fun oc ->
-      let written = ref 0 in
-      written := !written + output_section oc header;
-      written := !written + output_section oc dict_bytes;
-      let page = Bytes.create (n_rows * 4) in
-      for c = 0 to arity - 1 do
-        for j = 0 to n_rows - 1 do
-          put_u32 page (4 * j) trans.(Array.unsafe_get rows_arr.(j) c)
+  let written =
+    Out_channel.with_open_bin path (fun oc ->
+        let written = ref 0 in
+        written := !written + output_section oc header;
+        written := !written + output_section oc dict_bytes;
+        let page = Bytes.create (n_rows * 4) in
+        for c = 0 to arity - 1 do
+          for j = 0 to n_rows - 1 do
+            put_u32 page (4 * j) trans.(Array.unsafe_get rows_arr.(j) c)
+          done;
+          written := !written + output_section oc page
         done;
-        written := !written + output_section oc page
-      done;
-      !written)
+        !written)
+  in
+  Io_fault.maybe_torn_write path;
+  written
 
 (* ------------------------------------------------------------------ *)
 (* Reader *)

@@ -2,10 +2,22 @@ module Dictionary = Paradb_relational.Dictionary
 module Relation = Paradb_relational.Relation
 module Database = Paradb_relational.Database
 
+module Metrics = Paradb_telemetry.Metrics
+
 type entry = { file : string; relation : string; rows : int }
 
 let manifest_file = "MANIFEST"
-let manifest_magic = "paradb-segments 1"
+let orphans_dir = "orphans"
+
+(* v1 manifests had no trailer, so a truncation that happens to land on
+   a line boundary parses cleanly and silently forgets relations.  v2
+   closes that hole with a mandatory [end <count> <crc32>] trailer over
+   the entry lines; v1 stores are still readable (and upgraded to v2 on
+   their next manifest swap). *)
+let manifest_magic_v1 = "paradb-segments 1"
+let manifest_magic = "paradb-segments 2"
+
+let m_orphans = Metrics.counter "storage.orphans.cleaned"
 
 let corrupt path fmt =
   Format.kasprintf
@@ -20,40 +32,108 @@ let is_store path =
 (* ------------------------------------------------------------------ *)
 (* Manifest *)
 
+let entry_line e = Printf.sprintf "segment %s %s %d\n" e.file e.relation e.rows
+
+let parse_entry path line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "segment"; file; relation; rows ] -> (
+      match int_of_string_opt rows with
+      | Some rows when rows >= 0 -> { file; relation; rows }
+      | _ -> corrupt path "bad row count in line %S" line)
+  | _ -> corrupt path "unparsable line %S" line
+
+(* v1 body: entry lines to end of file, blank lines ignored.  No
+   integrity check beyond per-line syntax — which is exactly why v2
+   exists. *)
+let parse_v1 path lines =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None else Some (parse_entry path line))
+    lines
+
+(* v2 body: entry lines, then an [end <count> <crc32hex>] trailer whose
+   checksum covers the raw entry-line bytes.  Anything cut off before
+   the trailer — including a cut exactly on a line boundary, which v1
+   accepted — fails as truncated; bytes after the trailer fail too. *)
+let parse_v2 path lines =
+  let rec go acc crc = function
+    | [] -> corrupt path "truncated: missing end trailer"
+    | line :: rest -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "end"; count; stored ] ->
+            List.iter
+              (fun l ->
+                if String.trim l <> "" then
+                  corrupt path "bytes after end trailer: %S" l)
+              rest;
+            let count =
+              match int_of_string_opt count with
+              | Some n when n >= 0 -> n
+              | _ -> corrupt path "bad entry count in trailer %S" line
+            in
+            let stored =
+              match int_of_string_opt ("0x" ^ stored) with
+              | Some c -> c
+              | None -> corrupt path "bad checksum in trailer %S" line
+            in
+            if List.length acc <> count then
+              corrupt path "trailer says %d entries, found %d" count
+                (List.length acc);
+            let computed = Crc32.finish crc in
+            if computed <> stored then
+              corrupt path "entry checksum mismatch (stored %08x, computed %08x)"
+                stored computed;
+            List.rev acc
+        | _ ->
+            go
+              (parse_entry path line :: acc)
+              (Crc32.feed_string crc (line ^ "\n"))
+              rest)
+  in
+  go [] Crc32.init lines
+
 let entries dir =
   let path = Filename.concat dir manifest_file in
   let text = In_channel.with_open_bin path In_channel.input_all in
   match String.split_on_char '\n' text with
   | [] -> corrupt path "empty manifest"
   | first :: rest ->
-      if String.trim first <> manifest_magic then
-        corrupt path "bad first line %S (expected %S)" first manifest_magic;
-      List.filter_map
-        (fun line ->
-          let line = String.trim line in
-          if line = "" then None
-          else
-            match String.split_on_char ' ' line with
-            | [ "segment"; file; relation; rows ] -> (
-                match int_of_string_opt rows with
-                | Some rows when rows >= 0 -> Some { file; relation; rows }
-                | _ -> corrupt path "bad row count in line %S" line)
-            | _ -> corrupt path "unparsable line %S" line)
-        rest
+      let first = String.trim first in
+      if first = manifest_magic then parse_v2 path rest
+      else if first = manifest_magic_v1 then parse_v1 path rest
+      else
+        corrupt path "bad first line %S (expected %S)" first manifest_magic
 
+(* The publish protocol, in write order (see DESIGN.md §16):
+   1. segment bytes reach their files (callers sync them first),
+   2. MANIFEST.tmp is written and synced,
+   3. the rename swaps it live,
+   4. the directory entry is synced.
+   Under [Durability.Full] each sync completes before the next step; a
+   kill at any point leaves either the old manifest or the new one, and
+   the new one never names unsynced segment bytes. *)
 let write_manifest dir es =
   let buf = Buffer.create 256 in
   Buffer.add_string buf manifest_magic;
   Buffer.add_char buf '\n';
-  List.iter
-    (fun e ->
-      Buffer.add_string buf
-        (Printf.sprintf "segment %s %s %d\n" e.file e.relation e.rows))
-    es;
+  let crc =
+    List.fold_left
+      (fun crc e ->
+        let line = entry_line e in
+        Buffer.add_string buf line;
+        Crc32.feed_string crc line)
+      Crc32.init es
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "end %d %08x\n" (List.length es) (Crc32.finish crc));
   let tmp = Filename.concat dir (manifest_file ^ ".tmp") in
   Out_channel.with_open_bin tmp (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
-  Sys.rename tmp (Filename.concat dir manifest_file)
+  Io_fault.maybe_torn_write tmp;
+  Durability.file_sync tmp;
+  Io_fault.maybe_crash_after_write tmp;
+  Sys.rename tmp (Filename.concat dir manifest_file);
+  Durability.dir_sync dir
 
 (* Relation names are parser identifiers, but keep file names safe
    against anything unexpected. *)
@@ -83,9 +163,14 @@ let rec mkdir_p dir =
 (* ------------------------------------------------------------------ *)
 (* Writing *)
 
+(* Segment bytes are synced before the manifest can name them — step 1
+   of the publish protocol in [write_manifest]'s comment. *)
 let write_segment dir seq r =
   let file = segment_file seq (Relation.name r) in
-  let bytes = Segment.write ~path:(Filename.concat dir file) r in
+  let path = Filename.concat dir file in
+  let bytes = Segment.write ~path r in
+  Durability.file_sync path;
+  Io_fault.maybe_crash_after_write path;
   ({ file; relation = Relation.name r; rows = Relation.cardinality r }, bytes)
 
 let compact ~dir db =
@@ -151,7 +236,64 @@ let relation_of_segments ~dict = function
       Relation.of_codes ~name:(Segment.name first) ~dict ~size_hint:total
         ~schema rows
 
+(* ------------------------------------------------------------------ *)
+(* Recovery: quarantine anything a crash left behind.
+
+   Every failure mode of the publish protocol leaves exactly one kind
+   of debris — files in the store directory the live manifest does not
+   reference: a MANIFEST.tmp from a death between write and rename, or
+   segment files whose manifest swap never happened (and, after an
+   interrupted [fold_in_place], superseded segments whose removal never
+   ran).  None of it is ever read, but it accumulates forever and a
+   later writer could collide with a stale [.tmp], so recovery moves it
+   into [orphans/] (rename, no copy) where an operator can inspect or
+   delete it.  Quarantine rather than delete: if the manifest itself is
+   the casualty, the orphans are the only surviving copy of the data.
+
+   Best-effort by design — a read-only store just skips recovery. *)
+
+let quarantine dir file =
+  let dst_dir = Filename.concat dir orphans_dir in
+  (try mkdir_p dst_dir with Sys_error _ | Unix.Unix_error _ -> ());
+  let dst =
+    let base = Filename.concat dst_dir file in
+    if not (Sys.file_exists base) then base
+    else
+      let rec fresh k =
+        let p = Printf.sprintf "%s.%d" base k in
+        if Sys.file_exists p then fresh (k + 1) else p
+      in
+      fresh 1
+  in
+  match Sys.rename (Filename.concat dir file) dst with
+  | () ->
+      Metrics.incr m_orphans;
+      true
+  | exception Sys_error _ -> false
+
+let recover dir =
+  let es = entries dir in
+  let live = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace live e.file ()) es;
+  let cleaned = ref 0 in
+  (match Sys.readdir dir with
+  | files ->
+      Array.iter
+        (fun file ->
+          let orphan =
+            file <> manifest_file
+            && file <> orphans_dir
+            && (Filename.check_suffix file ".tmp"
+               || (Filename.check_suffix file ".seg"
+                  && not (Hashtbl.mem live file)))
+          in
+          if orphan && quarantine dir file then incr cleaned)
+        files
+  | exception Sys_error _ -> ());
+  !cleaned
+
 let open_dir ?(dict = Dictionary.global) dir =
+  let (_ : int) = recover dir in
   let es = entries dir in
   let order = ref [] in
   let tbl = Hashtbl.create 16 in

@@ -1,19 +1,35 @@
 (** A segment directory: one database as a set of immutable segment
     files plus a [MANIFEST] naming the live ones.
 
-    The manifest is a text file — [paradb-segments 1] on the first line,
-    then one [segment <file> <relation> <rows>] line per live segment in
-    load order.  Updates write [MANIFEST.tmp] and [Sys.rename] it over
-    the old manifest, so a reader always sees a complete segment set:
-    either the old one or the new one, never a half-written list.
+    The manifest is a text file — [paradb-segments 2] on the first line,
+    one [segment <file> <relation> <rows>] line per live segment in load
+    order, and an [end <count> <crc32hex>] trailer checksumming the
+    entry lines, so any truncation (even one landing exactly on a line
+    boundary) is detected rather than silently dropping relations.
+    Version-1 manifests (no trailer) remain readable and upgrade to v2
+    on their next swap.  Updates write [MANIFEST.tmp] and [Sys.rename]
+    it over the old manifest, so a reader always sees a complete segment
+    set: either the old one or the new one, never a half-written list.
+
+    Durability follows the process-global {!Durability} mode: under
+    [Full], segment bytes, the manifest tmp and the directory entry are
+    fsynced in write order before a publish returns, so an acknowledged
+    write survives power loss; [Async]/[Off] keep the same
+    crash-atomicity with a wider power-loss window.
+
     Segment files themselves are never rewritten; incremental [LOAD]
     appends delta segments, and a relation's rows are the set union of
-    its segments in manifest order.  Orphaned segment files (from a
-    crash between segment write and manifest swap) are ignored. *)
+    its segments in manifest order.  Files a crash stranded — a stale
+    [MANIFEST.tmp], segment files the live manifest does not reference —
+    are quarantined into [orphans/] by {!recover}, which {!open_dir}
+    runs automatically. *)
 
 type entry = { file : string; relation : string; rows : int }
 
 val manifest_file : string
+
+(** Subdirectory quarantined crash debris is moved into by {!recover}. *)
+val orphans_dir : string
 
 (** [sanitize_name s] maps a relation or database name to a filesystem-
     safe token (anything outside [[A-Za-z0-9_-]] becomes ['_']). *)
@@ -47,10 +63,20 @@ val append : dir:string -> Paradb_relational.Relation.t -> unit
     Raises {!Segment.Corrupt} / [Sys_error] like {!open_dir}. *)
 val fold_in_place : dir:string -> int * int * int
 
-(** [open_dir dir] opens and validates every live segment and builds the
-    database (multi-segment relations are unioned with set semantics).
-    Raises {!Segment.Corrupt} on any validation failure — including a
-    manifest/segment disagreement on name or row count. *)
+(** [recover dir] quarantines crash debris — a leftover [MANIFEST.tmp],
+    any [.tmp] file, and segment files the live manifest does not
+    reference — into [dir]/[orphans/], counting each move on the
+    [storage.orphans.cleaned] metric.  Returns the number of files
+    moved.  Best-effort: unmovable files are skipped, a read-only store
+    recovers nothing.  Raises like {!entries} if the manifest itself is
+    unreadable. *)
+val recover : string -> int
+
+(** [open_dir dir] runs {!recover}, then opens and validates every live
+    segment and builds the database (multi-segment relations are
+    unioned with set semantics).  Raises {!Segment.Corrupt} on any
+    validation failure — including a manifest/segment disagreement on
+    name or row count. *)
 val open_dir :
   ?dict:Paradb_relational.Dictionary.t -> string -> Paradb_relational.Database.t
 

@@ -1,0 +1,236 @@
+#!/usr/bin/env bash
+# Crash storm: kill -9 a durable server (and a replicated cluster's
+# shard) over and over, mid-write and mid-compaction, and assert the
+# three durability contracts:
+#
+#   1. zero corrupt stores — every restart attaches the data dir
+#      cleanly (crash debris is quarantined, never trusted),
+#   2. no acked-then-lost rows — every fact the client saw acked under
+#      --durability full is present after every restart,
+#   3. replicas converge — after hint replay and REPAIR the replica
+#      digests are bit-identical (DIGEST reports divergent=0).
+#
+#   scripts/crash_storm.sh [path-to-paradb-binary] [single-cycles] [cluster-cycles]
+#
+# Artifacts: crash-*.log, crash-store/ (the surviving data dir),
+# crash-acked.facts (the oracle of acknowledged writes).
+set -eu
+
+PARADB=${1:-./_build/default/bin/paradb.exe}
+CYCLES=${2:-10}
+CLUSTER_CYCLES=${3:-4}
+
+WORK=$(pwd)
+STORE="$WORK/crash-store"
+ACKED="$WORK/crash-acked.facts"
+HINTS="$WORK/crash-hints"
+rm -rf "$STORE" "$HINTS" crash-*.log crash-acked*.facts crash-batch*.facts
+mkdir -p "$STORE"
+: > "$ACKED"
+
+say() { echo "crash_storm: $*"; }
+
+wait_for() { # wait_for <pattern> <logfile>
+  for _ in $(seq 1 100); do
+    grep -q "$1" "$2" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  say "timeout waiting for '$1' in $2"
+  cat "$2" || true
+  return 1
+}
+
+port_of() { sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$1" | head -n 1; }
+
+# Turn GATHER fact-line payload into sorted canonical rows.
+gather_sorted() { # gather_sorted <port> <db> <outfile>
+  "$PARADB" client --port "$1" --timeout 10 --retries 5 \
+    -c "GATHER $2 e(X, Y) :- e(X, Y)." | tail -n +2 | sort -u > "$3"
+}
+
+# Assert every acked fact is present (acked ⊆ store).  A fact that was
+# in flight at the kill may legitimately survive un-acked, so this is a
+# subset check, not equality.
+assert_no_lost() { # assert_no_lost <gathered-file> <label>
+  sort -u "$ACKED" > crash-acked-sorted.facts
+  if ! comm -23 crash-acked-sorted.facts "$1" | head -n 5 | grep -q .; then
+    return 0
+  fi
+  say "ACKED ROWS LOST ($2):"
+  comm -23 crash-acked-sorted.facts "$1" | head -n 20
+  return 1
+}
+
+# ── Phase 1: single durable server, kill -9 mid-write/mid-compaction ──
+say "phase 1: $CYCLES kill -9 cycles against serve --data-dir"
+I=0
+for cycle in $(seq 1 "$CYCLES"); do
+  : > crash-serve.log
+  # Aggressive background compaction so kills land mid-fold too.
+  "$PARADB" serve --port 0 --data-dir "$STORE" --durability full \
+    --compact-after 4 --compact-interval 0.2 --grace 1 \
+    > crash-serve.log 2>&1 &
+  SERVE_PID=$!
+  trap 'kill -9 $SERVE_PID 2>/dev/null || true' EXIT
+  wait_for listening crash-serve.log
+  PORT=$(port_of crash-serve.log)
+
+  # Contract 1+2 from the previous cycle: clean attach, no acked loss.
+  if [ "$cycle" -gt 1 ]; then
+    if grep -q 'error: storage' crash-serve.log; then
+      say "CORRUPT STORE after kill $((cycle - 1))"; cat crash-serve.log; exit 1
+    fi
+    wait_for "attached g" crash-serve.log
+    gather_sorted "$PORT" g crash-survivors.facts
+    assert_no_lost crash-survivors.facts "cycle $cycle"
+  fi
+
+  # Writer: acked facts go into the oracle, stop at the first failure
+  # (the kill).  Runs in the background so the kill lands mid-write.
+  (
+    j=$I
+    while [ $j -lt $((I + 400)) ]; do
+      if "$PARADB" client --port "$PORT" --timeout 5 --retries 0 \
+          -c "FACT g e($j, $((j + 1)))." > /dev/null 2>&1; then
+        echo "e($j, $((j + 1)))." >> "$ACKED"
+      else
+        break
+      fi
+      j=$((j + 1))
+    done
+  ) &
+  WRITER_PID=$!
+  sleep "0.$((RANDOM % 5 + 2))"
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  wait "$WRITER_PID" 2>/dev/null || true
+  I=$((I + 400))
+done
+
+# Final verification pass over the much-killed store.
+: > crash-serve.log
+"$PARADB" serve --port 0 --data-dir "$STORE" --durability full --grace 1 \
+  > crash-serve.log 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 $SERVE_PID 2>/dev/null || true' EXIT
+wait_for listening crash-serve.log
+if grep -q 'error: storage' crash-serve.log; then
+  say "CORRUPT STORE at final attach"; cat crash-serve.log; exit 1
+fi
+wait_for "attached g" crash-serve.log
+PORT=$(port_of crash-serve.log)
+gather_sorted "$PORT" g crash-survivors.facts
+assert_no_lost crash-survivors.facts "final"
+ACKED_N=$(sort -u "$ACKED" | wc -l)
+GOT_N=$(wc -l < crash-survivors.facts)
+say "phase 1 ok: $ACKED_N acked rows all survived ($GOT_N on disk)"
+test "$ACKED_N" -ge 1
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+
+# ── Phase 2: 2-shard coordinator, kill -9 a shard, hints + REPAIR ────
+say "phase 2: $CLUSTER_CYCLES shard kill -9 cycles with replicas=2 + hints"
+ACKED="$WORK/crash-acked-cluster.facts"
+: > "$ACKED"
+mkdir -p "$HINTS"
+
+start_shard() { # start_shard <logfile> [port]
+  : > "$1"
+  "$PARADB" serve --port "${2:-0}" --grace 1 > "$1" 2>&1 &
+  echo $!
+}
+
+S0_PID=$(start_shard crash-shard0.log)
+S1_PID=$(start_shard crash-shard1.log)
+trap 'kill -9 $S0_PID $S1_PID $COORD_PID 2>/dev/null || true' EXIT
+wait_for listening crash-shard0.log
+wait_for listening crash-shard1.log
+P0=$(port_of crash-shard0.log)
+P1=$(port_of crash-shard1.log)
+
+"$PARADB" coordinator --port 0 --shards "$P0,$P1" --replicas 2 \
+  --hints-dir "$HINTS" --shard-retries 2 --grace 1 \
+  > crash-coord.log 2>&1 &
+COORD_PID=$!
+wait_for coordinating crash-coord.log
+CPORT=$(port_of crash-coord.log)
+creq() { "$PARADB" client --port "$CPORT" --timeout 10 --retries 5 -c "$1"; }
+
+# Seed db g, then storm: each cycle kills shard 1 mid-write, keeps
+# writing through the coordinator (replica misses are journaled),
+# revives the shard with empty state (full amnesia — worse than any
+# real crash), replays hints, REPAIRs, and demands convergence.
+#
+# Oracle discipline: db g grows only by FACTs, so its acked set is
+# monotone.  Cluster LOAD *replaces* an entry (same semantics as a
+# single in-memory server), so each cycle's mid-kill LOAD targets a
+# fresh db name and carries its own oracle.
+seq 1 40 | awk '{ printf "e(%d, %d).\n", $1, $1 + 1 }' > crash-batch0.facts
+creq "LOAD g $WORK/crash-batch0.facts" > /dev/null
+cat crash-batch0.facts >> "$ACKED"
+K=1000
+for cycle in $(seq 1 "$CLUSTER_CYCLES"); do
+  # Mid-LOAD kill: fire a batch load into a fresh db and kill the
+  # shard while it ships.  An un-acked load promises nothing; an acked
+  # one must survive in full.
+  seq $K $((K + 300)) | awk '{ printf "e(%d, %d).\n", $1, $1 + 1 }' \
+    > crash-batch.facts
+  rm -f crash-batch.acked
+  ( creq "LOAD b$cycle $WORK/crash-batch.facts" > /dev/null 2>&1 \
+      && touch crash-batch.acked ) &
+  LOADER_PID=$!
+  kill -9 "$S1_PID" 2>/dev/null || true
+  wait "$S1_PID" 2>/dev/null || true
+  wait "$LOADER_PID" 2>/dev/null || true
+  K=$((K + 400))
+
+  # Keep writing with the shard down: primaries on shard 0 must ack
+  # (their replica misses are hinted), primaries on shard 1 must fail
+  # cleanly — either way nothing hangs and nothing acked is lost.
+  for j in $(seq $K $((K + 20))); do
+    if creq "FACT g e($j, $((j + 1)))." > /dev/null 2>&1; then
+      echo "e($j, $((j + 1)))." >> "$ACKED"
+    fi
+  done
+  K=$((K + 40))
+
+  # Revive the shard on its old port with empty state, then repair.
+  S1_PID=$(start_shard crash-shard1.log "$P1")
+  wait_for listening crash-shard1.log
+  creq "REPAIR g" > crash-repair.out
+  cat crash-repair.out
+  grep -q 'repaired g' crash-repair.out
+  creq "DIGEST g" > crash-digest.out
+  cat crash-digest.out
+  grep -q 'divergent=0' crash-digest.out
+
+  # No acked-then-lost rows in g through the whole cycle.
+  creq "GATHER g e(X, Y) :- e(X, Y)." | tail -n +2 | sort -u \
+    > crash-cluster-survivors.facts
+  assert_no_lost crash-cluster-survivors.facts "cluster cycle $cycle"
+
+  # An acked batch load must be complete and replica-convergent too.
+  if [ -e crash-batch.acked ]; then
+    creq "REPAIR b$cycle" > /dev/null
+    creq "DIGEST b$cycle" | grep -q 'divergent=0'
+    creq "GATHER b$cycle e(X, Y) :- e(X, Y)." | tail -n +2 | sort -u \
+      > crash-batch-survivors.facts
+    if ! diff <(sort -u crash-batch.facts) crash-batch-survivors.facts \
+        > /dev/null; then
+      say "ACKED LOAD b$cycle incomplete after repair"
+      diff <(sort -u crash-batch.facts) crash-batch-survivors.facts | head -10
+      exit 1
+    fi
+  fi
+done
+
+HINTS_REPLAYED=$("$PARADB" stats --port "$CPORT" \
+  | awk '$1 == "telemetry.cluster.hints.replayed" { print $2 }')
+REPAIR_RUNS=$("$PARADB" stats --port "$CPORT" \
+  | awk '$1 == "telemetry.cluster.repair.runs" { print $2 }')
+say "phase 2 ok: hints replayed=${HINTS_REPLAYED:-0} repair runs=${REPAIR_RUNS:-0}"
+test "${REPAIR_RUNS:-0}" -ge "$CLUSTER_CYCLES"
+
+kill -TERM "$COORD_PID" 2>/dev/null || true
+kill "$S0_PID" "$S1_PID" 2>/dev/null || true
+wait 2>/dev/null || true
+echo "crash storm passed"

@@ -433,6 +433,129 @@ let test_cluster_shard_loss_without_replica () =
         (contains e "shard 1"
         && contains e "unreachable")
 
+(* ------------------------------------------------------------------ *)
+(* Replica self-healing: miss accounting, hinted handoff, REPAIR *)
+
+(* Smallest non-negative int whose first-column placement is [shard],
+   under the same ring parameters the coordinator uses. *)
+let value_on_shard ~shards ~shard =
+  let ring = Ring.create ~shards () in
+  let rec go i =
+    if i > 10_000 then Alcotest.fail "no value maps to the shard"
+    else if Ring.owner_of_value ring (Value.int i) = shard then i
+    else go (i + 1)
+  in
+  go 0
+
+let request_ok client line =
+  match Client.request_line client line with
+  | Protocol.Ok_ { summary; payload } -> (summary, payload)
+  | Protocol.Err e -> Alcotest.failf "%s: ERR %s" line e
+
+(* A write whose primary is reachable succeeds even when the replica's
+   shard is down — counted on cluster.write.replica_miss. *)
+let test_cluster_replica_miss_counted () =
+  let m_miss = Metrics.counter "cluster.write.replica_miss" in
+  with_cluster ~shards:2 ~replicas:2 @@ fun ~shard_servers ~client ->
+  Server.stop shard_servers.(1);
+  let before = Metrics.counter_value m_miss in
+  let v = value_on_shard ~shards:2 ~shard:0 in
+  let summary, _ =
+    request_ok client (Printf.sprintf "FACT g e(%d, 100)." v)
+  in
+  Alcotest.(check bool) ("fact acked: " ^ summary) true (contains summary "shard");
+  Alcotest.(check bool) "replica miss counted" true
+    (Metrics.counter_value m_miss > before)
+
+(* With a hints dir, the missed replica write is journaled and replayed
+   once the shard is back: DIGEST then sees identical replicas. *)
+let test_cluster_hinted_handoff () =
+  let m_journaled = Metrics.counter "cluster.hints.journaled" in
+  let m_replayed = Metrics.counter "cluster.hints.replayed" in
+  let hints_dir = Filename.temp_file "paradb_test_hints" "" in
+  Sys.remove hints_dir;
+  let rec remove_tree path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun f -> remove_tree (Filename.concat path f))
+          (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> remove_tree hints_dir) @@ fun () ->
+  with_cluster ~shards:2 ~replicas:2
+    ~tweak:(fun c -> { c with Coordinator.hints_dir = Some hints_dir })
+  @@ fun ~shard_servers ~client ->
+  let port1 = Server.port shard_servers.(1) in
+  Server.stop shard_servers.(1);
+  let v = value_on_shard ~shards:2 ~shard:0 in
+  let journaled = Metrics.counter_value m_journaled in
+  ignore (request_ok client (Printf.sprintf "FACT g e(%d, 100)." v));
+  ignore (request_ok client (Printf.sprintf "FACT g e(%d, 200)." v));
+  Alcotest.(check bool) "hints journaled" true
+    (Metrics.counter_value m_journaled >= journaled + 2);
+  (* the shard returns (same port, empty state is fine: it missed only
+     these hinted writes) and the next write replays the journal first *)
+  let revived = Server.start ~port:port1 ~workers:1 ~cache_capacity:16 () in
+  Fun.protect ~finally:(fun () -> try Server.stop revived with _ -> ())
+  @@ fun () ->
+  let replayed = Metrics.counter_value m_replayed in
+  ignore (request_ok client (Printf.sprintf "FACT g e(%d, 300)." v));
+  Alcotest.(check bool) "hints replayed" true
+    (Metrics.counter_value m_replayed >= replayed + 2);
+  let summary, _ = request_ok client "DIGEST g" in
+  Alcotest.(check bool)
+    ("replicas converge after handoff: " ^ summary)
+    true
+    (contains summary "divergent=0")
+
+(* Losing a shard's disk entirely (restart with empty state) diverges
+   the replicas; DIGEST reports it and REPAIR re-ships the union of the
+   readable ranks, after which DIGEST is clean and answers match the
+   pre-crash ones. *)
+let test_cluster_repair_converges () =
+  let m_divergent = Metrics.counter "cluster.replica.divergent" in
+  let m_reshipped = Metrics.counter "cluster.repair.reshipped" in
+  with_cluster ~shards:2 ~replicas:2 @@ fun ~shard_servers ~client ->
+  load_facts client;
+  let q = "ans(X, Z) :- e(X, Y), f(Y, Z)." in
+  let before =
+    match eval_on client q with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "pre-crash EVAL: %s" e
+  in
+  let port1 = Server.port shard_servers.(1) in
+  Server.stop shard_servers.(1);
+  let revived = Server.start ~port:port1 ~workers:1 ~cache_capacity:16 () in
+  Fun.protect ~finally:(fun () -> try Server.stop revived with _ -> ())
+  @@ fun () ->
+  let divergent = Metrics.counter_value m_divergent in
+  let summary, _ = request_ok client "DIGEST g" in
+  Alcotest.(check bool)
+    ("amnesiac shard detected: " ^ summary)
+    true
+    (not (contains summary "divergent=0"));
+  Alcotest.(check bool) "divergence counted" true
+    (Metrics.counter_value m_divergent > divergent);
+  let reshipped = Metrics.counter_value m_reshipped in
+  let summary, _ = request_ok client "REPAIR g" in
+  Alcotest.(check bool)
+    ("repair re-shipped: " ^ summary)
+    true
+    (contains summary "repaired" && Metrics.counter_value m_reshipped > reshipped);
+  let summary, _ = request_ok client "DIGEST g" in
+  Alcotest.(check bool)
+    ("replicas converge after repair: " ^ summary)
+    true
+    (contains summary "divergent=0");
+  match eval_on client q with
+  | Ok after ->
+      Alcotest.(check (list string)) "answers survive disk loss + repair"
+        before after
+  | Error e -> Alcotest.failf "post-repair EVAL: %s" e
+
 let test_coordinator_validation () =
   let rejects config =
     match Coordinator.create config with
@@ -481,5 +604,14 @@ let () =
             test_cluster_shard_loss_without_replica;
           Alcotest.test_case "config validation" `Quick
             test_coordinator_validation;
+        ] );
+      ( "self-healing",
+        [
+          Alcotest.test_case "replica miss counted" `Quick
+            test_cluster_replica_miss_counted;
+          Alcotest.test_case "hinted handoff" `Quick
+            test_cluster_hinted_handoff;
+          Alcotest.test_case "repair converges" `Quick
+            test_cluster_repair_converges;
         ] );
     ]

@@ -535,12 +535,11 @@ let test_chaos () =
   Fault.set
     (Some
        {
+         Fault.default with
          Fault.short_read = 0.2;
          write_delay = 0.05;
          disconnect = 0.05;
          raise_eval = 0.05;
-         shard_loss = 0.0;
-         straggler_delay = 0.0;
          seed = 11;
        });
   let hostile id () =

@@ -30,6 +30,8 @@ let test_parse_request () =
   ok "EVAL g auto ans(X) :- e(X, Y)."
     (Protocol.Eval { db = "g"; engine = "auto"; query = "ans(X) :- e(X, Y)." });
   ok "CHECK ans(X) :- e(X, X)." (Protocol.Check "ans(X) :- e(X, X).");
+  ok "DIGEST g" (Protocol.Digest "g");
+  ok "repair g" (Protocol.Repair "g");
   ok "stats" Protocol.Stats;
   ok "METRICS" Protocol.Metrics;
   ok "Quit" Protocol.Quit;
@@ -43,6 +45,8 @@ let test_parse_request () =
   err "LOAD g";
   err "EVAL g auto";
   err "CHECK";
+  err "DIGEST";
+  err "REPAIR";
   err "FROB g"
 
 let test_request_line_roundtrip () =
@@ -57,6 +61,8 @@ let test_request_line_roundtrip () =
       Protocol.Fact { db = "g"; fact = "edge(1, 2)." };
       Protocol.Eval { db = "g"; engine = "fpt"; query = "ans(X) :- e(X, Y), X != Y." };
       Protocol.Check "ans() :- e(X, X).";
+      Protocol.Digest "g";
+      Protocol.Repair "g";
       Protocol.Stats;
       Protocol.Metrics;
       Protocol.Quit;
@@ -361,6 +367,58 @@ let test_explain_verb () =
   | Protocol.Err _ -> ()
   | Protocol.Ok_ _ -> Alcotest.fail "EXPLAIN on a parse error should ERR"
 
+(* DIGEST: a deterministic per-relation content fingerprint — identical
+   databases agree, any content change disagrees.  REPAIR is the
+   coordinator's verb and must refuse cleanly on a plain server. *)
+let test_digest_verb () =
+  let session_with facts =
+    let shared = Session.make_shared ~cache_capacity:4 () in
+    let session = Session.create shared in
+    let run line = Option.get (fst (Session.handle_line session line)) in
+    List.iter
+      (fun f ->
+        match run ("FACT g " ^ f) with
+        | Protocol.Ok_ _ -> ()
+        | Protocol.Err e -> Alcotest.failf "FACT %s: %s" f e)
+      facts;
+    run
+  in
+  let digest run =
+    match run "DIGEST g" with
+    | Protocol.Ok_ { summary; payload } -> (summary, payload)
+    | Protocol.Err e -> Alcotest.failf "DIGEST: %s" e
+  in
+  let facts = [ "e(1, 2)."; "e(2, 3)."; "f(1, 10)." ] in
+  let _, p1 = digest (session_with facts) in
+  (* same content, different insertion order: identical fingerprints *)
+  let _, p2 = digest (session_with (List.rev facts)) in
+  Alcotest.(check (list string)) "order-independent" p1 p2;
+  Alcotest.(check int) "one line per relation" 2 (List.length p1);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("line shape: " ^ l) true
+        (String.length l > 9 && String.sub l 0 9 = "relation "))
+    p1;
+  (* a one-row change flips that relation's line and only that line *)
+  let _, p3 = digest (session_with ("e(9, 9)." :: facts)) in
+  let diff = List.filter (fun l -> not (List.mem l p1)) p3 in
+  (match diff with
+  | [ l ] ->
+      Alcotest.(check bool) "changed line is e's" true (contains l "relation e ")
+  | _ -> Alcotest.failf "expected exactly one changed line, got %d"
+           (List.length diff));
+  (* unknown database and the coordinator-only verb both ERR *)
+  let run = session_with facts in
+  (match run "DIGEST nope" with
+  | Protocol.Err e ->
+      Alcotest.(check bool) "names the database" true (contains e "no database")
+  | Protocol.Ok_ _ -> Alcotest.fail "DIGEST on a missing database");
+  match run "REPAIR g" with
+  | Protocol.Err e ->
+      Alcotest.(check bool) "points at the coordinator" true
+        (contains e "coordinator")
+  | Protocol.Ok_ _ -> Alcotest.fail "REPAIR must be coordinator-only"
+
 (* ------------------------------------------------------------------ *)
 (* Concurrency: 8 parallel connections, answers bit-identical to
    single-shot evaluation (acceptance criterion) *)
@@ -492,6 +550,7 @@ let () =
           Alcotest.test_case "compiled cache never serves a stale snapshot"
             `Quick test_compiled_cache_staleness;
           Alcotest.test_case "explain verb" `Quick test_explain_verb;
+          Alcotest.test_case "digest verb" `Quick test_digest_verb;
         ] );
       ( "concurrency",
         [
