@@ -147,7 +147,7 @@ let choose_engine kind q =
   | Plan.E_fpt -> `Fpt
   | Plan.E_compiled -> `Compiled
 
-let run_eval db_path query_text engine family seed stats trace =
+let run_eval db_path query_text engine family seed count stats trace =
   with_trace trace @@ fun () ->
   match load_database db_path, parse_query query_text with
   | Error e, _ | _, Error e ->
@@ -155,6 +155,42 @@ let run_eval db_path query_text engine family seed stats trace =
       1
   | Ok db, Ok q -> (
       try
+        if count then begin
+          let n, engine_name =
+            match choose_engine engine q with
+            | `Naive ->
+                let s = Paradb_eval.Cq_naive.new_stats () in
+                let n = Paradb_eval.Cq_naive.count ~stats:s db q in
+                if stats then
+                  Printf.printf "%% naive probes: %d\n"
+                    s.Paradb_eval.Cq_naive.probes;
+                (n, "naive")
+            | `Yannakakis ->
+                (Paradb_yannakakis.Yannakakis.count db q, "yannakakis")
+            | `Compiled ->
+                let pplan = Paradb_planner.Planner.plan q in
+                if stats then
+                  Printf.printf "%% plan class: %s, width %d\n"
+                    (Paradb_planner.Planner.classification_name
+                       pplan.Paradb_planner.Planner.classification)
+                    pplan.Paradb_planner.Planner.width;
+                ( Paradb_eval.Compile.run_count
+                    (Paradb_eval.Compile.compile_count pplan db),
+                  "compiled" )
+            | `Fpt ->
+                invalid_arg
+                  "COUNT: engine fpt cannot count (use auto, naive, \
+                   yannakakis, or compiled)"
+            | `Comparisons ->
+                invalid_arg
+                  "COUNT: engine comparisons cannot count (use auto, naive, \
+                   yannakakis, or compiled)"
+          in
+          Printf.printf "%% engine: %s\n" engine_name;
+          Printf.printf "%d\n" n;
+          0
+        end
+        else
         let result, engine_name =
           match choose_engine engine q with
           | `Naive ->
@@ -196,13 +232,23 @@ let run_eval db_path query_text engine family seed stats trace =
           Printf.eprintf "error: %s\n" msg;
           1)
 
+let count_arg =
+  Arg.(
+    value & flag
+    & info [ "count" ]
+        ~doc:
+          "Print the exact answer count — the number of satisfying \
+           valuations of the body variables (Nat-semiring semantics) — \
+           instead of the answer set.  Supported by the auto, naive, \
+           yannakakis and compiled engines.")
+
 let eval_cmd =
   let doc = "Evaluate a query over a fact file." in
   Cmd.v
     (Cmd.info "eval" ~doc ~exits)
     Term.(
       const run_eval $ db_arg $ query_arg $ engine_arg $ family_arg $ seed_arg
-      $ stats_arg $ trace_arg)
+      $ count_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check *)
@@ -1267,7 +1313,7 @@ let main_cmd =
   let doc =
     "Parameterized query evaluation (Papadimitriou & Yannakakis, PODS 1997)"
   in
-  Cmd.group (Cmd.info "paradb" ~version:"1.8.0" ~doc ~exits)
+  Cmd.group (Cmd.info "paradb" ~version:"1.10.0" ~doc ~exits)
     [
       eval_cmd; check_cmd; datalog_cmd; generate_cmd; compact_cmd; serve_cmd;
       coordinator_cmd; client_cmd; stats_cmd; fuzz_cmd;

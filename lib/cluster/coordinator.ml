@@ -536,6 +536,32 @@ let scatter_eval t conns budget ~db ~query q =
       gather_all t conns budget ~db ~head_name:q.Cq.name
         ~arity:(List.length q.Cq.head) query)
 
+(* Scatter counting: under co-partitioning every satisfying valuation's
+   witness tuples all carry the same first value, so the valuation is
+   counted on exactly one shard — per-shard counts partition the total
+   and the coordinator just sums them.  A shard whose slice of some
+   body relation is empty (never shipped) contributes zero. *)
+let scatter_count t conns budget ~db ~query =
+  round (fun () ->
+      List.fold_left ( + ) 0
+        (List.init (shards t) (fun s ->
+             match
+               data_call t conns budget ~shard:s ~rank:0 ~db (fun name ->
+                   Printf.sprintf "COUNT %s auto %s" name query)
+             with
+             | Protocol.Ok_ { payload = [ n ]; _ }
+               when int_of_string_opt (String.trim n) <> None ->
+                 int_of_string (String.trim n)
+             | Protocol.Ok_ _ ->
+                 raise
+                   (Reply
+                      (Protocol.Err
+                         (Printf.sprintf "shard %d: malformed COUNT payload" s)))
+             | Protocol.Err e when is_missing_relation e -> 0
+             | Protocol.Err e ->
+                 raise
+                   (Reply (Protocol.Err (Printf.sprintf "shard %d: %s" s e))))))
+
 (* --- reducer exchange ------------------------------------------- *)
 
 let term_to_source = function
@@ -600,15 +626,16 @@ let reducer_source q i =
 
 (* A query with no relational atoms is ground: by safety its head and
    constraints are all constants, so it touches no shard at all. *)
+let ground_holds q =
+  List.for_all
+    (fun c ->
+      match (c.Constr.lhs, c.Constr.rhs) with
+      | Term.Const a, Term.Const b -> Constr.eval_op c.Constr.op a b
+      | _ -> false)
+    q.Cq.constraints
+
 let eval_ground q =
-  let holds =
-    List.for_all
-      (fun c ->
-        match (c.Constr.lhs, c.Constr.rhs) with
-        | Term.Const a, Term.Const b -> Constr.eval_op c.Constr.op a b
-        | _ -> false)
-      q.Cq.constraints
-  in
+  let holds = ground_holds q in
   let consts =
     List.filter_map
       (function Term.Const v -> Some v | Term.Var _ -> None)
@@ -627,36 +654,54 @@ let eval_ground q =
    selections/semijoins (linear shard-side), the exchange moves only
    reduced relations, and the final join runs the same planner the
    single node would. *)
+let exchange_scratch t conns budget ~db q =
+  let gname i = Printf.sprintf "gx%d" i in
+  let gathered =
+    round (fun () ->
+        List.mapi
+          (fun i atom ->
+            let arity = List.length atom.Atom.args in
+            (i, arity, reducer_source q i))
+          q.Cq.body
+        |> List.map (fun (i, arity, src) ->
+               ( i,
+                 gather_all t conns budget ~db ~head_name:(gname i) ~arity
+                   src )))
+  in
+  let scratch =
+    List.fold_left
+      (fun acc (_, r) -> Database.add r acc)
+      Database.empty gathered
+  in
+  let rewritten =
+    Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:q.Cq.head
+      (List.mapi
+         (fun i atom -> Atom.make (gname i) atom.Atom.args)
+         q.Cq.body)
+  in
+  (scratch, rewritten)
+
 let exchange_eval t conns budget ~db q =
   if q.Cq.body = [] then eval_ground q
   else begin
-    let gname i = Printf.sprintf "gx%d" i in
-    let gathered =
-      round (fun () ->
-          List.mapi
-            (fun i atom ->
-              let arity = List.length atom.Atom.args in
-              (i, arity, reducer_source q i))
-            q.Cq.body
-          |> List.map (fun (i, arity, src) ->
-                 ( i,
-                   gather_all t conns budget ~db ~head_name:(gname i) ~arity
-                     src )))
-    in
-    let scratch =
-      List.fold_left
-        (fun acc (_, r) -> Database.add r acc)
-        Database.empty gathered
-    in
-    let rewritten =
-      Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:q.Cq.head
-        (List.mapi
-           (fun i atom -> Atom.make (gname i) atom.Atom.args)
-           q.Cq.body)
-    in
+    let scratch, rewritten = exchange_scratch t conns budget ~db q in
     round (fun () ->
         let plan = Plan.analyze Plan.Auto rewritten in
         Plan.evaluate ?budget plan scratch rewritten)
+  end
+
+(* COUNT over the exchange: the same round-1 reducers (semijoin
+   reduction is count-preserving — a dropped tuple takes part in no
+   satisfying valuation), then the exact count computed locally on the
+   scratch database.  A ground query has exactly one, empty, valuation
+   when its constraints hold. *)
+let exchange_count t conns budget ~db q =
+  if q.Cq.body = [] then if ground_holds q then 1 else 0
+  else begin
+    let scratch, rewritten = exchange_scratch t conns budget ~db q in
+    round (fun () ->
+        let plan = Plan.analyze Plan.Auto rewritten in
+        Plan.count ?budget plan scratch rewritten)
   end
 
 let truncate_rows t lines rows =
@@ -664,11 +709,13 @@ let truncate_rows t lines rows =
   | Some m when rows > m -> (List.filteri (fun i _ -> i < m) lines, true)
   | _ -> (lines, false)
 
-(* Shared EVAL/GATHER core: parse, precheck the relation names against
-   the coordinator's recorded schema, arm the deadline, pick the
-   distribution strategy, fan out.  [render] turns the result relation
-   into the verb's payload and summary. *)
-let guarded_eval t conns ~db ~engine ~query render =
+(* Shared EVAL/GATHER/COUNT core: parse, precheck the relation names
+   against the coordinator's recorded schema, arm the deadline, pick
+   the distribution strategy, fan out.  [scatter]/[exchange] are the
+   verb's two strategies (relation-valued for EVAL/GATHER, int-valued
+   for COUNT); [render] turns the result into the verb's payload and
+   summary. *)
+let guarded t ~db ~engine ~query ~scatter ~exchange render =
   match Plan.engine_kind_of_string engine with
   | None -> Protocol.Err (Printf.sprintf "unknown engine %s" engine)
   | Some _kind -> (
@@ -705,10 +752,10 @@ let guarded_eval t conns ~db ~engine ~query render =
                     with
                     | Planner.Copartitioned _ when q.Cq.body <> [] ->
                         Metrics.incr m_scatter;
-                        ("scatter", scatter_eval t conns budget ~db ~query q)
+                        ("scatter", scatter budget q)
                     | _ ->
                         Metrics.incr m_exchange;
-                        ("exchange", exchange_eval t conns budget ~db q)
+                        ("exchange", exchange budget q)
                   in
                   render ~mode ~ns:(Clock.now_ns () - t0) result
                 with
@@ -720,6 +767,12 @@ let guarded_eval t conns ~db ~engine ~query render =
                       (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
                 | Invalid_argument msg -> Protocol.Err msg
               end))
+
+let guarded_eval t conns ~db ~engine ~query render =
+  guarded t ~db ~engine ~query
+    ~scatter:(fun budget q -> scatter_eval t conns budget ~db ~query q)
+    ~exchange:(fun budget q -> exchange_eval t conns budget ~db q)
+    render
 
 let render_eval t ~mode ~ns result =
   let rows = Relation.cardinality result in
@@ -777,6 +830,33 @@ let do_eval t conns ~db ~engine ~query =
 let do_gather t conns ~db ~query =
   admitted t (fun () ->
       guarded_eval t conns ~db ~engine:"auto" ~query (render_gather t))
+
+(* COUNT at the coordinator: the payload is the same single bare-count
+   line a single node answers, so clients (and the differential
+   oracle's count engines) read both identically. *)
+let render_count t ~mode ~ns n =
+  Protocol.Ok_
+    {
+      summary =
+        Printf.sprintf "engine=cluster mode=%s shards=%d count=%d ns=%d" mode
+          (shards t) n ns;
+      payload = [ string_of_int n ];
+    }
+
+let do_count t conns ~db ~engine ~query =
+  admitted t (fun () ->
+      match Plan.engine_kind_of_string engine with
+      | Some Plan.Fpt ->
+          (* Match the single-node refusal: the fpt engine's randomized
+             trials witness satisfiability, not multiplicities. *)
+          Protocol.Err
+            "COUNT: engine fpt cannot count (use auto, naive, yannakakis, or \
+             compiled)"
+      | _ ->
+          guarded t ~db ~engine ~query
+            ~scatter:(fun budget _q -> scatter_count t conns budget ~db ~query)
+            ~exchange:(fun budget q -> exchange_count t conns budget ~db q)
+            (render_count t))
 
 (* CHECK and EXPLAIN are static analysis; the coordinator answers them
    locally (same code path as a single node, including the planner's
@@ -1108,6 +1188,8 @@ let handler t () =
         end
     | Protocol.Eval { db; engine; query } ->
         (Some (do_eval t conns ~db ~engine ~query), `Continue)
+    | Protocol.Count { db; engine; query } ->
+        (Some (do_count t conns ~db ~engine ~query), `Continue)
     | Protocol.Gather { db; query } ->
         (Some (do_gather t conns ~db ~query), `Continue)
     | Protocol.Check query -> (Some (do_check query), `Continue)

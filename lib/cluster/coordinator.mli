@@ -39,6 +39,14 @@
     bit-for-bit identical — the property the differential oracle's
     "cluster" engine fuzzes.
 
+    [COUNT] follows the same strategy choice: under scatter each shard
+    answers its own [COUNT] and the coordinator sums the partial counts
+    (co-partitioning puts every satisfying valuation on exactly one
+    shard); under exchange the round-1 reducers are gathered as for
+    [EVAL] — semijoin reduction is count-preserving — and the exact
+    count is computed locally.  The payload is the same single
+    bare-count line a single node answers.
+
     {2 Failure semantics}
 
     Per-connection shard sockets are pooled; a transport error redials

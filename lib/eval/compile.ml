@@ -99,6 +99,49 @@ let ground_holds c =
   | Term.Const a, Term.Const b -> Constr.eval_op c.Constr.op a b
   | _ -> invalid_arg "Compile: ground constraint with a variable"
 
+(* One fused register-level check per constraint.  Shared by the Bool
+   and counting pipelines. *)
+let compile_constraint reg_of c =
+  let operand = function
+    | Term.Var x -> `Reg (reg_of x)
+    | Term.Const v -> `Const (Dictionary.intern Dictionary.global v, v)
+  in
+  let l = operand c.Constr.lhs and r = operand c.Constr.rhs in
+  match c.Constr.op with
+  | Constr.Neq -> (
+      match (l, r) with
+      | `Reg a, `Reg b -> fun regs -> regs.(a) <> regs.(b)
+      | `Reg a, `Const (c, _) -> fun regs -> regs.(a) <> c
+      | `Const (c, _), `Reg b -> fun regs -> c <> regs.(b)
+      | `Const (c1, _), `Const (c2, _) ->
+          let v = c1 <> c2 in
+          fun _ -> v)
+  | (Constr.Lt | Constr.Le) as op ->
+      let value = function
+        | `Reg a -> fun regs -> Dictionary.value Dictionary.global regs.(a)
+        | `Const (_, v) -> fun _ -> v
+      in
+      let lv = value l and rv = value r in
+      fun regs -> Constr.eval_op op (lv regs) (rv regs)
+
+(* Materialize every atom and apply the plan's semijoin program (full
+   reduction for acyclic plans).  Count-preserving: materialization's
+   projection to first-occurrence variable positions is injective on the
+   rows matching the selection pattern, and semijoins only drop rows that
+   join with nothing.  Shared by the Bool and counting pipelines. *)
+let reduced_mats ?budget plan db atoms =
+  let mats =
+    Array.mapi
+      (fun i scan -> materialize ?budget db scan atoms.(i))
+      plan.Planner.scans
+  in
+  List.iter
+    (fun (target, filter) ->
+      Budget.poll budget;
+      mats.(target) <- Relation.semijoin mats.(target) mats.(filter))
+    plan.Planner.reduce;
+  mats
+
 let compile ?budget plan db =
   Budget.poll budget;
   let q = plan.Planner.query in
@@ -131,46 +174,13 @@ let compile ?budget plan db =
     else if q.Cq.body = [] then (0, emit)
     else begin
       let atoms = Array.of_list q.Cq.body in
-      let mats =
-        Array.mapi
-          (fun i scan -> materialize ?budget db scan atoms.(i))
-          plan.Planner.scans
-      in
       (* Acyclic plans: full semijoin reduction at compile time, so the
          pipeline below enumerates without dead ends (Yannakakis). *)
-      List.iter
-        (fun (target, filter) ->
-          Budget.poll budget;
-          mats.(target) <- Relation.semijoin mats.(target) mats.(filter))
-        plan.Planner.reduce;
-      (* One fused constraint check per step index. *)
-      let compile_constraint c =
-        let operand = function
-          | Term.Var x -> `Reg (reg_of x)
-          | Term.Const v -> `Const (Dictionary.intern Dictionary.global v, v)
-        in
-        let l = operand c.Constr.lhs and r = operand c.Constr.rhs in
-        match c.Constr.op with
-        | Constr.Neq -> (
-            match (l, r) with
-            | `Reg a, `Reg b -> fun regs -> regs.(a) <> regs.(b)
-            | `Reg a, `Const (c, _) -> fun regs -> regs.(a) <> c
-            | `Const (c, _), `Reg b -> fun regs -> c <> regs.(b)
-            | `Const (c1, _), `Const (c2, _) ->
-                let v = c1 <> c2 in
-                fun _ -> v)
-        | (Constr.Lt | Constr.Le) as op ->
-            let value = function
-              | `Reg a -> fun regs -> Dictionary.value Dictionary.global regs.(a)
-              | `Const (_, v) -> fun _ -> v
-            in
-            let lv = value l and rv = value r in
-            fun regs -> Constr.eval_op op (lv regs) (rv regs)
-      in
+      let mats = reduced_mats ?budget plan db atoms in
       let filters_at i =
         match
           List.filter_map
-            (fun (j, c) -> if j = i then Some (compile_constraint c) else None)
+            (fun (j, c) -> if j = i then Some (compile_constraint reg_of c) else None)
             plan.Planner.filters
         with
         | [] -> None
@@ -183,65 +193,21 @@ let compile ?budget plan db =
         | None -> next
         | Some check -> fun st -> if check st.regs then next st
       in
-      (* Dead-variable barriers (the push-based analogue of the
-         Yannakakis intermediate projection): once a variable can no
-         longer influence the output — it is not in the head and no
-         later step or filter reads it — two register states agreeing on
-         the still-live variables have identical continuations.  A
-         distinct-prefix set on the live registers prunes the duplicate
-         subtrees, which turns e.g. long-chain walk enumeration from
-         exponential in the chain length into output-bounded work. *)
-      let step_arr = Array.of_list plan.Planner.steps in
-      let nsteps = Array.length step_arr in
-      let module SS = Set.Make (String) in
-      let step_vars = function
-        | Planner.Scan { atom } -> plan.Planner.scans.(atom).Planner.vars
-        | Planner.Probe { key; bind; _ } -> key @ bind
-        | Planner.Exists { key; _ } -> key
-      in
-      let constr_vars c =
-        List.filter_map
-          (function Term.Var x -> Some x | Term.Const _ -> None)
-          [ c.Constr.lhs; c.Constr.rhs ]
-      in
-      let filter_vars_at =
-        let a = Array.make nsteps SS.empty in
-        List.iter
-          (fun (j, c) -> a.(j) <- SS.union a.(j) (SS.of_list (constr_vars c)))
-          plan.Planner.filters;
-        a
-      in
-      let head_vars =
-        SS.of_list
-          (List.filter_map
-             (function Term.Var x -> Some x | Term.Const _ -> None)
-             q.Cq.head)
-      in
-      (* needed_after.(i): variables read by anything downstream of the
-         barrier point (step i+1.., filters placed there, the emit). *)
-      let needed_after = Array.make nsteps head_vars in
-      for i = nsteps - 2 downto 0 do
-        needed_after.(i) <-
-          SS.union needed_after.(i + 1)
-            (SS.union
-               (SS.of_list (step_vars step_arr.(i + 1)))
-               filter_vars_at.(i + 1))
-      done;
+      (* Dead-variable barriers (planned by {!Planner.barrier_spec}): a
+         distinct-prefix set on the live registers prunes duplicate
+         continuation subtrees, which turns e.g. long-chain walk
+         enumeration from exponential in the chain length into
+         output-bounded work. *)
       let ndedup = ref 0 in
       let dedup_spec =
-        let bound = ref SS.empty in
-        Array.mapi
-          (fun i step ->
-            bound := SS.union !bound (SS.of_list (step_vars step));
-            let live = SS.inter !bound needed_after.(i) in
-            if i < nsteps - 1 && SS.cardinal live < SS.cardinal !bound then begin
-              let k = !ndedup in
-              incr ndedup;
-              Some
-                (k, Array.of_list (List.map reg_of (SS.elements live)))
-            end
-            else None)
-          step_arr
+        Array.map
+          (function
+            | None -> None
+            | Some live ->
+                let k = !ndedup in
+                incr ndedup;
+                Some (k, Array.of_list (List.map reg_of live)))
+          plan.Planner.barriers
       in
       let with_dedup i next =
         match dedup_spec.(i) with
@@ -329,3 +295,178 @@ let run ?budget exec =
     (List.to_seq (Row_set.fold List.cons st.out []))
 
 let evaluate ?budget db q = run ?budget (compile ?budget (Planner.plan q) db)
+
+(* {2 Counting pipeline}
+
+   Same plan, same materialization, same probe order — but the sink
+   counts satisfying valuations of the body variables (Nat-semiring
+   semantics) instead of collecting deduplicated head rows.  The two
+   sinks are kept as separate pipelines on purpose: the Bool path above
+   is the trusted fast path and must stay bit-identical, and a counting
+   run must NOT dedup — dedup is the Bool semiring's ⊕, and collapsing
+   multiplicities is precisely the bug the counting oracle exists to
+   catch.
+
+   Where the Bool pipeline dedups at a dead-variable barrier, the
+   counting pipeline memoizes: past a barrier the downstream count is a
+   function of the live registers alone (later steps read only
+   already-bound key registers or registers they bind themselves, and
+   the emit reads none), so each distinct live prefix runs the subtree
+   once and replays its count from the memo thereafter.  That keeps
+   counting within the same complexity envelope as the deduplicated
+   enumeration instead of paying the full (possibly exponential)
+   valuation tree. *)
+
+type count_state = {
+  cregs : int array;
+  mutable cticks : int;
+  cbudget : Budget.t option;
+  mutable acc : int;
+  memo : int Code_row.Table.t array;
+      (** one live-prefix memo per dead-variable barrier *)
+}
+
+type count_exec = {
+  cname : string;
+  cnregs : int;
+  nmemo : int;
+  cpipeline : count_state -> unit;
+}
+
+let m_count_pipelines = Metrics.counter "compile.count_pipelines"
+
+let ctick st =
+  st.cticks <- st.cticks + 1;
+  if st.cticks land (budget_stride - 1) = 0 then Budget.poll st.cbudget
+
+let compile_count ?budget plan db =
+  Budget.poll budget;
+  let q = plan.Planner.query in
+  let vars = Cq.vars q in
+  let cnregs = List.length vars in
+  let reg_of =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i x -> Hashtbl.add tbl x i) vars;
+    Hashtbl.find tbl
+  in
+  let emit st =
+    ctick st;
+    st.acc <- st.acc + 1
+  in
+  let ground_ok = List.for_all ground_holds plan.Planner.ground in
+  let nmemo, cpipeline =
+    if not ground_ok then (0, fun _ -> ())
+    else if q.Cq.body = [] then (0, emit)
+    else begin
+      let atoms = Array.of_list q.Cq.body in
+      let mats = reduced_mats ?budget plan db atoms in
+      let filters_at i =
+        match
+          List.filter_map
+            (fun (j, c) -> if j = i then Some (compile_constraint reg_of c) else None)
+            plan.Planner.filters
+        with
+        | [] -> None
+        | checks ->
+            let checks = Array.of_list checks in
+            Some (fun regs -> Array.for_all (fun f -> f regs) checks)
+      in
+      let with_filters i next =
+        match filters_at i with
+        | None -> next
+        | Some check -> fun st -> if check st.cregs then next st
+      in
+      let nmemo = ref 0 in
+      let memo_spec =
+        Array.map
+          (function
+            | None -> None
+            | Some live ->
+                let k = !nmemo in
+                incr nmemo;
+                Some (k, Array.of_list (List.map reg_of live)))
+          plan.Planner.barriers
+      in
+      let with_memo i next =
+        match memo_spec.(i) with
+        | None -> next
+        | Some (k, proj) ->
+            fun st ->
+              let key = Code_row.sub st.cregs proj in
+              (match Code_row.Table.find_opt st.memo.(k) key with
+              | Some c -> st.acc <- st.acc + c
+              | None ->
+                  let saved = st.acc in
+                  st.acc <- 0;
+                  next st;
+                  Code_row.Table.replace st.memo.(k) key st.acc;
+                  st.acc <- saved + st.acc)
+      in
+      let rec build steps i =
+        match steps with
+        | [] -> emit
+        | step :: rest -> (
+            let next = with_filters i (with_memo i (build rest (i + 1))) in
+            match step with
+            | Planner.Scan { atom } ->
+                let rel = mats.(atom) in
+                let dst =
+                  Array.of_list (List.map reg_of plan.Planner.scans.(atom).vars)
+                in
+                let n = Array.length dst in
+                fun st ->
+                  Relation.iter_codes
+                    (fun row ->
+                      ctick st;
+                      for k = 0 to n - 1 do
+                        st.cregs.(dst.(k)) <- row.(k)
+                      done;
+                      next st)
+                    rel
+            | Planner.Probe { atom; key; bind } ->
+                let rel = mats.(atom) in
+                let key_pos = Relation.positions rel key in
+                let key_regs = Array.of_list (List.map reg_of key) in
+                let idx = Relation.hash_index rel key_pos in
+                let bind_src = Relation.positions rel bind in
+                let bind_dst = Array.of_list (List.map reg_of bind) in
+                let n = Array.length bind_dst in
+                fun st ->
+                  Relation.probe_iter rel idx st.cregs key_regs (fun row ->
+                      ctick st;
+                      for k = 0 to n - 1 do
+                        st.cregs.(bind_dst.(k)) <- row.(bind_src.(k))
+                      done;
+                      next st)
+            | Planner.Exists { atom; key } ->
+                let rel = mats.(atom) in
+                let key_pos = Relation.positions rel key in
+                let key_regs = Array.of_list (List.map reg_of key) in
+                let idx = Relation.hash_index rel key_pos in
+                fun st ->
+                  ctick st;
+                  if Relation.probe_mem rel idx st.cregs key_regs then next st)
+      in
+      let cpipeline = build plan.Planner.steps 0 in
+      (!nmemo, cpipeline)
+    end
+  in
+  Metrics.incr m_count_pipelines;
+  { cname = q.Cq.name; cnregs; nmemo; cpipeline }
+
+let run_count ?budget cexec =
+  Budget.poll budget;
+  let st =
+    {
+      cregs = Array.make (max cexec.cnregs 1) (-1);
+      cticks = 0;
+      cbudget = budget;
+      acc = 0;
+      memo = Array.init cexec.nmemo (fun _ -> Code_row.Table.create 64);
+    }
+  in
+  cexec.cpipeline st;
+  st.acc
+
+let count ?budget db q =
+  run_count ?budget (compile_count ?budget (Planner.plan q) db)

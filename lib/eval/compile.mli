@@ -38,3 +38,28 @@ val run : ?budget:Paradb_telemetry.Budget.t -> exec -> Paradb_relational.Relatio
 val evaluate :
   ?budget:Paradb_telemetry.Budget.t ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t -> Paradb_relational.Relation.t
+
+(** {2 Counting}
+
+    The same plan lowered to a counting sink: the number of satisfying
+    valuations of the body variables (Nat-semiring semantics — matches
+    {!Paradb_eval.Cq_naive.count}, not the cardinality of the
+    deduplicated output).  Where the Bool pipeline dedups at a
+    dead-variable barrier, the counting pipeline memoizes the downstream
+    count per live register prefix, so counting stays within the same
+    complexity envelope as deduplicated enumeration. *)
+
+type count_exec
+
+val compile_count :
+  ?budget:Paradb_telemetry.Budget.t ->
+  Paradb_planner.Planner.t -> Paradb_relational.Database.t -> count_exec
+
+(** [run_count cexec] executes the counting pipeline.  Safe to call
+    concurrently from several domains: all per-run state is local. *)
+val run_count : ?budget:Paradb_telemetry.Budget.t -> count_exec -> int
+
+(** [count db q] = plan, compile, run — one-shot counting. *)
+val count :
+  ?budget:Paradb_telemetry.Budget.t ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> int

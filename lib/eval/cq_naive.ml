@@ -91,6 +91,18 @@ let evaluate ?budget ?stats ?order_atoms db q =
   let rows = List.map (fun b -> Cq.head_tuple b q) bindings in
   Relation.create ~name:q.Cq.name ~schema rows
 
+(* Exact answer count under bag (Nat-semiring) semantics: the number of
+   satisfying valuations of the body variables.  [iter_bindings] visits
+   each valuation exactly once — relations are sets and a full binding
+   pins every atom's tuple — so counting callbacks is exact.  This is
+   the oracle's counting reference; every other COUNT path is checked
+   against it. *)
+let count ?budget ?stats ?(order_atoms = true) db q =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let n = ref 0 in
+  iter_bindings ?budget ~stats ~order_atoms db q (fun _ -> incr n);
+  !n
+
 exception Found
 
 let is_satisfiable ?budget ?stats ?(order_atoms = true) db q =

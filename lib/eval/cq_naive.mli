@@ -30,6 +30,15 @@ val evaluate :
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Relation.t
 
+(** Exact answer count: the number of satisfying valuations of the body
+    variables (Nat-semiring semantics — NOT the cardinality of the
+    deduplicated output unless the head retains every variable).  The
+    enumeration visits each valuation exactly once, so this is the
+    brute-force counting reference the differential oracle trusts. *)
+val count :
+  ?budget:Paradb_telemetry.Budget.t -> ?stats:stats -> ?order_atoms:bool ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> int
+
 (** Emptiness of the output (for Boolean queries: truth). *)
 val is_satisfiable :
   ?budget:Paradb_telemetry.Budget.t -> ?stats:stats -> ?order_atoms:bool ->

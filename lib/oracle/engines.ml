@@ -3,8 +3,10 @@ module Fo = Paradb_query.Fo
 module Atom = Paradb_query.Atom
 module Rule = Paradb_query.Rule
 module Program = Paradb_query.Program
+module Binding = Paradb_query.Binding
 module Relation = Paradb_relational.Relation
 module Tuple = Paradb_relational.Tuple
+module Semiring = Paradb_relational.Semiring
 module Hypergraph = Paradb_hypergraph.Hypergraph
 module Cq_naive = Paradb_eval.Cq_naive
 module Join_eval = Paradb_eval.Join_eval
@@ -16,11 +18,13 @@ module Ineq = Paradb_core.Ineq
 module Hashing = Paradb_core.Hashing
 module Datalog = Paradb_datalog.Engine
 
-type mode = Exact | Subset
+type mode = Exact | Subset | Exact_count | Exact_cost
 
 type outcome =
   | Rows of string list
   | Sat of bool
+  | Count of int
+  | Cost of int option
   | Not_applicable
   | Engine_error of string
 
@@ -37,10 +41,68 @@ let canon rel =
 
 let acyclic q = Hypergraph.is_acyclic (Hypergraph.of_cq q)
 
-let reference inst =
-  match inst.Gen.shape with
-  | Gen.Query q -> Rows (canon (Cq_naive.evaluate inst.Gen.db q))
-  | Gen.Sentence f -> Sat (Fo_naive.sentence_holds inst.Gen.db f)
+(* Deterministic per-row weight for the Tropical (min-cost witness)
+   engines: a small positive hash of the atom index and the row's
+   values over the atom's variables.  Value-based rather than
+   code-based, so the engine side (pricing reduced code rows) and the
+   brute-force reference (pricing bindings) agree in any process,
+   replay included. *)
+let cost_of_values i values =
+  List.fold_left
+    (fun acc v -> ((acc * 131) + Hashtbl.hash v) land 0x3f)
+    (17 + (31 * i))
+    values
+  + 1
+
+(* Engine side: [Yannakakis.aggregate] annotates the semijoin-reduced
+   atom relations, whose schema is the atom's variables in [Atom.vars]
+   order — decode the row back to values and price it. *)
+let tropical_weight i rel row =
+  cost_of_values i
+    (Array.to_list (Array.map (Relation.decode_value rel) row))
+
+(* Reference side: every satisfying binding prices each atom by the
+   same variables in the same order, and [min] is hardcoded — a mutant
+   that turns the Tropical ⊕ into a sum cannot hide in the reference. *)
+let min_cost db q =
+  let indexed = List.mapi (fun i a -> (i, Atom.vars a)) q.Cq.body in
+  let binding_cost b =
+    List.fold_left
+      (fun acc (i, vars) ->
+        acc
+        + cost_of_values i
+            (List.map
+               (fun x ->
+                 match Binding.find x b with
+                 | Some v -> v
+                 | None -> assert false)
+               vars))
+      0 indexed
+  in
+  List.fold_left
+    (fun best b ->
+      let c = binding_cost b in
+      match best with
+      | Some best -> Some (Stdlib.min best c)
+      | None -> Some c)
+    None
+    (Cq_naive.all_bindings db q)
+
+(* The reference path is per-contract: the answer set (or truth bit)
+   for the set-semantics contracts, the brute-force valuation count for
+   [Exact_count], the brute-force min-cost witness for [Exact_cost].
+   Count and cost are query-only notions; a sentence instance reads as
+   [Not_applicable] (and every count/cost engine guards on queries, so
+   the comparison never reaches that pairing). *)
+let reference mode inst =
+  match (mode, inst.Gen.shape) with
+  | (Exact | Subset), Gen.Query q ->
+      Rows (canon (Cq_naive.evaluate inst.Gen.db q))
+  | (Exact | Subset), Gen.Sentence f ->
+      Sat (Fo_naive.sentence_holds inst.Gen.db f)
+  | Exact_count, Gen.Query q -> Count (Cq_naive.count inst.Gen.db q)
+  | Exact_cost, Gen.Query q -> Cost (min_cost inst.Gen.db q)
+  | (Exact_count | Exact_cost), Gen.Sentence _ -> Not_applicable
 
 (* [agrees] is where the one-sided engines are handled: a
    [Random_trials] coloring family may miss answers (probability ~e^-c
@@ -54,13 +116,21 @@ let agrees ~mode ~reference got =
   | Rows got, Rows want -> (
       match mode with
       | Exact -> got = want
-      | Subset -> List.for_all (fun r -> List.mem r want) got)
+      | Subset -> List.for_all (fun r -> List.mem r want) got
+      | Exact_count | Exact_cost -> false)
   | Sat b, Rows want -> (
       match mode with
       | Exact -> b = (want <> [])
-      | Subset -> (not b) || want <> [])
-  | Sat b, Sat want -> ( match mode with Exact -> b = want | Subset -> (not b) || want)
-  | Rows _, Sat _ | _, Not_applicable -> false
+      | Subset -> (not b) || want <> []
+      | Exact_count | Exact_cost -> false)
+  | Sat b, Sat want -> (
+      match mode with
+      | Exact -> b = want
+      | Subset -> (not b) || want
+      | Exact_count | Exact_cost -> false)
+  | Count got, Count want -> got = want
+  | Cost got, Cost want -> got = want
+  | (Rows _ | Sat _ | Count _ | Cost _), _ -> false
 
 (* Adapter combinators: applicability guards run first (so an engine
    that cannot take the instance reports [Not_applicable] instead of an
@@ -163,6 +233,24 @@ let all ?serve ?cluster () =
         let rule = Rule.make (Atom.make datalog_goal q.Cq.head) q.Cq.body in
         let program = Program.make [ rule ] ~goal:datalog_goal in
         Rows (canon (Datalog.evaluate db program)));
+    (* Counting engines ([Exact_count]): the number of satisfying
+       valuations under the Nat semiring, against the brute-force
+       counting reference.  [count-compiled] is the warm path and must
+       take every query class; [count-yannakakis] is join-tree message
+       passing, acyclic and constraint-free only. *)
+    query_engine ~name:"count-compiled" ~mode:Exact_count (fun db q ->
+        Count (Paradb_eval.Compile.count db q));
+    query_engine ~name:"count-yannakakis" ~mode:Exact_count
+      ~guard:(fun q -> acyclic q && no_constraints q)
+      (fun db q -> Count (Yannakakis.count db q));
+    (* Min-cost witness ([Exact_cost]): the Tropical semiring over the
+       deterministic per-row weights, against the brute-force min. *)
+    query_engine ~name:"tropical-yannakakis" ~mode:Exact_cost
+      ~guard:(fun q -> acyclic q && no_constraints q)
+      (fun db q ->
+        let sr = Semiring.tropical () in
+        let c = Yannakakis.aggregate sr ~weight:tropical_weight db q in
+        Cost (if c = max_int then None else Some c));
     query_engine ~name:"fo-sat" ~mode:Exact ~guard:Cq.neq_only (fun db q ->
         let boolean =
           Cq.make ~name:q.Cq.name ~constraints:q.Cq.constraints ~head:[]
@@ -183,12 +271,18 @@ let all ?serve ?cluster () =
               match Serve.eval live db q with
               | Ok rows -> Rows rows
               | Error e -> Engine_error e);
+          query_engine ~name:"count-serve" ~mode:Exact_count (fun db q ->
+              match Serve.count live db q with
+              | Ok n -> Count n
+              | Error e -> Engine_error e);
         ])
   @
   (* The sharded path: hash-partition, scatter-gather, merge — must be
      bit-for-bit with the single node, including under injected shard
      loss and stragglers (the coordinator's failover machinery has to
-     hide them, not merely survive them). *)
+     hide them, not merely survive them).  COUNT rides the same wire:
+     per-shard partial counts summed under scatter, reducer exchange
+     otherwise. *)
   match cluster with
   | None -> []
   | Some live ->
@@ -197,11 +291,17 @@ let all ?serve ?cluster () =
             match Serve.eval_cluster live db q with
             | Ok rows -> Rows rows
             | Error e -> Engine_error e);
+        query_engine ~name:"count-cluster" ~mode:Exact_count (fun db q ->
+            match Serve.count_cluster live db q with
+            | Ok n -> Count n
+            | Error e -> Engine_error e);
       ]
 
-(* Every engine name the CLI accepts; "serve" and "cluster" are only
-   instantiated when the live servers are wired in. *)
-let names = List.map (fun e -> e.name) (all ()) @ [ "serve"; "cluster" ]
+(* Every engine name the CLI accepts; the serve- and cluster-backed
+   engines are only instantiated when the live servers are wired in. *)
+let names =
+  List.map (fun e -> e.name) (all ())
+  @ [ "serve"; "count-serve"; "cluster"; "count-cluster" ]
 
 let outcome_to_string = function
   | Rows rows ->
@@ -210,5 +310,8 @@ let outcome_to_string = function
         (String.concat "; " shown)
         (if List.length rows > 8 then "; ..." else "")
   | Sat b -> Printf.sprintf "sat=%b" b
+  | Count n -> Printf.sprintf "count=%d" n
+  | Cost None -> "cost=unsat"
+  | Cost (Some c) -> Printf.sprintf "cost=%d" c
   | Not_applicable -> "n/a"
   | Engine_error e -> "error: " ^ e

@@ -6,13 +6,19 @@
     (or satisfiability bit) bit-for-bit; [Subset] engines are allowed to
     miss answers but never to invent them — the contract of the
     Monte-Carlo [Random_trials] coloring family, whose error is
-    one-sided. *)
+    one-sided.  [Exact_count] engines answer the number of satisfying
+    valuations (Nat semiring) and must match the brute-force counting
+    reference exactly; [Exact_cost] engines answer the min-cost witness
+    (Tropical semiring over deterministic per-row weights) and must
+    match a brute-force minimum that hardcodes [min]. *)
 
-type mode = Exact | Subset
+type mode = Exact | Subset | Exact_count | Exact_cost
 
 type outcome =
   | Rows of string list  (** canonical sorted tuple strings *)
   | Sat of bool
+  | Count of int  (** satisfying valuations, Nat semiring *)
+  | Cost of int option  (** min witness cost; [None] when unsatisfiable *)
   | Not_applicable  (** instance outside the engine's guard — skipped *)
   | Engine_error of string  (** raised past the guard — a finding *)
 
@@ -22,22 +28,25 @@ type t = {
   run : Gen.instance -> outcome;
 }
 
-(** The reference path: naive backtracking CQ evaluation
-    ({!Paradb_eval.Cq_naive}) for queries, active-domain FO evaluation
-    for sentences. *)
-val reference : Gen.instance -> outcome
+(** The reference path for a contract: naive backtracking CQ evaluation
+    ({!Paradb_eval.Cq_naive}) / active-domain FO evaluation for the
+    set-semantics contracts, [Cq_naive.count] for [Exact_count], a
+    brute-force minimum over all bindings for [Exact_cost]. *)
+val reference : mode -> Gen.instance -> outcome
 
 (** [agrees ~mode ~reference got] — does [got] honor its contract
     against the reference?  [Not_applicable] always agrees;
     [Engine_error] never does. *)
 val agrees : mode:mode -> reference:outcome -> outcome -> bool
 
-(** All registered engines; the live-server round-trip engine is
-    included only when [serve] is given, the sharded-cluster engine
+(** All registered engines; the live-server round-trip engines
+    (["serve"], ["count-serve"]) are included only when [serve] is
+    given, the sharded-cluster engines (["cluster"], ["count-cluster"])
     only when [cluster] is. *)
 val all : ?serve:Serve.t -> ?cluster:Serve.cluster -> unit -> t list
 
-(** Every acceptable engine name, including ["serve"] and ["cluster"]. *)
+(** Every acceptable engine name, including the serve- and
+    cluster-backed ones. *)
 val names : string list
 
 val outcome_to_string : outcome -> string

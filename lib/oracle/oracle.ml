@@ -64,17 +64,28 @@ let wanted cfg name =
    engine's applicability (a merge making the query cyclic, say) read as
    agreement, so shrinking never wanders outside the engine's domain. *)
 let check_one (engine : Engines.t) inst =
-  let reference = Engines.reference inst in
+  let reference = Engines.reference engine.mode inst in
   let got = engine.run inst in
   (reference, got, Engines.agrees ~mode:engine.mode ~reference got)
+
+(* The contracts share three reference computations (Exact and Subset
+   compare against the same answer set); memoize per instance so a
+   case fuzzed against many engines runs each brute-force pass once —
+   and the count/cost references only when a matching engine is in
+   play. *)
+let ref_slot (mode : Engines.mode) =
+  match mode with
+  | Engines.Exact | Engines.Subset -> 0
+  | Engines.Exact_count -> 1
+  | Engines.Exact_cost -> 2
 
 let run ?(progress = fun _ -> ()) cfg =
   Option.iter validate_engine_names cfg.engines;
   Mutate.validate ();
   pin_domains ();
-  let with_serve = wanted cfg "serve" in
+  let with_serve = wanted cfg "serve" || wanted cfg "count-serve" in
   let serve = if with_serve then Some (Serve.start ()) else None in
-  let with_cluster = wanted cfg "cluster" in
+  let with_cluster = wanted cfg "cluster" || wanted cfg "count-cluster" in
   let cluster = if with_cluster then Some (Serve.start_cluster ()) else None in
   Fun.protect ~finally:(fun () ->
       Option.iter Serve.stop serve;
@@ -94,13 +105,23 @@ let run ?(progress = fun _ -> ()) cfg =
       Gen.instance ~seed:cfg.seed ~index ~max_vars:cfg.max_vars
         ~max_tuples:cfg.max_tuples
     in
-    let reference = Engines.reference inst in
+    let refs = Array.make 3 None in
+    let reference_for mode =
+      let slot = ref_slot mode in
+      match refs.(slot) with
+      | Some r -> r
+      | None ->
+          let r = Engines.reference mode inst in
+          refs.(slot) <- Some r;
+          r
+    in
     List.iter
       (fun (engine : Engines.t) ->
         let got = engine.run inst in
         if got <> Engines.Not_applicable then begin
           incr comparisons;
           Metrics.incr m_comparisons;
+          let reference = reference_for engine.mode in
           if not (Engines.agrees ~mode:engine.mode ~reference got) then begin
             Metrics.incr m_divergences;
             let diverges cand =
@@ -151,9 +172,13 @@ let replay path =
   pin_domains ();
   let case = Case_file.read path in
   let inst = Case_file.to_instance case in
-  let with_serve = case.Case_file.engine = "serve" in
+  let with_serve =
+    List.mem case.Case_file.engine [ "serve"; "count-serve" ]
+  in
   let serve = if with_serve then Some (Serve.start ()) else None in
-  let with_cluster = case.Case_file.engine = "cluster" in
+  let with_cluster =
+    List.mem case.Case_file.engine [ "cluster"; "count-cluster" ]
+  in
   let cluster = if with_cluster then Some (Serve.start_cluster ()) else None in
   Fun.protect ~finally:(fun () ->
       Option.iter Serve.stop serve;

@@ -41,6 +41,26 @@ let eval t db q =
       | Protocol.Err e -> Error ("EVAL: " ^ e)
       | Protocol.Ok_ { payload; _ } -> Ok payload)
 
+(* COUNT round-trip, shared by the single-node and cluster engines:
+   both answer the same one-line bare-count payload. *)
+let count_round_trip client facts db q =
+  Out_channel.with_open_text facts (fun oc -> Fact_format.print oc db);
+  match Client.request_line client (Printf.sprintf "LOAD fz %s" facts) with
+  | Protocol.Err e -> Error ("LOAD: " ^ e)
+  | Protocol.Ok_ _ -> (
+      match
+        Client.request_line client
+          ("COUNT fz auto " ^ Paradb_query.Cq.to_string q)
+      with
+      | Protocol.Err e -> Error ("COUNT: " ^ e)
+      | Protocol.Ok_ { payload = [ n ]; _ } -> (
+          match int_of_string_opt (String.trim n) with
+          | Some c -> Ok c
+          | None -> Error ("COUNT: malformed payload " ^ String.trim n))
+      | Protocol.Ok_ _ -> Error "COUNT: expected one payload line")
+
+let count t db q = count_round_trip t.client t.facts_path db q
+
 (* --- sharded cluster -------------------------------------------- *)
 
 module Coordinator = Paradb_cluster.Coordinator
@@ -98,3 +118,6 @@ let eval_cluster t db q =
       with
       | Protocol.Err e -> Error ("EVAL: " ^ e)
       | Protocol.Ok_ { payload; _ } -> Ok payload)
+
+let count_cluster t db q =
+  count_round_trip t.cluster_client t.cluster_facts db q

@@ -16,6 +16,11 @@ val eval :
   t -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   (string list, string) result
 
+(** [count t db q] — the COUNT verb's bare-count payload, parsed. *)
+val count :
+  t -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  (int, string) result
+
 (** A live sharded cluster as an oracle engine: [shards] in-process
     servers behind a {!Paradb_cluster.Coordinator} front end, driven
     through the same LOAD/EVAL round-trip as {!eval}.  Every case
@@ -32,3 +37,10 @@ val stop_cluster : cluster -> unit
 val eval_cluster :
   cluster -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   (string list, string) result
+
+(** [count_cluster t db q] — COUNT through the coordinator (per-shard
+    partial counts summed under scatter, reducer exchange otherwise);
+    the payload must parse to the same integer a single node answers. *)
+val count_cluster :
+  cluster -> Paradb_relational.Database.t -> Paradb_query.Cq.t ->
+  (int, string) result

@@ -33,6 +33,7 @@ type t = {
   reduce : (int * int) list;
   filters : (int * Constr.t) list;
   ground : Constr.t list;
+  barriers : string list option array;
 }
 
 let m_acyclic = Metrics.counter "planner.class.acyclic"
@@ -216,6 +217,51 @@ let reduce_program tree =
       List.map (fun (j, u) -> (u, j)) (pairs t.Join_tree.bottom_up)
       @ pairs t.Join_tree.top_down
 
+(* Dead-variable barriers: after step [i], a bound variable that is not
+   in the head and that no later step or filter reads can no longer
+   influence the output — two register states agreeing on the still-live
+   variables have identical continuations.  The compiler exploits each
+   barrier twice: under set semantics a distinct-prefix set prunes the
+   duplicate subtrees (the push-based analogue of the Yannakakis
+   intermediate projection), and under counting semantics the same live
+   prefix keys a memo of downstream counts.  [Some live] marks a barrier
+   after step [i] with the live variables in lexicographic order. *)
+let barrier_spec q scans steps filters =
+  let step_arr = Array.of_list steps in
+  let nsteps = Array.length step_arr in
+  let step_vars = function
+    | Scan { atom } -> scans.(atom).vars
+    | Probe { key; bind; _ } -> key @ bind
+    | Exists { key; _ } -> key
+  in
+  let filter_vars_at =
+    let a = Array.make (max nsteps 1) SS.empty in
+    List.iter
+      (fun (j, c) -> a.(j) <- SS.union a.(j) (SS.of_list (Constr.vars c)))
+      filters;
+    a
+  in
+  (* needed_after.(i): variables read by anything downstream of the
+     barrier point (steps i+1.., filters placed there, the emit). *)
+  let head_vars = SS.of_list (Cq.head_vars q) in
+  let needed_after = Array.make (max nsteps 1) head_vars in
+  for i = nsteps - 2 downto 0 do
+    needed_after.(i) <-
+      SS.union needed_after.(i + 1)
+        (SS.union
+           (SS.of_list (step_vars step_arr.(i + 1)))
+           filter_vars_at.(i + 1))
+  done;
+  let bound = ref SS.empty in
+  Array.mapi
+    (fun i step ->
+      bound := SS.union !bound (SS.of_list (step_vars step));
+      let live = SS.inter !bound needed_after.(i) in
+      if i < nsteps - 1 && SS.cardinal live < SS.cardinal !bound then
+        Some (SS.elements live)
+      else None)
+    step_arr
+
 let place_constraints constraints bound_after =
   let n = Array.length bound_after in
   let ground = ref [] and placed = ref [] in
@@ -266,6 +312,7 @@ let plan q =
     reduce = reduce_program tree;
     filters;
     ground;
+    barriers = barrier_spec q scans steps filters;
   }
 
 let classification_name = function
@@ -365,6 +412,12 @@ let explain p =
   List.iter
     (fun (i, c) -> line "filter after step %d: %s" i (Constr.to_string c))
     p.filters;
+  Array.iteri
+    (fun i b ->
+      match b with
+      | Some live -> line "barrier after step %d: live=[%s]" i (vars live)
+      | None -> ())
+    p.barriers;
   List.iter (fun c -> line "ground constraint: %s" (Constr.to_string c)) p.ground;
   (match shard_choice p with
   | Copartitioned v -> line "shard key: %s (copartitioned scatter)" v

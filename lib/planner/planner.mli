@@ -67,6 +67,13 @@ type t = {
       (** constraint [c] runs immediately after step index [i] — the
           earliest step at which all its variables are bound *)
   ground : Constr.t list;  (** variable-free constraints *)
+  barriers : string list option array;
+      (** one slot per step: [Some live] marks a dead-variable barrier
+          after that step, listing the still-live bound variables in
+          lexicographic order.  Past a barrier, register states agreeing
+          on the live variables have identical continuations — the
+          compiler dedups them under set semantics and memoizes the
+          downstream count under counting semantics *)
 }
 
 (** [plan q] classifies and orders [q] (alpha-normalizing it first) and

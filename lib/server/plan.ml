@@ -29,6 +29,7 @@ type t = {
   tree : Join_tree.t option;
   pplan : Planner.t;
   exec : Compile.exec option;
+  count_exec : Compile.count_exec option;
   generation : int;
 }
 
@@ -68,6 +69,12 @@ let cache_key kind q =
 let scoped_key ~db ~generation kind q =
   Printf.sprintf "%s#%d|%s" db generation (cache_key kind q)
 
+(* COUNT plans carry a different compiled artifact (the counting
+   pipeline), so they live under their own keyspace — an EVAL and a
+   COUNT of the same query never alias. *)
+let scoped_count_key ~db ~generation kind q =
+  Printf.sprintf "%s#%d|count|%s" db generation (cache_key kind q)
+
 let constants q =
   List.concat_map Atom.constants q.Cq.body
   @ List.concat_map Constr.constants q.Cq.constraints
@@ -104,6 +111,7 @@ let analyze requested q =
     tree = pplan.Planner.tree;
     pplan;
     exec = None;
+    count_exec = None;
     generation = -1;
   }
 
@@ -120,6 +128,16 @@ let prepare ?budget plan db ~generation =
       { plan with exec = Some exec; generation }
   | _ -> plan
 
+(* [prepare_count] is [prepare] for the counting pipeline. *)
+let prepare_count ?budget plan db ~generation =
+  match plan.engine with
+  | E_compiled ->
+      let t0 = Clock.now_ns () in
+      let count_exec = Compile.compile_count ?budget plan.pplan db in
+      Metrics.observe m_compile_ns (Clock.now_ns () - t0);
+      { plan with count_exec = Some count_exec; generation }
+  | _ -> plan
+
 let evaluate ?budget ?family plan db q =
   match plan.engine with
   | E_naive -> Paradb_eval.Cq_naive.evaluate ?budget db q
@@ -133,6 +151,22 @@ let evaluate ?budget ?family plan db q =
           (* Unprepared plan (one-shot CLI, tests): compile on the fly
              against the database at hand. *)
           Compile.run ?budget (Compile.compile ?budget plan.pplan db))
+
+let count ?budget plan db q =
+  match plan.engine with
+  | E_naive -> Paradb_eval.Cq_naive.count ?budget db q
+  | E_yannakakis -> Paradb_yannakakis.Yannakakis.count ?budget db q
+  | E_compiled -> (
+      match plan.count_exec with
+      | Some cexec -> Compile.run_count ?budget cexec
+      | None ->
+          Compile.run_count ?budget (Compile.compile_count ?budget plan.pplan db))
+  | E_fpt | E_comparisons ->
+      invalid_arg
+        (Printf.sprintf
+           "COUNT: engine %s cannot count (use auto, naive, yannakakis, or \
+            compiled)"
+           (engine_name plan.engine))
 
 let sorted_tuples r =
   List.map Tuple.to_string (List.sort Tuple.compare (Relation.tuples r))

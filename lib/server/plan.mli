@@ -30,6 +30,8 @@ type t = {
   pplan : Paradb_planner.Planner.t;  (** physical plan and classification *)
   exec : Paradb_eval.Compile.exec option;
       (** compiled pipeline; [Some] only after {!prepare} *)
+  count_exec : Paradb_eval.Compile.count_exec option;
+      (** compiled counting pipeline; [Some] only after {!prepare_count} *)
   generation : int;
       (** catalog generation [exec] was compiled against; [-1] when
           unprepared *)
@@ -49,6 +51,12 @@ val cache_key : engine_kind -> Cq.t -> string
     pipeline) survives a snapshot swap. *)
 val scoped_key : db:string -> generation:int -> engine_kind -> Cq.t -> string
 
+(** [scoped_count_key] — same discipline for COUNT plans, under a
+    distinct keyspace so an EVAL and a COUNT of the same query never
+    share a cache entry (they carry different compiled artifacts). *)
+val scoped_count_key :
+  db:string -> generation:int -> engine_kind -> Cq.t -> string
+
 (** [analyze kind q] resolves the dispatch ([Auto] and [Compiled] go to
     the compiled pipeline engine; the named interpreters are forced by
     name) and precomputes the cacheable, database-independent analysis,
@@ -66,6 +74,10 @@ val analyze : engine_kind -> Cq.t -> t
 val prepare :
   ?budget:Paradb_telemetry.Budget.t -> t -> Database.t -> generation:int -> t
 
+(** [prepare_count] — {!prepare} for the counting pipeline. *)
+val prepare_count :
+  ?budget:Paradb_telemetry.Budget.t -> t -> Database.t -> generation:int -> t
+
 (** [evaluate plan db q] runs the plan's engine on [q] — which must be
     alpha-equivalent to [plan.query]; the fresh parse is used directly so
     head attribute names are preserved.  [E_compiled] plans run their
@@ -77,6 +89,17 @@ val prepare :
 val evaluate :
   ?budget:Paradb_telemetry.Budget.t ->
   ?family:Paradb_core.Hashing.family -> t -> Database.t -> Cq.t -> Relation.t
+
+(** [count plan db q] — the exact answer count (number of satisfying
+    valuations of the body variables, Nat-semiring semantics).
+    [E_compiled] plans run their prepared counting pipeline (compiling
+    on the fly when unprepared); [E_naive] and [E_yannakakis] dispatch
+    to their interpreters' counting entry points.  Raises
+    [Invalid_argument] for [E_fpt]/[E_comparisons] — the fpt engine's
+    randomized trials only witness satisfiability and cannot produce
+    exact multiplicities. *)
+val count :
+  ?budget:Paradb_telemetry.Budget.t -> t -> Database.t -> Cq.t -> int
 
 (** [sorted_tuples r] — the result rows rendered one per line, sorted
     with {!Paradb_relational.Tuple.compare}.  This is the canonical

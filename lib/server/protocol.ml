@@ -3,6 +3,7 @@ type request =
   | Fact of { db : string; fact : string }
   | Bulk of { db : string; count : int }
   | Eval of { db : string; engine : string; query : string }
+  | Count of { db : string; engine : string; query : string }
   | Gather of { db : string; query : string }
   | Check of string
   | Explain of string
@@ -21,6 +22,7 @@ let verb_name = function
   | Fact _ -> "fact"
   | Bulk _ -> "bulk"
   | Eval _ -> "eval"
+  | Count _ -> "count"
   | Gather _ -> "gather"
   | Check _ -> "check"
   | Explain _ -> "explain"
@@ -83,6 +85,15 @@ let parse_request line =
           | engine, query when trim query <> "" ->
               Ok (Eval { db; engine; query = trim query })
           | _ -> need "query" "EVAL"))
+  | "COUNT" -> (
+      match split_word rest with
+      | "", _ -> need "database name" "COUNT"
+      | db, rest -> (
+          match split_word rest with
+          | "", _ -> need "engine" "COUNT"
+          | engine, query when trim query <> "" ->
+              Ok (Count { db; engine; query = trim query })
+          | _ -> need "query" "COUNT"))
   | "GATHER" -> (
       match split_word rest with
       | "", _ -> need "database name" "GATHER"
@@ -108,6 +119,8 @@ let request_to_line = function
   | Fact { db; fact } -> Printf.sprintf "FACT %s %s" db fact
   | Bulk { db; count } -> Printf.sprintf "BULK %s %d" db count
   | Eval { db; engine; query } -> Printf.sprintf "EVAL %s %s %s" db engine query
+  | Count { db; engine; query } ->
+      Printf.sprintf "COUNT %s %s %s" db engine query
   | Gather { db; query } -> Printf.sprintf "GATHER %s %s" db query
   | Check query -> "CHECK " ^ query
   | Explain query -> "EXPLAIN " ^ query

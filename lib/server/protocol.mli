@@ -10,6 +10,11 @@
                                   lines are fact lines replacing entry <db>
       EVAL <db> <engine> <query>  evaluate; engine is auto | naive |
                                   yannakakis | fpt | compiled
+      COUNT <db> <engine> <query> exact answer count (satisfying
+                                  valuations, Nat semiring); payload is
+                                  one line holding the bare count;
+                                  engine is auto | naive | yannakakis |
+                                  compiled
       GATHER <db> <query>         evaluate and answer the result as fact
                                   lines (the cluster reducer exchange)
       CHECK <query>               static analysis (no database touched)
@@ -48,6 +53,7 @@ type request =
   | Fact of { db : string; fact : string }
   | Bulk of { db : string; count : int }
   | Eval of { db : string; engine : string; query : string }
+  | Count of { db : string; engine : string; query : string }
   | Gather of { db : string; query : string }
   | Check of string
   | Explain of string

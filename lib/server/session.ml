@@ -24,8 +24,8 @@ let verb_hist =
   List.map
     (fun v -> (v, Metrics.histogram (Printf.sprintf "server.verb.%s.ns" v)))
     [
-      "load"; "fact"; "bulk"; "eval"; "gather"; "check"; "explain"; "digest";
-      "repair"; "stats"; "metrics"; "quit"; "invalid";
+      "load"; "fact"; "bulk"; "eval"; "count"; "gather"; "check"; "explain";
+      "digest"; "repair"; "stats"; "metrics"; "quit"; "invalid";
     ]
 
 let observe_verb verb ns =
@@ -155,6 +155,51 @@ let run_eval s ~db ~kind q =
             ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
           Ok (plan, hit, result, ns))
 
+(* COUNT twin of [run_eval]: same catalog/budget/cache/stats discipline,
+   but builds and runs the counting pipeline, cached under the COUNT
+   keyspace ([Plan.scoped_count_key]). *)
+let run_count s ~db ~kind q =
+  match Catalog.find s.shared.catalog db with
+  | None -> Error (Printf.sprintf "no database %s (use LOAD or FACT)" db)
+  | Some (database, generation) -> (
+      let key = Plan.scoped_count_key ~db ~generation kind q in
+      let budget =
+        Option.map
+          (fun deadline_ns -> Budget.start ~deadline_ns)
+          s.shared.limits.Guard.deadline_ns
+      in
+      let t0 = now_ns () in
+      match
+        let plan, outcome =
+          Plan_cache.find_or_build s.shared.cache ~key (fun () ->
+              Plan.prepare_count ?budget (Plan.analyze kind q) database
+                ~generation)
+        in
+        (plan, outcome, Plan.count ?budget plan database q)
+      with
+      | exception
+          ( Paradb_yannakakis.Yannakakis.Cyclic_query
+          | Paradb_core.Engine.Cyclic_query ) ->
+          Error "the query hypergraph is cyclic; use engine naive"
+      | exception Invalid_argument msg -> Error msg
+      | exception Not_found ->
+          Error (Printf.sprintf "query names a relation missing from %s" db)
+      | exception Budget.Exhausted { elapsed_ns; _ } ->
+          Metrics.incr m_deadline;
+          Error (Printf.sprintf "deadline-exceeded after %dns" elapsed_ns)
+      | plan, outcome, n ->
+          let ns = now_ns () - t0 in
+          let hit = outcome = `Hit in
+          (if plan.Plan.engine = Plan.E_compiled then begin
+             if hit then Metrics.incr m_compiled_hits
+           end
+           else Metrics.incr m_interp_fallback);
+          Stats.record s.shared.stats
+            ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
+          Stats.record s.stats
+            ~engine:(Plan.engine_name plan.Plan.engine) ~hit ~ns;
+          Ok (plan, hit, n, ns))
+
 let truncate_rows s lines rows =
   match s.shared.limits.Guard.max_rows with
   | Some m when rows > m -> (List.filteri (fun i _ -> i < m) lines, true)
@@ -179,6 +224,27 @@ let do_eval s ~db ~engine ~query =
                    (if hit then "hit" else "miss")
                    rows ns
                    (if truncated then " truncated=true" else ""))))
+
+(* COUNT: like EVAL, but the answer is a single number — the summary
+   carries [count=<n>] and the payload is one line holding the bare
+   count, so both a human and the coordinator's partial-sum gather can
+   read it without parsing the summary. *)
+let do_count s ~db ~engine ~query =
+  match Plan.engine_kind_of_string engine with
+  | None -> err s (Printf.sprintf "unknown engine %s" engine)
+  | Some kind -> (
+      match Source.parse_query query with
+      | Error e -> err s e
+      | Ok q -> (
+          match run_count s ~db ~kind q with
+          | Error e -> err s e
+          | Ok (plan, hit, n, ns) ->
+              ok
+                ~payload:[ string_of_int n ]
+                (Printf.sprintf "engine=%s cache=%s count=%d ns=%d"
+                   (Plan.engine_name plan.Plan.engine)
+                   (if hit then "hit" else "miss")
+                   n ns)))
 
 (* GATHER: evaluate like EVAL (engine auto) but answer the rows as fact
    lines [head(v1, v2).] — the only line format whose values survive a
@@ -344,6 +410,8 @@ let dispatch s req =
   | Protocol.Bulk { db; count } -> do_bulk s ~db ~count
   | Protocol.Eval { db; engine; query } ->
       (Some (do_eval s ~db ~engine ~query), `Continue)
+  | Protocol.Count { db; engine; query } ->
+      (Some (do_count s ~db ~engine ~query), `Continue)
   | Protocol.Gather { db; query } -> (Some (do_gather s ~db ~query), `Continue)
   | Protocol.Check query -> (Some (do_check s query), `Continue)
   | Protocol.Explain query -> (Some (do_explain s query), `Continue)

@@ -8,6 +8,10 @@ let known =
      "under-count the hash range k (separation parameter) by one");
     ("probe_key_swap",
      "compiled probe binds its first output column from the probe key column");
+    ("sum_instead_of_max",
+     "tropical ⊕ sums alternative costs instead of keeping the best one");
+    ("count_dedup_drop",
+     "annotated projection keeps the first annotation, collapsing multiplicities");
   ]
 
 let known_names = List.map fst known

@@ -46,6 +46,30 @@ val evaluate :
   Paradb_relational.Database.t -> Paradb_query.Cq.t ->
   Paradb_relational.Relation.t
 
+(** [aggregate sr db q] — semiring aggregation over the full join by
+    message passing on the join tree: every atom-relation row is
+    annotated (with [sr.one], or with [weight atom_index atom_rel row]
+    when given), children are ⊕-projected onto their connector and
+    ⊗-joined into their parent, and the result is the ⊕-total at the
+    root.  Runs in time polynomial in the (semijoin-reduced) atom
+    relations.  Same guards as {!evaluate}: raises [Cyclic_query] /
+    [Invalid_argument] on constraints; an empty body yields [sr.one]. *)
+val aggregate :
+  ?budget:Paradb_telemetry.Budget.t ->
+  'a Paradb_relational.Semiring.t ->
+  ?weight:
+    (int -> Paradb_relational.Relation.t ->
+     Paradb_relational.Code_row.t -> 'a) ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> 'a
+
+(** [count db q] = [aggregate Semiring.nat db q]: the number of
+    satisfying valuations of the body variables, matching
+    {!Paradb_eval.Cq_naive.count} — in polynomial time for acyclic
+    queries, where the naive reference pays the full valuation tree. *)
+val count :
+  ?budget:Paradb_telemetry.Budget.t ->
+  Paradb_relational.Database.t -> Paradb_query.Cq.t -> int
+
 val is_satisfiable :
   ?budget:Paradb_telemetry.Budget.t ->
   Paradb_relational.Database.t -> Paradb_query.Cq.t -> bool

@@ -26,7 +26,8 @@ echo "$out" | grep -q 'divergences=0' || fail "clean run reported divergences: $
 echo "mutation_smoke: clean run ok ($CASES cases)"
 
 # --- each mutant must be caught, with a small counterexample -----------
-for mutant in semijoin_off_by_one drop_neq color_count probe_key_swap; do
+for mutant in semijoin_off_by_one drop_neq color_count probe_key_swap \
+              sum_instead_of_max count_dedup_drop; do
   set +e
   out=$(PARADB_MUTATE=$mutant "$PARADB" fuzz --seed "$SEED" --cases "$CASES")
   status=$?

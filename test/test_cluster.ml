@@ -422,6 +422,75 @@ let test_cluster_failover () =
   Alcotest.(check bool) "failover counted" true
     (Metrics.counter_value m_failover > failovers)
 
+let count_on client q =
+  match Client.request_line client ("COUNT g auto " ^ q) with
+  | Protocol.Ok_ { payload; _ } -> Ok payload
+  | Protocol.Err e -> Error e
+
+(* COUNT payloads (one bare-count line) must be bit-identical to a
+   single-node server's across both distribution strategies: the query
+   list covers scatter (co-partitioned), exchange (misaligned join
+   variable), constants, boolean heads, and empty answers. *)
+let test_cluster_count_matches_single_node () =
+  with_servers 1 @@ fun single ->
+  Client.with_connection ~timeout:30.0 ~port:(Server.port single.(0))
+  @@ fun single_client ->
+  load_facts single_client;
+  with_cluster ~shards:3 ~replicas:1 @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  List.iter
+    (fun q ->
+      match (count_on single_client q, count_on client q) with
+      | Ok expected, Ok got ->
+          Alcotest.(check (list string)) ("count payload: " ^ q) expected got;
+          (match got with
+          | [ n ] ->
+              if int_of_string_opt n = None then
+                Alcotest.failf "%s: payload %S is not an int" q n
+          | _ -> Alcotest.failf "%s: expected one payload line" q)
+      | Error e, _ -> Alcotest.failf "%s: single-node ERR %s" q e
+      | _, Error e -> Alcotest.failf "%s: cluster ERR %s" q e)
+    queries
+
+let test_cluster_count_rejects_fpt () =
+  with_cluster ~shards:2 @@ fun ~shard_servers:_ ~client ->
+  load_facts client;
+  match Client.request_line client "COUNT g fpt ans(X, Y) :- e(X, Y)." with
+  | Protocol.Ok_ _ -> Alcotest.fail "expected ERR for COUNT with fpt"
+  | Protocol.Err e ->
+      Alcotest.(check bool) ("fpt rejection: " ^ e) true
+        (contains e "cannot count")
+
+(* Shard loss with a surviving replica: COUNT fails over and keeps
+   returning the pre-failure totals on both strategies. *)
+let test_cluster_count_failover () =
+  let m_failover = Metrics.counter "cluster.failover" in
+  with_cluster ~shards:2 ~replicas:2 @@ fun ~shard_servers ~client ->
+  load_facts client;
+  let scatter_q = "ans(X, Y) :- e(X, Y), e(X, Z), Y != Z." in
+  let exchange_q = "ans(X, Z) :- e(X, Y), f(Y, Z)." in
+  let before q =
+    match count_on client q with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "pre-failure COUNT %s: %s" q e
+  in
+  let scatter_before = before scatter_q in
+  let exchange_before = before exchange_q in
+  let failovers = Metrics.counter_value m_failover in
+  Server.stop shard_servers.(1);
+  (match count_on client scatter_q with
+  | Ok after ->
+      Alcotest.(check (list string)) "scatter count survives a shard loss"
+        scatter_before after
+  | Error e -> Alcotest.failf "post-failure scatter COUNT: %s" e);
+  (match count_on client exchange_q with
+  | Ok after ->
+      Alcotest.(check (list string)) "exchange count survives a shard loss"
+        exchange_before after
+  | Error e -> Alcotest.failf "post-failure exchange COUNT: %s" e);
+  Alcotest.(check bool) "failover counted" true
+    (Metrics.counter_value m_failover > failovers)
+
 let test_cluster_shard_loss_without_replica () =
   with_cluster ~shards:2 ~replicas:1 @@ fun ~shard_servers ~client ->
   load_facts client;
@@ -600,6 +669,12 @@ let () =
           Alcotest.test_case "admission limit" `Quick
             test_cluster_admission_limit;
           Alcotest.test_case "replica failover" `Quick test_cluster_failover;
+          Alcotest.test_case "COUNT matches single node" `Quick
+            test_cluster_count_matches_single_node;
+          Alcotest.test_case "COUNT rejects fpt" `Quick
+            test_cluster_count_rejects_fpt;
+          Alcotest.test_case "COUNT replica failover" `Quick
+            test_cluster_count_failover;
           Alcotest.test_case "shard loss without replica" `Quick
             test_cluster_shard_loss_without_replica;
           Alcotest.test_case "config validation" `Quick

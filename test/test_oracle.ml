@@ -93,7 +93,21 @@ let test_agrees_contract () =
   Alcotest.(check bool) "not applicable skips" true
     (agrees ~mode:Exact ~reference:(rows [ "(1)" ]) Not_applicable);
   Alcotest.(check bool) "engine error is a finding" false
-    (agrees ~mode:Exact ~reference:(rows [ "(1)" ]) (Engine_error "boom"))
+    (agrees ~mode:Exact ~reference:(rows [ "(1)" ]) (Engine_error "boom"));
+  Alcotest.(check bool) "count equal" true
+    (agrees ~mode:Exact_count ~reference:(Count 3) (Count 3));
+  Alcotest.(check bool) "count off by one" false
+    (agrees ~mode:Exact_count ~reference:(Count 3) (Count 2));
+  Alcotest.(check bool) "count vs rows is a shape clash" false
+    (agrees ~mode:Exact_count ~reference:(rows [ "(1)" ]) (Count 1));
+  Alcotest.(check bool) "cost equal" true
+    (agrees ~mode:Exact_cost ~reference:(Cost (Some 7)) (Cost (Some 7)));
+  Alcotest.(check bool) "cost mismatch" false
+    (agrees ~mode:Exact_cost ~reference:(Cost (Some 7)) (Cost (Some 8)));
+  Alcotest.(check bool) "cost unsat matches" true
+    (agrees ~mode:Exact_cost ~reference:(Cost None) (Cost None));
+  Alcotest.(check bool) "cost sat vs unsat" false
+    (agrees ~mode:Exact_cost ~reference:(Cost (Some 7)) (Cost None))
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
@@ -172,9 +186,11 @@ let test_case_file_roundtrip () =
 (* The oracle proper *)
 
 let in_process_engines =
-  (* everything but the live-server round trip, which the CLI acceptance
+  (* everything but the live-server round trips, which the CLI acceptance
      run covers; unit tests stay socket-free *)
-  List.filter (fun n -> n <> "serve") Engines.names
+  List.filter
+    (fun n -> n <> "serve" && n <> "count-serve")
+    Engines.names
 
 let run_oracle ?(seed = 1) ?(cases = 60) ?(engines = in_process_engines) () =
   Oracle.run
@@ -209,11 +225,11 @@ let with_mutation name f =
   Unix.putenv "PARADB_MUTATE" name;
   Fun.protect ~finally:(fun () -> Unix.putenv "PARADB_MUTATE" "") f
 
-let check_mutant_caught ~mutant ~engines =
+let check_mutant_caught ?(cases = 60) ~mutant ~engines () =
   with_mutation mutant @@ fun () ->
-  let report = run_oracle ~engines () in
+  let report = run_oracle ~cases ~engines () in
   match report.Oracle.divergences with
-  | [] -> Alcotest.failf "mutant %s survived 60 cases" mutant
+  | [] -> Alcotest.failf "mutant %s survived %d cases" mutant cases
   | d :: _ ->
       Alcotest.(check bool)
         (Printf.sprintf "%s counterexample <= 4 atoms" mutant)
@@ -226,16 +242,27 @@ let check_mutant_caught ~mutant ~engines =
 
 let test_mutant_semijoin () =
   check_mutant_caught ~mutant:"semijoin_off_by_one"
-    ~engines:[ "yannakakis-sat" ]
+    ~engines:[ "yannakakis-sat" ] ()
 
 let test_mutant_drop_neq () =
-  check_mutant_caught ~mutant:"drop_neq" ~engines:[ "fpt"; "fpt-sat" ]
+  check_mutant_caught ~mutant:"drop_neq" ~engines:[ "fpt"; "fpt-sat" ] ()
 
 let test_mutant_color_count () =
-  check_mutant_caught ~mutant:"color_count" ~engines:[ "fpt"; "fpt-sat" ]
+  check_mutant_caught ~mutant:"color_count" ~engines:[ "fpt"; "fpt-sat" ] ()
 
 let test_mutant_probe_key_swap () =
-  check_mutant_caught ~mutant:"probe_key_swap" ~engines:[ "compiled" ]
+  check_mutant_caught ~mutant:"probe_key_swap" ~engines:[ "compiled" ] ()
+
+let test_mutant_sum_instead_of_max () =
+  check_mutant_caught ~mutant:"sum_instead_of_max"
+    ~engines:[ "tropical-yannakakis" ] ()
+
+(* Dropping multiplicities only shows on a projection collision — a
+   rarer shape than the other mutants trip on, hence the bigger case
+   budget. *)
+let test_mutant_count_dedup_drop () =
+  check_mutant_caught ~cases:400 ~mutant:"count_dedup_drop"
+    ~engines:[ "count-yannakakis" ] ()
 
 let test_unknown_mutant_rejected () =
   with_mutation "not_a_mutant" @@ fun () ->
@@ -277,6 +304,10 @@ let () =
           Alcotest.test_case "color count" `Quick test_mutant_color_count;
           Alcotest.test_case "probe key swap" `Quick
             test_mutant_probe_key_swap;
+          Alcotest.test_case "sum instead of max" `Quick
+            test_mutant_sum_instead_of_max;
+          Alcotest.test_case "count dedup drop" `Quick
+            test_mutant_count_dedup_drop;
           Alcotest.test_case "unknown mutant" `Quick
             test_unknown_mutant_rejected;
         ] );

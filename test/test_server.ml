@@ -367,6 +367,54 @@ let test_explain_verb () =
   | Protocol.Err _ -> ()
   | Protocol.Ok_ _ -> Alcotest.fail "EXPLAIN on a parse error should ERR"
 
+(* COUNT: one bare-count payload line, multiplicity semantics (number
+   of satisfying valuations, not dedup'd answers), every counting
+   engine agrees, and fpt refuses with a pointed message.  COUNT and
+   EVAL cache entries live in separate keyspaces, so interleaving the
+   two verbs on the same query must never cross-serve a payload. *)
+let test_count_verb () =
+  let shared = Session.make_shared ~cache_capacity:8 () in
+  let session = Session.create shared in
+  let run line = Option.get (fst (Session.handle_line session line)) in
+  let path = write_temp_facts "e(1, 2). e(1, 3). e(2, 3).\n" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  ignore (run (Printf.sprintf "LOAD g %s" path));
+  let count engine q =
+    match run (Printf.sprintf "COUNT g %s %s" engine q) with
+    | Protocol.Err e -> Alcotest.failf "COUNT %s %s: ERR %s" engine q e
+    | Protocol.Ok_ { summary; payload } -> (
+        Alcotest.(check bool)
+          ("summary carries count=: " ^ summary)
+          true
+          (contains summary "count=");
+        match payload with
+        | [ n ] -> (
+            match int_of_string_opt n with
+            | Some n -> n
+            | None -> Alcotest.failf "payload %S is not an int" n)
+        | _ -> Alcotest.failf "expected one payload line for %s" q)
+  in
+  (* boolean head over 3 edges: 3 valuations, but only 1 answer row *)
+  let q = "q() :- e(X, Y)." in
+  List.iter
+    (fun engine ->
+      Alcotest.(check int) ("valuations via " ^ engine) 3 (count engine q))
+    [ "auto"; "naive"; "yannakakis"; "compiled" ];
+  (match run ("EVAL g auto " ^ q) with
+  | Protocol.Ok_ { payload; _ } ->
+      Alcotest.(check int) "answer set stays dedup'd" 1 (List.length payload)
+  | Protocol.Err e -> Alcotest.failf "EVAL: %s" e);
+  (* interleaved warm hits keep their own caches *)
+  Alcotest.(check int) "warm count unchanged" 3 (count "auto" q);
+  (* empty-body ground queries count 1/0 by constraint truth *)
+  Alcotest.(check int) "ground true" 1 (count "auto" "q() :- 1 < 2.");
+  Alcotest.(check int) "ground false" 0 (count "auto" "q() :- 2 < 1.");
+  match run ("COUNT g fpt " ^ q) with
+  | Protocol.Err e ->
+      Alcotest.(check bool) ("fpt refusal: " ^ e) true
+        (contains e "cannot count")
+  | Protocol.Ok_ _ -> Alcotest.fail "COUNT with fpt should ERR"
+
 (* DIGEST: a deterministic per-relation content fingerprint — identical
    databases agree, any content change disagrees.  REPAIR is the
    coordinator's verb and must refuse cleanly on a plain server. *)
@@ -550,6 +598,7 @@ let () =
           Alcotest.test_case "compiled cache never serves a stale snapshot"
             `Quick test_compiled_cache_staleness;
           Alcotest.test_case "explain verb" `Quick test_explain_verb;
+          Alcotest.test_case "count verb" `Quick test_count_verb;
           Alcotest.test_case "digest verb" `Quick test_digest_verb;
         ] );
       ( "concurrency",
